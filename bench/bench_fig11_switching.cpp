@@ -1,0 +1,53 @@
+// Fig 11: power vs switching activity factor of the sequential outputs
+// (M256 absolute power, and the power reduction rate for all circuits).
+// Paper: total power rises with activity but the T-MI reduction rate stays
+// nearly flat.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace m3d;
+using namespace m3d::bench;
+
+int main() {
+  const double activities[] = {0.1, 0.2, 0.3, 0.4};
+
+  util::Table t1(
+      "Fig 11(a): M256 total power (uW) vs sequential switching activity,\n"
+      "45nm.");
+  t1.set_header({"activity", "2D uW", "3D uW", "reduction"});
+  for (double a : activities) {
+    flow::FlowOptions o = preset(gen::Bench::kM256, tech::Node::k45nm);
+    const Cmp base = compare_cached("t4_45_M256", o);
+    o.clock_ns = base.flat.clock_ns;
+    o.seq_activity = a;
+    const Cmp c = compare_cached(util::strf("fig11_M256_a%02.0f", a * 100), o);
+    t1.add_row({util::strf("%.1f", a), util::strf("%.1f", c.flat.total_uw),
+                util::strf("%.1f", c.tmi.total_uw),
+                pct_str(c.tmi.total_uw, c.flat.total_uw)});
+  }
+  t1.print();
+
+  util::Table t2(
+      "\nFig 11(b): power reduction rate vs switching activity, all\n"
+      "circuits, 45nm (paper: nearly flat curves).");
+  std::vector<std::string> header{"circuit"};
+  for (double a : activities) header.push_back(util::strf("a=%.1f", a));
+  t2.set_header(header);
+  for (gen::Bench b : gen::all_benches()) {
+    std::vector<std::string> row{gen::to_string(b)};
+    flow::FlowOptions o = preset(b, tech::Node::k45nm);
+    const Cmp base =
+        compare_cached(util::strf("t4_45_%s", gen::to_string(b)), o);
+    o.clock_ns = base.flat.clock_ns;
+    for (double a : activities) {
+      o.seq_activity = a;
+      const Cmp c = compare_cached(
+          util::strf("fig11_%s_a%02.0f", gen::to_string(b), a * 100), o);
+      row.push_back(pct_str(c.tmi.total_uw, c.flat.total_uw));
+    }
+    t2.add_row(row);
+  }
+  t2.print();
+  return 0;
+}

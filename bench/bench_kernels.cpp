@@ -1,0 +1,130 @@
+// google-benchmark microbenchmarks of the library's computational kernels:
+// transient simulation, placement CG, maze routing, STA propagation, power
+// analysis, cell folding/extraction.
+#include <benchmark/benchmark.h>
+
+#include "cells/layout.hpp"
+#include "extract/extract.hpp"
+#include "gen/gen.hpp"
+#include "liberty/characterize.hpp"
+#include "place/place.hpp"
+#include "power/power.hpp"
+#include "route/route.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/sim.hpp"
+#include "sta/sta.hpp"
+#include "synth/synth.hpp"
+#include "../tests/test_fixtures.hpp"
+
+using namespace m3d;
+
+namespace {
+
+void BM_SpiceInverterTransient(benchmark::State& state) {
+  spice::Circuit c;
+  const int vdd = c.node("vdd");
+  const int in = c.node("in");
+  const int out = c.node("out");
+  c.add_mosfet(out, in, vdd, 0.63, spice::ptm45_pmos());
+  c.add_mosfet(out, in, 0, 0.415, spice::ptm45_nmos());
+  c.add_capacitor(out, 0, 3.2);
+  c.add_source(vdd, spice::Pwl::dc(1.1));
+  c.add_source(in, spice::Pwl::ramp(50.0, 37.5, 0.0, 1.1));
+  spice::TranOptions opt;
+  opt.t_stop_ps = 400.0;
+  opt.dt_ps = 0.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spice::simulate(c, opt));
+  }
+}
+BENCHMARK(BM_SpiceInverterTransient);
+
+void BM_CellFoldAndExtract(benchmark::State& state) {
+  const cells::CellSpec dff = cells::make_spec(cells::Func::kDff, 1);
+  const tech::Tech tch(tech::Node::k45nm, tech::Style::kTMI);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cells::fold_tmi(dff, tch));
+  }
+}
+BENCHMARK(BM_CellFoldAndExtract);
+
+struct FlowFixture {
+  liberty::Library lib = test::make_test_library();
+  circuit::Netlist nl;
+  place::Die die;
+  tech::Tech tch{tech::Node::k45nm, tech::Style::k2D};
+
+  FlowFixture() {
+    gen::GenOptions o;
+    o.scale_shift = 3;
+    nl = gen::make_des(o);
+    nl.bind(lib);
+    die = place::make_die(&nl, 0.8, 1.4);
+    place::place_design(&nl, die, {});
+  }
+};
+
+FlowFixture& fixture() {
+  static FlowFixture f;
+  return f;
+}
+
+void BM_NetlistGenerationDes(benchmark::State& state) {
+  gen::GenOptions o;
+  o.scale_shift = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::make_des(o));
+  }
+}
+BENCHMARK(BM_NetlistGenerationDes);
+
+void BM_GlobalPlacement(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    auto nl = f.nl;
+    place::place_design(&nl, f.die, {});
+    benchmark::DoNotOptimize(nl);
+  }
+}
+BENCHMARK(BM_GlobalPlacement)->Unit(benchmark::kMillisecond);
+
+void BM_GlobalRouting(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route::global_route(f.nl, f.die, f.tch, {}));
+  }
+}
+BENCHMARK(BM_GlobalRouting)->Unit(benchmark::kMillisecond);
+
+void BM_StaFullPass(benchmark::State& state) {
+  auto& f = fixture();
+  const auto par = extract::extract_from_placement(f.nl, f.tch);
+  sta::StaOptions opt;
+  opt.clock_ns = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sta::run_sta(f.nl, par, opt));
+  }
+}
+BENCHMARK(BM_StaFullPass)->Unit(benchmark::kMillisecond);
+
+void BM_PowerAnalysis(benchmark::State& state) {
+  auto& f = fixture();
+  const auto par = extract::extract_from_placement(f.nl, f.tch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(power::run_power(f.nl, par, nullptr, {}));
+  }
+}
+BENCHMARK(BM_PowerAnalysis)->Unit(benchmark::kMillisecond);
+
+void BM_ParasiticExtraction(benchmark::State& state) {
+  auto& f = fixture();
+  const auto routes = route::global_route(f.nl, f.die, f.tch, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract::extract_from_routes(f.nl, f.tch, routes));
+  }
+}
+BENCHMARK(BM_ParasiticExtraction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Table 13: detailed 45nm layout results for 2D and T-MI — footprint,
+// cells, buffers, utilization, wirelength, WNS, and the power breakdown.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace m3d;
+using namespace m3d::bench;
+
+namespace {
+
+void detail_table(const char* title, tech::Node node, const char* key_prefix) {
+  util::Table t(title);
+  t.set_header({"circuit", "type", "footprint um2", "#cells", "#buffers",
+                "util %", "WL mm", "WNS ps", "total uW", "cell uW", "net uW",
+                "leak uW"});
+  for (gen::Bench b : gen::all_benches()) {
+    const Cmp c = compare_cached(util::strf("%s_%s", key_prefix, gen::to_string(b)),
+                                 preset(b, node));
+    auto row = [&](const char* type, const Metrics& m, const Metrics& base) {
+      t.add_row({gen::to_string(b), type,
+                 util::strf("%.0f (%.1f)", m.footprint_um2,
+                            100.0 * m.footprint_um2 / base.footprint_um2),
+                 util::strf("%.0f", m.cells),
+                 util::strf("%.0f (%.1f)", m.buffers,
+                            base.buffers > 0 ? 100.0 * m.buffers / base.buffers
+                                             : 100.0),
+                 util::strf("%.1f", 100.0 * m.util),
+                 util::strf("%.3f (%.1f)", m.wl_um / 1000.0,
+                            100.0 * m.wl_um / base.wl_um),
+                 util::strf("%+.0f", m.wns_ps),
+                 util::strf("%.1f (%.1f)", m.total_uw,
+                            100.0 * m.total_uw / base.total_uw),
+                 util::strf("%.1f", m.cell_uw), util::strf("%.1f", m.net_uw),
+                 util::strf("%.2f", m.leak_uw)});
+    };
+    row("2D", c.flat, c.flat);
+    row("3D", c.tmi, c.flat);
+    t.add_separator();
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  detail_table(
+      "Table 13: detailed layout results, 45nm (percent-of-2D in parens;\n"
+      "positive WNS = timing met).",
+      tech::Node::k45nm, "t4_45");
+  return 0;
+}

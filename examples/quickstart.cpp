@@ -1,0 +1,82 @@
+// Quickstart: fold one standard cell into a T-MI 3D cell, look at its
+// parasitics, characterize it with the built-in SPICE engine, and print a
+// text rendering of the folded layout (paper Fig 2).
+//
+//   ./build/examples/quickstart [CELL]   (default INV)
+#include <cstdio>
+#include <string>
+
+#include "cells/layout.hpp"
+#include "liberty/characterize.hpp"
+#include "util/strf.hpp"
+#include "util/table.hpp"
+
+using namespace m3d;
+
+int main(int argc, char** argv) {
+  cells::Func func = cells::Func::kInv;
+  if (argc > 1 && !cells::func_from_string(argv[1], &func)) {
+    std::fprintf(stderr, "unknown cell '%s' (try INV, NAND2, MUX2, DFF)\n",
+                 argv[1]);
+    return 1;
+  }
+
+  // 1. Build the transistor-level cell and both layouts.
+  const cells::CellSpec spec = cells::make_spec(func, 1);
+  const tech::Tech t2(tech::Node::k45nm, tech::Style::k2D);
+  const tech::Tech t3(tech::Node::k45nm, tech::Style::kTMI);
+  const cells::CellLayout flat = cells::layout_2d(spec, t2);
+  const cells::CellLayout folded = cells::fold_tmi(spec, t3);
+
+  std::printf("%s: %zu transistors (%d PMOS / %d NMOS)\n", spec.name.c_str(),
+              spec.transistors.size(), spec.num_pmos(), spec.num_nmos());
+  std::printf("  2D layout   : %.2f x %.2f um (%.3f um2)\n", flat.width_um,
+              flat.height_um, flat.area_um2());
+  std::printf("  T-MI folded : %.2f x %.2f um (%.3f um2, %.0f%% smaller),"
+              " %d MIVs\n",
+              folded.width_um, folded.height_um, folded.area_um2(),
+              100.0 * (1.0 - folded.area_um2() / flat.area_um2()),
+              folded.num_mivs());
+
+  // 2. Per-net parasitics (the paper's Table 1 data).
+  util::Table t("\nExtracted cell-internal parasitics per net:");
+  t.set_header({"net", "R 2D kOhm", "R 3D", "C 2D fF", "C 3D", "C 3D-c"});
+  for (const auto& [net, p2] : flat.nets) {
+    const auto& p3 = folded.nets.at(net);
+    t.add_row({net, util::strf("%.4f", p2.r_kohm), util::strf("%.4f", p3.r_kohm),
+               util::strf("%.4f", p2.c_ff_dielectric),
+               util::strf("%.4f", p3.c_ff_dielectric),
+               util::strf("%.4f", p3.c_ff_conductor)});
+  }
+  t.print();
+
+  // 3. Characterize both variants with the transient simulator.
+  std::printf("\nCharacterizing (SPICE sweep over slew x load)...\n");
+  const liberty::LibCell c2 = liberty::characterize_cell(spec, flat, 1.1);
+  const liberty::LibCell c3 = liberty::characterize_cell(spec, folded, 1.1);
+  util::Table ct("NLDM lookup at the paper's 'medium' corner:");
+  ct.set_header({"variant", "delay ps", "energy fJ", "leakage nW"});
+  const double slew = spec.sequential() ? 28.1 : 37.5;
+  for (const auto* c : {&c2, &c3}) {
+    double d = 0, e = 0;
+    for (const auto& arc : c->arcs) {
+      d = std::max(d, arc.worst_delay(slew, 3.2));
+      e = std::max(e, arc.avg_energy(slew, 3.2));
+    }
+    ct.add_row({c == &c2 ? "2D" : "T-MI", util::strf("%.1f", d),
+                util::strf("%.3f", e), util::strf("%.2f", c->leakage_uw * 1e3)});
+  }
+  ct.print();
+
+  // 4. ASCII rendering of the folded cell (Fig 2 flavor).
+  std::printf("\nFolded layout (x positions in um; B = bottom tier PMOS,"
+              " T = top tier NMOS, o = MIV):\n");
+  for (const auto& d : folded.devices) {
+    std::printf("  %c x=%.2f w=%.2f (%d finger%s)\n", d.pmos ? 'B' : 'T',
+                d.x_um, d.w_um, d.fingers, d.fingers > 1 ? "s" : "");
+  }
+  for (const auto& m : folded.mivs) {
+    std::printf("  o x=%.2f net=%s\n", m.x_um, m.net.c_str());
+  }
+  return 0;
+}

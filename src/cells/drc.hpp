@@ -1,0 +1,32 @@
+// Design-rule checks for generated cell layouts: the lightweight
+// verification pass that replaces a foundry DRC deck for this library's
+// abstraction level. Checks device spacing against the poly pitch, MIV
+// site spacing/diameter, tier assignment consistency, rail clearance, and
+// bounds. Used by tests to keep the layout generator honest.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cells/layout.hpp"
+
+namespace m3d::cells {
+
+struct DrcViolation {
+  std::string rule;
+  std::string detail;
+};
+
+struct DrcOptions {
+  double min_miv_spacing_um = 0.09;  // ~site pitch at 45nm
+  double min_device_pitch_um = 0.13;
+};
+
+/// Runs all checks; empty result = clean.
+std::vector<DrcViolation> check_layout(const CellLayout& layout,
+                                       const tech::Tech& tech,
+                                       const DrcOptions& opt = {});
+
+std::string drc_report(const std::vector<DrcViolation>& violations);
+
+}  // namespace m3d::cells

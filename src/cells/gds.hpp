@@ -1,0 +1,49 @@
+// GDSII stream-format writer for cell layouts. Produces real binary GDSII
+// (version 600) readable by KLayout etc., with one structure per cell.
+//
+// Layer map (GDS layer / datatype 0):
+//   1  bottom-tier diffusion (PMOS)     2  top-tier diffusion (NMOS)
+//   10 bottom-tier poly                 11 top-tier poly
+//   30 MB1                              31 M1
+//   40 MIV
+// For 2D cells, PMOS/NMOS diffusion both go on layer 1 and poly on 10.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cells/layout.hpp"
+
+namespace m3d::cells {
+
+class GdsWriter {
+ public:
+  explicit GdsWriter(const std::string& libname = "monolith3d");
+
+  /// Adds one cell structure rendering `layout` (2D or folded).
+  void add_cell(const CellSpec& spec, const CellLayout& layout);
+
+  /// Finishes the stream and returns the binary contents.
+  std::vector<uint8_t> finish() const;
+  bool save(const std::string& path) const;
+
+  int num_cells() const { return num_cells_; }
+
+ private:
+  void record(uint8_t rectype, uint8_t datatype,
+              const std::vector<uint8_t>& payload = {});
+  void record_i16(uint8_t rectype, const std::vector<int16_t>& values);
+  void record_i32(uint8_t rectype, const std::vector<int32_t>& values);
+  void record_str(uint8_t rectype, const std::string& s);
+  /// Axis-aligned rectangle boundary on a layer; coordinates in um.
+  void rect(int layer, double x, double y, double w, double h);
+
+  std::vector<uint8_t> body_;
+  int num_cells_ = 0;
+};
+
+/// Writes the full 66-cell library (folded when `style` is 3D) to `path`.
+bool write_library_gds(const std::string& path, const tech::Tech& tech);
+
+}  // namespace m3d::cells

@@ -1,0 +1,473 @@
+#include "cells/layout.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "tech/scaling.hpp"
+
+namespace m3d::cells {
+namespace {
+
+struct Terminal {
+  bool gate = false;  // gate (poly) vs drain/source (diffusion)
+  bool pmos = false;
+  double x_um = 0.0;
+};
+
+struct NetInfo {
+  std::vector<Terminal> terminals;
+  bool has(bool pmos) const {
+    return std::any_of(terminals.begin(), terminals.end(),
+                       [&](const Terminal& t) { return t.pmos == pmos; });
+  }
+};
+
+/// Accumulates the parasitics of one net from its wire segments, contacts,
+/// vias and coupling terms.
+struct Accum {
+  double r = 0.0, c = 0.0, coupling = 0.0;
+
+  void wire(double len_um, double r_kohm_um, double c_ff_um) {
+    if (len_um <= 0) return;
+    r += len_um * r_kohm_um;
+    c += len_um * c_ff_um;
+  }
+  void contact(double r_kohm, double c_ff, int n = 1) {
+    r += n * r_kohm;
+    c += n * c_ff;
+  }
+  /// Coupling to the other tier — fully counted in dielectric mode,
+  /// partially screened by the doped silicon in conductor mode.
+  void couple(double c_ff) { coupling += c_ff; }
+
+  NetParasitic finish(double conductor_screen) const {
+    NetParasitic p;
+    p.r_kohm = r;
+    p.c_ff_dielectric = c + coupling;
+    p.c_ff_conductor = c + conductor_screen * coupling;
+    return p;
+  }
+};
+
+/// Number of diffusion contact groups: terminals within one pitch share a
+/// diffusion strip (and its contact).
+int diff_groups(std::vector<double> xs, double pitch) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  int groups = 1;
+  for (size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] - xs[i - 1] > pitch + 1e-9) ++groups;
+  }
+  return groups;
+}
+
+double span(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+  return *hi - *lo;
+}
+
+/// Routed length for a multi-terminal connection: the bare span plus a
+/// Steiner surcharge per extra terminal (cell-internal routes snake around
+/// other columns; a plain span underestimates complex cells like DFF).
+double route_len(const std::vector<double>& xs, const ExtractRules& rules) {
+  const double s = span(xs);
+  const int extra = std::max(0, static_cast<int>(xs.size()) - 2);
+  return s * (1.0 + rules.steiner_per_term * extra);
+}
+
+struct Placed {
+  std::vector<DeviceShape> devices;   // parallel to spec.transistors
+  double width_um = 0.0;
+  int num_columns = 0;
+};
+
+Placed place_devices(const CellSpec& spec, const ExtractRules& rules,
+                     bool folded) {
+  Placed out;
+  out.devices.resize(spec.transistors.size());
+  int p_col = 0, n_col = 0;
+  for (size_t i = 0; i < spec.transistors.size(); ++i) {
+    const auto& t = spec.transistors[i];
+    DeviceShape d;
+    d.pmos = t.pmos;
+    d.w_um = t.w_um;
+    d.fingers = std::max(1, static_cast<int>(std::ceil(t.w_um / rules.max_finger_um)));
+    int& col = t.pmos ? p_col : n_col;
+    d.x_um = (col + 0.5) * rules.poly_pitch_um;
+    col += d.fingers;
+    // 2D: both rows on tier 0. Folded: PMOS bottom (0), NMOS top (1).
+    d.tier = (folded && !t.pmos) ? 1 : 0;
+    out.devices[i] = d;
+  }
+  out.num_columns = std::max(p_col, n_col);
+  out.width_um = (out.num_columns + 1) * rules.poly_pitch_um;
+  return out;
+}
+
+std::map<std::string, NetInfo> collect_nets(const CellSpec& spec,
+                                            const Placed& placed) {
+  std::map<std::string, NetInfo> nets;
+  for (size_t i = 0; i < spec.transistors.size(); ++i) {
+    const auto& t = spec.transistors[i];
+    const auto& d = placed.devices[i];
+    nets[t.gate].terminals.push_back({true, t.pmos, d.x_um});
+    nets[t.drain].terminals.push_back({false, t.pmos, d.x_um});
+    nets[t.source].terminals.push_back({false, t.pmos, d.x_um});
+  }
+  return nets;
+}
+
+/// Applies the paper's published 45nm -> 7nm scaling (supplement S3):
+/// dimensions x0.156, internal R x7.7, internal C x0.156.
+void scale_to_7nm(CellLayout& layout) {
+  const tech::ScaleFactors f = tech::itrs_7nm_factors();
+  layout.width_um *= f.geometry;
+  layout.height_um *= f.geometry;
+  for (auto& d : layout.devices) {
+    d.x_um *= f.geometry;
+    d.w_um *= f.geometry;
+  }
+  for (auto& m : layout.mivs) m.x_um *= f.geometry;
+  for (auto& [name, p] : layout.nets) {
+    p.r_kohm *= f.internal_r;
+    p.c_ff_dielectric *= f.internal_c;
+    p.c_ff_conductor *= f.internal_c;
+  }
+}
+
+}  // namespace
+
+double CellLayout::total_r_kohm() const {
+  double r = 0.0;
+  for (const auto& [name, p] : nets) r += p.r_kohm;
+  return r;
+}
+
+double CellLayout::total_c_ff(SiliconModel m) const {
+  double c = 0.0;
+  for (const auto& [name, p] : nets) c += p.c_ff(m);
+  return c;
+}
+
+CellLayout layout_2d(const CellSpec& spec, const tech::Tech& tech,
+                     const ExtractRules& rules) {
+  // Geometry is built in 45nm units; 7nm applies the published scale factors
+  // at the end (the same methodology as the paper's supplement S3).
+  const tech::Tech base45(tech::Node::k45nm, tech.style());
+  const int m1 = base45.stack().find("M1");
+  const double r_m1 = base45.unit_r_kohm(m1);
+  const double c_m1 = base45.unit_c_ff(m1);
+  const double pitch = rules.poly_pitch_um;
+
+  CellLayout layout;
+  layout.cell_name = spec.name;
+  layout.folded = false;
+  layout.height_um = tech::make_node_params(tech::Node::k45nm).cell_height_um;
+  const Placed placed = place_devices(spec, rules, /*folded=*/false);
+  layout.devices = placed.devices;
+  layout.width_um = placed.width_um;
+
+  const double v_span = layout.height_um / 2.0;  // P row to N row distance
+  auto nets = collect_nets(spec, placed);
+
+  for (auto& [name, info] : nets) {
+    Accum acc;
+    const bool is_rail = (name == "VDD" || name == "VSS");
+    std::vector<double> gate_xs, diff_p_xs, diff_n_xs;
+    for (const auto& t : info.terminals) {
+      if (t.gate) {
+        gate_xs.push_back(t.x_um);
+      } else {
+        (t.pmos ? diff_p_xs : diff_n_xs).push_back(t.x_um);
+      }
+    }
+    const bool has_gate = !gate_xs.empty();
+    const bool has_diff = !diff_p_xs.empty() || !diff_n_xs.empty();
+
+    if (is_rail) {
+      // Power strip across the full cell width; devices tap it through
+      // diffusion contacts. Strips are wide M1 (lower R, higher C).
+      acc.wire(layout.width_um, 0.3 * r_m1, 1.5 * c_m1);
+      acc.contact(rules.contact_r_kohm, rules.contact_c_ff,
+                  diff_groups(diff_p_xs, pitch) + diff_groups(diff_n_xs, pitch));
+      layout.nets[name] = acc.finish(rules.conductor_screen);
+      continue;
+    }
+
+    // Gate routing: vertical poly column joins P and N gates; horizontal
+    // gate-to-gate connections also run in poly.
+    bool gate_both_rows = false;
+    if (has_gate) {
+      int gp = 0, gn = 0;
+      for (const auto& t : info.terminals) {
+        if (t.gate) ++(t.pmos ? gp : gn);
+      }
+      gate_both_rows = gp > 0 && gn > 0;
+      // Each aligned P/N gate pair is one continuous vertical poly column.
+      const int pairs = std::min(gp, gn);
+      acc.wire(pairs * v_span, rules.poly_r_kohm_um, rules.poly_c_ff_um);
+      acc.wire(route_len(gate_xs, rules), rules.poly_r_kohm_um, rules.poly_c_ff_um);
+    }
+
+    // Diffusion routing: horizontal M1 per row, vertical M1 between rows.
+    if (has_diff) {
+      acc.wire(route_len(diff_p_xs, rules), r_m1, c_m1);
+      acc.wire(route_len(diff_n_xs, rules), r_m1, c_m1);
+      if (!diff_p_xs.empty() && !diff_n_xs.empty()) {
+        acc.wire(v_span, r_m1, c_m1);
+      }
+      acc.contact(rules.contact_r_kohm, rules.contact_c_ff,
+                  diff_groups(diff_p_xs, pitch) + diff_groups(diff_n_xs, pitch));
+    }
+    // Poly-to-M1 junction when the net mixes gates and diffusions.
+    if (has_gate && has_diff) {
+      acc.contact(rules.contact_r_kohm, rules.gate_contact_c_ff, 1);
+    } else if (has_gate && !has_diff && spec.is_internal(name) == false) {
+      // Input pin landing: one poly contact for the router to reach.
+      acc.contact(rules.contact_r_kohm, rules.gate_contact_c_ff, 1);
+    }
+    layout.nets[name] = acc.finish(rules.conductor_screen);
+  }
+
+  if (tech.node() == tech::Node::k7nm) scale_to_7nm(layout);
+  return layout;
+}
+
+CellLayout fold_tmi(const CellSpec& spec, const tech::Tech& tech,
+                    const ExtractRules& rules) {
+  const tech::Tech base45(tech::Node::k45nm, tech::Style::kTMI);
+  const int m1 = base45.stack().find("M1");
+  const int mb1 = base45.stack().find("MB1");
+  const double r_m1 = base45.unit_r_kohm(m1);
+  const double c_m1 = base45.unit_c_ff(m1);
+  const double r_mb1 = base45.unit_r_kohm(mb1);
+  const double c_mb1 = base45.unit_c_ff(mb1);
+  const tech::CutLayer miv = base45.cut(base45.miv_cut_index());
+  const double pitch = rules.poly_pitch_um;
+
+  CellLayout layout;
+  layout.cell_name = spec.name;
+  layout.folded = true;
+  layout.height_um =
+      tech::make_node_params(tech::Node::k45nm).tmi_cell_height_um;
+  const Placed placed = place_devices(spec, rules, /*folded=*/true);
+  layout.devices = placed.devices;
+  layout.width_um = placed.width_um;
+
+  auto nets = collect_nets(spec, placed);
+
+  // --- MIV site assignment -------------------------------------------------
+  // Sites sit between poly columns on the top tier. Tier-crossing nets want
+  // a site at the midpoint of their terminals; contention forces detours.
+  struct Crossing {
+    std::string net;
+    double desired_x;
+    int n_mivs;      // multi-terminal nets cross at several points
+  };
+  std::vector<Crossing> crossings;
+  int miv_demand = 0;
+  // Top-tier M1 spans of internal nets block the MIV sites they cover (the
+  // cells carry routing blockages on the MIV layer — paper Section 2 and
+  // supplement S5). Complex cells lose most nearby sites this way.
+  struct Blocked {
+    std::string net;
+    double xlo, xhi;
+  };
+  std::vector<Blocked> blocked_spans;
+  for (auto& [name, info] : nets) {
+    if (name == "VDD" || name == "VSS") continue;
+    std::vector<double> top_diff_xs;
+    for (const auto& t : info.terminals) {
+      if (!t.pmos && !t.gate) top_diff_xs.push_back(t.x_um);
+    }
+    const double s = span(top_diff_xs);
+    if (s > 2.5 * pitch) {
+      const auto [lo, hi] =
+          std::minmax_element(top_diff_xs.begin(), top_diff_xs.end());
+      blocked_spans.push_back({name, *lo, *hi});
+    }
+  }
+  for (auto& [name, info] : nets) {
+    if (name == "VDD" || name == "VSS") continue;
+    bool bottom = false, top = false;
+    int gate_bot = 0, gate_top = 0;
+    bool diff_bot = false, diff_top = false;
+    double x_sum = 0.0;
+    for (const auto& t : info.terminals) {
+      (t.pmos ? bottom : top) = true;  // PMOS -> bottom tier, NMOS -> top
+      if (t.gate) {
+        ++(t.pmos ? gate_bot : gate_top);
+      } else {
+        (t.pmos ? diff_bot : diff_top) = true;
+      }
+      x_sum += t.x_um;
+    }
+    if (bottom && top) {
+      // The fold preserves the 2D transistor positions (paper S1), so every
+      // split P/N gate pair keeps its own vertical connection — one MIV
+      // stack per pair — and a diffusion-to-diffusion crossing adds one
+      // more. Complex cells therefore carry many stacks.
+      const int pairs = std::min(gate_bot, gate_top);
+      const int n = std::max(1, pairs + ((diff_bot && diff_top) ? 1 : 0));
+      crossings.push_back({name, x_sum / info.terminals.size(), n});
+      miv_demand += n;
+    }
+  }
+  // MIV sites sit at half-pitch granularity between the rails on the top
+  // tier; the 0.84um folded cell height already reserves this MIV row (the
+  // paper's reason why folding gives -40% footprint, not -50%). Width is
+  // unchanged by folding.
+  const double site_pitch = pitch / 2.0;
+  const int num_sites = 2 * placed.num_columns + 1;
+  std::sort(crossings.begin(), crossings.end(),
+            [](const Crossing& a, const Crossing& b) {
+              return a.desired_x < b.desired_x;
+            });
+  const int total_sites = std::max(num_sites, miv_demand);
+  std::vector<bool> taken(static_cast<size_t>(total_sites), false);
+  struct MivAssign {
+    double detour_sum = 0.0;  // summed |site - desired| over the net's MIVs
+    int n = 0;
+  };
+  std::map<std::string, MivAssign> detour_of;
+  for (const auto& cr : crossings) {
+    for (int k = 0; k < cr.n_mivs; ++k) {
+      // Nearest free site to the desired position.
+      int best = -1;
+      double best_dist = 1e9;
+      for (int s = 0; s < total_sites; ++s) {
+        if (taken[static_cast<size_t>(s)]) continue;
+        const double x = s * site_pitch;
+        const bool is_blocked = std::any_of(
+            blocked_spans.begin(), blocked_spans.end(), [&](const Blocked& b) {
+              return b.net != cr.net && x > b.xlo - 1e-9 && x < b.xhi + 1e-9;
+            });
+        if (is_blocked) continue;
+        const double dist = std::abs(x - cr.desired_x);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = s;
+        }
+      }
+      if (best < 0) {
+        // Every unblocked site is taken: fall back to the nearest free site
+        // regardless of blockage (an over-the-blockage jog, extra detour).
+        for (int s = 0; s < total_sites; ++s) {
+          if (taken[static_cast<size_t>(s)]) continue;
+          const double dist =
+              std::abs(s * site_pitch - cr.desired_x) + 1.0 * pitch;
+          if (dist < best_dist) {
+            best_dist = dist;
+            best = s;
+          }
+        }
+      }
+      assert(best >= 0);
+      taken[static_cast<size_t>(best)] = true;
+      auto& asg = detour_of[cr.net];
+      asg.detour_sum += best_dist;
+      asg.n += 1;
+      layout.mivs.push_back({best * site_pitch, cr.net});
+    }
+  }
+
+  // --- Per-net extraction ---------------------------------------------------
+  for (auto& [name, info] : nets) {
+    Accum acc;
+    const bool is_rail = (name == "VDD" || name == "VSS");
+    std::vector<double> bot_xs, top_xs, bot_diff, top_diff, bot_gate, top_gate;
+    for (const auto& t : info.terminals) {
+      auto& xs = t.pmos ? bot_xs : top_xs;
+      xs.push_back(t.x_um);
+      if (t.gate) {
+        (t.pmos ? bot_gate : top_gate).push_back(t.x_um);
+      } else {
+        (t.pmos ? bot_diff : top_diff).push_back(t.x_um);
+      }
+    }
+
+    if (is_rail) {
+      // Overlapping VDD (bottom) / VSS (top) strips. VDD is fed from the top
+      // power grid through MIV arrays placed clear of the VSS strip.
+      const bool vdd = (name == "VDD");
+      acc.wire(layout.width_um, 0.3 * (vdd ? r_mb1 : r_m1),
+               1.5 * (vdd ? c_mb1 : c_m1));
+      acc.contact(rules.contact_r_kohm, rules.contact_c_ff,
+                  diff_groups(vdd ? bot_diff : top_diff, pitch));
+      if (vdd) {
+        const int n_rail_mivs =
+            std::max(1, static_cast<int>(layout.width_um / 2.0));
+        acc.contact(miv.r_kohm / n_rail_mivs, miv.c_ff * n_rail_mivs, 1);
+        // Overlapping strips act as a tiny decoupling cap (paper: ~0.01 fF).
+        acc.couple(rules.rail_coupling_ff);
+      }
+      layout.nets[name] = acc.finish(rules.conductor_screen);
+      continue;
+    }
+
+    // Horizontal runs per tier: gates in poly, diffusion-bearing in metal
+    // (MB1 on the bottom tier, M1 on the top tier).
+    acc.wire(route_len(bot_gate, rules), rules.poly_r_kohm_um, rules.poly_c_ff_um);
+    acc.wire(route_len(top_gate, rules), rules.poly_r_kohm_um, rules.poly_c_ff_um);
+    if (!bot_diff.empty()) acc.wire(route_len(bot_diff, rules), r_mb1, c_mb1);
+    if (!top_diff.empty()) acc.wire(route_len(top_diff, rules), r_m1, c_m1);
+    acc.contact(rules.contact_r_kohm, rules.contact_c_ff,
+                diff_groups(bot_diff, pitch) + diff_groups(top_diff, pitch));
+
+    const auto it = detour_of.find(name);
+    if (it != detour_of.end()) {
+      const int n_mivs = it->second.n;
+      const double detour_sum = it->second.detour_sum;
+      const bool gate_net = !bot_gate.empty() || !top_gate.empty();
+      const int gate_pairs =
+          std::min(static_cast<int>(bot_gate.size()), static_cast<int>(top_gate.size()));
+      // Tier-crossing stacks: CTB + MB1 stub -> MIV -> M1 stub + CT, one per
+      // MIV. Site contention adds detour wiring; the gate-pair share of the
+      // detours runs in high-resistance *poly* (the gate must extend to its
+      // displaced MIV on both tiers). Complex cells (DFF) pay many stacks
+      // and long poly detours — the mechanism behind Table 1's sign flip.
+      acc.wire(n_mivs * rules.m1_stub_um, r_mb1, c_mb1);
+      acc.wire(n_mivs * rules.m1_stub_um, r_m1, c_m1);
+      const double poly_frac =
+          n_mivs > 0 ? static_cast<double>(gate_pairs) / n_mivs : 0.0;
+      acc.wire(2.0 * detour_sum * poly_frac, rules.poly_r_kohm_um,
+               rules.poly_c_ff_um * rules.detour_poly_c_factor);
+      acc.wire(detour_sum * (1.0 - poly_frac), r_mb1, c_mb1);
+      acc.wire(detour_sum * (1.0 - poly_frac), r_m1, c_m1);
+      acc.contact(miv.r_kohm, miv.c_ff, n_mivs);
+      const bool direct_sd = n_mivs == 1 && detour_sum <= pitch / 2 &&
+                             !bot_diff.empty() && !top_diff.empty();
+      if (direct_sd) {
+        // Direct S/D contact (paper Fig 5(c)): the MIV lands straight on the
+        // diffusion, saving one contact in the stack.
+        acc.contact(rules.contact_r_kohm, rules.contact_c_ff, 1);
+      } else {
+        acc.contact(rules.contact_r_kohm,
+                    gate_net ? rules.gate_contact_c_ff : rules.contact_c_ff,
+                    2 * n_mivs);
+      }
+      // Folded gates keep only short per-tier poly stubs (vs the 2D
+      // full-height poly columns), the main source of the R win in simple
+      // cells.
+      if (!bot_gate.empty()) acc.wire(rules.poly_stub_um, rules.poly_r_kohm_um, rules.poly_c_ff_um);
+      if (!top_gate.empty()) acc.wire(rules.poly_stub_um, rules.poly_r_kohm_um, rules.poly_c_ff_um);
+      // Tier coupling around the MIVs and along the detour overlap.
+      acc.couple(n_mivs * rules.miv_coupling_ff +
+                 rules.wire_coupling_ff_um * detour_sum);
+    } else {
+      // Single-tier net: if it has both gates and diffusion, one junction.
+      if ((!bot_gate.empty() || !top_gate.empty()) &&
+          (!bot_diff.empty() || !top_diff.empty())) {
+        acc.contact(rules.contact_r_kohm, rules.gate_contact_c_ff, 1);
+      }
+    }
+    layout.nets[name] = acc.finish(rules.conductor_screen);
+  }
+
+  if (tech.node() == tech::Node::k7nm) scale_to_7nm(layout);
+  return layout;
+}
+
+}  // namespace m3d::cells

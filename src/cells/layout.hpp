@@ -1,0 +1,106 @@
+// Cell layout model and parasitic extraction.
+//
+// 2D cells follow the Nangate template: one PMOS row (top) and one NMOS row
+// (bottom) inside a 1.4um-tall cell, gates on vertical poly columns at a
+// fixed pitch, internal routing on M1, rails at the cell edges.
+//
+// The T-MI fold (paper Fig 2) moves the PMOS row to the bottom tier and the
+// NMOS row to the top tier. Every net that spans both device types then
+// crosses tiers through a CTB - MB1 - MIV - M1 - CT stack. MIVs occupy
+// dedicated columns on the top tier between poly columns; when a complex cell
+// has more tier-crossing nets than nearby free MIV sites, nets take detours,
+// which is why folded DFF parasitics come out *worse* than 2D (paper
+// Table 1) while simple cells come out better.
+//
+// Extraction is pattern-based: every wire segment, contact and MIV
+// contributes R and C from per-material unit values. The top-tier silicon can
+// be treated as dielectric (tier coupling fully counted; the paper's "3D")
+// or as a conductor (coupling mostly screened; "3D-c").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cells/spec.hpp"
+#include "tech/tech.hpp"
+
+namespace m3d::cells {
+
+/// Top-tier silicon model for extraction of folded cells (paper Section 3.2).
+enum class SiliconModel { kDielectric, kConductor };
+
+struct NetParasitic {
+  double r_kohm = 0.0;
+  double c_ff_dielectric = 0.0;
+  double c_ff_conductor = 0.0;
+
+  double c_ff(SiliconModel m) const {
+    return m == SiliconModel::kDielectric ? c_ff_dielectric : c_ff_conductor;
+  }
+};
+
+/// Extraction constants for the pattern extractor, in 45nm-node units.
+/// 7nm layouts reuse the 45nm geometry and apply the paper's published
+/// scale factors (R x7.7, C x0.156, dimensions x0.156) exactly as the
+/// paper's supplement S3 does.
+struct ExtractRules {
+  double poly_pitch_um = 0.19;
+  double max_finger_um = 1.0;          // device width per finger
+  double poly_r_kohm_um = 0.20;        // ~10 Ohm/sq at 50nm width
+  double poly_c_ff_um = 0.08;
+  double contact_r_kohm = 0.015;
+  double contact_c_ff = 0.02;          // diffusion contact
+  double gate_contact_c_ff = 0.02;     // poly contact
+  double m1_stub_um = 0.03;            // landing stubs around vias
+  double poly_stub_um = 0.04;          // per-tier gate stub after folding
+  double steiner_per_term = 0.25;      // extra route length per extra terminal
+  double detour_poly_c_factor = 0.5;   // narrow detour poly has reduced cap
+  double rail_coupling_ff = 0.01;      // folded VDD/VSS overlap (paper 3.1)
+  double miv_coupling_ff = 0.02;       // tier coupling per MIV (dielectric)
+  double wire_coupling_ff_um = 0.015;  // tier coupling per um of overlap
+  double conductor_screen = 0.3;       // fraction of coupling kept in 3D-c
+};
+
+struct DeviceShape {
+  bool pmos = false;
+  double x_um = 0.0;      // left edge of the device's column group
+  double w_um = 0.0;      // drawn width
+  int fingers = 1;
+  int tier = 0;           // 0 = bottom (2D: only tier), 1 = top
+};
+
+struct MivShape {
+  double x_um = 0.0;
+  std::string net;
+};
+
+struct CellLayout {
+  std::string cell_name;
+  bool folded = false;
+  double width_um = 0.0;
+  double height_um = 0.0;
+  std::vector<DeviceShape> devices;
+  std::vector<MivShape> mivs;
+  // Per-net lumped parasitics (pins + internal nets + rails).
+  std::map<std::string, NetParasitic> nets;
+
+  double area_um2() const { return width_um * height_um; }
+  int num_mivs() const { return static_cast<int>(mivs.size()); }
+
+  /// Totals over all nets — the paper's Table 1 numbers.
+  double total_r_kohm() const;
+  double total_c_ff(SiliconModel m) const;
+};
+
+/// Generates the 2D layout of `spec` and extracts its parasitics.
+CellLayout layout_2d(const CellSpec& spec, const tech::Tech& tech,
+                     const ExtractRules& rules = {});
+
+/// Folds `spec` into a T-MI cell (PMOS -> bottom tier, NMOS -> top tier,
+/// MIVs inserted) and extracts its parasitics. Transistor sizes and x-order
+/// are preserved, per paper Section 3.2.
+CellLayout fold_tmi(const CellSpec& spec, const tech::Tech& tech,
+                    const ExtractRules& rules = {});
+
+}  // namespace m3d::cells

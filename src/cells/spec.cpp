@@ -1,0 +1,321 @@
+#include "cells/spec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "util/strf.hpp"
+
+namespace m3d::cells {
+namespace {
+
+constexpr double kBaseN = 0.415;  // Nangate INV_X1 NMOS width (um)
+constexpr double kBaseP = 0.63;   // Nangate INV_X1 PMOS width (um)
+
+/// Series/parallel expression over gate-input literals.
+struct Sp {
+  enum Kind { kLeaf, kSer, kPar } kind = kLeaf;
+  std::string gate;       // for kLeaf
+  std::vector<Sp> kids;   // for kSer / kPar
+
+  static Sp leaf(std::string g) { return Sp{kLeaf, std::move(g), {}}; }
+  static Sp ser(std::vector<Sp> kids) { return Sp{kSer, {}, std::move(kids)}; }
+  static Sp par(std::vector<Sp> kids) { return Sp{kPar, {}, std::move(kids)}; }
+};
+
+Sp dual(const Sp& e) {
+  if (e.kind == Sp::kLeaf) return e;
+  std::vector<Sp> kids;
+  kids.reserve(e.kids.size());
+  for (const auto& k : e.kids) kids.push_back(dual(k));
+  return e.kind == Sp::kSer ? Sp::par(std::move(kids)) : Sp::ser(std::move(kids));
+}
+
+class Builder {
+ public:
+  explicit Builder(CellSpec& spec) : spec_(spec) {}
+
+  std::string fresh() { return util::strf("n%d", counter_++); }
+
+  void mos(bool pmos, const std::string& g, const std::string& d,
+           const std::string& s, double w) {
+    spec_.transistors.push_back({pmos, w, g, d, s});
+  }
+
+  /// Emits the network `e` between nodes `top` and `bottom`.
+  /// `stack` counts devices in series so far (for width compensation).
+  void emit(const Sp& e, bool pmos, const std::string& top,
+            const std::string& bottom, double w_base, int stack) {
+    switch (e.kind) {
+      case Sp::kLeaf:
+        mos(pmos, e.gate, top, bottom, w_base * stack);
+        return;
+      case Sp::kSer: {
+        std::string prev = top;
+        const int new_stack = stack * static_cast<int>(e.kids.size());
+        for (size_t i = 0; i < e.kids.size(); ++i) {
+          const std::string next =
+              (i + 1 == e.kids.size()) ? bottom : fresh();
+          emit(e.kids[i], pmos, prev, next, w_base, new_stack);
+          prev = next;
+        }
+        return;
+      }
+      case Sp::kPar:
+        for (const auto& k : e.kids) emit(k, pmos, top, bottom, w_base, stack);
+        return;
+    }
+  }
+
+  /// Static CMOS gate: PDN pulls `out` to VSS, PUN (dual unless given) pulls
+  /// to VDD.
+  void gate(const Sp& pdn, const std::string& out, double scale) {
+    emit(dual(pdn), /*pmos=*/true, "VDD", out, kBaseP * scale, 1);
+    emit(pdn, /*pmos=*/false, out, "VSS", kBaseN * scale, 1);
+  }
+  void gate_explicit(const Sp& pdn, const Sp& pun, const std::string& out,
+                     double scale) {
+    emit(pun, /*pmos=*/true, "VDD", out, kBaseP * scale, 1);
+    emit(pdn, /*pmos=*/false, out, "VSS", kBaseN * scale, 1);
+  }
+
+  void inverter(const std::string& in, const std::string& out, double scale) {
+    mos(true, in, out, "VDD", kBaseP * scale);
+    mos(false, in, out, "VSS", kBaseN * scale);
+  }
+
+  /// Transmission gate between a and b; conducts when `n_ctrl` is high.
+  void tgate(const std::string& a, const std::string& b,
+             const std::string& n_ctrl, const std::string& p_ctrl,
+             double scale) {
+    mos(false, n_ctrl, a, b, kBaseN * 0.6 * scale);
+    mos(true, p_ctrl, a, b, kBaseP * 0.6 * scale);
+  }
+
+ private:
+  CellSpec& spec_;
+  int counter_ = 1;
+};
+
+Sp L(const char* g) { return Sp::leaf(g); }
+
+}  // namespace
+
+std::string cell_name(Func func, int drive) {
+  return util::strf("%s_X%d", to_string(func), drive);
+}
+
+std::vector<int> drive_options(Func func) {
+  // 66 cells total, matching the paper's library size (supplement S1).
+  switch (func) {
+    case Func::kInv:
+    case Func::kBuf:
+    case Func::kNand2:
+    case Func::kNor2: return {1, 2, 4, 8};  // 4 funcs x 4 = 16
+    case Func::kNand3:
+    case Func::kNor3:
+    case Func::kAnd2:
+    case Func::kOr2:
+    case Func::kXor2:
+    case Func::kXnor2:
+    case Func::kMux2:
+    case Func::kAoi21:
+    case Func::kOai21:
+    case Func::kDff: return {1, 2, 4};      // 10 funcs x 3 = 30
+    case Func::kNand4:
+    case Func::kNor4:
+    case Func::kAnd3:
+    case Func::kAnd4:
+    case Func::kOr3:
+    case Func::kOr4:
+    case Func::kAoi22:
+    case Func::kOai22:
+    case Func::kHa:
+    case Func::kFa: return {1, 2};          // 10 funcs x 2 = 20
+  }
+  return {1};
+}
+
+CellSpec make_spec(Func func, int drive) {
+  CellSpec spec;
+  spec.name = cell_name(func, drive);
+  spec.func = func;
+  spec.drive = drive;
+  Builder b(spec);
+  const double x = drive;
+
+  switch (func) {
+    case Func::kInv:
+      b.inverter("A", "Z", x);
+      break;
+    case Func::kBuf:
+      b.inverter("A", "zn", std::max(1.0, x / 2));
+      b.inverter("zn", "Z", x);
+      break;
+    case Func::kNand2:
+      b.gate(Sp::ser({L("A"), L("B")}), "Z", x);
+      break;
+    case Func::kNand3:
+      b.gate(Sp::ser({L("A"), L("B"), L("C")}), "Z", x);
+      break;
+    case Func::kNand4:
+      b.gate(Sp::ser({L("A"), L("B"), L("C"), L("D")}), "Z", x);
+      break;
+    case Func::kNor2:
+      b.gate(Sp::par({L("A"), L("B")}), "Z", x);
+      break;
+    case Func::kNor3:
+      b.gate(Sp::par({L("A"), L("B"), L("C")}), "Z", x);
+      break;
+    case Func::kNor4:
+      b.gate(Sp::par({L("A"), L("B"), L("C"), L("D")}), "Z", x);
+      break;
+    case Func::kAnd2:
+      b.gate(Sp::ser({L("A"), L("B")}), "zn", 1.0);
+      b.inverter("zn", "Z", x);
+      break;
+    case Func::kAnd3:
+      b.gate(Sp::ser({L("A"), L("B"), L("C")}), "zn", 1.0);
+      b.inverter("zn", "Z", x);
+      break;
+    case Func::kAnd4:
+      b.gate(Sp::ser({L("A"), L("B"), L("C"), L("D")}), "zn", 1.0);
+      b.inverter("zn", "Z", x);
+      break;
+    case Func::kOr2:
+      b.gate(Sp::par({L("A"), L("B")}), "zn", 1.0);
+      b.inverter("zn", "Z", x);
+      break;
+    case Func::kOr3:
+      b.gate(Sp::par({L("A"), L("B"), L("C")}), "zn", 1.0);
+      b.inverter("zn", "Z", x);
+      break;
+    case Func::kOr4:
+      b.gate(Sp::par({L("A"), L("B"), L("C"), L("D")}), "zn", 1.0);
+      b.inverter("zn", "Z", x);
+      break;
+    case Func::kXor2: {
+      b.inverter("A", "an", 1.0);
+      b.inverter("B", "bn", 1.0);
+      // Z = 0 when A == B; PUN conducts when A != B.
+      const Sp pdn = Sp::par({Sp::ser({L("A"), L("B")}), Sp::ser({L("an"), L("bn")})});
+      const Sp pun = Sp::par({Sp::ser({L("A"), L("bn")}), Sp::ser({L("an"), L("B")})});
+      b.gate_explicit(pdn, pun, "Z", x);
+      break;
+    }
+    case Func::kXnor2: {
+      b.inverter("A", "an", 1.0);
+      b.inverter("B", "bn", 1.0);
+      const Sp pdn = Sp::par({Sp::ser({L("A"), L("bn")}), Sp::ser({L("an"), L("B")})});
+      const Sp pun = Sp::par({Sp::ser({L("A"), L("B")}), Sp::ser({L("an"), L("bn")})});
+      b.gate_explicit(pdn, pun, "Z", x);
+      break;
+    }
+    case Func::kMux2: {
+      // Inverted inputs, transmission-gate select, output inverter.
+      b.inverter("S", "sn", 1.0);
+      b.inverter("A", "an", 1.0);
+      b.inverter("B", "bn", 1.0);
+      b.tgate("an", "m", "sn", "S", 1.0);  // S=0 selects A
+      b.tgate("bn", "m", "S", "sn", 1.0);  // S=1 selects B
+      b.inverter("m", "Z", x);
+      break;
+    }
+    case Func::kAoi21:
+      b.gate(Sp::par({Sp::ser({L("A1"), L("A2")}), L("B")}), "Z", x);
+      break;
+    case Func::kOai21:
+      b.gate(Sp::ser({Sp::par({L("A1"), L("A2")}), L("B")}), "Z", x);
+      break;
+    case Func::kAoi22:
+      b.gate(Sp::par({Sp::ser({L("A1"), L("A2")}), Sp::ser({L("B1"), L("B2")})}),
+             "Z", x);
+      break;
+    case Func::kOai22:
+      b.gate(Sp::ser({Sp::par({L("A1"), L("A2")}), Sp::par({L("B1"), L("B2")})}),
+             "Z", x);
+      break;
+    case Func::kHa: {
+      // CO = A*B via NAND+INV; S = XOR.
+      b.gate(Sp::ser({L("A"), L("B")}), "con", 1.0);
+      b.inverter("con", "CO", x);
+      b.inverter("A", "an", 1.0);
+      b.inverter("B", "bn", 1.0);
+      const Sp pdn = Sp::par({Sp::ser({L("A"), L("B")}), Sp::ser({L("an"), L("bn")})});
+      const Sp pun = Sp::par({Sp::ser({L("A"), L("bn")}), Sp::ser({L("an"), L("B")})});
+      b.gate_explicit(pdn, pun, "S", x);
+      break;
+    }
+    case Func::kFa: {
+      // Mirror full adder: majority and sum stages are self-dual, so the
+      // pull-up network has the same topology as the pull-down.
+      const Sp maj = Sp::par(
+          {Sp::ser({Sp::par({L("A"), L("B")}), L("CI")}), Sp::ser({L("A"), L("B")})});
+      b.gate_explicit(maj, maj, "con", 1.0);
+      const Sp sum = Sp::par(
+          {Sp::ser({Sp::par({L("A"), L("B"), L("CI")}), L("con")}),
+           Sp::ser({L("A"), L("B"), L("CI")})});
+      b.gate_explicit(sum, sum, "sn", 1.0);
+      b.inverter("con", "CO", x);
+      b.inverter("sn", "S", x);
+      break;
+    }
+    case Func::kDff: {
+      // Master-slave with transmission gates, positive edge.
+      b.inverter("CK", "ckb", 1.0);
+      b.inverter("ckb", "ckbb", 1.0);
+      b.tgate("D", "m1", "ckb", "ckbb", 1.0);   // open while CK=0
+      b.inverter("m1", "m2", 1.0);
+      b.inverter("m2", "m3", 0.5);
+      b.tgate("m3", "m1", "ckbb", "ckb", 0.5);  // master hold while CK=1
+      b.tgate("m2", "s1", "ckbb", "ckb", 1.0);  // open while CK=1
+      b.inverter("s1", "Q", x);                 // slave forward + output
+      b.inverter("Q", "s3", 0.5);
+      b.tgate("s3", "s1", "ckb", "ckbb", 0.5);  // slave hold while CK=0
+      break;
+    }
+  }
+  return spec;
+}
+
+std::vector<std::string> CellSpec::nets() const {
+  std::vector<std::string> order{"VDD", "VSS"};
+  std::set<std::string> seen{"VDD", "VSS"};
+  auto add = [&](const std::string& n) {
+    if (seen.insert(n).second) order.push_back(n);
+  };
+  for (const auto& p : inputs()) add(p);
+  for (const auto& p : outputs()) add(p);
+  for (const auto& t : transistors) {
+    add(t.gate);
+    add(t.drain);
+    add(t.source);
+  }
+  return order;
+}
+
+bool CellSpec::is_internal(const std::string& net) const {
+  if (net == "VDD" || net == "VSS") return false;
+  const auto ins = inputs();
+  const auto outs = outputs();
+  return std::find(ins.begin(), ins.end(), net) == ins.end() &&
+         std::find(outs.begin(), outs.end(), net) == outs.end();
+}
+
+int CellSpec::num_pmos() const {
+  int n = 0;
+  for (const auto& t : transistors) n += t.pmos ? 1 : 0;
+  return n;
+}
+
+int CellSpec::num_nmos() const {
+  return static_cast<int>(transistors.size()) - num_pmos();
+}
+
+double CellSpec::total_width_um() const {
+  double w = 0.0;
+  for (const auto& t : transistors) w += t.w_um;
+  return w;
+}
+
+}  // namespace m3d::cells

@@ -1,0 +1,125 @@
+// Gate-level netlist: function-typed instances connected by nets, with
+// library binding (chosen drive / LibCell) mutable by synthesis and
+// optimization. One Netlist object carries a design through the whole flow.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cells/func.hpp"
+#include "geom/point.hpp"
+#include "liberty/library.hpp"
+
+namespace m3d::circuit {
+
+using NetId = int;
+using InstId = int;
+constexpr int kInvalid = -1;
+
+struct Instance {
+  std::string name;
+  cells::Func func = cells::Func::kInv;
+  int drive = 1;
+  const liberty::LibCell* libcell = nullptr;  // bound by synthesis
+  std::vector<NetId> in_nets;                 // one per input pin, pin order
+  std::vector<NetId> out_nets;                // one per output pin
+  geom::Pt pos;                               // placement (cell center)
+  bool placed = false;
+  bool from_optimizer = false;  // inserted buffer (paper counts #buffers)
+  bool dead = false;            // removed by optimization; skipped everywhere
+
+  bool sequential() const { return cells::is_sequential(func); }
+};
+
+struct PinRef {
+  InstId inst = kInvalid;
+  int pin = 0;  // index into in_nets (sinks) or out_nets (driver)
+};
+
+struct Net {
+  std::string name;
+  PinRef driver;               // inst == kInvalid: driven by a primary input
+  std::vector<PinRef> sinks;   // pins this net fans out to
+  bool is_clock = false;
+  bool is_primary_input = false;
+  bool is_primary_output = false;
+
+  int fanout() const { return static_cast<int>(sinks.size()); }
+};
+
+struct Port {
+  std::string name;
+  bool is_input = true;
+  NetId net = kInvalid;
+  geom::Pt pos;  // pad location, fixed on the die boundary
+};
+
+class Netlist {
+ public:
+  std::string name;
+
+  NetId new_net(std::string net_name = {});
+  /// Adds a gate; wires it into the net driver/sink lists.
+  InstId add_gate(cells::Func func, const std::vector<NetId>& ins,
+                  const std::vector<NetId>& outs, int drive = 1);
+  void add_input_port(const std::string& port_name, NetId net);
+  void add_output_port(const std::string& port_name, NetId net);
+  /// Marks `net` as the clock; DFF CK pins are expected to connect to it.
+  void set_clock(NetId net);
+
+  int num_instances() const { return static_cast<int>(instances_.size()); }
+  int num_nets() const { return static_cast<int>(nets_.size()); }
+  Instance& inst(InstId id) { return instances_[static_cast<size_t>(id)]; }
+  const Instance& inst(InstId id) const { return instances_[static_cast<size_t>(id)]; }
+  Net& net(NetId id) { return nets_[static_cast<size_t>(id)]; }
+  const Net& net(NetId id) const { return nets_[static_cast<size_t>(id)]; }
+  const std::vector<Port>& ports() const { return ports_; }
+  std::vector<Port>& ports() { return ports_; }
+  NetId clock_net() const { return clock_; }
+
+  /// Rebinds every instance to `lib` at its current (func, drive).
+  void bind(const liberty::Library& lib);
+  /// Changes an instance's drive and rebinds (used by sizing).
+  void resize_inst(InstId id, const liberty::Library& lib, int new_drive);
+
+  /// Splices a buffer driving `sink_subset` of `net`. Returns the new
+  /// buffer instance. The buffer output becomes a new net.
+  InstId insert_buffer(NetId net, const std::vector<PinRef>& sink_subset,
+                       const liberty::Library& lib, int drive);
+  /// Removes a buffer inserted by insert_buffer, reattaching its sinks.
+  void remove_buffer(InstId id);
+
+  /// Moves an existing sink pin onto a different net (rewiring both nets'
+  /// sink lists and the instance's input). Used by clock tree synthesis.
+  void move_sink(const PinRef& sink, NetId to);
+
+  /// Instances in topological order (combinational edges only; DFF outputs
+  /// and primary inputs are sources). Removed (dead) instances excluded.
+  std::vector<InstId> topo_order() const;
+
+  // --- statistics (paper Table 12) ---
+  double total_cell_area_um2() const;
+  double average_fanout() const;
+  int count_buffers() const;  // BUF/INV instances inserted by optimization
+  int count_sequential() const;
+  /// Nets with at least one sink, excluding the clock net.
+  int num_signal_nets() const;
+
+  /// Internal consistency check (drivers/sinks cross-linked, single driver
+  /// per net). Aborts via assert in debug; returns false on violation.
+  bool validate() const;
+
+ private:
+  void bind_one(InstId id, const liberty::Library& lib) {
+    resize_inst(id, lib, instances_[static_cast<size_t>(id)].drive);
+  }
+
+  std::vector<Instance> instances_;
+  std::vector<Net> nets_;
+  std::vector<Port> ports_;
+  NetId clock_ = kInvalid;
+  int auto_net_ = 0;
+};
+
+}  // namespace m3d::circuit

@@ -1,0 +1,31 @@
+// Structural Verilog export/import for gate-level netlists: the interchange
+// format a downstream user needs to bring their own synthesized designs into
+// the flow (or inspect ours in standard tools).
+//
+// The writer emits one module with the bound library cells as instances
+// (positional ports use the library pin names). The reader accepts the same
+// structural subset: `module`, `input`, `output`, `wire`, cell instances
+// with named port connections, `endmodule`. Vectors are emitted and parsed
+// as scalarized `name[i]` wires.
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+#include "liberty/library.hpp"
+
+namespace m3d::circuit {
+
+/// Writes `nl` as structural Verilog. Instances must be bound to a library.
+std::string to_verilog(const Netlist& nl);
+bool write_verilog(const std::string& path, const Netlist& nl);
+
+/// Parses a structural-subset Verilog module produced by to_verilog (or a
+/// compatible netlist using this library's cell names). Returns false on
+/// syntax errors or unknown cells; *error gets a message.
+bool from_verilog(const std::string& text, const liberty::Library& lib,
+                  Netlist* nl, std::string* error);
+bool read_verilog(const std::string& path, const liberty::Library& lib,
+                  Netlist* nl, std::string* error);
+
+}  // namespace m3d::circuit

@@ -1,0 +1,28 @@
+// Full-chip net RC extraction. Produces the Parasitics view for STA/power
+// from either placement estimates (pre-route optimization) or routed
+// segments (sign-off), using the Tech unit-RC tables (our capTable).
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "extract/parasitics.hpp"
+#include "route/route.hpp"
+#include "tech/tech.hpp"
+
+namespace m3d::extract {
+
+/// Average unit resistance/capacitance of the layers at a routing level.
+double unit_r_kohm_um(const tech::Tech& tech, route::Level level);
+double unit_c_ff_um(const tech::Tech& tech, route::Level level);
+
+/// Pre-route estimate: HPWL with a Steiner fanout factor, level chosen by
+/// net length (same thresholds as the router).
+Parasitics extract_from_placement(const circuit::Netlist& nl,
+                                  const tech::Tech& tech);
+
+/// Sign-off extraction from routed segments: per-level wirelength and vias,
+/// per-sink Elmore resistances from the routed tree paths.
+Parasitics extract_from_routes(const circuit::Netlist& nl,
+                               const tech::Tech& tech,
+                               const route::RouteResult& routes);
+
+}  // namespace m3d::extract

@@ -1,0 +1,28 @@
+// Per-net electrical view consumed by STA and power analysis. Three sources
+// produce it, in increasing fidelity (matching the flow stages of Fig 1):
+// wire load models (synthesis), placement HPWL (pre-route optimization), and
+// routed segments (sign-off).
+#pragma once
+
+#include <vector>
+
+namespace m3d::extract {
+
+struct NetParasitics {
+  double wire_cap_ff = 0.0;   // routed/estimated metal + via capacitance
+  double wire_res_kohm = 0.0; // total wire resistance
+  /// Per-sink Elmore resistance (driver -> sink path resistance), parallel
+  /// to Net::sinks. Empty means use wire_res_kohm for every sink.
+  std::vector<double> sink_res_kohm;
+  double wirelength_um = 0.0;
+
+  double sink_res(size_t sink_idx) const {
+    return sink_idx < sink_res_kohm.size() ? sink_res_kohm[sink_idx]
+                                           : wire_res_kohm;
+  }
+};
+
+/// One entry per net (indexed by NetId).
+using Parasitics = std::vector<NetParasitics>;
+
+}  // namespace m3d::extract

@@ -1,0 +1,106 @@
+// The full design-and-analysis flow of paper Fig 1: library prep ->
+// synthesis (WLM) -> placement -> pre-route optimization -> global routing ->
+// post-route optimization -> sign-off STA + statistical power. One call per
+// (benchmark, node, style); the comparison harness runs 2D and T-MI at the
+// same clock (iso-performance) and reports the paper's metrics.
+#pragma once
+
+#include <optional>
+
+#include "circuit/netlist.hpp"
+#include "gen/gen.hpp"
+#include "liberty/library.hpp"
+#include "place/place.hpp"
+#include "power/power.hpp"
+#include "route/route.hpp"
+#include "synth/wlm.hpp"
+#include "tech/tech.hpp"
+
+namespace m3d::flow {
+
+struct FlowOptions {
+  gen::Bench bench = gen::Bench::kAes;
+  tech::Node node = tech::Node::k45nm;
+  tech::Style style = tech::Style::k2D;
+  int scale_shift = 3;        // benchmark size knob (see gen::GenOptions)
+  double clock_ns = 0.0;      // 0: auto (see auto_clock_ns)
+  double target_util = 0.8;   // paper: 0.8 (0.33 LDPC, 0.68 M256)
+  const liberty::Library* lib = nullptr;  // required
+  std::optional<synth::Wlm> wlm;  // custom WLM; default: statistical (x0.75
+                                  // for T-MI styles, paper Section 3.4)
+  bool tmi_wlm = true;        // false: use the 2D WLM for T-MI (Table 15)
+  double local_blockage_frac = -1.0;  // -1: default (0.03 for T-MI, 0 for 2D)
+  double resistivity_scale = 1.0;     // local+intermediate derate (Table 9)
+  double pi_activity = 0.2;
+  double seq_activity = 0.1;
+  bool build_cts = true;  // buffered clock tree (counted in WL and power)
+  uint64_t seed = 20130529;
+};
+
+struct FlowResult {
+  // Identification.
+  std::string bench_name;
+  tech::Style style = tech::Style::k2D;
+  double clock_ns = 0.0;
+  // Table 13/14 columns.
+  double footprint_um2 = 0.0;
+  int cells = 0;
+  int buffers = 0;
+  double utilization = 0.0;
+  double total_wl_um = 0.0;
+  double wns_ps = 0.0;
+  bool timing_met = false;
+  bool routed = false;
+  double total_uw = 0.0;
+  double cell_uw = 0.0;
+  double net_uw = 0.0;
+  double leak_uw = 0.0;
+  // Supplement S8 split.
+  double wire_uw = 0.0;
+  double pin_uw = 0.0;
+  double wire_cap_pf = 0.0;
+  double pin_cap_pf = 0.0;
+  double longest_path_ns = 0.0;
+  // Full state for snapshots / further analysis.
+  circuit::Netlist netlist;
+  place::Die die;
+  route::RouteResult routes;
+};
+
+/// Runs the complete flow once. opt.lib must outlive the call.
+FlowResult run_flow(const FlowOptions& opt);
+
+/// Determines a closable clock for (bench, node, style=2D) by probing the
+/// critical path after synthesis at a loose clock, scaled by `tighten`.
+double auto_clock_ns(const FlowOptions& base, double tighten = 1.05);
+
+struct CompareResult {
+  FlowResult flat;  // 2D
+  FlowResult tmi;   // T-MI (or T-MI+M)
+  double pct(double v3, double v2) const { return 100.0 * (v3 / v2 - 1.0); }
+  double footprint_pct() const { return pct(tmi.footprint_um2, flat.footprint_um2); }
+  double wl_pct() const { return pct(tmi.total_wl_um, flat.total_wl_um); }
+  double power_pct() const { return pct(tmi.total_uw, flat.total_uw); }
+  double cell_power_pct() const { return pct(tmi.cell_uw, flat.cell_uw); }
+  double net_power_pct() const { return pct(tmi.net_uw, flat.net_uw); }
+  double leakage_pct() const { return pct(tmi.leak_uw, flat.leak_uw); }
+  double buffer_pct() const {
+    return pct(static_cast<double>(tmi.buffers), static_cast<double>(flat.buffers));
+  }
+};
+
+/// Iso-performance comparison: runs 2D, then the 3D style, at the same
+/// clock. `opt.style` selects the 3D style (kTMI or kTMIPlusM);
+/// `lib2d`/`lib3d` are the two characterized libraries.
+CompareResult run_iso_comparison(const FlowOptions& opt,
+                                 const liberty::Library& lib2d,
+                                 const liberty::Library& lib3d);
+
+/// Per-benchmark default scale shift (keeps the largest benchmarks tractable
+/// while preserving the paper's size ordering).
+int default_scale_shift(gen::Bench bench);
+
+/// Per-benchmark default utilization (paper: LDPC 0.33, M256 0.68, else 0.8).
+double default_utilization(gen::Bench bench);
+
+}  // namespace m3d::flow

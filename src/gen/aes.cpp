@@ -1,0 +1,183 @@
+// AES-128 iterative round engine: registered state and round key, one full
+// round of combinational logic (SubBytes with the *real* GF(2^8) S-box,
+// ShiftRows, MixColumns over GF(2^8), AddRoundKey) plus the key-schedule
+// round. A load mux selects between fresh input and the feedback path.
+#include <array>
+
+#include "gen/builder.hpp"
+#include "gen/gen.hpp"
+#include "util/strf.hpp"
+
+namespace m3d::gen {
+namespace {
+
+/// GF(2^8) multiply modulo x^8 + x^4 + x^3 + x + 1 (0x11B).
+uint8_t gmul(uint8_t a, uint8_t b) {
+  uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    const bool hi = a & 0x80;
+    a = static_cast<uint8_t>(a << 1);
+    if (hi) a ^= 0x1B;
+    b >>= 1;
+  }
+  return p;
+}
+
+/// The real AES S-box, computed: multiplicative inverse + affine transform.
+std::array<uint8_t, 256> aes_sbox() {
+  std::array<uint8_t, 256> inv{};
+  for (int a = 1; a < 256; ++a) {
+    for (int b = 1; b < 256; ++b) {
+      if (gmul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)) == 1) {
+        inv[static_cast<size_t>(a)] = static_cast<uint8_t>(b);
+        break;
+      }
+    }
+  }
+  std::array<uint8_t, 256> sbox{};
+  for (int x = 0; x < 256; ++x) {
+    const uint8_t b = inv[static_cast<size_t>(x)];
+    uint8_t y = 0;
+    for (int i = 0; i < 8; ++i) {
+      const int bit = ((b >> i) & 1) ^ ((b >> ((i + 4) % 8)) & 1) ^
+                      ((b >> ((i + 5) % 8)) & 1) ^ ((b >> ((i + 6) % 8)) & 1) ^
+                      ((b >> ((i + 7) % 8)) & 1) ^ ((0x63 >> i) & 1);
+      y = static_cast<uint8_t>(y | (bit << i));
+    }
+    sbox[static_cast<size_t>(x)] = y;
+  }
+  return sbox;
+}
+
+using Byte = std::vector<NetId>;  // 8 nets, LSB first
+
+Byte xor_bytes(Gb& g, const Byte& a, const Byte& b) {
+  Byte out(8);
+  for (int i = 0; i < 8; ++i) out[static_cast<size_t>(i)] = g.xor2(a[static_cast<size_t>(i)], b[static_cast<size_t>(i)]);
+  return out;
+}
+
+/// xtime: multiply by 2 in GF(2^8): shift + conditional reduce by 0x1B.
+Byte xtime(Gb& g, const Byte& a) {
+  Byte out(8);
+  const NetId msb = a[7];
+  out[0] = msb;  // 0x1B bit 0
+  out[1] = g.xor2(a[0], msb);
+  out[2] = a[1];
+  out[3] = g.xor2(a[2], msb);
+  out[4] = g.xor2(a[3], msb);
+  out[5] = a[4];
+  out[6] = a[5];
+  out[7] = a[6];
+  return out;
+}
+
+Byte sub_byte(Gb& g, const Byte& in, const std::array<uint8_t, 256>& sbox) {
+  std::vector<uint32_t> values(256);
+  for (int m = 0; m < 256; ++m) values[static_cast<size_t>(m)] = sbox[static_cast<size_t>(m)];
+  return g.lut(in, values, 8);
+}
+
+}  // namespace
+
+circuit::Netlist make_aes(const GenOptions& opt) {
+  // Scale: number of parallel round engines (the paper's AES is one).
+  const int engines = std::max(1, 2 >> opt.scale_shift);
+  const auto sbox = aes_sbox();
+
+  circuit::Netlist nl;
+  nl.name = "AES";
+  Gb g(&nl);
+
+  const NetId load = g.input("load");
+  const auto rcon_in = g.input_bus("rcon", 8);
+
+  for (int e = 0; e < engines; ++e) {
+    const std::string suffix = engines > 1 ? util::strf("_%d", e) : "";
+    const auto din = g.input_bus("din" + suffix, 128);
+    const auto kin = g.input_bus("kin" + suffix, 128);
+
+    // State and key registers with load/feedback muxes; feedback nets are
+    // created up front and driven by the round logic below.
+    std::vector<NetId> state_fb(128), key_fb(128);
+    for (auto& n : state_fb) n = g.nl().new_net();
+    for (auto& n : key_fb) n = g.nl().new_net();
+    std::vector<NetId> state(128), key(128);
+    for (int i = 0; i < 128; ++i) {
+      state[static_cast<size_t>(i)] = g.dff(
+          g.mux2(state_fb[static_cast<size_t>(i)], din[static_cast<size_t>(i)], load));
+      key[static_cast<size_t>(i)] = g.dff(
+          g.mux2(key_fb[static_cast<size_t>(i)], kin[static_cast<size_t>(i)], load));
+    }
+    auto byte_of = [&](const std::vector<NetId>& v, int b) {
+      return Byte(v.begin() + b * 8, v.begin() + b * 8 + 8);
+    };
+
+    // SubBytes.
+    std::vector<Byte> sb(16);
+    for (int b = 0; b < 16; ++b) sb[static_cast<size_t>(b)] = sub_byte(g, byte_of(state, b), sbox);
+    // ShiftRows (byte b = 4*col + row, column-major state).
+    std::vector<Byte> sr(16);
+    for (int col = 0; col < 4; ++col) {
+      for (int row = 0; row < 4; ++row) {
+        sr[static_cast<size_t>(4 * col + row)] = sb[static_cast<size_t>(4 * ((col + row) % 4) + row)];
+      }
+    }
+    // MixColumns.
+    std::vector<Byte> mc(16);
+    for (int col = 0; col < 4; ++col) {
+      std::array<Byte, 4> a;
+      for (int row = 0; row < 4; ++row) a[static_cast<size_t>(row)] = sr[static_cast<size_t>(4 * col + row)];
+      for (int row = 0; row < 4; ++row) {
+        const Byte& a0 = a[static_cast<size_t>(row)];
+        const Byte& a1 = a[static_cast<size_t>((row + 1) % 4)];
+        const Byte& a2 = a[static_cast<size_t>((row + 2) % 4)];
+        const Byte& a3 = a[static_cast<size_t>((row + 3) % 4)];
+        // 2*a0 + 3*a1 + a2 + a3 = xtime(a0) + xtime(a1) + a1 + a2 + a3.
+        Byte t = xor_bytes(g, xtime(g, a0), xtime(g, a1));
+        t = xor_bytes(g, t, a1);
+        t = xor_bytes(g, t, a2);
+        mc[static_cast<size_t>(4 * col + row)] = xor_bytes(g, t, a3);
+      }
+    }
+    // Key schedule round: rotate+sub last word, xor rcon, chain words.
+    std::vector<Byte> kw(16);
+    for (int b = 0; b < 16; ++b) kw[static_cast<size_t>(b)] = byte_of(key, b);
+    std::array<Byte, 4> temp;
+    for (int row = 0; row < 4; ++row) {
+      temp[static_cast<size_t>(row)] = sub_byte(g, kw[static_cast<size_t>(12 + (row + 1) % 4)], sbox);
+    }
+    temp[0] = xor_bytes(g, temp[0], Byte(rcon_in.begin(), rcon_in.end()));
+    std::vector<Byte> nk(16);
+    for (int col = 0; col < 4; ++col) {
+      for (int row = 0; row < 4; ++row) {
+        const Byte& prev = (col == 0) ? temp[static_cast<size_t>(row)]
+                                      : nk[static_cast<size_t>(4 * (col - 1) + row)];
+        nk[static_cast<size_t>(4 * col + row)] = xor_bytes(g, kw[static_cast<size_t>(4 * col + row)], prev);
+      }
+    }
+    // AddRoundKey and feedback.
+    for (int b = 0; b < 16; ++b) {
+      const Byte out = xor_bytes(g, mc[static_cast<size_t>(b)], nk[static_cast<size_t>(b)]);
+      for (int i = 0; i < 8; ++i) {
+        // Drive the feedback nets with buffers (they were pre-created).
+        g.nl().add_gate(cells::Func::kBuf, {out[static_cast<size_t>(i)]},
+                        {state_fb[static_cast<size_t>(b * 8 + i)]});
+        g.nl().add_gate(cells::Func::kBuf,
+                        {nk[static_cast<size_t>(b)][static_cast<size_t>(i)]},
+                        {key_fb[static_cast<size_t>(b * 8 + i)]});
+      }
+    }
+    std::vector<NetId> dout(128);
+    for (int b = 0; b < 16; ++b) {
+      for (int i = 0; i < 8; ++i) {
+        dout[static_cast<size_t>(b * 8 + i)] = state[static_cast<size_t>(b * 8 + i)];
+      }
+    }
+    g.output_bus("dout" + suffix, dout);
+  }
+  return nl;
+}
+
+}  // namespace m3d::gen

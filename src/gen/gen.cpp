@@ -1,0 +1,43 @@
+#include "gen/gen.hpp"
+
+namespace m3d::gen {
+
+const char* to_string(Bench bench) {
+  switch (bench) {
+    case Bench::kFpu: return "FPU";
+    case Bench::kAes: return "AES";
+    case Bench::kLdpc: return "LDPC";
+    case Bench::kDes: return "DES";
+    case Bench::kM256: return "M256";
+  }
+  return "?";
+}
+
+std::vector<Bench> all_benches() {
+  return {Bench::kFpu, Bench::kAes, Bench::kLdpc, Bench::kDes, Bench::kM256};
+}
+
+circuit::Netlist make_benchmark(Bench bench, const GenOptions& opt) {
+  switch (bench) {
+    case Bench::kFpu: return make_fpu(opt);
+    case Bench::kAes: return make_aes(opt);
+    case Bench::kLdpc: return make_ldpc(opt);
+    case Bench::kDes: return make_des(opt);
+    case Bench::kM256: return make_m256(opt);
+  }
+  return circuit::Netlist{};
+}
+
+double paper_target_clock_ns(Bench bench, bool node7) {
+  // Paper Table 12.
+  switch (bench) {
+    case Bench::kFpu: return node7 ? 0.72 : 1.8;
+    case Bench::kAes: return node7 ? 0.27 : 0.8;
+    case Bench::kLdpc: return node7 ? 0.9 : 2.4;
+    case Bench::kDes: return node7 ? 0.3 : 1.0;
+    case Bench::kM256: return node7 ? 1.0 : 2.4;
+  }
+  return 1.0;
+}
+
+}  // namespace m3d::gen

@@ -1,0 +1,60 @@
+// Benchmark circuit generators — structural implementations of the paper's
+// five benchmarks (Table 12). Each produces a registered, clocked netlist
+// with the circuit *character* the paper's analysis depends on:
+//
+//   FPU  : double-precision floating-point add + multiply datapath (deep
+//          arithmetic paths).
+//   AES  : AES-128 iterative round engine, real GF(2^8) S-box and
+//          MixColumns (medium-size logic clusters).
+//   LDPC : min-sum decoder slice for an 802.3an-style (2048,1723) regular
+//          code — pseudo-random bipartite connectivity = long global wires,
+//          wire-capacitance-dominated nets.
+//   DES  : 16-round Feistel network with 6->4 S-box LUTs — many small,
+//          tightly connected clusters, short pin-cap-dominated nets.
+//          (S-box/permutation constants are seeded-random stand-ins with the
+//          real structure; cryptographic values do not affect PPA.)
+//   M256 : 256-bit partial-sum-add integer multiplier (large regular array),
+//          pipelined every few rows.
+//
+// `scale_shift` halves each circuit's size parameter per step so full flows
+// stay fast; the generators' structure is scale-invariant.
+#pragma once
+
+#include "circuit/netlist.hpp"
+
+namespace m3d::gen {
+
+enum class Bench { kFpu, kAes, kLdpc, kDes, kM256 };
+
+const char* to_string(Bench bench);
+std::vector<Bench> all_benches();
+
+struct GenOptions {
+  int scale_shift = 0;
+  uint64_t seed = 20130529;  // DAC'13
+};
+
+circuit::Netlist make_benchmark(Bench bench, const GenOptions& opt = {});
+
+// Individual generators (exposed for tests/examples).
+circuit::Netlist make_fpu(const GenOptions& opt);
+circuit::Netlist make_aes(const GenOptions& opt);
+circuit::Netlist make_ldpc(const GenOptions& opt);
+circuit::Netlist make_des(const GenOptions& opt);
+circuit::Netlist make_m256(const GenOptions& opt);
+
+/// The paper's synthesis target clock periods (Table 12), in ns.
+double paper_target_clock_ns(Bench bench, bool node7);
+
+/// Parametric random logic (Rent's-rule flavored), for stress tests and
+/// ablations beyond the five paper benchmarks.
+struct RandomLogicOptions {
+  int num_gates = 2000;
+  int num_inputs = 64;
+  int gates_per_flop = 12;      // pipeline density
+  double long_wire_frac = 0.1;  // fraction of uniformly-random back edges
+  uint64_t seed = 7;
+};
+circuit::Netlist make_random_logic(const RandomLogicOptions& opt);
+
+}  // namespace m3d::gen

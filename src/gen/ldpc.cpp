@@ -1,0 +1,157 @@
+// LDPC: one min-sum decoding iteration of an IEEE 802.3an-style regular
+// LDPC code. The parity-check graph is a seeded-random regular bipartite
+// graph (variable degree 3, check degree 16) — exactly the property that
+// makes the paper's LDPC benchmark wire-dominated: check nodes connect
+// variables from all over the die, producing long global wires.
+#include <algorithm>
+
+#include "gen/builder.hpp"
+#include "gen/gen.hpp"
+#include "util/rng.hpp"
+#include "util/strf.hpp"
+
+namespace m3d::gen {
+namespace {
+
+constexpr int kMagBits = 2;  // message magnitude bits (sign + magnitude)
+constexpr int kColW = 3;     // variable degree
+constexpr int kRowW = 16;    // check degree
+
+struct Msg {
+  NetId sign;
+  std::vector<NetId> mag;  // kMagBits, LSB first
+};
+
+/// min(a, b) on kMagBits-bit magnitudes: an unsigned comparator LUT feeding
+/// per-bit muxes.
+Msg min_mag(Gb& g, const Msg& a, const Msg& b) {
+  std::vector<NetId> cmp_in;
+  for (int i = 0; i < kMagBits; ++i) cmp_in.push_back(a.mag[static_cast<size_t>(i)]);
+  for (int i = 0; i < kMagBits; ++i) cmp_in.push_back(b.mag[static_cast<size_t>(i)]);
+  // lt = (b < a): then pick b.
+  uint64_t truth = 0;
+  for (uint32_t m = 0; m < (1u << (2 * kMagBits)); ++m) {
+    const uint32_t av = m & ((1u << kMagBits) - 1);
+    const uint32_t bv = m >> kMagBits;
+    if (bv < av) truth |= (uint64_t{1} << m);
+  }
+  const NetId lt = g.lut1(cmp_in, truth);
+  Msg out;
+  out.sign = circuit::kInvalid;  // caller sets
+  out.mag.resize(static_cast<size_t>(kMagBits));
+  for (int i = 0; i < kMagBits; ++i) {
+    out.mag[static_cast<size_t>(i)] =
+        g.mux2(a.mag[static_cast<size_t>(i)], b.mag[static_cast<size_t>(i)], lt);
+  }
+  return out;
+}
+
+}  // namespace
+
+circuit::Netlist make_ldpc(const GenOptions& opt) {
+  const int vars = std::max(64, 2048 >> opt.scale_shift);
+  const int checks = vars * kColW / kRowW;
+  util::Rng rng(opt.seed ^ util::hash64("ldpc"));
+
+  circuit::Netlist nl;
+  nl.name = "LDPC";
+  Gb g(&nl);
+
+  // Edge assignment: each variable appears kColW times; shuffle and deal to
+  // checks, kRowW slots each.
+  std::vector<int> edges;
+  edges.reserve(static_cast<size_t>(vars * kColW));
+  for (int v = 0; v < vars; ++v) {
+    for (int k = 0; k < kColW; ++k) edges.push_back(v);
+  }
+  rng.shuffle(edges);
+
+  // Variable registers: sign + magnitude, loaded from channel LLR inputs on
+  // `load`, otherwise updated from check messages.
+  const NetId load = g.input("load");
+  std::vector<Msg> var_q(static_cast<size_t>(vars));
+  std::vector<NetId> var_sign_fb(static_cast<size_t>(vars));
+  std::vector<std::vector<NetId>> var_mag_fb(static_cast<size_t>(vars));
+  for (int v = 0; v < vars; ++v) {
+    const auto llr = g.input_bus(util::strf("llr%d", v), 1 + kMagBits);
+    var_sign_fb[static_cast<size_t>(v)] = g.nl().new_net();
+    Msg q;
+    q.sign = g.dff(g.mux2(var_sign_fb[static_cast<size_t>(v)], llr[0], load));
+    for (int b = 0; b < kMagBits; ++b) {
+      var_mag_fb[static_cast<size_t>(v)].push_back(g.nl().new_net());
+      q.mag.push_back(g.dff(g.mux2(var_mag_fb[static_cast<size_t>(v)][static_cast<size_t>(b)],
+                                   llr[static_cast<size_t>(1 + b)], load)));
+    }
+    var_q[static_cast<size_t>(v)] = q;
+  }
+
+  // Check nodes: XOR of signs, min of magnitudes over the kRowW connected
+  // variables.
+  std::vector<Msg> check_msg(static_cast<size_t>(checks));
+  std::vector<std::vector<int>> var_checks(static_cast<size_t>(vars));
+  for (int c = 0; c < checks; ++c) {
+    std::vector<NetId> signs;
+    Msg acc;
+    bool first = true;
+    for (int s = 0; s < kRowW; ++s) {
+      const int v = edges[static_cast<size_t>(c * kRowW + s)];
+      var_checks[static_cast<size_t>(v)].push_back(c);
+      const Msg& q = var_q[static_cast<size_t>(v)];
+      signs.push_back(q.sign);
+      if (first) {
+        acc = q;
+        first = false;
+      } else {
+        acc = min_mag(g, acc, q);
+      }
+    }
+    acc.sign = g.xor_n(signs);
+    check_msg[static_cast<size_t>(c)] = acc;
+  }
+
+  // Variable update: majority of incoming check signs, min of magnitudes.
+  std::vector<NetId> decisions;
+  for (int v = 0; v < vars; ++v) {
+    const auto& cs = var_checks[static_cast<size_t>(v)];
+    Msg upd;
+    if (cs.empty()) {
+      upd = var_q[static_cast<size_t>(v)];
+    } else {
+      upd = check_msg[static_cast<size_t>(cs[0])];
+      std::vector<NetId> signs{upd.sign};
+      for (size_t k = 1; k < cs.size(); ++k) {
+        const Msg& m = check_msg[static_cast<size_t>(cs[k])];
+        upd = min_mag(g, upd, m);
+        signs.push_back(m.sign);
+      }
+      if (signs.size() >= 3) {
+        // Majority of three via a full adder's carry output.
+        auto [s, maj] = g.full_add(signs[0], signs[1], signs[2]);
+        (void)s;
+        upd.sign = maj;
+      } else {
+        upd.sign = g.xor_n(signs);
+      }
+    }
+    // Close the feedback loop.
+    g.nl().add_gate(cells::Func::kBuf, {upd.sign},
+                    {var_sign_fb[static_cast<size_t>(v)]});
+    for (int b = 0; b < kMagBits; ++b) {
+      g.nl().add_gate(cells::Func::kBuf, {upd.mag[static_cast<size_t>(b)]},
+                      {var_mag_fb[static_cast<size_t>(v)][static_cast<size_t>(b)]});
+    }
+    decisions.push_back(var_q[static_cast<size_t>(v)].sign);
+  }
+
+  // Hard-decision outputs, bundled to keep port count manageable.
+  std::vector<NetId> out_bits;
+  for (size_t i = 0; i < decisions.size(); i += 8) {
+    std::vector<NetId> grp(decisions.begin() + static_cast<long>(i),
+                           decisions.begin() + static_cast<long>(std::min(i + 8, decisions.size())));
+    out_bits.push_back(g.xor_n(grp));
+  }
+  g.output_bus("hd", out_bits);
+  return nl;
+}
+
+}  // namespace m3d::gen

@@ -1,0 +1,69 @@
+// Parametric random-logic generator: a Rent's-rule-flavored synthetic
+// circuit for stress tests and ablations where the five paper benchmarks
+// are too structured. Levelized DAG of random gates with geometrically
+// distributed fan-in sources (favoring recent levels = mostly-local wiring,
+// with a tunable fraction of long random back-edges).
+#include "gen/builder.hpp"
+#include "gen/gen.hpp"
+#include "util/rng.hpp"
+#include "util/strf.hpp"
+
+namespace m3d::gen {
+
+circuit::Netlist make_random_logic(const RandomLogicOptions& opt) {
+  util::Rng rng(opt.seed);
+  circuit::Netlist nl;
+  nl.name = "RAND";
+  Gb g(&nl);
+
+  std::vector<NetId> pool = g.dff_bus(g.input_bus("in", opt.num_inputs));
+  const std::vector<cells::Func> menu = {
+      cells::Func::kNand2, cells::Func::kNor2, cells::Func::kXor2,
+      cells::Func::kAoi21, cells::Func::kMux2, cells::Func::kInv,
+      cells::Func::kAnd3,  cells::Func::kOai21};
+
+  auto pick_source = [&](size_t upto) -> NetId {
+    // Geometric bias toward recent nets; `long_wire_frac` of picks jump to
+    // a uniformly random (old) net.
+    if (rng.chance(opt.long_wire_frac)) {
+      return pool[rng.below(upto)];
+    }
+    size_t back = 1;
+    while (back < upto && rng.chance(0.6)) back *= 2;
+    back = std::min(back, upto);
+    return pool[upto - 1 - rng.below(back)];
+  };
+
+  int made = 0;
+  int since_flop = 0;
+  while (made < opt.num_gates) {
+    const cells::Func f = menu[rng.below(menu.size())];
+    const int n_in = cells::num_inputs(f);
+    std::vector<NetId> ins;
+    for (int i = 0; i < n_in; ++i) ins.push_back(pick_source(pool.size()));
+    std::vector<NetId> outs;
+    for (const auto& o : cells::output_pins(f)) {
+      (void)o;
+      outs.push_back(nl.new_net());
+    }
+    nl.add_gate(f, ins, outs);
+    for (NetId o : outs) pool.push_back(o);
+    ++made;
+    ++since_flop;
+    if (since_flop >= opt.gates_per_flop) {
+      pool.push_back(g.dff(pool.back()));
+      since_flop = 0;
+    }
+  }
+  // Outputs: register and expose the most recent nets.
+  std::vector<NetId> outs;
+  const size_t n_out = std::min<size_t>(static_cast<size_t>(opt.num_inputs),
+                                        pool.size());
+  for (size_t i = 0; i < n_out; ++i) {
+    outs.push_back(g.dff(pool[pool.size() - 1 - i]));
+  }
+  g.output_bus("out", outs);
+  return nl;
+}
+
+}  // namespace m3d::gen

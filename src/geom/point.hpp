@@ -1,0 +1,34 @@
+// 2D point in microns.
+#pragma once
+
+#include <cmath>
+
+namespace m3d::geom {
+
+struct Pt {
+  double x = 0.0;
+  double y = 0.0;
+
+  Pt operator+(const Pt& o) const { return {x + o.x, y + o.y}; }
+  Pt operator-(const Pt& o) const { return {x - o.x, y - o.y}; }
+  Pt operator*(double s) const { return {x * s, y * s}; }
+  Pt& operator+=(const Pt& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  bool operator==(const Pt& o) const = default;
+};
+
+/// Manhattan (L1) distance — the routing metric.
+inline double manhattan(const Pt& a, const Pt& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+inline double euclid(const Pt& a, const Pt& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace m3d::geom

@@ -1,0 +1,65 @@
+// Axis-aligned rectangle in microns. Empty (inverted) by default so it can be
+// used directly as a bounding-box accumulator.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.hpp"
+
+namespace m3d::geom {
+
+struct Rect {
+  double xlo = std::numeric_limits<double>::max();
+  double ylo = std::numeric_limits<double>::max();
+  double xhi = std::numeric_limits<double>::lowest();
+  double yhi = std::numeric_limits<double>::lowest();
+
+  Rect() = default;
+  Rect(double xl, double yl, double xh, double yh)
+      : xlo(xl), ylo(yl), xhi(xh), yhi(yh) {}
+  static Rect around(const Pt& center, double w, double h) {
+    return Rect(center.x - w / 2, center.y - h / 2, center.x + w / 2,
+                center.y + h / 2);
+  }
+
+  bool empty() const { return xhi < xlo || yhi < ylo; }
+  double width() const { return empty() ? 0.0 : xhi - xlo; }
+  double height() const { return empty() ? 0.0 : yhi - ylo; }
+  double area() const { return width() * height(); }
+  double half_perimeter() const { return width() + height(); }
+  Pt center() const { return {(xlo + xhi) / 2, (ylo + yhi) / 2}; }
+
+  void expand(const Pt& p) {
+    xlo = std::min(xlo, p.x);
+    ylo = std::min(ylo, p.y);
+    xhi = std::max(xhi, p.x);
+    yhi = std::max(yhi, p.y);
+  }
+  void expand(const Rect& r) {
+    if (r.empty()) return;
+    xlo = std::min(xlo, r.xlo);
+    ylo = std::min(ylo, r.ylo);
+    xhi = std::max(xhi, r.xhi);
+    yhi = std::max(yhi, r.yhi);
+  }
+  /// Grows (or shrinks, if negative) uniformly by `margin` on each side.
+  Rect inflated(double margin) const {
+    return Rect(xlo - margin, ylo - margin, xhi + margin, yhi + margin);
+  }
+
+  bool contains(const Pt& p) const {
+    return p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi;
+  }
+  bool overlaps(const Rect& o) const {
+    return !empty() && !o.empty() && xlo < o.xhi && o.xlo < xhi && ylo < o.yhi &&
+           o.ylo < yhi;
+  }
+  Rect intersect(const Rect& o) const {
+    return Rect(std::max(xlo, o.xlo), std::max(ylo, o.ylo), std::min(xhi, o.xhi),
+                std::min(yhi, o.yhi));
+  }
+  bool operator==(const Rect& o) const = default;
+};
+
+}  // namespace m3d::geom

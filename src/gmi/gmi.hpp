@@ -1,0 +1,30 @@
+// Gate-level monolithic 3D integration (G-MI): planar 2D cells on two
+// stacked device tiers, tier assignment by FM min-cut, inter-tier nets
+// through routing MIVs. The paper's Section 1 contrasts this style with
+// T-MI; this module implements it so the library can reproduce that
+// comparison (an extension beyond the paper's own tables).
+//
+// Model: the die area halves (two tiers of rows); placement treats the two
+// tiers as interleaved row lanes sharing the XY plane; the FM partition
+// determines which nets cross tiers and pay one MIV each in extraction.
+// Routing uses the T-MI metal stack as a stand-in for the doubled per-tier
+// local metal a real G-MI process provides.
+#pragma once
+
+#include "flow/flow.hpp"
+#include "gmi/partition.hpp"
+
+namespace m3d::gmi {
+
+struct GmiExtra {
+  PartitionResult partition;
+  int routing_mivs = 0;  // one per cut net
+};
+
+/// Runs the full flow in G-MI style. `opt.lib` must be the *2D* library
+/// (G-MI keeps planar cells). opt.clock_ns must be set (use the 2D flow's
+/// closed clock for an iso-performance comparison).
+flow::FlowResult run_gmi_flow(const flow::FlowOptions& opt,
+                              GmiExtra* extra = nullptr);
+
+}  // namespace m3d::gmi

@@ -1,0 +1,496 @@
+#include "liberty/characterize.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "liberty/io.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/sim.hpp"
+#include "util/log.hpp"
+#include "util/strf.hpp"
+
+namespace m3d::liberty {
+namespace {
+
+constexpr double kVdd45 = 1.1;
+
+/// Per-terminal series resistance: half the net's lumped R (a simple
+/// distributed-RC approximation).
+constexpr double kMinSeriesR = 0.002;  // kOhm; below this, connect directly
+
+struct CellCkt {
+  spice::Circuit ckt;
+  int vdd_node = -1;
+  std::map<std::string, int> net_node;  // net name -> center node
+};
+
+CellCkt build(const cells::CellSpec& spec, const cells::CellLayout& layout,
+              cells::SiliconModel silicon) {
+  CellCkt cc;
+  auto& ckt = cc.ckt;
+  // Net center nodes. VSS maps to ground.
+  for (const auto& net : spec.nets()) {
+    cc.net_node[net] = (net == "VSS") ? 0 : ckt.node(net);
+  }
+  cc.vdd_node = cc.net_node.at("VDD");
+  // Net ground capacitance at the center node.
+  for (const auto& [net, par] : layout.nets) {
+    const auto it = cc.net_node.find(net);
+    if (it == cc.net_node.end() || it->second == 0) continue;
+    ckt.add_capacitor(it->second, 0, par.c_ff(silicon));
+  }
+  // Transistors; terminals reach their net through half the net R.
+  int term_id = 0;
+  auto terminal = [&](const std::string& net) {
+    const int center = cc.net_node.at(net);
+    if (net == "VDD" || net == "VSS") return center;  // stiff rails
+    const auto pit = layout.nets.find(net);
+    const double r = pit != layout.nets.end() ? pit->second.r_kohm : 0.0;
+    if (r / 2.0 < kMinSeriesR) return center;
+    const int t = ckt.node(util::strf("%s#t%d", net.c_str(), term_id++));
+    ckt.add_resistor(center, t, r / 2.0);
+    return t;
+  };
+  for (const auto& t : spec.transistors) {
+    const spice::MosModel model =
+        t.pmos ? spice::ptm45_pmos() : spice::ptm45_nmos();
+    ckt.add_mosfet(terminal(t.drain), terminal(t.gate), terminal(t.source),
+                   t.w_um, model);
+  }
+  return cc;
+}
+
+/// Finds a side-input minterm such that toggling `input_idx` toggles output
+/// `out_idx`. Returns the minterm with the toggling input at 0, or -1.
+int find_sensitization(cells::Func func, int input_idx, int out_idx) {
+  const int n = cells::num_inputs(func);
+  for (uint32_t m = 0; m < (1u << n); ++m) {
+    if ((m >> input_idx) & 1u) continue;  // want input at 0 in the base
+    const uint32_t m1 = m | (1u << input_idx);
+    if (cells::eval(func, out_idx, m) != cells::eval(func, out_idx, m1)) {
+      return static_cast<int>(m);
+    }
+  }
+  return -1;
+}
+
+struct Measurement {
+  double delay_ps = 0.0;
+  double slew_ps = 0.0;
+  double energy_fj = 0.0;
+  bool valid = false;
+};
+
+/// One combinational characterization point: ramp `input` (rising if
+/// in_rise), other inputs per `base_minterm`, measure at `output`.
+Measurement run_comb_point(const cells::CellSpec& spec,
+                           const cells::CellLayout& layout,
+                           cells::SiliconModel silicon, double vdd,
+                           const std::string& input, bool in_rise,
+                           uint32_t base_minterm, const std::string& output,
+                           double slew_ps, double load_ff) {
+  CellCkt cc = build(spec, layout, silicon);
+  auto& ckt = cc.ckt;
+  const int out_node = cc.net_node.at(output);
+  ckt.add_capacitor(out_node, 0, load_ff);
+  ckt.add_source(cc.vdd_node, spice::Pwl::dc(vdd));
+
+  const auto inputs = spec.inputs();
+  const double t0 = 40.0;
+  int in_node = -1;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const int node = cc.net_node.at(inputs[i]);
+    if (inputs[i] == input) {
+      in_node = node;
+      ckt.add_source(node, in_rise ? spice::Pwl::ramp(t0, slew_ps, 0.0, vdd)
+                                   : spice::Pwl::ramp(t0, slew_ps, vdd, 0.0));
+    } else {
+      const bool high = (base_minterm >> i) & 1u;
+      ckt.add_source(node, spice::Pwl::dc(high ? vdd : 0.0));
+    }
+  }
+  assert(in_node >= 0);
+
+  spice::TranOptions topt;
+  topt.t_stop_ps = t0 + 4.0 * slew_ps + 40.0 * (load_ff / 3.2) + 160.0;
+  topt.dt_ps = std::max(0.02, std::min(slew_ps / 12.0, topt.t_stop_ps / 2500.0));
+  topt.probes = {out_node, in_node};
+  const spice::TranResult r = spice::simulate(ckt, topt);
+
+  Measurement m;
+  if (!r.converged) return m;
+  const auto& vout = r.waveform(out_node);
+  const auto& vin = r.waveform(in_node);
+  const bool out_rise = vout.back() > vdd / 2;
+  const double t_in =
+      spice::cross_time(r.time_ps, vin, vdd / 2, 0.0, in_rise);
+  const double t_out =
+      spice::cross_time(r.time_ps, vout, vdd / 2, t0 * 0.5, out_rise);
+  if (t_in < 0 || t_out < 0) return m;
+  m.delay_ps = t_out - t_in;
+  m.slew_ps = spice::measure_slew(r.time_ps, vout, vdd, out_rise, t0 * 0.5);
+  // Internal energy: VDD work minus the external-load charge (counted by the
+  // power engine as net switching power). Idle leakage over the run is in
+  // the nW range and negligible against ~fJ transitions.
+  m.energy_fj = r.source_energy_fj.at(cc.vdd_node);
+  if (out_rise) m.energy_fj -= load_ff * vdd * vdd;
+  m.energy_fj = std::max(0.0, m.energy_fj);
+  m.valid = m.delay_ps > 0 && m.slew_ps > 0;
+  return m;
+}
+
+/// DFF CK->Q point. Preamble loads the opposite value into the flop, then a
+/// final measured CK edge captures D. Energy is isolated by differencing a
+/// run with and without the final edge.
+Measurement run_dff_point(const cells::CellSpec& spec,
+                          const cells::CellLayout& layout,
+                          cells::SiliconModel silicon, double vdd, bool q_rise,
+                          double slew_ps, double load_ff) {
+  const double t_load = 60.0;    // first CK pulse: capture the old value
+  const double t_d = 260.0;      // D switches to the new value
+  const double t_edge = 360.0;   // measured CK edge
+  auto make = [&](bool with_final_edge) {
+    CellCkt cc = build(spec, layout, silicon);
+    auto& ckt = cc.ckt;
+    const int q = cc.net_node.at("Q");
+    ckt.add_capacitor(q, 0, load_ff);
+    ckt.add_source(cc.vdd_node, spice::Pwl::dc(vdd));
+    const double d_old = q_rise ? 0.0 : vdd;
+    const double d_new = q_rise ? vdd : 0.0;
+    ckt.add_source(cc.net_node.at("D"),
+                   spice::Pwl{{{0.0, d_old}, {t_d, d_old}, {t_d + 20.0, d_new}}});
+    spice::Pwl ck;
+    ck.points = {{0.0, 0.0},
+                 {t_load, 0.0},
+                 {t_load + 10.0, vdd},
+                 {t_load + 110.0, vdd},
+                 {t_load + 120.0, 0.0}};
+    if (with_final_edge) {
+      ck.points.push_back({t_edge, 0.0});
+      ck.points.push_back({t_edge + slew_ps, vdd});
+    }
+    ckt.add_source(cc.net_node.at("CK"), ck);
+    return cc;
+  };
+
+  spice::TranOptions topt;
+  topt.t_stop_ps = t_edge + 4.0 * slew_ps + 60.0 * (load_ff / 3.2) + 400.0;
+  topt.dt_ps = std::max(0.05, std::min(slew_ps / 10.0, topt.t_stop_ps / 2200.0));
+
+  CellCkt with = make(true);
+  topt.probes = {with.net_node.at("Q"), with.net_node.at("CK")};
+  const spice::TranResult r1 = spice::simulate(with.ckt, topt);
+  CellCkt without = make(false);
+  const spice::TranResult r0 = spice::simulate(without.ckt, topt);
+
+  Measurement m;
+  if (!r1.converged || !r0.converged) return m;
+  const auto& vq = r1.waveform(with.net_node.at("Q"));
+  const auto& vck = r1.waveform(with.net_node.at("CK"));
+  const double t_ck = spice::cross_time(r1.time_ps, vck, vdd / 2, t_edge - 5.0, true);
+  const double t_q = spice::cross_time(r1.time_ps, vq, vdd / 2, t_edge, q_rise);
+  if (t_ck < 0 || t_q < 0) return m;
+  m.delay_ps = t_q - t_ck;
+  m.slew_ps = spice::measure_slew(r1.time_ps, vq, vdd, q_rise, t_edge);
+  m.energy_fj = r1.source_energy_fj.at(with.vdd_node) -
+                r0.source_energy_fj.at(without.vdd_node);
+  if (q_rise) m.energy_fj -= load_ff * vdd * vdd;
+  m.energy_fj = std::max(0.0, m.energy_fj);
+  m.valid = m.delay_ps > 0 && m.slew_ps > 0;
+  return m;
+}
+
+double measure_leakage_uw(const cells::CellSpec& spec,
+                          const cells::CellLayout& layout,
+                          cells::SiliconModel silicon, double vdd) {
+  const auto inputs = spec.inputs();
+  const int n = static_cast<int>(inputs.size());
+  double total = 0.0;
+  int states = 0;
+  const bool seq = spec.sequential();
+  for (uint32_t m = 0; m < (1u << n); ++m) {
+    CellCkt cc = build(spec, layout, silicon);
+    auto& ckt = cc.ckt;
+    ckt.add_source(cc.vdd_node, spice::Pwl::dc(vdd));
+    for (int i = 0; i < n; ++i) {
+      const std::string& pin = inputs[static_cast<size_t>(i)];
+      const double v = ((m >> i) & 1u) ? vdd : 0.0;
+      if (seq && pin == "CK") {
+        // Pulse the clock first so the internal latches settle into a real
+        // state (a cold DC solve can park the feedback loops at a
+        // metastable midpoint and report crowbar current as leakage).
+        spice::Pwl ck;
+        ck.points = {{0.0, 0.0}, {50.0, 0.0}, {60.0, vdd},
+                     {150.0, vdd}, {160.0, v}};
+        ckt.add_source(cc.net_node.at(pin), ck);
+      } else {
+        ckt.add_source(cc.net_node.at(pin), spice::Pwl::dc(v));
+      }
+    }
+    spice::TranOptions topt;
+    topt.t_stop_ps = seq ? 500.0 : 100.0;
+    topt.dt_ps = seq ? 1.0 : 5.0;
+    topt.tail_ps = seq ? 100.0 : 0.0;
+    const spice::TranResult r = spice::simulate(ckt, topt);
+    // mA * V = mW; convert to uW.
+    total += r.source_avg_current_ma.at(cc.vdd_node) * vdd * 1000.0;
+    ++states;
+  }
+  return states > 0 ? std::max(0.0, total / states) : 0.0;
+}
+
+/// Replaces failed (zero) characterization points with the nearest valid
+/// neighbour so interpolation never sees holes.
+void patch_holes(NldmTable* t) {
+  const int ns = static_cast<int>(t->slew_ps.size());
+  const int nl = static_cast<int>(t->load_ff.size());
+  for (int si = 0; si < ns; ++si) {
+    for (int li = 0; li < nl; ++li) {
+      if (t->cell(static_cast<size_t>(si), static_cast<size_t>(li)) > 0.0) continue;
+      double best = 0.0;
+      int best_dist = 1 << 20;
+      for (int sj = 0; sj < ns; ++sj) {
+        for (int lj = 0; lj < nl; ++lj) {
+          const double v = t->cell(static_cast<size_t>(sj), static_cast<size_t>(lj));
+          const int dist = std::abs(si - sj) + std::abs(li - lj);
+          if (v > 0.0 && dist < best_dist) {
+            best = v;
+            best_dist = dist;
+          }
+        }
+      }
+      t->cell(static_cast<size_t>(si), static_cast<size_t>(li)) = best;
+    }
+  }
+}
+
+/// Measures DFF setup time: bisect the D-to-CK separation until the flop
+/// fails to capture or its clk->q delay degrades more than 10% over the
+/// comfortable-setup baseline (the standard characterization criterion).
+double measure_setup_ps(const cells::CellSpec& spec,
+                        const cells::CellLayout& layout,
+                        cells::SiliconModel silicon, double vdd) {
+  const double slew = 20.0, load = 3.2;
+  auto q_delay = [&](double separation_ps) {
+    const double t_edge = 400.0;
+    CellCkt cc = build(spec, layout, silicon);
+    auto& ckt = cc.ckt;
+    const int q = cc.net_node.at("Q");
+    ckt.add_capacitor(q, 0, load);
+    ckt.add_source(cc.vdd_node, spice::Pwl::dc(vdd));
+    // Preamble loads 0; D rises `separation_ps` before the edge.
+    ckt.add_source(cc.net_node.at("D"),
+                   spice::Pwl{{{0.0, 0.0},
+                               {t_edge - separation_ps, 0.0},
+                               {t_edge - separation_ps + 10.0, vdd}}});
+    spice::Pwl ck;
+    ck.points = {{0.0, 0.0},     {60.0, 0.0}, {70.0, vdd},
+                 {170.0, vdd},   {180.0, 0.0}, {t_edge, 0.0},
+                 {t_edge + slew, vdd}};
+    ckt.add_source(cc.net_node.at("CK"), ck);
+    spice::TranOptions topt;
+    topt.t_stop_ps = t_edge + 500.0;
+    topt.dt_ps = 0.25;
+    topt.probes = {q};
+    const spice::TranResult r = spice::simulate(ckt, topt);
+    const double t_q =
+        spice::cross_time(r.time_ps, r.waveform(q), vdd / 2, t_edge, true);
+    return t_q < 0 ? -1.0 : t_q - (t_edge + slew / 2);
+  };
+  const double base = q_delay(200.0);
+  if (base <= 0) return 40.0;  // measurement failed: fall back
+  double lo = 0.0, hi = 200.0;
+  for (int iter = 0; iter < 8; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double d = q_delay(mid);
+    if (d < 0 || d > 1.1 * base) {
+      lo = mid;  // fails or degrades: need more setup
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+spice::Circuit make_cell_circuit(const cells::CellSpec& spec,
+                                 const cells::CellLayout& layout,
+                                 cells::SiliconModel silicon) {
+  return build(spec, layout, silicon).ckt;
+}
+
+LibCell characterize_cell(const cells::CellSpec& spec,
+                          const cells::CellLayout& layout, double vdd_v,
+                          const CharOptions& opt) {
+  LibCell cell;
+  cell.name = spec.name;
+  cell.func = spec.func;
+  cell.drive = spec.drive;
+  cell.width_um = layout.width_um;
+  cell.height_um = layout.height_um;
+  cell.sequential = spec.sequential();
+  cell.setup_ps = 0.0;
+  if (cell.sequential) {
+    cell.setup_ps = opt.measure_setup
+                        ? measure_setup_ps(spec, layout, opt.silicon, vdd_v)
+                        : opt.setup_ps;
+  }
+  cell.hold_ps = cell.sequential ? opt.hold_ps : 0.0;
+
+  // Pin caps: gate caps of the transistors driven by the pin + the pin net's
+  // wire capacitance.
+  for (const auto& pin : spec.inputs()) {
+    double cap = 0.0;
+    for (const auto& t : spec.transistors) {
+      if (t.gate == pin) {
+        cap += (t.pmos ? spice::ptm45_pmos() : spice::ptm45_nmos()).cg_ff_um *
+               t.w_um;
+      }
+    }
+    const auto it = layout.nets.find(pin);
+    if (it != layout.nets.end()) cap += it->second.c_ff(opt.silicon);
+    cell.pin_cap_ff[pin] = cap;
+  }
+
+  const auto& slews = cell.sequential ? opt.dff_slews_ps : opt.slews_ps;
+  auto blank_table = [&] {
+    NldmTable t;
+    t.slew_ps = slews;
+    t.load_ff = opt.loads_ff;
+    t.value.assign(slews.size() * opt.loads_ff.size(), 0.0);
+    return t;
+  };
+
+  if (cell.sequential) {
+    TimingArc arc;
+    arc.from = "CK";
+    arc.to = "Q";
+    for (int e = 0; e < 2; ++e) {
+      arc.delay[e] = blank_table();
+      arc.out_slew[e] = blank_table();
+      arc.energy[e] = blank_table();
+    }
+    for (size_t si = 0; si < slews.size(); ++si) {
+      for (size_t li = 0; li < opt.loads_ff.size(); ++li) {
+        for (int e = 0; e < 2; ++e) {
+          const bool q_rise = (e == static_cast<int>(Edge::kRise));
+          const Measurement m =
+              run_dff_point(spec, layout, opt.silicon, vdd_v, q_rise,
+                            slews[si], opt.loads_ff[li]);
+          if (!m.valid) {
+            util::warn(util::strf("char: %s CK->Q %s failed at (%.1f, %.1f)",
+                                  spec.name.c_str(), q_rise ? "rise" : "fall",
+                                  slews[si], opt.loads_ff[li]));
+            continue;
+          }
+          arc.delay[e].cell(si, li) = m.delay_ps;
+          arc.out_slew[e].cell(si, li) = m.slew_ps;
+          arc.energy[e].cell(si, li) = m.energy_fj;
+        }
+      }
+    }
+    cell.arcs.push_back(std::move(arc));
+  } else {
+    const auto inputs = spec.inputs();
+    const auto outputs = spec.outputs();
+    for (size_t oi = 0; oi < outputs.size(); ++oi) {
+      for (size_t ii = 0; ii < inputs.size(); ++ii) {
+        const int base = find_sensitization(spec.func, static_cast<int>(ii),
+                                            static_cast<int>(oi));
+        if (base < 0) continue;  // input does not control this output
+        TimingArc arc;
+        arc.from = inputs[ii];
+        arc.to = outputs[oi];
+        for (int e = 0; e < 2; ++e) {
+          arc.delay[e] = blank_table();
+          arc.out_slew[e] = blank_table();
+          arc.energy[e] = blank_table();
+        }
+        for (size_t si = 0; si < slews.size(); ++si) {
+          for (size_t li = 0; li < opt.loads_ff.size(); ++li) {
+            for (bool in_rise : {false, true}) {
+              const Measurement m = run_comb_point(
+                  spec, layout, opt.silicon, vdd_v, inputs[ii], in_rise,
+                  static_cast<uint32_t>(base), outputs[oi], slews[si],
+                  opt.loads_ff[li]);
+              if (!m.valid) {
+                util::warn(util::strf(
+                    "char: %s %s->%s %s failed at (%.1f, %.1f)",
+                    spec.name.c_str(), inputs[ii].c_str(), outputs[oi].c_str(),
+                    in_rise ? "rise" : "fall", slews[si], opt.loads_ff[li]));
+                continue;
+              }
+              // Output edge for this input edge at the base minterm.
+              const bool out_high_after = cells::eval(
+                  spec.func, static_cast<int>(oi),
+                  in_rise ? (static_cast<uint32_t>(base) | (1u << ii))
+                          : static_cast<uint32_t>(base));
+              const int e = out_high_after ? static_cast<int>(Edge::kRise)
+                                           : static_cast<int>(Edge::kFall);
+              arc.delay[e].cell(si, li) = m.delay_ps;
+              arc.out_slew[e].cell(si, li) = m.slew_ps;
+              arc.energy[e].cell(si, li) = m.energy_fj;
+            }
+          }
+        }
+        cell.arcs.push_back(std::move(arc));
+      }
+    }
+  }
+
+  for (auto& arc : cell.arcs) {
+    for (int e = 0; e < 2; ++e) {
+      patch_holes(&arc.delay[e]);
+      patch_holes(&arc.out_slew[e]);
+      patch_holes(&arc.energy[e]);
+    }
+  }
+  cell.leakage_uw = measure_leakage_uw(spec, layout, opt.silicon, vdd_v);
+  return cell;
+}
+
+Library build_library_45nm(tech::Style style, const CharOptions& opt) {
+  const tech::Tech tch(tech::Node::k45nm, style);
+  Library lib;
+  lib.name = util::strf("nangatelite_%s_45nm", tech::to_string(style));
+  lib.node = tech::Node::k45nm;
+  lib.style = style;
+  lib.vdd_v = kVdd45;
+
+  auto add_cell = [&](cells::Func f, int drive) {
+    const cells::CellSpec spec = cells::make_spec(f, drive);
+    const cells::CellLayout layout = (style == tech::Style::k2D)
+                                         ? cells::layout_2d(spec, tch)
+                                         : cells::fold_tmi(spec, tch);
+    lib.add(characterize_cell(spec, layout, kVdd45, opt));
+    util::info(util::strf("characterized %s (%s)", spec.name.c_str(),
+                          tech::to_string(style)));
+  };
+  for (cells::Func f : cells::all_comb_funcs()) {
+    for (int d : cells::drive_options(f)) add_cell(f, d);
+  }
+  for (int d : cells::drive_options(cells::Func::kDff)) {
+    add_cell(cells::Func::kDff, d);
+  }
+  return lib;
+}
+
+Library load_or_build_library(tech::Style style, const std::string& cache_dir,
+                              const CharOptions& opt) {
+  const std::string path = util::strf(
+      "%s/nangatelite_%s_45nm.mlib", cache_dir.c_str(), tech::to_string(style));
+  Library lib;
+  if (read_library(path, &lib)) {
+    util::info("loaded cached library " + path);
+    return lib;
+  }
+  lib = build_library_45nm(style, opt);
+  if (!write_library(path, lib)) {
+    util::warn("could not cache library to " + path);
+  }
+  return lib;
+}
+
+}  // namespace m3d::liberty

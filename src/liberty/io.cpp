@@ -1,0 +1,145 @@
+#include "liberty/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace m3d::liberty {
+namespace {
+
+constexpr int kVersion = 4;
+
+void write_table(std::ostream& os, const char* kind, int edge,
+                 const NldmTable& t) {
+  os << "table " << kind << ' ' << edge << ' ' << t.slew_ps.size() << ' '
+     << t.load_ff.size() << '\n';
+  for (double s : t.slew_ps) os << s << ' ';
+  os << '\n';
+  for (double l : t.load_ff) os << l << ' ';
+  os << '\n';
+  for (double v : t.value) os << v << ' ';
+  os << '\n';
+}
+
+bool read_table(std::istream& is, NldmTable* t) {
+  size_t ns = 0, nl = 0;
+  if (!(is >> ns >> nl)) return false;
+  t->slew_ps.resize(ns);
+  t->load_ff.resize(nl);
+  t->value.resize(ns * nl);
+  for (auto& v : t->slew_ps) {
+    if (!(is >> v)) return false;
+  }
+  for (auto& v : t->load_ff) {
+    if (!(is >> v)) return false;
+  }
+  for (auto& v : t->value) {
+    if (!(is >> v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_library(const std::string& path, const Library& lib) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os.precision(10);
+  os << "mlib " << kVersion << '\n';
+  os << "name " << lib.name << '\n';
+  os << "node " << tech::to_string(lib.node) << '\n';
+  os << "style " << static_cast<int>(lib.style) << '\n';
+  os << "vdd " << lib.vdd_v << '\n';
+  for (const LibCell& c : lib.cells()) {
+    os << "cell " << c.name << ' ' << cells::to_string(c.func) << ' '
+       << c.drive << ' ' << c.width_um << ' ' << c.height_um << ' '
+       << c.leakage_uw << ' ' << (c.sequential ? 1 : 0) << ' ' << c.setup_ps
+       << ' ' << c.hold_ps << '\n';
+    for (const auto& [pin, cap] : c.pin_cap_ff) {
+      os << "pin " << pin << ' ' << cap << '\n';
+    }
+    for (const auto& a : c.arcs) {
+      os << "arc " << a.from << ' ' << a.to << '\n';
+      for (int e = 0; e < 2; ++e) {
+        write_table(os, "delay", e, a.delay[e]);
+        write_table(os, "slew", e, a.out_slew[e]);
+        write_table(os, "energy", e, a.energy[e]);
+      }
+    }
+    os << "end_cell\n";
+  }
+  return os.good();
+}
+
+bool read_library(const std::string& path, Library* lib) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::string tok;
+  int version = 0;
+  if (!(is >> tok >> version) || tok != "mlib" || version != kVersion) {
+    return false;
+  }
+  Library out;
+  LibCell cur;
+  TimingArc* cur_arc = nullptr;
+  bool in_cell = false;
+  while (is >> tok) {
+    if (tok == "name") {
+      is >> out.name;
+    } else if (tok == "node") {
+      std::string n;
+      is >> n;
+      out.node = (n == "7nm") ? tech::Node::k7nm : tech::Node::k45nm;
+    } else if (tok == "style") {
+      int s = 0;
+      is >> s;
+      out.style = static_cast<tech::Style>(s);
+    } else if (tok == "vdd") {
+      is >> out.vdd_v;
+    } else if (tok == "cell") {
+      cur = LibCell{};
+      std::string fname;
+      int seq = 0;
+      is >> cur.name >> fname >> cur.drive >> cur.width_um >> cur.height_um >>
+          cur.leakage_uw >> seq >> cur.setup_ps >> cur.hold_ps;
+      cur.sequential = seq != 0;
+      if (!cells::func_from_string(fname, &cur.func)) return false;
+      in_cell = true;
+      cur_arc = nullptr;
+    } else if (tok == "pin") {
+      std::string pin;
+      double cap = 0.0;
+      is >> pin >> cap;
+      cur.pin_cap_ff[pin] = cap;
+    } else if (tok == "arc") {
+      TimingArc a;
+      is >> a.from >> a.to;
+      cur.arcs.push_back(std::move(a));
+      cur_arc = &cur.arcs.back();
+    } else if (tok == "table") {
+      std::string kind;
+      int edge = 0;
+      if (cur_arc == nullptr || !(is >> kind >> edge)) return false;
+      NldmTable* slot = nullptr;
+      if (kind == "delay") slot = &cur_arc->delay[edge];
+      else if (kind == "slew") slot = &cur_arc->out_slew[edge];
+      else if (kind == "energy") slot = &cur_arc->energy[edge];
+      else return false;
+      if (!read_table(is, slot)) return false;
+    } else if (tok == "end_cell") {
+      if (!in_cell) return false;
+      out.add(std::move(cur));
+      in_cell = false;
+    } else {
+      util::warn("mlib: unknown token " + tok);
+      return false;
+    }
+  }
+  if (in_cell) return false;
+  *lib = std::move(out);
+  return true;
+}
+
+}  // namespace m3d::liberty

@@ -1,0 +1,17 @@
+// Plain-text serialization of characterized libraries (".mlib"). Used to
+// cache characterization results between runs — the equivalent of keeping
+// the generated .lib files on disk.
+#pragma once
+
+#include <string>
+
+#include "liberty/library.hpp"
+
+namespace m3d::liberty {
+
+bool write_library(const std::string& path, const Library& lib);
+/// Returns false (leaving *lib untouched on parse errors as far as
+/// practical) if the file is missing or malformed.
+bool read_library(const std::string& path, Library* lib);
+
+}  // namespace m3d::liberty

@@ -1,0 +1,15 @@
+// Emits a characterized library in standard Liberty (.lib) text syntax, so
+// the NLDM data can be consumed by external tools (or diffed against the
+// Nangate originals).
+#pragma once
+
+#include <string>
+
+#include "liberty/library.hpp"
+
+namespace m3d::liberty {
+
+std::string to_liberty_text(const Library& lib);
+bool write_liberty(const std::string& path, const Library& lib);
+
+}  // namespace m3d::liberty

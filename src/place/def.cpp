@@ -1,0 +1,101 @@
+#include "place/def.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "cells/spec.hpp"
+#include "util/strf.hpp"
+
+namespace m3d::place {
+namespace {
+
+constexpr int kDbuPerMicron = 1000;
+
+int dbu(double um) { return static_cast<int>(std::lround(um * kDbuPerMicron)); }
+
+}  // namespace
+
+std::string to_def(const circuit::Netlist& nl, const Die& die) {
+  std::ostringstream os;
+  os << "VERSION 5.8 ;\n";
+  os << "DESIGN " << (nl.name.empty() ? "top" : nl.name) << " ;\n";
+  os << "UNITS DISTANCE MICRONS " << kDbuPerMicron << " ;\n";
+  os << util::strf("DIEAREA ( %d %d ) ( %d %d ) ;\n", dbu(die.core.xlo),
+                   dbu(die.core.ylo), dbu(die.core.xhi), dbu(die.core.yhi));
+  for (int r = 0; r < die.num_rows; ++r) {
+    os << util::strf("ROW row_%d core %d %d N DO 1 BY 1 ;\n", r,
+                     dbu(die.core.xlo),
+                     dbu(die.core.ylo + r * die.row_height_um));
+  }
+
+  int live = 0;
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    if (!nl.inst(i).dead) ++live;
+  }
+  os << "COMPONENTS " << live << " ;\n";
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const auto& inst = nl.inst(i);
+    if (inst.dead) continue;
+    const std::string cell = inst.libcell != nullptr
+                                 ? inst.libcell->name
+                                 : cells::cell_name(inst.func, inst.drive);
+    const double w = inst.libcell != nullptr ? inst.libcell->width_um : 0.0;
+    const double h = inst.libcell != nullptr ? inst.libcell->height_um : 0.0;
+    os << "  - " << inst.name << ' ' << cell;
+    if (inst.placed) {
+      os << util::strf(" + PLACED ( %d %d ) N", dbu(inst.pos.x - w / 2),
+                       dbu(inst.pos.y - h / 2));
+    } else {
+      os << " + UNPLACED";
+    }
+    os << " ;\n";
+  }
+  os << "END COMPONENTS\n";
+
+  os << "PINS " << nl.ports().size() << " ;\n";
+  for (const auto& port : nl.ports()) {
+    os << "  - " << port.name << " + NET " << nl.net(port.net).name
+       << " + DIRECTION " << (port.is_input ? "INPUT" : "OUTPUT")
+       << util::strf(" + PLACED ( %d %d ) N ;\n", dbu(port.pos.x),
+                     dbu(port.pos.y));
+  }
+  os << "END PINS\n";
+
+  int net_count = 0;
+  for (circuit::NetId n = 0; n < nl.num_nets(); ++n) {
+    if (!nl.net(n).sinks.empty()) ++net_count;
+  }
+  os << "NETS " << net_count << " ;\n";
+  for (circuit::NetId n = 0; n < nl.num_nets(); ++n) {
+    const auto& net = nl.net(n);
+    if (net.sinks.empty()) continue;
+    os << "  - " << net.name;
+    if (net.driver.inst != circuit::kInvalid) {
+      const auto& drv = nl.inst(net.driver.inst);
+      os << " ( " << drv.name << ' '
+         << cells::output_pins(drv.func)[static_cast<size_t>(net.driver.pin)]
+         << " )";
+    }
+    for (const auto& s : net.sinks) {
+      if (s.inst == circuit::kInvalid) continue;
+      const auto& si = nl.inst(s.inst);
+      os << " ( " << si.name << ' '
+         << cells::input_pins(si.func)[static_cast<size_t>(s.pin)] << " )";
+    }
+    os << " ;\n";
+  }
+  os << "END NETS\n";
+  os << "END DESIGN\n";
+  return os.str();
+}
+
+bool write_def(const std::string& path, const circuit::Netlist& nl,
+               const Die& die) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_def(nl, die);
+  return os.good();
+}
+
+}  // namespace m3d::place

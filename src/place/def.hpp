@@ -1,0 +1,17 @@
+// DEF (Design Exchange Format) writer: placement, pins and net connectivity
+// of a placed design — the standard hand-off a downstream router/signoff
+// tool expects.
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+#include "place/place.hpp"
+
+namespace m3d::place {
+
+std::string to_def(const circuit::Netlist& nl, const Die& die);
+bool write_def(const std::string& path, const circuit::Netlist& nl,
+               const Die& die);
+
+}  // namespace m3d::place

@@ -1,0 +1,468 @@
+#include "place/place.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/strf.hpp"
+
+namespace m3d::place {
+namespace {
+
+struct Mat {
+  // Sparse symmetric connectivity in triplet form plus diagonal.
+  struct Entry {
+    int a, b;
+    double w;
+  };
+  std::vector<Entry> entries;
+  std::vector<double> diag;
+  std::vector<double> rhs_x, rhs_y;  // fixed-pin pull terms
+
+  explicit Mat(int n)
+      : diag(static_cast<size_t>(n), 0.0),
+        rhs_x(static_cast<size_t>(n), 0.0),
+        rhs_y(static_cast<size_t>(n), 0.0) {}
+
+  void connect(int a, int b, double w) {
+    if (a >= 0 && b >= 0) {
+      entries.push_back({a, b, w});
+      diag[static_cast<size_t>(a)] += w;
+      diag[static_cast<size_t>(b)] += w;
+    }
+  }
+  void anchor(int a, double w, double x, double y) {
+    if (a < 0) return;
+    diag[static_cast<size_t>(a)] += w;
+    rhs_x[static_cast<size_t>(a)] += w * x;
+    rhs_y[static_cast<size_t>(a)] += w * y;
+  }
+
+  /// y = A x where A = D - W (Laplacian with anchors on the diagonal).
+  void apply(const std::vector<double>& x, std::vector<double>& y) const {
+    for (size_t i = 0; i < diag.size(); ++i) y[i] = diag[i] * x[i];
+    for (const auto& e : entries) {
+      y[static_cast<size_t>(e.a)] -= e.w * x[static_cast<size_t>(e.b)];
+      y[static_cast<size_t>(e.b)] -= e.w * x[static_cast<size_t>(e.a)];
+    }
+  }
+};
+
+/// Jacobi-preconditioned conjugate gradient.
+void cg_solve(const Mat& m, const std::vector<double>& rhs,
+              std::vector<double>& x, int iters) {
+  const size_t n = rhs.size();
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  m.apply(x, ap);
+  for (size_t i = 0; i < n; ++i) r[i] = rhs[i] - ap[i];
+  for (size_t i = 0; i < n; ++i) z[i] = r[i] / std::max(m.diag[i], 1e-12);
+  p = z;
+  double rz = 0.0;
+  for (size_t i = 0; i < n; ++i) rz += r[i] * z[i];
+  for (int it = 0; it < iters && rz > 1e-10; ++it) {
+    m.apply(p, ap);
+    double pap = 0.0;
+    for (size_t i = 0; i < n; ++i) pap += p[i] * ap[i];
+    if (pap <= 0) break;
+    const double alpha = rz / pap;
+    for (size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    double rz_new = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      z[i] = r[i] / std::max(m.diag[i], 1e-12);
+      rz_new += r[i] * z[i];
+    }
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+}
+
+double inst_width(const circuit::Instance& inst) {
+  return inst.libcell != nullptr ? inst.libcell->width_um : 0.5;
+}
+
+}  // namespace
+
+Die make_die(circuit::Netlist* nl, double target_util, double row_height_um) {
+  double area = 0.0;
+  for (int i = 0; i < nl->num_instances(); ++i) {
+    const auto& inst = nl->inst(i);
+    if (!inst.dead && inst.libcell != nullptr) area += inst.libcell->area_um2();
+  }
+  const double core_area = area / std::max(0.05, target_util);
+  Die die;
+  die.row_height_um = row_height_um;
+  die.num_rows = std::max(2, static_cast<int>(std::round(
+                                 std::sqrt(core_area) / row_height_um)));
+  const double height = die.num_rows * row_height_um;
+  const double width = core_area / height;
+  die.core = geom::Rect(0.0, 0.0, width, height);
+
+  // Pads evenly spaced around the boundary, in port order.
+  auto& ports = nl->ports();
+  const double perim = 2.0 * (width + height);
+  for (size_t i = 0; i < ports.size(); ++i) {
+    const double d = perim * (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(ports.size());
+    geom::Pt p;
+    if (d < width) {
+      p = {d, 0.0};
+    } else if (d < width + height) {
+      p = {width, d - width};
+    } else if (d < 2 * width + height) {
+      p = {2 * width + height - d, height};
+    } else {
+      p = {0.0, perim - d};
+    }
+    ports[i].pos = p;
+  }
+  return die;
+}
+
+void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt) {
+  const int n = nl->num_instances();
+  std::vector<int> var_of(static_cast<size_t>(n), -1);
+  std::vector<circuit::InstId> movable;
+  for (int i = 0; i < n; ++i) {
+    if (nl->inst(i).dead) continue;
+    var_of[static_cast<size_t>(i)] = static_cast<int>(movable.size());
+    movable.push_back(i);
+  }
+  const int nv = static_cast<int>(movable.size());
+  if (nv == 0) return;
+
+  // --- Quadratic global placement -------------------------------------------
+  Mat mat(nv);
+  auto pin_var = [&](const circuit::PinRef& p) {
+    return p.inst == circuit::kInvalid ? -1 : var_of[static_cast<size_t>(p.inst)];
+  };
+  for (circuit::NetId ni = 0; ni < nl->num_nets(); ++ni) {
+    const circuit::Net& net = nl->net(ni);
+    if (net.is_clock) continue;
+    // Collect pin list: driver + sinks (+ pad position for port nets).
+    std::vector<int> vars;
+    geom::Pt pad;
+    bool has_pad = false;
+    if (net.driver.inst != circuit::kInvalid) {
+      vars.push_back(pin_var(net.driver));
+    }
+    for (const auto& s : net.sinks) {
+      if (s.inst != circuit::kInvalid) vars.push_back(pin_var(s));
+    }
+    if (net.is_primary_input || net.is_primary_output) {
+      for (const auto& port : nl->ports()) {
+        if (port.net == ni) {
+          pad = port.pos;
+          has_pad = true;
+          break;
+        }
+      }
+    }
+    const size_t p = vars.size() + (has_pad ? 1 : 0);
+    if (p < 2) continue;
+    const double w = 2.0 / static_cast<double>(p);
+    if (p <= 4) {
+      for (size_t i = 0; i < vars.size(); ++i) {
+        for (size_t j = i + 1; j < vars.size(); ++j) {
+          mat.connect(vars[i], vars[j], w);
+        }
+        if (has_pad) mat.anchor(vars[i], w, pad.x, pad.y);
+      }
+    } else {
+      // Chain model for large nets (keeps the matrix sparse).
+      for (size_t i = 0; i + 1 < vars.size(); ++i) {
+        mat.connect(vars[i], vars[i + 1], w);
+      }
+      if (has_pad && !vars.empty()) {
+        mat.anchor(vars[0], w, pad.x, pad.y);
+        mat.anchor(vars[vars.size() / 2], w * 0.5, pad.x, pad.y);
+      }
+    }
+  }
+  // Weak center anchor keeps disconnected pieces inside the die.
+  const geom::Pt center = die.core.center();
+  for (int v = 0; v < nv; ++v) mat.anchor(v, 1e-4, center.x, center.y);
+
+  util::Rng rng(opt.seed);
+  std::vector<double> x(static_cast<size_t>(nv)), y(static_cast<size_t>(nv));
+  for (int v = 0; v < nv; ++v) {
+    x[static_cast<size_t>(v)] = center.x + rng.normal(0.0, die.core.width() / 8);
+    y[static_cast<size_t>(v)] = center.y + rng.normal(0.0, die.core.height() / 8);
+  }
+  cg_solve(mat, mat.rhs_x, x, opt.cg_iters);
+  cg_solve(mat, mat.rhs_y, y, opt.cg_iters);
+
+  auto solve_with_spread_anchors = [&](double weight) {
+    // Re-solve the quadratic system pulling each cell toward its spread
+    // position (x, y currently hold the spread placement).
+    Mat m2 = mat;
+    for (int v = 0; v < nv; ++v) {
+      m2.anchor(v, weight, x[static_cast<size_t>(v)], y[static_cast<size_t>(v)]);
+    }
+    cg_solve(m2, m2.rhs_x, x, opt.cg_iters);
+    cg_solve(m2, m2.rhs_y, y, opt.cg_iters);
+  };
+
+  // --- Spreading: recursive capacity-balanced bisection -----------------------
+  // (run inside a lambda so the CG/spread loop below can repeat it)
+  // The quadratic solution clusters heavily; bisection redistributes cells to
+  // uniform density while preserving their relative order, so the global
+  // ordering (and hence wirelength) survives legalization.
+  std::vector<double> area_of(static_cast<size_t>(nv));
+  for (int v = 0; v < nv; ++v) {
+    const auto& inst = nl->inst(movable[static_cast<size_t>(v)]);
+    area_of[static_cast<size_t>(v)] =
+        inst.libcell != nullptr ? inst.libcell->area_um2() : 0.5;
+  }
+  auto bisect_spread = [&] {
+    std::vector<int> idx(static_cast<size_t>(nv));
+    for (int v = 0; v < nv; ++v) idx[static_cast<size_t>(v)] = v;
+    struct Task {
+      size_t lo, hi;  // range in idx
+      geom::Rect region;
+      bool split_x;
+    };
+    std::vector<Task> stack{{0, static_cast<size_t>(nv), die.core,
+                             die.core.width() >= die.core.height()}};
+    while (!stack.empty()) {
+      Task t = stack.back();
+      stack.pop_back();
+      const size_t count = t.hi - t.lo;
+      if (count == 0) continue;
+      if (count <= 3 || t.region.width() < 2.0 * die.row_height_um ||
+          t.region.height() < 2.0 * die.row_height_um) {
+        // Leaf: strew the cells evenly inside the region, keeping order
+        // along the longer side.
+        std::sort(idx.begin() + static_cast<long>(t.lo), idx.begin() + static_cast<long>(t.hi),
+                  [&](int a, int b) {
+                    return t.split_x ? x[static_cast<size_t>(a)] < x[static_cast<size_t>(b)]
+                                     : y[static_cast<size_t>(a)] < y[static_cast<size_t>(b)];
+                  });
+        size_t k = 0;
+        for (size_t i = t.lo; i < t.hi; ++i, ++k) {
+          const double f = (static_cast<double>(k) + 0.5) / static_cast<double>(count);
+          const int v = idx[i];
+          if (t.split_x) {
+            x[static_cast<size_t>(v)] = t.region.xlo + f * t.region.width();
+            y[static_cast<size_t>(v)] = std::clamp(y[static_cast<size_t>(v)],
+                                                   t.region.ylo, t.region.yhi);
+          } else {
+            y[static_cast<size_t>(v)] = t.region.ylo + f * t.region.height();
+            x[static_cast<size_t>(v)] = std::clamp(x[static_cast<size_t>(v)],
+                                                   t.region.xlo, t.region.xhi);
+          }
+        }
+        continue;
+      }
+      // Sort the range along the split direction and cut it so that each
+      // half's cell area matches its subregion capacity (equal halves).
+      std::sort(idx.begin() + static_cast<long>(t.lo), idx.begin() + static_cast<long>(t.hi),
+                [&](int a, int b) {
+                  return t.split_x ? x[static_cast<size_t>(a)] < x[static_cast<size_t>(b)]
+                                   : y[static_cast<size_t>(a)] < y[static_cast<size_t>(b)];
+                });
+      double total = 0.0;
+      for (size_t i = t.lo; i < t.hi; ++i) total += area_of[static_cast<size_t>(idx[i])];
+      double acc = 0.0;
+      size_t cut = t.lo;
+      while (cut < t.hi && acc < total / 2.0) {
+        acc += area_of[static_cast<size_t>(idx[cut])];
+        ++cut;
+      }
+      geom::Rect left = t.region, right = t.region;
+      if (t.split_x) {
+        const double mid = (t.region.xlo + t.region.xhi) / 2.0;
+        left.xhi = mid;
+        right.xlo = mid;
+      } else {
+        const double mid = (t.region.ylo + t.region.yhi) / 2.0;
+        left.yhi = mid;
+        right.ylo = mid;
+      }
+      stack.push_back({t.lo, cut, left, !t.split_x});
+      stack.push_back({cut, t.hi, right, !t.split_x});
+    }
+  };
+  bisect_spread();
+  for (int round = 0; round < 2; ++round) {
+    solve_with_spread_anchors(0.4);
+    bisect_spread();
+  }
+
+  // --- Tetris legalization ----------------------------------------------------
+  std::vector<int> order(static_cast<size_t>(nv));
+  for (int v = 0; v < nv; ++v) order[static_cast<size_t>(v)] = v;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return x[static_cast<size_t>(a)] < x[static_cast<size_t>(b)];
+  });
+  std::vector<double> row_edge(static_cast<size_t>(die.num_rows), die.core.xlo);
+  for (int v : order) {
+    const circuit::Instance& inst = nl->inst(movable[static_cast<size_t>(v)]);
+    const double w = inst_width(inst);
+    const int want_row = std::clamp(
+        static_cast<int>((y[static_cast<size_t>(v)] - die.core.ylo) / die.row_height_um),
+        0, die.num_rows - 1);
+    int best_row = -1;
+    double best_cost = 1e18;
+    const int span = die.num_rows;  // scan all rows; cost prefers nearby ones
+    for (int dr = 0; dr <= span; ++dr) {
+      for (int sgn : {1, -1}) {
+        const int row = want_row + sgn * dr;
+        if (row < 0 || row >= die.num_rows || (dr == 0 && sgn < 0)) continue;
+        const double cx = std::max(row_edge[static_cast<size_t>(row)],
+                                   x[static_cast<size_t>(v)] - w / 2);
+        if (cx + w > die.core.xhi + 1e-6) continue;
+        const double cost = std::abs(cx - x[static_cast<size_t>(v)]) +
+                            std::abs(die.row_y(row) - y[static_cast<size_t>(v)]) * 1.5;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_row = row;
+        }
+      }
+    }
+    if (best_row < 0) {
+      // Fall back to the least-filled row.
+      best_row = static_cast<int>(std::min_element(row_edge.begin(), row_edge.end()) -
+                                  row_edge.begin());
+    }
+    const double cx = std::min(
+        std::max(row_edge[static_cast<size_t>(best_row)],
+                 x[static_cast<size_t>(v)] - w / 2),
+        die.core.xhi - w);
+    circuit::Instance& minst = nl->inst(movable[static_cast<size_t>(v)]);
+    minst.pos = {cx + w / 2, die.row_y(best_row)};
+    minst.placed = true;
+    row_edge[static_cast<size_t>(best_row)] = cx + w;
+  }
+  // --- Detailed placement: median-seeking swaps ------------------------------
+  // For each cell, find the median of its connected pins and try swapping
+  // with the cell nearest that spot; keep the swap when HPWL drops.
+  {
+    std::vector<std::vector<circuit::NetId>> nets_of(static_cast<size_t>(n));
+    for (circuit::NetId ni = 0; ni < nl->num_nets(); ++ni) {
+      const circuit::Net& net = nl->net(ni);
+      if (net.is_clock || net.sinks.empty()) continue;
+      if (net.driver.inst != circuit::kInvalid) {
+        nets_of[static_cast<size_t>(net.driver.inst)].push_back(ni);
+      }
+      for (const auto& s : net.sinks) {
+        if (s.inst != circuit::kInvalid) nets_of[static_cast<size_t>(s.inst)].push_back(ni);
+      }
+    }
+    auto net_hpwl = [&](circuit::NetId ni) {
+      const circuit::Net& net = nl->net(ni);
+      geom::Rect box;
+      if (net.driver.inst != circuit::kInvalid) box.expand(nl->inst(net.driver.inst).pos);
+      for (const auto& s : net.sinks) {
+        if (s.inst != circuit::kInvalid) box.expand(nl->inst(s.inst).pos);
+      }
+      for (const auto& port : nl->ports()) {
+        if (port.net == ni) box.expand(port.pos);
+      }
+      return box.empty() ? 0.0 : box.half_perimeter();
+    };
+    // Row-sorted instance lists for candidate lookup.
+    for (int pass = 0; pass < 2; ++pass) {
+      std::vector<std::vector<std::pair<double, circuit::InstId>>> rows(
+          static_cast<size_t>(die.num_rows));
+      for (circuit::InstId i : movable) {
+        const auto& inst = nl->inst(i);
+        const int row = std::clamp(
+            static_cast<int>((inst.pos.y - die.core.ylo) / die.row_height_um),
+            0, die.num_rows - 1);
+        rows[static_cast<size_t>(row)].push_back({inst.pos.x, i});
+      }
+      for (auto& row : rows) std::sort(row.begin(), row.end());
+      for (circuit::InstId i : movable) {
+        auto& inst = nl->inst(i);
+        if (nets_of[static_cast<size_t>(i)].empty()) continue;
+        // Median of the other pins of the first couple of nets.
+        std::vector<double> xs, ys;
+        for (circuit::NetId ni : nets_of[static_cast<size_t>(i)]) {
+          const circuit::Net& net = nl->net(ni);
+          if (net.driver.inst != circuit::kInvalid && net.driver.inst != i) {
+            xs.push_back(nl->inst(net.driver.inst).pos.x);
+            ys.push_back(nl->inst(net.driver.inst).pos.y);
+          }
+          for (const auto& s : net.sinks) {
+            if (s.inst != circuit::kInvalid && s.inst != i) {
+              xs.push_back(nl->inst(s.inst).pos.x);
+              ys.push_back(nl->inst(s.inst).pos.y);
+            }
+          }
+        }
+        if (xs.empty()) continue;
+        std::nth_element(xs.begin(), xs.begin() + static_cast<long>(xs.size() / 2), xs.end());
+        std::nth_element(ys.begin(), ys.begin() + static_cast<long>(ys.size() / 2), ys.end());
+        const geom::Pt target{xs[xs.size() / 2], ys[ys.size() / 2]};
+        if (geom::manhattan(target, inst.pos) < die.row_height_um) continue;
+        const int trow = std::clamp(
+            static_cast<int>((target.y - die.core.ylo) / die.row_height_um), 0,
+            die.num_rows - 1);
+        auto& row = rows[static_cast<size_t>(trow)];
+        if (row.empty()) continue;
+        auto it = std::lower_bound(row.begin(), row.end(),
+                                   std::make_pair(target.x, circuit::InstId{0}));
+        if (it == row.end()) --it;
+        const circuit::InstId j = it->second;
+        if (j == i) continue;
+        auto& jnst = nl->inst(j);
+        if (std::abs(inst_width(jnst) - inst_width(inst)) >
+            0.25 * std::max(inst_width(jnst), inst_width(inst))) {
+          continue;
+        }
+        // Evaluate the swap on the union of affected nets.
+        std::vector<circuit::NetId> affected = nets_of[static_cast<size_t>(i)];
+        affected.insert(affected.end(), nets_of[static_cast<size_t>(j)].begin(),
+                        nets_of[static_cast<size_t>(j)].end());
+        std::sort(affected.begin(), affected.end());
+        affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+        double before = 0.0;
+        for (circuit::NetId ni : affected) before += net_hpwl(ni);
+        std::swap(inst.pos, jnst.pos);
+        double after = 0.0;
+        for (circuit::NetId ni : affected) after += net_hpwl(ni);
+        if (after >= before) {
+          std::swap(inst.pos, jnst.pos);  // revert
+        }
+      }
+    }
+  }
+  util::debug(util::strf("place: %d cells, hpwl=%.0f um", nv, total_hpwl_um(*nl)));
+}
+
+double total_hpwl_um(const circuit::Netlist& nl) {
+  double total = 0.0;
+  for (circuit::NetId ni = 0; ni < nl.num_nets(); ++ni) {
+    const circuit::Net& net = nl.net(ni);
+    if (net.is_clock || net.sinks.empty()) continue;
+    geom::Rect box;
+    if (net.driver.inst != circuit::kInvalid) {
+      box.expand(nl.inst(net.driver.inst).pos);
+    }
+    for (const auto& s : net.sinks) {
+      if (s.inst != circuit::kInvalid) box.expand(nl.inst(s.inst).pos);
+    }
+    for (const auto& port : nl.ports()) {
+      if (port.net == ni) box.expand(port.pos);
+    }
+    if (!box.empty()) total += box.half_perimeter();
+  }
+  return total;
+}
+
+double utilization(const circuit::Netlist& nl, const Die& die) {
+  double area = 0.0;
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const auto& inst = nl.inst(i);
+    if (!inst.dead && inst.libcell != nullptr) area += inst.libcell->area_um2();
+  }
+  return area / die.core.area();
+}
+
+}  // namespace m3d::place

@@ -1,0 +1,45 @@
+// Placement: die/row construction, quadratic (conjugate-gradient) global
+// placement with fixed boundary pads, area-diffusion spreading, and
+// Tetris-style row legalization. The T-MI flow uses exactly the same code —
+// only the row height (0.84um vs 1.4um) and the resulting die differ, which
+// is the paper's point: 2D EDA algorithms carry over to T-MI unchanged.
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "geom/rect.hpp"
+#include "liberty/library.hpp"
+
+namespace m3d::place {
+
+struct Die {
+  geom::Rect core;
+  double row_height_um = 1.4;
+  int num_rows = 0;
+
+  double row_y(int row) const { return core.ylo + (row + 0.5) * row_height_um; }
+};
+
+struct PlaceOptions {
+  double target_util = 0.8;  // paper: ~80% (LDPC 33%, M256 68%)
+  uint64_t seed = 1;
+  int cg_iters = 120;
+  int spread_iters = 60;
+  int bins = 0;  // 0: auto from instance count
+};
+
+/// Builds a near-square die sized for the netlist at the target utilization
+/// and assigns port (pad) positions around the boundary.
+Die make_die(circuit::Netlist* nl, double target_util, double row_height_um);
+
+/// Global placement + spreading + legalization. All instances end up at
+/// legal row positions inside the die.
+void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt);
+
+/// Half-perimeter wirelength over signal nets (clock excluded), um.
+double total_hpwl_um(const circuit::Netlist& nl);
+
+/// Final placement density: cell area / core area (the paper's
+/// "utilization" column).
+double utilization(const circuit::Netlist& nl, const Die& die);
+
+}  // namespace m3d::place

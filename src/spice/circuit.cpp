@@ -1,0 +1,68 @@
+#include "spice/circuit.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace m3d::spice {
+
+double Pwl::at(double t) const {
+  assert(!points.empty());
+  if (t <= points.front().first) return points.front().second;
+  if (t >= points.back().first) return points.back().second;
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (t <= points[i].first) {
+      const auto& [t0, v0] = points[i - 1];
+      const auto& [t1, v1] = points[i];
+      const double f = (t - t0) / (t1 - t0);
+      return v0 + f * (v1 - v0);
+    }
+  }
+  return points.back().second;
+}
+
+int Circuit::node(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  const int id = static_cast<int>(names_.size());
+  names_.push_back(name);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+int Circuit::find_node(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+void Circuit::add_resistor(int a, int b, double r_kohm) {
+  assert(r_kohm > 0);
+  resistors_.push_back({a, b, r_kohm});
+}
+
+void Circuit::add_capacitor(int a, int b, double c_ff) {
+  if (c_ff <= 0) return;
+  capacitors_.push_back({a, b, c_ff});
+}
+
+void Circuit::add_mosfet(int d, int g, int s, double w_um,
+                         const MosModel& model) {
+  assert(w_um > 0);
+  mosfets_.push_back({d, g, s, w_um, model});
+}
+
+void Circuit::add_source(int node, Pwl wave) {
+  sources_.push_back({node, std::move(wave)});
+}
+
+std::vector<double> Circuit::device_node_cap() const {
+  std::vector<double> cap(static_cast<size_t>(num_nodes()), 0.0);
+  for (const auto& m : mosfets_) {
+    cap[static_cast<size_t>(m.g)] += m.model.cg_ff_um * m.w_um;
+    cap[static_cast<size_t>(m.d)] += m.model.cd_ff_um * m.w_um;
+    cap[static_cast<size_t>(m.s)] += m.model.cd_ff_um * m.w_um;
+  }
+  cap[0] = 0.0;
+  return cap;
+}
+
+}  // namespace m3d::spice

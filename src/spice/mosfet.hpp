@@ -1,0 +1,38 @@
+// Compact MOSFET model: Sakurai-Newton alpha-power law with channel-length
+// modulation and a simple exponential subthreshold term. This replaces the
+// proprietary PTM SPICE decks the paper characterizes with; it reproduces the
+// slew/load trends that matter for NLDM characterization.
+//
+// Unit system (shared with the whole spice module):
+//   V in volts, R in kOhm, C in fF, t in ps, I in mA.
+// These are consistent: V/kOhm = mA and fF*V/ps = mA.
+#pragma once
+
+namespace m3d::spice {
+
+struct MosModel {
+  bool pmos = false;
+  double vth_v = 0.47;       // threshold magnitude
+  double alpha = 1.35;       // velocity-saturation index
+  double k_ma_um = 0.26;     // drive: Idsat = k * W(um) * (Vgs-Vth)^alpha
+  double vdsat_coef = 0.9;   // Vdsat = vdsat_coef * (Vgs-Vth)^(alpha/2)
+  double lambda = 0.06;      // channel-length modulation (1/V)
+  double cg_ff_um = 0.45;    // gate capacitance per um of width
+  double cd_ff_um = 0.33;    // drain/source diffusion cap per um of width
+  double ioff_ma_um = 2.4e-6;  // off-state leakage per um at Vgs=0,Vds=Vdd
+  double subthreshold_swing_v = 0.1;  // exponential slope (per decade/ln10)
+
+  /// Drain current for terminal voltages (drain, gate, source) measured
+  /// against ground, with the device's own polarity handled internally.
+  /// Positive current flows drain -> source for NMOS (source -> drain
+  /// internally for PMOS, reported with sign so that current always leaves
+  /// the drain node for NMOS pull-down and enters it for PMOS pull-up).
+  double ids(double vd, double vg, double vs) const;
+};
+
+/// 45nm bulk NMOS/PMOS calibrated so that our characterized INV/NAND2/MUX2/DFF
+/// land near the paper's Table 2 numbers (see tests/test_spice.cpp).
+MosModel ptm45_nmos();
+MosModel ptm45_pmos();
+
+}  // namespace m3d::spice

@@ -1,0 +1,318 @@
+#include "spice/sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/log.hpp"
+#include "util/strf.hpp"
+
+namespace m3d::spice {
+namespace {
+
+/// Dense Gaussian elimination with partial pivoting: solves A x = b in place.
+/// Returns false if the matrix is singular.
+bool lu_solve(std::vector<double>& a, std::vector<double>& b, int n) {
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    double best = std::abs(a[static_cast<size_t>(col) * n + col]);
+    for (int r = col + 1; r < n; ++r) {
+      const double v = std::abs(a[static_cast<size_t>(r) * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-18) return false;
+    if (pivot != col) {
+      for (int c = col; c < n; ++c) {
+        std::swap(a[static_cast<size_t>(col) * n + c], a[static_cast<size_t>(pivot) * n + c]);
+      }
+      std::swap(b[static_cast<size_t>(col)], b[static_cast<size_t>(pivot)]);
+    }
+    const double diag = a[static_cast<size_t>(col) * n + col];
+    for (int r = col + 1; r < n; ++r) {
+      const double f = a[static_cast<size_t>(r) * n + col] / diag;
+      if (f == 0.0) continue;
+      a[static_cast<size_t>(r) * n + col] = 0.0;
+      for (int c = col + 1; c < n; ++c) {
+        a[static_cast<size_t>(r) * n + c] -= f * a[static_cast<size_t>(col) * n + c];
+      }
+      b[static_cast<size_t>(r)] -= f * b[static_cast<size_t>(col)];
+    }
+  }
+  for (int r = n - 1; r >= 0; --r) {
+    double sum = b[static_cast<size_t>(r)];
+    for (int c = r + 1; c < n; ++c) {
+      sum -= a[static_cast<size_t>(r) * n + c] * b[static_cast<size_t>(c)];
+    }
+    b[static_cast<size_t>(r)] = sum / a[static_cast<size_t>(r) * n + r];
+  }
+  return true;
+}
+
+struct Solver {
+  const Circuit& ckt;
+  const TranOptions& opt;
+  int num_nodes;
+  std::vector<bool> driven;       // per node: has a source (or is ground)
+  std::vector<int> unknown_of;    // node -> unknown index or -1
+  std::vector<int> node_of;       // unknown index -> node
+  std::vector<double> dev_cap;    // grounded device cap per node
+  int n_unknown = 0;
+
+  explicit Solver(const Circuit& c, const TranOptions& o) : ckt(c), opt(o) {
+    num_nodes = c.num_nodes();
+    driven.assign(static_cast<size_t>(num_nodes), false);
+    driven[0] = true;
+    for (const auto& s : c.sources()) driven[static_cast<size_t>(s.node)] = true;
+    unknown_of.assign(static_cast<size_t>(num_nodes), -1);
+    for (int i = 0; i < num_nodes; ++i) {
+      if (!driven[static_cast<size_t>(i)]) {
+        unknown_of[static_cast<size_t>(i)] = n_unknown++;
+        node_of.push_back(i);
+      }
+    }
+    dev_cap = c.device_node_cap();
+  }
+
+  /// Currents leaving each node through static elements (R + MOS) at node
+  /// voltages `v` (full vector, all nodes).
+  void static_currents(const std::vector<double>& v,
+                       std::vector<double>& i_out) const {
+    std::fill(i_out.begin(), i_out.end(), 0.0);
+    for (const auto& r : ckt.resistors()) {
+      const double i = (v[static_cast<size_t>(r.a)] - v[static_cast<size_t>(r.b)]) / r.r_kohm;
+      i_out[static_cast<size_t>(r.a)] += i;
+      i_out[static_cast<size_t>(r.b)] -= i;
+    }
+    for (const auto& m : ckt.mosfets()) {
+      const double i = m.w_um * m.model.ids(v[static_cast<size_t>(m.d)], v[static_cast<size_t>(m.g)],
+                                            v[static_cast<size_t>(m.s)]);
+      i_out[static_cast<size_t>(m.d)] += i;
+      i_out[static_cast<size_t>(m.s)] -= i;
+    }
+  }
+
+  /// Newton solve of one implicit (backward-Euler) step, or the DC problem
+  /// when dt <= 0. `v` holds the full node voltages and is updated in place;
+  /// `v_prev` is the converged solution of the previous step.
+  bool newton_step(std::vector<double>& v, const std::vector<double>& v_prev,
+                   double dt) const {
+    if (n_unknown == 0) return true;
+    const int n = n_unknown;
+    std::vector<double> jac(static_cast<size_t>(n) * n);
+    std::vector<double> f(static_cast<size_t>(n));
+    std::vector<double> i_node(static_cast<size_t>(num_nodes));
+
+    for (int iter = 0; iter < opt.max_newton_iters; ++iter) {
+      // Residual F = currents leaving each unknown node.
+      static_currents(v, i_node);
+      if (dt > 0) {
+        for (const auto& c : ckt.capacitors()) {
+          const double dv = (v[static_cast<size_t>(c.a)] - v[static_cast<size_t>(c.b)]) -
+                            (v_prev[static_cast<size_t>(c.a)] - v_prev[static_cast<size_t>(c.b)]);
+          const double i = c.c_ff * dv / dt;
+          i_node[static_cast<size_t>(c.a)] += i;
+          i_node[static_cast<size_t>(c.b)] -= i;
+        }
+        for (int nd = 0; nd < num_nodes; ++nd) {
+          const double cg = dev_cap[static_cast<size_t>(nd)];
+          if (cg > 0) {
+            i_node[static_cast<size_t>(nd)] +=
+                cg * (v[static_cast<size_t>(nd)] - v_prev[static_cast<size_t>(nd)]) / dt;
+          }
+        }
+      }
+      double worst = 0.0;
+      for (int u = 0; u < n; ++u) {
+        f[static_cast<size_t>(u)] = i_node[static_cast<size_t>(node_of[static_cast<size_t>(u)])];
+        worst = std::max(worst, std::abs(f[static_cast<size_t>(u)]));
+      }
+
+      // Jacobian: linear parts analytically, MOSFETs by finite differences.
+      std::fill(jac.begin(), jac.end(), 0.0);
+      auto stamp = [&](int node_i, int node_j, double g) {
+        const int ui = unknown_of[static_cast<size_t>(node_i)];
+        const int uj = unknown_of[static_cast<size_t>(node_j)];
+        if (ui >= 0 && uj >= 0) jac[static_cast<size_t>(ui) * n + uj] += g;
+      };
+      for (const auto& r : ckt.resistors()) {
+        const double g = 1.0 / r.r_kohm;
+        stamp(r.a, r.a, g);
+        stamp(r.b, r.b, g);
+        stamp(r.a, r.b, -g);
+        stamp(r.b, r.a, -g);
+      }
+      if (dt > 0) {
+        for (const auto& c : ckt.capacitors()) {
+          const double g = c.c_ff / dt;
+          stamp(c.a, c.a, g);
+          stamp(c.b, c.b, g);
+          stamp(c.a, c.b, -g);
+          stamp(c.b, c.a, -g);
+        }
+        for (int nd = 0; nd < num_nodes; ++nd) {
+          const double cg = dev_cap[static_cast<size_t>(nd)];
+          if (cg > 0) stamp(nd, nd, cg / dt);
+        }
+      } else {
+        // DC: tiny conductance to ground keeps floating nodes solvable.
+        for (int u = 0; u < n; ++u) {
+          jac[static_cast<size_t>(u) * n + u] += 1e-9;
+        }
+      }
+      constexpr double kEps = 1e-5;
+      for (const auto& m : ckt.mosfets()) {
+        const double vd = v[static_cast<size_t>(m.d)];
+        const double vg = v[static_cast<size_t>(m.g)];
+        const double vs = v[static_cast<size_t>(m.s)];
+        const double i0 = m.model.ids(vd, vg, vs);
+        const double gd = (m.model.ids(vd + kEps, vg, vs) - i0) / kEps;
+        const double gg = (m.model.ids(vd, vg + kEps, vs) - i0) / kEps;
+        const double gs = (m.model.ids(vd, vg, vs + kEps) - i0) / kEps;
+        const double w = m.w_um;
+        stamp(m.d, m.d, w * gd);
+        stamp(m.d, m.g, w * gg);
+        stamp(m.d, m.s, w * gs);
+        stamp(m.s, m.d, -w * gd);
+        stamp(m.s, m.g, -w * gg);
+        stamp(m.s, m.s, -w * gs);
+      }
+
+      if (worst < 1e-9) return true;  // current residual threshold, mA
+
+      std::vector<double> dx = f;
+      std::vector<double> jac_copy = jac;
+      if (!lu_solve(jac_copy, dx, n)) return false;
+      double dv_max = 0.0;
+      for (int u = 0; u < n; ++u) {
+        // Newton update with step clamping for robustness.
+        double step = dx[static_cast<size_t>(u)];
+        step = std::clamp(step, -0.5, 0.5);
+        v[static_cast<size_t>(node_of[static_cast<size_t>(u)])] -= step;
+        dv_max = std::max(dv_max, std::abs(step));
+      }
+      if (dv_max < opt.v_tol) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+TranResult simulate(const Circuit& ckt, const TranOptions& opt) {
+  Solver solver(ckt, opt);
+  const int num_nodes = solver.num_nodes;
+
+  std::vector<double> v(static_cast<size_t>(num_nodes), 0.0);
+  // Apply t=0 source values, then DC-solve the free nodes.
+  for (const auto& s : ckt.sources()) {
+    v[static_cast<size_t>(s.node)] = s.wave.at(0.0);
+  }
+  std::vector<double> v_prev = v;
+  TranResult result;
+  if (!solver.newton_step(v, v_prev, /*dt=*/-1.0)) {
+    util::warn("spice: DC operating point did not converge");
+    result.converged = false;
+  }
+
+  const int steps = std::max(1, static_cast<int>(std::ceil(opt.t_stop_ps / opt.dt_ps)));
+  result.time_ps.reserve(static_cast<size_t>(steps) + 1);
+  for (int p : opt.probes) {
+    result.wave[p].reserve(static_cast<size_t>(steps) + 1);
+  }
+  std::unordered_map<int, double> energy;    // node -> fJ
+  std::unordered_map<int, double> charge;    // node -> fC (for avg current)
+  for (const auto& s : ckt.sources()) {
+    energy[s.node] = 0.0;
+    charge[s.node] = 0.0;
+  }
+
+  auto record = [&](double t) {
+    result.time_ps.push_back(t);
+    for (int p : opt.probes) {
+      result.wave[p].push_back(v[static_cast<size_t>(p)]);
+    }
+  };
+  record(0.0);
+
+  std::vector<double> i_node(static_cast<size_t>(num_nodes));
+  for (int step = 1; step <= steps; ++step) {
+    const double t = step * opt.dt_ps;
+    v_prev = v;
+    for (const auto& s : ckt.sources()) {
+      v[static_cast<size_t>(s.node)] = s.wave.at(t);
+    }
+    if (!solver.newton_step(v, v_prev, opt.dt_ps)) {
+      result.converged = false;
+    }
+    // Source currents: everything leaving a driven node through elements.
+    solver.static_currents(v, i_node);
+    for (const auto& c : ckt.capacitors()) {
+      const double dv = (v[static_cast<size_t>(c.a)] - v[static_cast<size_t>(c.b)]) -
+                        (v_prev[static_cast<size_t>(c.a)] - v_prev[static_cast<size_t>(c.b)]);
+      const double i = c.c_ff * dv / opt.dt_ps;
+      i_node[static_cast<size_t>(c.a)] += i;
+      i_node[static_cast<size_t>(c.b)] -= i;
+    }
+    for (int nd = 0; nd < num_nodes; ++nd) {
+      const double cg = solver.dev_cap[static_cast<size_t>(nd)];
+      if (cg > 0) {
+        i_node[static_cast<size_t>(nd)] +=
+            cg * (v[static_cast<size_t>(nd)] - v_prev[static_cast<size_t>(nd)]) / opt.dt_ps;
+      }
+    }
+    const bool in_tail =
+        opt.tail_ps <= 0.0 || t > opt.t_stop_ps - opt.tail_ps;
+    for (const auto& s : ckt.sources()) {
+      const double delivered_ma = i_node[static_cast<size_t>(s.node)];  // leaving node
+      // Work done by the source = V * I_delivered * dt. (mA * V * ps = fJ.)
+      energy[s.node] += v[static_cast<size_t>(s.node)] * delivered_ma * opt.dt_ps;
+      if (in_tail) charge[s.node] += delivered_ma * opt.dt_ps;
+    }
+    record(t);
+  }
+
+  const double avg_window =
+      opt.tail_ps > 0.0 ? std::min(opt.tail_ps, steps * opt.dt_ps)
+                        : steps * opt.dt_ps;
+  for (auto& [node, e] : energy) result.source_energy_fj[node] = e;
+  for (auto& [node, q] : charge) {
+    result.source_avg_current_ma[node] = q / avg_window;
+  }
+  return result;
+}
+
+double cross_time(const std::vector<double>& t, const std::vector<double>& v,
+                  double v_cross, double t_from, bool rising) {
+  assert(t.size() == v.size());
+  for (size_t i = 1; i < t.size(); ++i) {
+    if (t[i] < t_from) continue;
+    const bool crossed = rising ? (v[i - 1] < v_cross && v[i] >= v_cross)
+                                : (v[i - 1] > v_cross && v[i] <= v_cross);
+    if (crossed) {
+      const double f = (v_cross - v[i - 1]) / (v[i] - v[i - 1]);
+      return t[i - 1] + f * (t[i] - t[i - 1]);
+    }
+  }
+  return -1.0;
+}
+
+double measure_slew(const std::vector<double>& t, const std::vector<double>& v,
+                    double vdd, bool rising, double t_from) {
+  const double lo = 0.2 * vdd;
+  const double hi = 0.8 * vdd;
+  double t_lo, t_hi;
+  if (rising) {
+    t_lo = cross_time(t, v, lo, t_from, true);
+    t_hi = cross_time(t, v, hi, t_lo < 0 ? t_from : t_lo, true);
+  } else {
+    t_hi = cross_time(t, v, hi, t_from, false);
+    t_lo = cross_time(t, v, lo, t_hi < 0 ? t_from : t_hi, false);
+  }
+  if (t_lo < 0 || t_hi < 0) return -1.0;
+  return std::abs(t_hi - t_lo) / 0.6;
+}
+
+}  // namespace m3d::spice

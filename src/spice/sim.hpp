@@ -1,0 +1,58 @@
+// Transient simulation: backward-Euler integration with Newton iterations,
+// dense LU solve. Circuits here are standard cells (tens of nodes), so a
+// dense nodal formulation is both simple and fast.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace m3d::spice {
+
+struct TranOptions {
+  double t_stop_ps = 1000.0;
+  double dt_ps = 0.5;
+  std::vector<int> probes;      // nodes whose full waveform is recorded
+  int max_newton_iters = 60;
+  double v_tol = 1e-6;
+  /// When > 0, source_tail_current_ma averages over only the last
+  /// `tail_ps` of the run (for leakage measurements after a settling
+  /// preamble).
+  double tail_ps = 0.0;
+};
+
+struct TranResult {
+  std::vector<double> time_ps;
+  // probe node id -> waveform (same length as time_ps).
+  std::unordered_map<int, std::vector<double>> wave;
+  // source node id -> energy delivered by that source over the run (fJ)
+  // (integral of V * I_delivered dt; positive when the source does work).
+  std::unordered_map<int, double> source_energy_fj;
+  // source node id -> average current delivered (mA) over the whole run, or
+  // over the final tail_ps window when TranOptions::tail_ps > 0.
+  std::unordered_map<int, double> source_avg_current_ma;
+  bool converged = true;
+
+  const std::vector<double>& waveform(int node) const { return wave.at(node); }
+};
+
+/// Runs a transient analysis. Initial condition: free nodes start at their
+/// DC solution for the source values at t=0 (a Newton solve with capacitors
+/// open).
+TranResult simulate(const Circuit& ckt, const TranOptions& opt);
+
+/// Waveform measurements -----------------------------------------------------
+
+/// Time at which the waveform crosses `v_cross` (linear interpolation),
+/// searching from t_from. Returns -1 if never crossed.
+double cross_time(const std::vector<double>& t, const std::vector<double>& v,
+                  double v_cross, double t_from = 0.0, bool rising = true);
+
+/// Transition time scaled from the 20%-80% crossing interval to full swing
+/// (divide by 0.6) — the slew convention used by our Liberty tables.
+double measure_slew(const std::vector<double>& t, const std::vector<double>& v,
+                    double vdd, bool rising, double t_from = 0.0);
+
+}  // namespace m3d::spice

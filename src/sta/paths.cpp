@@ -1,0 +1,177 @@
+#include "sta/paths.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strf.hpp"
+
+namespace m3d::sta {
+namespace {
+
+/// Endpoint list: (slack, net, is_flop_d). Flop endpoints use the D-pin
+/// arrival (net arrival + net delay), primary outputs the net arrival.
+struct Endpoint {
+  double slack_ps;
+  double arrival_ps;
+  circuit::NetId net;
+  bool is_flop;
+};
+
+std::vector<Endpoint> endpoints(const circuit::Netlist& nl,
+                                const extract::Parasitics& par,
+                                const TimingResult& timing,
+                                const StaOptions& opt) {
+  const double clock_ps = opt.clock_ns * 1000.0;
+  std::vector<Endpoint> out;
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const auto& inst = nl.inst(i);
+    if (inst.dead || !inst.sequential() || inst.libcell == nullptr) continue;
+    const circuit::NetId d = inst.in_nets[0];
+    const auto& net = nl.net(d);
+    // Find this pin's sink index for the per-sink Elmore delay.
+    double nd = 0.0;
+    for (size_t k = 0; k < net.sinks.size(); ++k) {
+      if (net.sinks[k].inst == i && net.sinks[k].pin == 0) {
+        nd = net_delay_ps(par[static_cast<size_t>(d)], k,
+                          inst.libcell->input_cap_ff("D"));
+      }
+    }
+    const double arr = timing.arrival_ps[static_cast<size_t>(d)] + nd;
+    out.push_back({clock_ps - inst.libcell->setup_ps - arr, arr, d, true});
+  }
+  for (circuit::NetId n = 0; n < nl.num_nets(); ++n) {
+    if (!nl.net(n).is_primary_output) continue;
+    const double arr = timing.arrival_ps[static_cast<size_t>(n)];
+    out.push_back({clock_ps - arr, arr, n, false});
+  }
+  return out;
+}
+
+}  // namespace
+
+double TimingPath::total_cell_delay() const {
+  double d = 0.0;
+  for (const auto& s : steps) d += s.cell_delay_ps;
+  return d;
+}
+
+double TimingPath::total_net_delay() const {
+  double d = 0.0;
+  for (const auto& s : steps) d += s.net_delay_ps;
+  return d;
+}
+
+std::vector<TimingPath> worst_paths(const circuit::Netlist& nl,
+                                    const extract::Parasitics& par,
+                                    const TimingResult& timing,
+                                    const StaOptions& opt, int k) {
+  auto eps = endpoints(nl, par, timing, opt);
+  std::sort(eps.begin(), eps.end(),
+            [](const Endpoint& a, const Endpoint& b) { return a.slack_ps < b.slack_ps; });
+  std::vector<TimingPath> paths;
+  for (int e = 0; e < k && e < static_cast<int>(eps.size()); ++e) {
+    TimingPath path;
+    path.slack_ps = eps[static_cast<size_t>(e)].slack_ps;
+    path.arrival_ps = eps[static_cast<size_t>(e)].arrival_ps;
+    path.ends_at_flop = eps[static_cast<size_t>(e)].is_flop;
+    circuit::NetId n = eps[static_cast<size_t>(e)].net;
+    int guard = 0;
+    while (n != circuit::kInvalid && guard++ < 512) {
+      const auto& net = nl.net(n);
+      PathStep step;
+      step.net = n;
+      step.driver = net.driver.inst;
+      step.arrival_ps = timing.arrival_ps[static_cast<size_t>(n)];
+      path.steps.push_back(step);
+      if (net.driver.inst == circuit::kInvalid) break;
+      const auto& drv = nl.inst(net.driver.inst);
+      if (drv.sequential()) break;
+      // Walk to the input with the latest pin arrival (net arrival +
+      // per-sink net delay to this instance).
+      circuit::NetId best = circuit::kInvalid;
+      double best_arr = -1.0;
+      double best_nd = 0.0;
+      for (size_t p = 0; p < drv.in_nets.size(); ++p) {
+        const circuit::NetId in = drv.in_nets[p];
+        const auto& in_net = nl.net(in);
+        double nd = 0.0;
+        for (size_t s = 0; s < in_net.sinks.size(); ++s) {
+          if (in_net.sinks[s].inst == net.driver.inst &&
+              in_net.sinks[s].pin == static_cast<int>(p)) {
+            nd = net_delay_ps(par[static_cast<size_t>(in)], s, 0.5);
+          }
+        }
+        const double arr = timing.arrival_ps[static_cast<size_t>(in)] + nd;
+        if (arr > best_arr) {
+          best_arr = arr;
+          best = in;
+          best_nd = nd;
+        }
+      }
+      if (best != circuit::kInvalid) {
+        path.steps.back().cell_delay_ps =
+            step.arrival_ps - best_arr;
+        path.steps.back().net_delay_ps = best_nd;
+      }
+      n = best;
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+SlackHistogram slack_histogram(const circuit::Netlist& nl,
+                               const TimingResult& timing, int buckets) {
+  SlackHistogram h;
+  std::vector<double> slacks;
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const auto& inst = nl.inst(i);
+    if (inst.dead || !inst.sequential() || inst.libcell == nullptr) continue;
+    // Endpoint slack at the D pin approximated from the driver-pin numbers.
+    const circuit::NetId d = inst.in_nets[0];
+    slacks.push_back(timing.required_ps[static_cast<size_t>(d)] -
+                     timing.arrival_ps[static_cast<size_t>(d)]);
+  }
+  h.endpoints = static_cast<int>(slacks.size());
+  if (slacks.empty() || buckets < 1) return h;
+  const auto [lo_it, hi_it] = std::minmax_element(slacks.begin(), slacks.end());
+  double lo = *lo_it, hi = *hi_it;
+  if (hi - lo < 1e-9) hi = lo + 1.0;
+  h.counts.assign(static_cast<size_t>(buckets), 0);
+  for (int b = 0; b <= buckets; ++b) {
+    h.edges_ps.push_back(lo + (hi - lo) * b / buckets);
+  }
+  for (double s : slacks) {
+    int b = static_cast<int>((s - lo) / (hi - lo) * buckets);
+    b = std::clamp(b, 0, buckets - 1);
+    ++h.counts[static_cast<size_t>(b)];
+  }
+  return h;
+}
+
+std::string report_paths(const circuit::Netlist& nl,
+                         const std::vector<TimingPath>& paths) {
+  std::string out;
+  for (size_t p = 0; p < paths.size(); ++p) {
+    const auto& path = paths[p];
+    out += util::strf(
+        "Path %zu: slack %+.1f ps, arrival %.1f ps (cell %.1f + net %.1f),"
+        " ends at %s\n",
+        p + 1, path.slack_ps, path.arrival_ps, path.total_cell_delay(),
+        path.total_net_delay(), path.ends_at_flop ? "flop D" : "output");
+    for (const auto& step : path.steps) {
+      const char* drv =
+          step.driver == circuit::kInvalid
+              ? "(source)"
+              : (nl.inst(step.driver).libcell != nullptr
+                     ? nl.inst(step.driver).libcell->name.c_str()
+                     : "?");
+      out += util::strf("    %-24s %-10s arr=%8.1f cell=%6.1f net=%5.1f\n",
+                        nl.net(step.net).name.c_str(), drv, step.arrival_ps,
+                        step.cell_delay_ps, step.net_delay_ps);
+    }
+  }
+  return out;
+}
+
+}  // namespace m3d::sta

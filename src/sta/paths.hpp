@@ -1,0 +1,54 @@
+// Path-level timing reports on top of the graph STA: the K worst endpoint
+// paths (walked back along worst-arrival inputs), slack histograms, and a
+// per-path breakdown of cell vs wire delay — the report_timing surface a
+// sign-off user expects.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "extract/parasitics.hpp"
+#include "sta/sta.hpp"
+
+namespace m3d::sta {
+
+struct PathStep {
+  circuit::NetId net = circuit::kInvalid;
+  circuit::InstId driver = circuit::kInvalid;  // kInvalid: PI or flop source
+  double arrival_ps = 0.0;
+  double cell_delay_ps = 0.0;  // driver's contribution
+  double net_delay_ps = 0.0;   // wire contribution into the next stage
+};
+
+struct TimingPath {
+  std::vector<PathStep> steps;  // endpoint first, source last
+  double slack_ps = 0.0;
+  double arrival_ps = 0.0;
+  bool ends_at_flop = false;
+
+  double total_cell_delay() const;
+  double total_net_delay() const;
+};
+
+/// The K worst endpoint paths (distinct endpoints), worst first.
+std::vector<TimingPath> worst_paths(const circuit::Netlist& nl,
+                                    const extract::Parasitics& par,
+                                    const TimingResult& timing,
+                                    const StaOptions& opt, int k);
+
+/// Endpoint slack histogram: `buckets` equal-width bins between the worst
+/// and best endpoint slack. Returns bin counts plus the bin edges.
+struct SlackHistogram {
+  std::vector<int> counts;
+  std::vector<double> edges_ps;  // counts.size() + 1
+  int endpoints = 0;
+};
+SlackHistogram slack_histogram(const circuit::Netlist& nl,
+                               const TimingResult& timing, int buckets = 10);
+
+/// Multi-path textual report.
+std::string report_paths(const circuit::Netlist& nl,
+                         const std::vector<TimingPath>& paths);
+
+}  // namespace m3d::sta

@@ -1,0 +1,98 @@
+#include "synth/synth.hpp"
+
+#include <algorithm>
+
+#include "sta/sta.hpp"
+#include "util/log.hpp"
+#include "util/strf.hpp"
+
+namespace m3d::synth {
+namespace {
+
+/// Splits nets with more than `max_fanout` sinks into buffer trees.
+int buffer_high_fanout(circuit::Netlist* nl, const liberty::Library& lib,
+                       int max_fanout) {
+  int added = 0;
+  // Iterate until stable (new buffer outputs may themselves exceed).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const int num_nets = nl->num_nets();
+    for (circuit::NetId n = 0; n < num_nets; ++n) {
+      const circuit::Net& net = nl->net(n);
+      if (net.is_clock || net.fanout() <= max_fanout) continue;
+      // Group sinks into ceil(fanout / max_fanout) chunks, one buffer each.
+      const auto sinks = net.sinks;  // copy: insert_buffer mutates
+      const int groups =
+          (net.fanout() + max_fanout - 1) / max_fanout;
+      if (groups < 2) continue;
+      const size_t per = (sinks.size() + static_cast<size_t>(groups) - 1) /
+                         static_cast<size_t>(groups);
+      for (size_t g0 = 0; g0 < sinks.size(); g0 += per) {
+        const size_t g1 = std::min(g0 + per, sinks.size());
+        std::vector<circuit::PinRef> chunk(sinks.begin() + static_cast<long>(g0),
+                                           sinks.begin() + static_cast<long>(g1));
+        nl->insert_buffer(n, chunk, lib, 2);
+        ++added;
+      }
+      changed = true;
+    }
+  }
+  return added;
+}
+
+}  // namespace
+
+SynthReport synthesize(circuit::Netlist* nl, const liberty::Library& lib,
+                       const Wlm& wlm, const SynthOptions& opt) {
+  SynthReport rep;
+  nl->bind(lib);
+  rep.buffers_added = buffer_high_fanout(nl, lib, opt.max_fanout);
+
+  // WLM-driven sizing to the target clock.
+  sta::StaOptions sta_opt;
+  sta_opt.clock_ns = opt.clock_ns;
+  for (int round = 0; round < opt.sizing_rounds; ++round) {
+    const auto par = wlm_parasitics(*nl, wlm);
+    const auto timing = sta::run_sta(*nl, par, sta_opt);
+    rep.wns_ps = timing.wns_ps;
+    if (timing.met()) break;
+    // Upsize the most negative-slack gates.
+    std::vector<std::pair<double, circuit::InstId>> worst;
+    for (int i = 0; i < nl->num_instances(); ++i) {
+      const auto& inst = nl->inst(i);
+      if (inst.dead || inst.libcell == nullptr) continue;
+      const double slack = timing.inst_slack_ps[static_cast<size_t>(i)];
+      if (slack < 0) worst.push_back({slack, i});
+    }
+    if (worst.empty()) break;
+    std::sort(worst.begin(), worst.end());
+    int changed = 0;
+    const size_t limit = std::max<size_t>(16, worst.size() / 3);
+    for (size_t k = 0; k < worst.size() && k < limit; ++k) {
+      const circuit::InstId id = worst[k].second;
+      const auto& inst = nl->inst(id);
+      const liberty::LibCell* bigger = lib.pick(inst.func, inst.drive * 2);
+      if (bigger != nullptr && bigger->drive > inst.drive) {
+        nl->resize_inst(id, lib, bigger->drive);
+        ++changed;
+        ++rep.upsized;
+      }
+    }
+    if (changed == 0) break;
+  }
+
+  rep.cells = 0;
+  for (int i = 0; i < nl->num_instances(); ++i) {
+    if (!nl->inst(i).dead) ++rep.cells;
+  }
+  rep.nets = nl->num_signal_nets();
+  rep.cell_area_um2 = nl->total_cell_area_um2();
+  rep.average_fanout = nl->average_fanout();
+  util::info(util::strf("synth %s: %d cells, %.0f um2, wns=%.0f ps",
+                        nl->name.c_str(), rep.cells, rep.cell_area_um2,
+                        rep.wns_ps));
+  return rep;
+}
+
+}  // namespace m3d::synth

@@ -1,0 +1,32 @@
+// "Synthesis": library binding, fanout buffering, and WLM-driven gate
+// sizing toward the target clock — the Design Compiler stage of the flow
+// (paper Fig 1). Because the WLM differs between 2D and T-MI, the
+// synthesized netlists differ too (paper Section 3.4).
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "liberty/library.hpp"
+#include "synth/wlm.hpp"
+
+namespace m3d::synth {
+
+struct SynthOptions {
+  double clock_ns = 1.0;
+  int max_fanout = 12;
+  int sizing_rounds = 6;
+};
+
+struct SynthReport {
+  int cells = 0;
+  int nets = 0;
+  int buffers_added = 0;
+  int upsized = 0;
+  double cell_area_um2 = 0.0;
+  double average_fanout = 0.0;
+  double wns_ps = 0.0;  // WLM-estimated
+};
+
+SynthReport synthesize(circuit::Netlist* nl, const liberty::Library& lib,
+                       const Wlm& wlm, const SynthOptions& opt);
+
+}  // namespace m3d::synth

@@ -1,0 +1,84 @@
+#include "synth/wlm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "extract/extract.hpp"
+#include "geom/rect.hpp"
+
+namespace m3d::synth {
+
+double Wlm::wl_um(int fanout) const {
+  if (fanout_wl_um.size() < 2) return 0.0;
+  const size_t idx = std::clamp<size_t>(static_cast<size_t>(fanout), 1,
+                                        fanout_wl_um.size() - 1);
+  return fanout_wl_um[idx];
+}
+
+Wlm Wlm::scaled(double factor) const {
+  Wlm out = *this;
+  for (auto& w : out.fanout_wl_um) w *= factor;
+  return out;
+}
+
+Wlm make_statistical_wlm(double core_area_um2, const tech::Tech& tech) {
+  Wlm wlm;
+  const double side = std::sqrt(std::max(core_area_um2, 1.0));
+  wlm.fanout_wl_um.resize(21, 0.0);
+  for (int f = 1; f <= 20; ++f) {
+    // Fig 6 shape: near-linear growth with fanout, scaled by design size.
+    wlm.fanout_wl_um[static_cast<size_t>(f)] = side * (0.08 + 0.045 * f);
+  }
+  wlm.unit_r_kohm_um = extract::unit_r_kohm_um(tech, route::kLocal);
+  wlm.unit_c_ff_um = extract::unit_c_ff_um(tech, route::kLocal);
+  return wlm;
+}
+
+Wlm extract_wlm(const circuit::Netlist& nl, const tech::Tech& tech,
+                int max_fanout) {
+  std::vector<double> sum(static_cast<size_t>(max_fanout) + 1, 0.0);
+  std::vector<int> cnt(static_cast<size_t>(max_fanout) + 1, 0);
+  for (circuit::NetId n = 0; n < nl.num_nets(); ++n) {
+    const circuit::Net& net = nl.net(n);
+    if (net.is_clock || net.sinks.empty()) continue;
+    geom::Rect box;
+    if (net.driver.inst != circuit::kInvalid) box.expand(nl.inst(net.driver.inst).pos);
+    for (const auto& s : net.sinks) {
+      if (s.inst != circuit::kInvalid) box.expand(nl.inst(s.inst).pos);
+    }
+    if (box.empty()) continue;
+    const int f = std::clamp(net.fanout(), 1, max_fanout);
+    sum[static_cast<size_t>(f)] += box.half_perimeter();
+    cnt[static_cast<size_t>(f)] += 1;
+  }
+  Wlm wlm;
+  wlm.fanout_wl_um.assign(static_cast<size_t>(max_fanout) + 1, 0.0);
+  double last = 1.0;
+  for (int f = 1; f <= max_fanout; ++f) {
+    if (cnt[static_cast<size_t>(f)] > 0) {
+      last = sum[static_cast<size_t>(f)] / cnt[static_cast<size_t>(f)];
+    }
+    // Monotone fill for empty buckets.
+    wlm.fanout_wl_um[static_cast<size_t>(f)] =
+        std::max(last, f > 1 ? wlm.fanout_wl_um[static_cast<size_t>(f - 1)] : 0.0);
+  }
+  wlm.unit_r_kohm_um = extract::unit_r_kohm_um(tech, route::kLocal);
+  wlm.unit_c_ff_um = extract::unit_c_ff_um(tech, route::kLocal);
+  return wlm;
+}
+
+extract::Parasitics wlm_parasitics(const circuit::Netlist& nl, const Wlm& wlm) {
+  extract::Parasitics par(static_cast<size_t>(nl.num_nets()));
+  for (circuit::NetId n = 0; n < nl.num_nets(); ++n) {
+    const circuit::Net& net = nl.net(n);
+    if (net.is_clock || net.sinks.empty()) continue;
+    const double wl = wlm.wl_um(net.fanout());
+    auto& p = par[static_cast<size_t>(n)];
+    p.wirelength_um = wl;
+    p.wire_cap_ff = wl * wlm.unit_c_ff_um;
+    p.wire_res_kohm = wl * wlm.unit_r_kohm_um;
+  }
+  return par;
+}
+
+}  // namespace m3d::synth

@@ -1,0 +1,37 @@
+// Wire load models (paper Section 3.4, Fig 6): statistical fanout ->
+// wirelength tables that guide synthesis before any layout exists. T-MI
+// designs get their own WLMs extracted from preliminary layouts, reflecting
+// their ~20-30% shorter wires — which changes what the synthesizer does
+// (supplement S7).
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "extract/parasitics.hpp"
+#include "tech/tech.hpp"
+
+namespace m3d::synth {
+
+struct Wlm {
+  /// fanout -> estimated wirelength (um); index 0 unused, values clamp at
+  /// the last entry.
+  std::vector<double> fanout_wl_um;
+  double unit_r_kohm_um = 0.0;
+  double unit_c_ff_um = 0.0;
+
+  double wl_um(int fanout) const;
+  /// Uniform scale (used to derive a T-MI WLM from a 2D WLM).
+  Wlm scaled(double factor) const;
+};
+
+/// Statistical WLM for a design expected to occupy `core_area_um2`.
+Wlm make_statistical_wlm(double core_area_um2, const tech::Tech& tech);
+
+/// Extracts a WLM from a placed design (preliminary layout), bucketing
+/// per-net HPWL by fanout — how the paper builds its T-MI WLMs.
+Wlm extract_wlm(const circuit::Netlist& nl, const tech::Tech& tech,
+                int max_fanout = 20);
+
+/// Net parasitics from a WLM (what synthesis-time STA consumes).
+extract::Parasitics wlm_parasitics(const circuit::Netlist& nl, const Wlm& wlm);
+
+}  // namespace m3d::synth

@@ -1,0 +1,24 @@
+// ITRS-style 45nm -> 7nm scaling factors, straight from the paper (Section 5
+// and supplement S3). The paper derives these from PTM-MG SPICE runs and
+// applies them to the 45nm Liberty library to create the 7nm library; we do
+// the same to our characterized 45nm library.
+#pragma once
+
+namespace m3d::tech {
+
+struct ScaleFactors {
+  double geometry = 7.0 / 45.0;   // 0.156x: all physical shapes
+  double cell_input_cap = 0.179;  // pin capacitance
+  double cell_delay = 0.471;      // NLDM delay entries
+  double output_slew = 0.420;     // NLDM slew entries
+  double cell_power = 0.084;      // internal energy entries
+  double leakage = 0.678;         // leakage power
+  double internal_r = 7.7;        // cell-internal parasitic R components
+  double internal_c = 7.0 / 45.0; // cell-internal parasitic C components
+  double vdd = 0.7 / 1.1;
+};
+
+/// The paper's published 45nm -> 7nm factors.
+constexpr ScaleFactors itrs_7nm_factors() { return ScaleFactors{}; }
+
+}  // namespace m3d::tech

@@ -1,0 +1,31 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace m3d::util {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "[debug] ";
+    case LogLevel::kInfo: return "[info ] ";
+    case LogLevel::kWarn: return "[warn ] ";
+    case LogLevel::kError: return "[error] ";
+    case LogLevel::kSilent: return "";
+  }
+  return "";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "%s%s\n", prefix(level), msg.c_str());
+}
+
+}  // namespace m3d::util

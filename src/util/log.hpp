@@ -1,0 +1,22 @@
+// Minimal leveled logger. All flow/bench output that is not a result table
+// goes through this so verbosity can be controlled globally.
+#pragma once
+
+#include <string>
+
+namespace m3d::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 };
+
+/// Global verbosity threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, const std::string& msg);
+
+inline void debug(const std::string& msg) { log(LogLevel::kDebug, msg); }
+inline void info(const std::string& msg) { log(LogLevel::kInfo, msg); }
+inline void warn(const std::string& msg) { log(LogLevel::kWarn, msg); }
+inline void error(const std::string& msg) { log(LogLevel::kError, msg); }
+
+}  // namespace m3d::util

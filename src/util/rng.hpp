@@ -1,0 +1,89 @@
+// Deterministic PRNG (xoshiro256** seeded via SplitMix64). Every stochastic
+// step in the flow draws from a named Rng so experiments reproduce exactly.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace m3d::util {
+
+/// SplitMix64 step; used for seeding and hashing.
+constexpr uint64_t splitmix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stable 64-bit hash of a string (FNV-1a); combines names into seeds.
+constexpr uint64_t hash64(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eedULL) : seed_(seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+  /// Derives a child generator whose stream is independent of the parent's
+  /// position: same (seed, name) always yields the same child stream.
+  Rng(const Rng& parent, std::string_view name)
+      : Rng(parent.seed_ ^ hash64(name)) {}
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t below(uint64_t n) { return next_u64() % n; }
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal via Box-Muller.
+  double normal() {
+    const double u1 = 1.0 - uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t seed_;
+  uint64_t state_[4];
+};
+
+}  // namespace m3d::util

@@ -1,0 +1,73 @@
+#include "util/svg.hpp"
+
+#include <cstdio>
+
+#include "util/strf.hpp"
+
+namespace m3d::util {
+
+SvgWriter::SvgWriter(double width_um, double height_um, double pixel_width)
+    : scale_(pixel_width / (width_um > 0 ? width_um : 1.0)),
+      width_px_(pixel_width),
+      height_px_(height_um * scale_) {}
+
+void SvgWriter::rect(double x, double y, double w, double h,
+                     const std::string& fill, double opacity,
+                     const std::string& stroke) {
+  std::string s = strf(
+      "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" "
+      "fill=\"%s\" fill-opacity=\"%.2f\"",
+      x * scale_, height_px_ - (y + h) * scale_, w * scale_, h * scale_,
+      fill.c_str(), opacity);
+  if (!stroke.empty()) s += strf(" stroke=\"%s\" stroke-width=\"0.5\"", stroke.c_str());
+  s += "/>";
+  body_.push_back(std::move(s));
+}
+
+void SvgWriter::line(double x1, double y1, double x2, double y2,
+                     const std::string& color, double width_um) {
+  body_.push_back(strf(
+      "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" stroke=\"%s\" "
+      "stroke-width=\"%.2f\"/>",
+      x1 * scale_, height_px_ - y1 * scale_, x2 * scale_,
+      height_px_ - y2 * scale_, color.c_str(), width_um * scale_));
+}
+
+void SvgWriter::circle(double cx, double cy, double r, const std::string& fill) {
+  body_.push_back(strf(
+      "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.2f\" fill=\"%s\"/>", cx * scale_,
+      height_px_ - cy * scale_, r * scale_, fill.c_str()));
+}
+
+void SvgWriter::text(double x, double y, const std::string& s, double size_um,
+                     const std::string& color) {
+  body_.push_back(strf(
+      "<text x=\"%.2f\" y=\"%.2f\" font-size=\"%.2f\" fill=\"%s\">%s</text>",
+      x * scale_, height_px_ - y * scale_, size_um * scale_, color.c_str(),
+      s.c_str()));
+}
+
+std::string SvgWriter::finish() const {
+  std::string out = strf(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" "
+      "height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n",
+      width_px_, height_px_, width_px_, height_px_);
+  out += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const auto& el : body_) {
+    out += el;
+    out += '\n';
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+bool SvgWriter::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = finish();
+  const size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  return n == doc.size();
+}
+
+}  // namespace m3d::util

@@ -1,0 +1,32 @@
+// Tiny SVG writer for layout/routing snapshots (Figs 3, 5, 8, 10).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace m3d::util {
+
+class SvgWriter {
+ public:
+  /// Viewport in user units (microns); the output is scaled to pixel_width.
+  SvgWriter(double width_um, double height_um, double pixel_width = 800.0);
+
+  void rect(double x, double y, double w, double h, const std::string& fill,
+            double opacity = 1.0, const std::string& stroke = {});
+  void line(double x1, double y1, double x2, double y2,
+            const std::string& color, double width_um);
+  void circle(double cx, double cy, double r, const std::string& fill);
+  void text(double x, double y, const std::string& s, double size_um,
+            const std::string& color = "black");
+
+  std::string finish() const;
+  /// Writes the document to a file; returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  double scale_;
+  double width_px_, height_px_;
+  std::vector<std::string> body_;
+};
+
+}  // namespace m3d::util

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "cts/cts.hpp"
+#include "extract/parasitics.hpp"
+#include "gen/gen.hpp"
+#include "place/place.hpp"
+#include "power/power.hpp"
+#include "sta/sta.hpp"
+#include "test_fixtures.hpp"
+
+namespace m3d::cts {
+namespace {
+
+circuit::Netlist placed_design(const liberty::Library& lib, int shift = 4) {
+  gen::GenOptions o;
+  o.scale_shift = shift;
+  circuit::Netlist nl = gen::make_des(o);
+  nl.bind(lib);
+  const place::Die die = place::make_die(&nl, 0.8, 1.4);
+  place::place_design(&nl, die, {});
+  return nl;
+}
+
+TEST(Cts, BuildsTreeOverAllFlops) {
+  const auto lib = test::make_test_library();
+  circuit::Netlist nl = placed_design(lib);
+  const int flops = nl.count_sequential();
+  const CtsResult r = build_clock_tree(&nl, lib);
+  EXPECT_EQ(r.sinks, flops);
+  EXPECT_GT(r.buffers_added, flops / 24);
+  EXPECT_GE(r.levels, 2);
+  EXPECT_TRUE(nl.validate());
+  // Every DFF clock pin now hangs off a buffer, not the raw clock net.
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const auto& inst = nl.inst(i);
+    if (inst.dead || !inst.sequential()) continue;
+    EXPECT_NE(inst.in_nets[1], nl.clock_net()) << inst.name;
+    const auto& drv_net = nl.net(inst.in_nets[1]);
+    ASSERT_NE(drv_net.driver.inst, circuit::kInvalid);
+    EXPECT_EQ(nl.inst(drv_net.driver.inst).func, cells::Func::kBuf);
+  }
+  // The raw clock net keeps exactly one sink: the root buffer.
+  EXPECT_EQ(nl.net(nl.clock_net()).fanout(), 1);
+}
+
+TEST(Cts, FanoutBoundedEverywhere) {
+  const auto lib = test::make_test_library();
+  circuit::Netlist nl = placed_design(lib, 3);
+  CtsOptions opt;
+  opt.max_sinks_per_buffer = 16;
+  build_clock_tree(&nl, lib, opt);
+  for (circuit::NetId n = 0; n < nl.num_nets(); ++n) {
+    const auto& net = nl.net(n);
+    if (net.driver.inst == circuit::kInvalid) continue;
+    const auto& drv = nl.inst(net.driver.inst);
+    if (drv.func == cells::Func::kBuf && drv.from_optimizer) {
+      EXPECT_LE(net.fanout(), 16) << net.name;
+    }
+  }
+}
+
+TEST(Cts, ClockActivityPropagatesThroughTree) {
+  const auto lib = test::make_test_library();
+  circuit::Netlist nl = placed_design(lib);
+  build_clock_tree(&nl, lib);
+  extract::Parasitics par(static_cast<size_t>(nl.num_nets()));
+  const auto p = power::run_power(nl, par, nullptr, {});
+  // Every clock-tree buffer output toggles twice per cycle.
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const auto& inst = nl.inst(i);
+    if (inst.dead || !inst.sequential()) continue;
+    EXPECT_NEAR(p.net_activity[static_cast<size_t>(inst.in_nets[1])], 2.0, 1e-9);
+  }
+}
+
+TEST(Cts, StaStillTreatsClockAsIdeal) {
+  const auto lib = test::make_test_library();
+  circuit::Netlist nl = placed_design(lib);
+  build_clock_tree(&nl, lib);
+  extract::Parasitics par(static_cast<size_t>(nl.num_nets()));
+  sta::StaOptions so;
+  so.clock_ns = 10.0;
+  const auto t = sta::run_sta(nl, par, so);
+  EXPECT_TRUE(t.met());
+}
+
+TEST(Cts, NoOpWithoutFlops) {
+  const auto lib = test::make_test_library();
+  circuit::Netlist nl;
+  const circuit::NetId clk = nl.new_net("clk");
+  nl.add_input_port("clk", clk);
+  nl.set_clock(clk);
+  const circuit::NetId a = nl.new_net("a");
+  nl.add_input_port("a", a);
+  const circuit::NetId z = nl.new_net("z");
+  nl.add_gate(cells::Func::kInv, {a}, {z});
+  nl.bind(lib);
+  const CtsResult r = build_clock_tree(&nl, lib);
+  EXPECT_EQ(r.buffers_added, 0);
+}
+
+}  // namespace
+}  // namespace m3d::cts

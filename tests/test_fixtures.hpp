@@ -1,0 +1,137 @@
+// Shared test fixtures: a fast synthetic NLDM library (no SPICE runs) and a
+// functional netlist evaluator, so unit tests of synth/place/route/sta/
+// power/opt/flow are quick and deterministic.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "cells/spec.hpp"
+#include "liberty/library.hpp"
+#include "tech/tech.hpp"
+
+namespace m3d::test {
+
+/// Builds an analytic library: delay = base/drive-ish + k*load/drive,
+/// matching the shape (not the values) of the characterized one.
+inline liberty::Library make_test_library(
+    tech::Style style = tech::Style::k2D) {
+  liberty::Library lib;
+  lib.name = "testlib";
+  lib.node = tech::Node::k45nm;
+  lib.style = style;
+  lib.vdd_v = 1.1;
+  const bool folded = style != tech::Style::k2D;
+  const double height = folded ? 0.84 : 1.4;
+
+  auto table = [](double v00, double slew_k, double load_k) {
+    liberty::NldmTable t;
+    t.slew_ps = {10.0, 50.0, 200.0};
+    t.load_ff = {0.5, 4.0, 16.0};
+    t.value.resize(9);
+    for (size_t si = 0; si < 3; ++si) {
+      for (size_t li = 0; li < 3; ++li) {
+        t.value[si * 3 + li] =
+            v00 + slew_k * t.slew_ps[si] + load_k * t.load_ff[li];
+      }
+    }
+    return t;
+  };
+
+  auto add_cell = [&](cells::Func func, int drive) {
+    liberty::LibCell c;
+    c.name = cells::cell_name(func, drive);
+    c.func = func;
+    c.drive = drive;
+    c.height_um = height;
+    const int n_in = cells::num_inputs(func);
+    c.width_um = 0.4 * (1 + n_in) * (0.7 + 0.3 * drive);
+    c.sequential = cells::is_sequential(func);
+    c.leakage_uw = 0.003 * drive;
+    c.setup_ps = c.sequential ? 40.0 : 0.0;
+    c.hold_ps = c.sequential ? 5.0 : 0.0;
+    const double base = 12.0 + 6.0 * n_in + (c.sequential ? 60.0 : 0.0);
+    const double dfac = static_cast<double>(drive);
+    // The folded variant is ~2% better except the DFF (~5% worse), like the
+    // characterized library.
+    const double f3d = folded ? (c.sequential ? 1.05 : 0.98) : 1.0;
+    for (const auto& pin : cells::input_pins(func)) {
+      c.pin_cap_ff[pin] = 0.35 + 0.18 * drive;
+    }
+    auto make_arc = [&](const std::string& from, const std::string& to) {
+      liberty::TimingArc arc;
+      arc.from = from;
+      arc.to = to;
+      for (int e = 0; e < 2; ++e) {
+        arc.delay[e] = table(base * f3d, 0.12, 9.0 / dfac);
+        arc.out_slew[e] = table(8.0, 0.05, 6.0 / dfac);
+        arc.energy[e] = table(0.25 * dfac * f3d, 0.0002, 0.004);
+      }
+      return arc;
+    };
+    if (c.sequential) {
+      c.arcs.push_back(make_arc("CK", "Q"));
+    } else {
+      for (const auto& in : cells::input_pins(func)) {
+        for (const auto& out : cells::output_pins(func)) {
+          c.arcs.push_back(make_arc(in, out));
+        }
+      }
+    }
+    lib.add(std::move(c));
+  };
+
+  for (cells::Func f : cells::all_comb_funcs()) {
+    for (int d : cells::drive_options(f)) add_cell(f, d);
+  }
+  for (int d : cells::drive_options(cells::Func::kDff)) {
+    add_cell(cells::Func::kDff, d);
+  }
+  return lib;
+}
+
+/// Functional evaluation of a netlist: combinational propagate with DFF
+/// outputs treated as inputs (single-cycle view). `values` must pre-set all
+/// primary-input nets and DFF output nets; on return it holds every net.
+inline void eval_netlist(const circuit::Netlist& nl,
+                         std::map<circuit::NetId, bool>* values) {
+  for (circuit::InstId id : nl.topo_order()) {
+    const circuit::Instance& inst = nl.inst(id);
+    if (inst.sequential()) continue;
+    uint32_t minterm = 0;
+    for (size_t p = 0; p < inst.in_nets.size(); ++p) {
+      if (values->at(inst.in_nets[p])) minterm |= (1u << p);
+    }
+    for (size_t o = 0; o < inst.out_nets.size(); ++o) {
+      (*values)[inst.out_nets[o]] =
+          cells::eval(inst.func, static_cast<int>(o), minterm);
+    }
+  }
+}
+
+/// Sets every PI / DFF-Q net from the bits of `seed` (hashed), then
+/// evaluates. Convenience for property tests.
+inline std::map<circuit::NetId, bool> eval_with_random_state(
+    const circuit::Netlist& nl, uint64_t seed) {
+  std::map<circuit::NetId, bool> values;
+  uint64_t sm = seed;
+  auto next_bit = [&] {
+    sm = sm * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (sm >> 62) & 1u;
+  };
+  for (circuit::NetId n = 0; n < nl.num_nets(); ++n) {
+    const circuit::Net& net = nl.net(n);
+    if (net.is_primary_input || net.is_clock) values[n] = next_bit();
+  }
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const circuit::Instance& inst = nl.inst(i);
+    if (!inst.dead && inst.sequential()) values[inst.out_nets[0]] = next_bit();
+  }
+  // Default-fill any remaining nets (dangling).
+  for (circuit::NetId n = 0; n < nl.num_nets(); ++n) values.emplace(n, false);
+  eval_netlist(nl, &values);
+  return values;
+}
+
+}  // namespace m3d::test

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace m3d::geom {
+namespace {
+
+TEST(Point, Arithmetic) {
+  Pt a{1, 2}, b{3, 5};
+  EXPECT_EQ((a + b), (Pt{4, 7}));
+  EXPECT_EQ((b - a), (Pt{2, 3}));
+  EXPECT_EQ((a * 2), (Pt{2, 4}));
+}
+
+TEST(Point, Distances) {
+  EXPECT_DOUBLE_EQ(manhattan({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(euclid({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Rect, EmptyByDefault) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_DOUBLE_EQ(r.area(), 0.0);
+}
+
+TEST(Rect, ExpandAccumulatesBbox) {
+  Rect r;
+  r.expand(Pt{1, 1});
+  r.expand(Pt{4, 3});
+  EXPECT_FALSE(r.empty());
+  EXPECT_DOUBLE_EQ(r.width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.height(), 2.0);
+  EXPECT_DOUBLE_EQ(r.half_perimeter(), 5.0);
+}
+
+TEST(Rect, ContainsAndOverlap) {
+  Rect a(0, 0, 10, 10), b(5, 5, 15, 15), c(11, 11, 12, 12);
+  EXPECT_TRUE(a.contains({5, 5}));
+  EXPECT_FALSE(a.contains({11, 5}));
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  const Rect i = a.intersect(b);
+  EXPECT_DOUBLE_EQ(i.area(), 25.0);
+}
+
+TEST(Rect, TouchingRectsDoNotOverlap) {
+  Rect a(0, 0, 10, 10), b(10, 0, 20, 10);
+  EXPECT_FALSE(a.overlaps(b));
+}
+
+TEST(Rect, AroundCenter) {
+  const Rect r = Rect::around({5, 5}, 4, 2);
+  EXPECT_DOUBLE_EQ(r.xlo, 3.0);
+  EXPECT_DOUBLE_EQ(r.yhi, 6.0);
+  EXPECT_EQ(r.center(), (Pt{5, 5}));
+}
+
+TEST(Rect, Inflated) {
+  const Rect r = Rect(2, 2, 4, 4).inflated(1.0);
+  EXPECT_DOUBLE_EQ(r.xlo, 1.0);
+  EXPECT_DOUBLE_EQ(r.yhi, 5.0);
+}
+
+}  // namespace
+}  // namespace m3d::geom

@@ -1,0 +1,149 @@
+// Interchange-format tests: Verilog round trip, GDSII structure, Liberty
+// text, DEF output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cells/gds.hpp"
+#include "circuit/verilog.hpp"
+#include "gen/gen.hpp"
+#include "liberty/liberty_writer.hpp"
+#include "place/def.hpp"
+#include "place/place.hpp"
+#include "test_fixtures.hpp"
+
+namespace m3d {
+namespace {
+
+TEST(Verilog, RoundTripPreservesStructureAndFunction) {
+  const auto lib = test::make_test_library();
+  gen::GenOptions o;
+  o.scale_shift = 4;
+  circuit::Netlist orig = gen::make_des(o);
+  orig.bind(lib);
+
+  const std::string text = circuit::to_verilog(orig);
+  EXPECT_NE(text.find("module DES"), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+
+  circuit::Netlist back;
+  std::string err;
+  ASSERT_TRUE(circuit::from_verilog(text, lib, &back, &err)) << err;
+  EXPECT_TRUE(back.validate());
+  EXPECT_EQ(back.num_instances(), orig.num_instances());
+  EXPECT_EQ(back.ports().size(), orig.ports().size());
+  EXPECT_EQ(back.count_sequential(), orig.count_sequential());
+  EXPECT_NE(back.clock_net(), circuit::kInvalid);
+
+  // Functional equivalence on random input/state vectors: instance order is
+  // preserved by the writer, so DFF outputs pair up 1:1.
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const auto va = test::eval_with_random_state(orig, seed);
+    const auto vb = test::eval_with_random_state(back, seed);
+    for (int i = 0; i < orig.num_instances(); ++i) {
+      const auto& ia = orig.inst(i);
+      const auto& ib = back.inst(i);
+      ASSERT_EQ(ia.func, ib.func);
+      for (size_t oo = 0; oo < ia.out_nets.size(); ++oo) {
+        EXPECT_EQ(va.at(ia.out_nets[oo]), vb.at(ib.out_nets[oo]))
+            << "inst " << i << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Verilog, RejectsUnknownCell) {
+  const auto lib = test::make_test_library();
+  circuit::Netlist nl;
+  std::string err;
+  EXPECT_FALSE(circuit::from_verilog(
+      "module t (a); input a; BOGUS_X9 u0 (.A(a)); endmodule", lib, &nl, &err));
+  EXPECT_NE(err.find("BOGUS_X9"), std::string::npos);
+}
+
+TEST(Verilog, RejectsMissingPin) {
+  const auto lib = test::make_test_library();
+  circuit::Netlist nl;
+  std::string err;
+  EXPECT_FALSE(circuit::from_verilog(
+      "module t (a, z); input a; output z; NAND2_X1 u0 (.A(a), .Z(z)); endmodule",
+      lib, &nl, &err));
+  EXPECT_NE(err.find("missing pin"), std::string::npos);
+}
+
+TEST(Gds, StreamHasValidFraming) {
+  const tech::Tech t3(tech::Node::k45nm, tech::Style::kTMI);
+  cells::GdsWriter gds;
+  const cells::CellSpec inv = cells::make_spec(cells::Func::kInv, 1);
+  gds.add_cell(inv, cells::fold_tmi(inv, t3));
+  const auto data = gds.finish();
+  ASSERT_GT(data.size(), 16u);
+  // HEADER record first: length 6, type 0x00, datatype 0x02, version 600.
+  EXPECT_EQ(data[0], 0x00);
+  EXPECT_EQ(data[1], 0x06);
+  EXPECT_EQ(data[2], 0x00);
+  EXPECT_EQ(data[3], 0x02);
+  EXPECT_EQ((data[4] << 8) | data[5], 600);
+  // Walk all records: lengths must chain exactly to the end, ENDLIB last.
+  size_t pos = 0;
+  uint8_t last_type = 0xFF;
+  int boundaries = 0;
+  while (pos + 4 <= data.size()) {
+    const size_t len = (static_cast<size_t>(data[pos]) << 8) | data[pos + 1];
+    ASSERT_GE(len, 4u) << "at " << pos;
+    last_type = data[pos + 2];
+    if (last_type == 0x08) ++boundaries;
+    pos += len;
+  }
+  EXPECT_EQ(pos, data.size());
+  EXPECT_EQ(last_type, 0x04);  // ENDLIB
+  EXPECT_GT(boundaries, 3);    // diffusion + poly + rails + MIVs
+}
+
+TEST(Gds, FullLibraryWrites) {
+  const tech::Tech t3(tech::Node::k45nm, tech::Style::kTMI);
+  const std::string path = "/tmp/m3d_cells.gds";
+  ASSERT_TRUE(cells::write_library_gds(path, t3));
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  ASSERT_TRUE(is.good());
+  EXPECT_GT(is.tellg(), 10000);  // 66 cells of geometry
+  std::remove(path.c_str());
+}
+
+TEST(LibertyWriter, EmitsParsableStructure) {
+  const auto lib = test::make_test_library();
+  const std::string text = liberty::to_liberty_text(lib);
+  EXPECT_NE(text.find("library(testlib)"), std::string::npos);
+  EXPECT_NE(text.find("cell(INV_X1)"), std::string::npos);
+  EXPECT_NE(text.find("cell(DFF_X4)"), std::string::npos);
+  EXPECT_NE(text.find("cell_rise(lut_3x3)"), std::string::npos);
+  EXPECT_NE(text.find("clocked_on : \"CK\""), std::string::npos);
+  // Braces balance.
+  long depth = 0;
+  for (char c : text) {
+    depth += (c == '{') - (c == '}');
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Def, EmitsPlacedComponentsAndNets) {
+  const auto lib = test::make_test_library();
+  gen::GenOptions o;
+  o.scale_shift = 4;
+  circuit::Netlist nl = gen::make_des(o);
+  nl.bind(lib);
+  const place::Die die = place::make_die(&nl, 0.8, 1.4);
+  place::place_design(&nl, die, {});
+  const std::string def = place::to_def(nl, die);
+  EXPECT_NE(def.find("DESIGN DES ;"), std::string::npos);
+  EXPECT_NE(def.find("DIEAREA"), std::string::npos);
+  EXPECT_NE(def.find("+ PLACED ("), std::string::npos);
+  EXPECT_NE(def.find("END COMPONENTS"), std::string::npos);
+  EXPECT_NE(def.find("END NETS"), std::string::npos);
+  EXPECT_EQ(def.find("+ UNPLACED"), std::string::npos);  // fully placed
+}
+
+}  // namespace
+}  // namespace m3d

@@ -1,0 +1,176 @@
+// Additional property tests: SPICE-engine physics, extraction consistency,
+// router determinism, WLM parasitics, and library-wide characterized-vs-2D
+// comparisons at the paper's corners.
+#include <gtest/gtest.h>
+
+#include "extract/extract.hpp"
+#include "gen/gen.hpp"
+#include "place/place.hpp"
+#include "route/route.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/sim.hpp"
+#include "synth/wlm.hpp"
+#include "test_fixtures.hpp"
+
+namespace m3d {
+namespace {
+
+TEST(SpiceProps, CapacitorChargeConservation) {
+  // Two caps in series across a source: final division by capacitance.
+  spice::Circuit c;
+  const int in = c.node("in");
+  const int mid = c.node("mid");
+  c.add_resistor(in, mid, 0.5);
+  c.add_capacitor(mid, 0, 4.0);
+  const int mid2 = c.node("mid2");
+  c.add_resistor(mid, mid2, 0.5);
+  c.add_capacitor(mid2, 0, 4.0);
+  c.add_source(in, spice::Pwl::ramp(0, 1, 0, 1.0));
+  spice::TranOptions o;
+  o.t_stop_ps = 100.0;
+  o.dt_ps = 0.05;
+  o.probes = {mid, mid2};
+  const auto r = spice::simulate(c, o);
+  EXPECT_NEAR(r.waveform(mid).back(), 1.0, 0.01);
+  EXPECT_NEAR(r.waveform(mid2).back(), 1.0, 0.01);
+  // Total charge delivered = sum C * V = 8 fC -> energy = Q*V = 8 fJ.
+  EXPECT_NEAR(r.source_energy_fj.at(in), 8.0, 0.3);
+}
+
+TEST(SpiceProps, VoltageDividerDc) {
+  spice::Circuit c;
+  const int in = c.node("in");
+  const int mid = c.node("mid");
+  c.add_resistor(in, mid, 3.0);
+  c.add_resistor(mid, 0, 1.0);
+  c.add_source(in, spice::Pwl::dc(2.0));
+  spice::TranOptions o;
+  o.t_stop_ps = 10.0;
+  o.dt_ps = 1.0;
+  o.probes = {mid};
+  const auto r = spice::simulate(c, o);
+  EXPECT_NEAR(r.waveform(mid).back(), 0.5, 1e-6);
+}
+
+TEST(SpiceProps, NmosCurrentMonotoneInWidth) {
+  const auto n = spice::ptm45_nmos();
+  // ids is per-um; the circuit scales by width — sanity on the model alone.
+  EXPECT_GT(n.ids(1.1, 1.1, 0.0), n.ids(0.5, 1.1, 0.0) * 0.99);
+  // Saturation: current roughly flat from vds = 0.8 to 1.1.
+  const double i1 = n.ids(0.8, 1.1, 0.0);
+  const double i2 = n.ids(1.1, 1.1, 0.0);
+  EXPECT_LT(i2 / i1, 1.1);
+}
+
+TEST(ExtractProps, RoutedCapMatchesLevelsAndLength) {
+  const tech::Tech tch(tech::Node::k45nm, tech::Style::k2D);
+  // Hand-build a route result for a single 2-sink net.
+  circuit::Netlist nl;
+  const auto a = nl.new_net("a");
+  nl.add_input_port("a", a);
+  const auto z1 = nl.new_net();
+  const auto z2 = nl.new_net();
+  nl.add_gate(cells::Func::kInv, {a}, {z1});
+  nl.add_gate(cells::Func::kInv, {a}, {z2});
+  route::RouteResult rr;
+  rr.nets.assign(static_cast<size_t>(nl.num_nets()), {});
+  auto& nr = rr.nets[static_cast<size_t>(a)];
+  nr.wl_um = {100.0, 50.0, 0.0};
+  nr.vias = 4;
+  nr.sink_path_wl = {{{100.0, 0.0, 0.0}}, {{100.0, 50.0, 0.0}}};
+  const auto par = extract::extract_from_routes(nl, tch, rr);
+  const double c_local = extract::unit_c_ff_um(tch, route::kLocal);
+  const double c_inter = extract::unit_c_ff_um(tch, route::kIntermediate);
+  EXPECT_NEAR(par[static_cast<size_t>(a)].wire_cap_ff,
+              100.0 * c_local + 50.0 * c_inter + 4 * 0.01, 0.3);
+  // Per-sink Elmore resistance reflects each sink's own path.
+  EXPECT_LT(par[static_cast<size_t>(a)].sink_res(0),
+            par[static_cast<size_t>(a)].sink_res(1));
+}
+
+TEST(ExtractProps, PlacementEstimateTracksDistance) {
+  const auto lib = test::make_test_library();
+  const tech::Tech tch(tech::Node::k45nm, tech::Style::k2D);
+  circuit::Netlist nl;
+  const auto a = nl.new_net("a");
+  nl.add_input_port("a", a);
+  const auto z = nl.new_net();
+  const auto g1 = nl.add_gate(cells::Func::kBuf, {a}, {z});
+  const auto z2 = nl.new_net();
+  const auto g2 = nl.add_gate(cells::Func::kInv, {z}, {z2});
+  nl.bind(lib);
+  nl.inst(g1).pos = {0, 0};
+  nl.inst(g1).placed = true;
+  nl.inst(g2).pos = {30, 0};
+  nl.inst(g2).placed = true;
+  auto par1 = extract::extract_from_placement(nl, tch);
+  nl.inst(g2).pos = {90, 0};
+  auto par2 = extract::extract_from_placement(nl, tch);
+  EXPECT_NEAR(par2[static_cast<size_t>(z)].wirelength_um /
+                  par1[static_cast<size_t>(z)].wirelength_um,
+              3.0, 0.1);
+  EXPECT_GT(par2[static_cast<size_t>(z)].wire_cap_ff,
+            par1[static_cast<size_t>(z)].wire_cap_ff);
+}
+
+TEST(RouteProps, DeterministicAcrossRuns) {
+  const auto lib = test::make_test_library();
+  gen::GenOptions o;
+  o.scale_shift = 4;
+  auto nl = gen::make_des(o);
+  nl.bind(lib);
+  const tech::Tech tch(tech::Node::k45nm, tech::Style::k2D);
+  const place::Die die = place::make_die(&nl, 0.8, 1.4);
+  place::place_design(&nl, die, {});
+  const auto r1 = route::global_route(nl, die, tch, {});
+  const auto r2 = route::global_route(nl, die, tch, {});
+  EXPECT_DOUBLE_EQ(r1.total_wl_um, r2.total_wl_um);
+  EXPECT_EQ(r1.total_vias, r2.total_vias);
+}
+
+TEST(RouteProps, WirelengthScalesWithDie) {
+  const auto lib2d = test::make_test_library(tech::Style::k2D);
+  const auto lib3d = test::make_test_library(tech::Style::kTMI);
+  gen::GenOptions o;
+  o.scale_shift = 4;
+  const tech::Tech t2(tech::Node::k45nm, tech::Style::k2D);
+  const tech::Tech t3(tech::Node::k45nm, tech::Style::kTMI);
+  auto n2 = gen::make_des(o);
+  n2.bind(lib2d);
+  auto n3 = gen::make_des(o);
+  n3.bind(lib3d);
+  const place::Die d2 = place::make_die(&n2, 0.8, 1.4);
+  const place::Die d3 = place::make_die(&n3, 0.8, 0.84);
+  place::place_design(&n2, d2, {});
+  place::place_design(&n3, d3, {});
+  const auto r2 = route::global_route(n2, d2, t2, {});
+  const auto r3 = route::global_route(n3, d3, t3, {});
+  // The T-MI die is 40% smaller -> wires meaningfully shorter.
+  EXPECT_LT(r3.total_wl_um, 0.92 * r2.total_wl_um);
+}
+
+TEST(WlmProps, ParasiticsFollowFanout) {
+  const tech::Tech tch(tech::Node::k45nm, tech::Style::k2D);
+  const synth::Wlm wlm = synth::make_statistical_wlm(10000.0, tch);
+  circuit::Netlist nl;
+  const auto a = nl.new_net("a");
+  nl.add_input_port("a", a);
+  const auto b = nl.new_net("b");
+  nl.add_input_port("b", b);
+  std::vector<circuit::NetId> outs;
+  // a drives 1 sink, b drives 6.
+  {
+    const auto z = nl.new_net();
+    nl.add_gate(cells::Func::kInv, {a}, {z});
+  }
+  for (int i = 0; i < 6; ++i) {
+    const auto z = nl.new_net();
+    nl.add_gate(cells::Func::kInv, {b}, {z});
+  }
+  const auto par = synth::wlm_parasitics(nl, wlm);
+  EXPECT_GT(par[static_cast<size_t>(b)].wire_cap_ff,
+            par[static_cast<size_t>(a)].wire_cap_ff);
+}
+
+}  // namespace
+}  // namespace m3d

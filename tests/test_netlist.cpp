@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "circuit/netlist.hpp"
+#include "test_fixtures.hpp"
+
+namespace m3d::circuit {
+namespace {
+
+using cells::Func;
+
+Netlist make_chain(int len, NetId* first, NetId* last) {
+  Netlist nl;
+  NetId cur = nl.new_net("in");
+  nl.add_input_port("in", cur);
+  *first = cur;
+  for (int i = 0; i < len; ++i) {
+    const NetId out = nl.new_net();
+    nl.add_gate(Func::kInv, {cur}, {out});
+    cur = out;
+  }
+  nl.add_output_port("out", cur);
+  *last = cur;
+  return nl;
+}
+
+TEST(Netlist, AddGateWiresDriversAndSinks) {
+  Netlist nl;
+  const NetId a = nl.new_net("a");
+  const NetId b = nl.new_net("b");
+  const NetId z = nl.new_net("z");
+  const InstId g = nl.add_gate(Func::kNand2, {a, b}, {z});
+  EXPECT_EQ(nl.net(z).driver.inst, g);
+  ASSERT_EQ(nl.net(a).sinks.size(), 1u);
+  EXPECT_EQ(nl.net(a).sinks[0].inst, g);
+  EXPECT_EQ(nl.net(a).sinks[0].pin, 0);
+  EXPECT_EQ(nl.net(b).sinks[0].pin, 1);
+  EXPECT_TRUE(nl.validate());
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  NetId first, last;
+  Netlist nl = make_chain(10, &first, &last);
+  const auto order = nl.topo_order();
+  EXPECT_EQ(order.size(), 10u);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1], order[i]);  // chain built in order
+  }
+}
+
+TEST(Netlist, TopoOrderCutsAtFlops) {
+  Netlist nl;
+  const NetId clk = nl.new_net("clk");
+  nl.add_input_port("clk", clk);
+  nl.set_clock(clk);
+  const NetId d = nl.new_net("d");
+  nl.add_input_port("d", d);
+  const NetId q = nl.new_net("q");
+  nl.add_gate(Func::kDff, {d, clk}, {q});
+  const NetId z = nl.new_net("z");
+  nl.add_gate(Func::kInv, {q}, {z});
+  // Feedback through the flop must not break topo sort.
+  const NetId z2 = nl.new_net("z2");
+  nl.add_gate(Func::kInv, {z}, {z2});
+  // (z2 feeds nothing; a real loop would go back to d.)
+  const auto order = nl.topo_order();
+  EXPECT_EQ(order.size(), 3u);
+  EXPECT_TRUE(nl.validate());
+}
+
+TEST(Netlist, InsertBufferSplitsSinks) {
+  Netlist nl;
+  const auto lib = test::make_test_library();
+  const NetId a = nl.new_net("a");
+  nl.add_input_port("a", a);
+  std::vector<InstId> loads;
+  std::vector<NetId> outs;
+  for (int i = 0; i < 4; ++i) {
+    const NetId z = nl.new_net();
+    loads.push_back(nl.add_gate(Func::kInv, {a}, {z}));
+    outs.push_back(z);
+  }
+  nl.bind(lib);
+  EXPECT_EQ(nl.net(a).fanout(), 4);
+  const std::vector<PinRef> subset{{loads[0], 0}, {loads[1], 0}};
+  const InstId buf = nl.insert_buffer(a, subset, lib, 2);
+  EXPECT_EQ(nl.net(a).fanout(), 3);  // 2 moved out, buffer added
+  const NetId bout = nl.inst(buf).out_nets[0];
+  EXPECT_EQ(nl.net(bout).fanout(), 2);
+  EXPECT_TRUE(nl.inst(buf).from_optimizer);
+  EXPECT_TRUE(nl.validate());
+
+  nl.remove_buffer(buf);
+  EXPECT_EQ(nl.net(a).fanout(), 4);
+  EXPECT_TRUE(nl.inst(buf).dead);
+  EXPECT_TRUE(nl.validate());
+  EXPECT_EQ(nl.topo_order().size(), 4u);
+}
+
+TEST(Netlist, BindAndResize) {
+  NetId first, last;
+  Netlist nl = make_chain(3, &first, &last);
+  const auto lib = test::make_test_library();
+  nl.bind(lib);
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    ASSERT_NE(nl.inst(i).libcell, nullptr);
+    EXPECT_EQ(nl.inst(i).drive, 1);
+  }
+  nl.resize_inst(0, lib, 4);
+  EXPECT_EQ(nl.inst(0).drive, 4);
+  EXPECT_EQ(nl.inst(0).libcell->name, "INV_X4");
+  // Requesting a drive beyond the largest clamps to the largest.
+  nl.resize_inst(0, lib, 64);
+  EXPECT_EQ(nl.inst(0).drive, 8);
+}
+
+TEST(Netlist, Stats) {
+  Netlist nl;
+  const NetId clk = nl.new_net("clk");
+  nl.add_input_port("clk", clk);
+  nl.set_clock(clk);
+  const NetId a = nl.new_net("a");
+  nl.add_input_port("a", a);
+  const NetId q = nl.new_net();
+  nl.add_gate(Func::kDff, {a, clk}, {q});
+  const NetId z = nl.new_net();
+  nl.add_gate(Func::kBuf, {q}, {z});
+  const NetId z2 = nl.new_net();
+  nl.add_gate(Func::kInv, {z}, {z2});
+  nl.add_output_port("z2", z2);
+  EXPECT_EQ(nl.count_sequential(), 1);
+  EXPECT_EQ(nl.count_buffers(), 2);  // BUF + INV
+  EXPECT_EQ(nl.num_signal_nets(), 3);  // a, q, z (z2 has no sinks)
+  EXPECT_NEAR(nl.average_fanout(), 1.0, 1e-9);
+}
+
+TEST(Netlist, EvalFixtureComputesLogic) {
+  Netlist nl;
+  const NetId a = nl.new_net("a");
+  const NetId b = nl.new_net("b");
+  nl.add_input_port("a", a);
+  nl.add_input_port("b", b);
+  const NetId x = nl.new_net();
+  nl.add_gate(Func::kXor2, {a, b}, {x});
+  std::map<NetId, bool> v{{a, true}, {b, false}, {x, false}};
+  test::eval_netlist(nl, &v);
+  EXPECT_TRUE(v[x]);
+  v = {{a, true}, {b, true}, {x, false}};
+  test::eval_netlist(nl, &v);
+  EXPECT_FALSE(v[x]);
+}
+
+}  // namespace
+}  // namespace m3d::circuit

@@ -1,0 +1,251 @@
+// Parameterized property sweeps (TEST_P) across the whole cell library,
+// every benchmark generator, and both integration styles.
+#include <gtest/gtest.h>
+
+#include "cells/layout.hpp"
+#include "cells/spec.hpp"
+#include "gen/gen.hpp"
+#include "liberty/characterize.hpp"
+#include "power/power.hpp"
+#include "sta/sta.hpp"
+#include "test_fixtures.hpp"
+
+namespace m3d {
+namespace {
+
+// --- Every (func, drive) in the library --------------------------------------
+
+struct CellParam {
+  cells::Func func;
+  int drive;
+};
+
+std::vector<CellParam> all_cells() {
+  std::vector<CellParam> out;
+  for (cells::Func f : cells::all_comb_funcs()) {
+    for (int d : cells::drive_options(f)) out.push_back({f, d});
+  }
+  for (int d : cells::drive_options(cells::Func::kDff)) {
+    out.push_back({cells::Func::kDff, d});
+  }
+  return out;
+}
+
+std::string cell_param_name(const testing::TestParamInfo<CellParam>& info) {
+  return cells::cell_name(info.param.func, info.param.drive);
+}
+
+class EveryCell : public testing::TestWithParam<CellParam> {};
+
+TEST_P(EveryCell, SpecInvariants) {
+  const auto [func, drive] = GetParam();
+  const cells::CellSpec spec = cells::make_spec(func, drive);
+  // Every transistor's gate is a named net; drains/sources never equal the
+  // gate net of the same device (no degenerate diodes in this library).
+  for (const auto& t : spec.transistors) {
+    EXPECT_FALSE(t.gate.empty());
+    EXPECT_GT(t.w_um, 0.0);
+    EXPECT_NE(t.gate, t.drain);
+    EXPECT_NE(t.gate, t.source);
+  }
+  // Output pins are driven: some transistor drain/source touches them.
+  for (const auto& out : spec.outputs()) {
+    bool touched = false;
+    for (const auto& t : spec.transistors) {
+      touched |= t.drain == out || t.source == out;
+    }
+    EXPECT_TRUE(touched) << spec.name << ":" << out;
+  }
+}
+
+TEST_P(EveryCell, FoldPreservesTransistorsAndShrinksFootprint) {
+  const auto [func, drive] = GetParam();
+  const cells::CellSpec spec = cells::make_spec(func, drive);
+  const tech::Tech t2(tech::Node::k45nm, tech::Style::k2D);
+  const tech::Tech t3(tech::Node::k45nm, tech::Style::kTMI);
+  const cells::CellLayout l2 = cells::layout_2d(spec, t2);
+  const cells::CellLayout l3 = cells::fold_tmi(spec, t3);
+  EXPECT_EQ(l2.devices.size(), spec.transistors.size());
+  EXPECT_EQ(l3.devices.size(), spec.transistors.size());
+  EXPECT_NEAR(l3.area_um2() / l2.area_um2(), 0.6, 1e-9);
+  EXPECT_GE(l3.num_mivs(), 1);
+  // Parasitics are positive and finite everywhere.
+  for (const auto& [net, p] : l3.nets) {
+    EXPECT_GE(p.r_kohm, 0.0) << net;
+    EXPECT_GE(p.c_ff_dielectric, p.c_ff_conductor) << net;
+  }
+}
+
+TEST_P(EveryCell, SevenNmScalingIsUniform) {
+  const auto [func, drive] = GetParam();
+  const cells::CellSpec spec = cells::make_spec(func, drive);
+  const tech::Tech t45(tech::Node::k45nm, tech::Style::kTMI);
+  const tech::Tech t7(tech::Node::k7nm, tech::Style::kTMI);
+  const cells::CellLayout a = cells::fold_tmi(spec, t45);
+  const cells::CellLayout b = cells::fold_tmi(spec, t7);
+  EXPECT_NEAR(b.total_r_kohm() / a.total_r_kohm(), 7.7, 1e-6);
+  EXPECT_NEAR(b.total_c_ff(cells::SiliconModel::kDielectric) /
+                  a.total_c_ff(cells::SiliconModel::kDielectric),
+              7.0 / 45.0, 1e-6);
+}
+
+TEST_P(EveryCell, SensitizationExistsForEveryInputOutputPair) {
+  const auto [func, drive] = GetParam();
+  if (func == cells::Func::kDff) GTEST_SKIP();
+  const int n = cells::num_inputs(func);
+  const auto outs = cells::output_pins(func);
+  // Every output must depend on at least one input, and MUX2's select etc.
+  // must be sensitizable: check via truth-table toggling.
+  for (size_t o = 0; o < outs.size(); ++o) {
+    bool any = false;
+    for (int i = 0; i < n && !any; ++i) {
+      for (uint32_t m = 0; m < (1u << n); ++m) {
+        if ((m >> i) & 1u) continue;
+        if (cells::eval(func, static_cast<int>(o), m) !=
+            cells::eval(func, static_cast<int>(o), m | (1u << i))) {
+          any = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(any) << cells::to_string(func) << " output " << o;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, EveryCell, testing::ValuesIn(all_cells()),
+                         cell_param_name);
+
+// --- Every benchmark at two scales --------------------------------------------
+
+struct BenchParam {
+  gen::Bench bench;
+  int shift;
+};
+
+std::string bench_param_name(const testing::TestParamInfo<BenchParam>& info) {
+  return std::string(gen::to_string(info.param.bench)) + "_s" +
+         std::to_string(info.param.shift);
+}
+
+class EveryBench : public testing::TestWithParam<BenchParam> {};
+
+TEST_P(EveryBench, NetlistInvariants) {
+  const auto [bench, shift] = GetParam();
+  gen::GenOptions o;
+  o.scale_shift = shift;
+  const circuit::Netlist nl = gen::make_benchmark(bench, o);
+  EXPECT_TRUE(nl.validate());
+  // Single driver per net; every instance input connected.
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const auto& inst = nl.inst(i);
+    if (inst.dead) continue;
+    EXPECT_EQ(static_cast<int>(inst.in_nets.size()),
+              cells::num_inputs(inst.func));
+    for (circuit::NetId in : inst.in_nets) EXPECT_GE(in, 0);
+  }
+  // All DFF clock pins tied to the clock net.
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const auto& inst = nl.inst(i);
+    if (!inst.dead && inst.sequential()) {
+      EXPECT_EQ(inst.in_nets[1], nl.clock_net());
+    }
+  }
+  // Topological order covers every combinational instance (no comb loops).
+  int comb = 0;
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    if (!nl.inst(i).dead && !nl.inst(i).sequential()) ++comb;
+  }
+  int topo_comb = 0;
+  for (circuit::InstId id : nl.topo_order()) {
+    if (!nl.inst(id).sequential()) ++topo_comb;
+  }
+  EXPECT_EQ(comb, topo_comb);
+}
+
+TEST_P(EveryBench, FunctionalEvaluationIsDeterministic) {
+  const auto [bench, shift] = GetParam();
+  gen::GenOptions o;
+  o.scale_shift = shift;
+  const circuit::Netlist nl = gen::make_benchmark(bench, o);
+  const auto v1 = test::eval_with_random_state(nl, 99);
+  const auto v2 = test::eval_with_random_state(nl, 99);
+  EXPECT_EQ(v1, v2);
+  const auto v3 = test::eval_with_random_state(nl, 100);
+  EXPECT_NE(v1, v3);  // different state should change at least one net
+}
+
+TEST_P(EveryBench, StaAndPowerRunCleanly) {
+  const auto [bench, shift] = GetParam();
+  if (shift < 4) GTEST_SKIP() << "integration-scale covered elsewhere";
+  gen::GenOptions o;
+  o.scale_shift = shift;
+  circuit::Netlist nl = gen::make_benchmark(bench, o);
+  const auto lib = test::make_test_library();
+  nl.bind(lib);
+  extract::Parasitics par(static_cast<size_t>(nl.num_nets()));
+  sta::StaOptions so;
+  so.clock_ns = 100.0;
+  const auto t = sta::run_sta(nl, par, so);
+  EXPECT_TRUE(t.met());
+  EXPECT_GT(t.critical_path_ps, 0.0);
+  const auto p = power::run_power(nl, par, &t, {});
+  EXPECT_GT(p.total_uw, 0.0);
+  EXPECT_GT(p.leakage_uw, 0.0);
+}
+
+std::vector<BenchParam> bench_params() {
+  std::vector<BenchParam> out;
+  for (gen::Bench b : gen::all_benches()) {
+    out.push_back({b, 4});
+    out.push_back({b, 3});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, EveryBench,
+                         testing::ValuesIn(bench_params()), bench_param_name);
+
+// --- Characterization sanity over a sample of cells ---------------------------
+
+class CharacterizedCell : public testing::TestWithParam<CellParam> {};
+
+TEST_P(CharacterizedCell, TablesAreSaneAndMonotone) {
+  const auto [func, drive] = GetParam();
+  const cells::CellSpec spec = cells::make_spec(func, drive);
+  const tech::Tech tch(tech::Node::k45nm, tech::Style::k2D);
+  const liberty::LibCell cell =
+      liberty::characterize_cell(spec, cells::layout_2d(spec, tch), 1.1);
+  ASSERT_FALSE(cell.arcs.empty()) << spec.name;
+  for (const auto& arc : cell.arcs) {
+    for (int e = 0; e < 2; ++e) {
+      // All entries positive after hole patching.
+      for (double v : arc.delay[e].value) EXPECT_GT(v, 0.0) << spec.name;
+      for (double v : arc.out_slew[e].value) EXPECT_GT(v, 0.0) << spec.name;
+      // Delay grows with load at the middle slew.
+      const double s = arc.delay[e].slew_ps[1];
+      EXPECT_LE(arc.delay[e].at(s, arc.delay[e].load_ff.front()),
+                arc.delay[e].at(s, arc.delay[e].load_ff.back()) + 1.0)
+          << spec.name;
+    }
+  }
+  EXPECT_GT(cell.leakage_uw, 0.0);
+  for (const auto& [pin, cap] : cell.pin_cap_ff) {
+    EXPECT_GT(cap, 0.05) << spec.name << ":" << pin;
+    EXPECT_LT(cap, 30.0) << spec.name << ":" << pin;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sample, CharacterizedCell,
+    testing::Values(CellParam{cells::Func::kInv, 1},
+                    CellParam{cells::Func::kInv, 8},
+                    CellParam{cells::Func::kNor3, 1},
+                    CellParam{cells::Func::kXor2, 2},
+                    CellParam{cells::Func::kAoi22, 1},
+                    CellParam{cells::Func::kFa, 2},
+                    CellParam{cells::Func::kMux2, 4},
+                    CellParam{cells::Func::kDff, 2}),
+    cell_param_name);
+
+}  // namespace
+}  // namespace m3d

@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include "extract/extract.hpp"
+#include "flow/flow.hpp"
+#include "power/power.hpp"
+#include "sta/sta.hpp"
+#include "test_fixtures.hpp"
+
+namespace m3d {
+namespace {
+
+using cells::Func;
+using circuit::NetId;
+
+struct ChainFixture {
+  circuit::Netlist nl;
+  NetId clk, d_in, q, last;
+  int chain_len;
+};
+
+/// clk -> DFF -> inv chain -> DFF (a classic reg-to-reg path).
+ChainFixture make_reg_chain(int len, const liberty::Library& lib) {
+  ChainFixture f;
+  f.chain_len = len;
+  f.clk = f.nl.new_net("clk");
+  f.nl.add_input_port("clk", f.clk);
+  f.nl.set_clock(f.clk);
+  f.d_in = f.nl.new_net("d_in");
+  f.nl.add_input_port("d_in", f.d_in);
+  f.q = f.nl.new_net("q0");
+  f.nl.add_gate(Func::kDff, {f.d_in, f.clk}, {f.q});
+  NetId cur = f.q;
+  for (int i = 0; i < len; ++i) {
+    const NetId out = f.nl.new_net();
+    f.nl.add_gate(Func::kInv, {cur}, {out});
+    cur = out;
+  }
+  f.last = cur;
+  const NetId q2 = f.nl.new_net("q_end");
+  f.nl.add_gate(Func::kDff, {cur, f.clk}, {q2});
+  f.nl.add_output_port("q_out", q2);
+  f.nl.bind(lib);
+  return f;
+}
+
+extract::Parasitics zero_parasitics(const circuit::Netlist& nl) {
+  return extract::Parasitics(static_cast<size_t>(nl.num_nets()));
+}
+
+TEST(Sta, ArrivalAccumulatesAlongChain) {
+  const auto lib = test::make_test_library();
+  auto f = make_reg_chain(10, lib);
+  sta::StaOptions opt;
+  opt.clock_ns = 10.0;
+  const auto t = sta::run_sta(f.nl, zero_parasitics(f.nl), opt);
+  // Arrival at the end of the chain: clk->q + 10 inverter delays.
+  EXPECT_GT(t.arrival_ps[static_cast<size_t>(f.last)],
+            t.arrival_ps[static_cast<size_t>(f.q)] + 10 * 10.0);
+  EXPECT_TRUE(t.met());
+  EXPECT_GT(t.critical_path_ps, 100.0);
+}
+
+TEST(Sta, WnsGoesNegativeAtTightClock) {
+  const auto lib = test::make_test_library();
+  auto f = make_reg_chain(30, lib);
+  sta::StaOptions loose, tight;
+  loose.clock_ns = 10.0;
+  tight.clock_ns = 0.1;
+  EXPECT_TRUE(sta::run_sta(f.nl, zero_parasitics(f.nl), loose).met());
+  const auto t = sta::run_sta(f.nl, zero_parasitics(f.nl), tight);
+  EXPECT_FALSE(t.met());
+  EXPECT_LT(t.tns_ps, 0.0);
+}
+
+TEST(Sta, SetupTimeCountsAgainstEndpoint) {
+  const auto lib = test::make_test_library();
+  auto f = make_reg_chain(1, lib);
+  sta::StaOptions opt;
+  opt.clock_ns = 1.0;
+  const auto t = sta::run_sta(f.nl, zero_parasitics(f.nl), opt);
+  // WNS = clock - arrival(D of end flop) - setup.
+  const double arr_d = t.arrival_ps[static_cast<size_t>(f.last)];
+  EXPECT_NEAR(t.wns_ps, 1000.0 - arr_d - 40.0, 1.0);
+}
+
+TEST(Sta, NetDelayAddsElmore) {
+  const auto lib = test::make_test_library();
+  auto f = make_reg_chain(2, lib);
+  auto par = zero_parasitics(f.nl);
+  const auto t0 = sta::run_sta(f.nl, par, {});
+  // Load the q net with wire RC.
+  par[static_cast<size_t>(f.q)].wire_cap_ff = 20.0;
+  par[static_cast<size_t>(f.q)].wire_res_kohm = 0.5;
+  const auto t1 = sta::run_sta(f.nl, par, {});
+  EXPECT_GT(t1.arrival_ps[static_cast<size_t>(f.last)],
+            t0.arrival_ps[static_cast<size_t>(f.last)] + 10.0);
+  EXPECT_DOUBLE_EQ(
+      sta::net_delay_ps(par[static_cast<size_t>(f.q)], 0, 1.0),
+      0.5 * (10.0 + 1.0));
+}
+
+TEST(Sta, LoadsIncludePinCaps) {
+  const auto lib = test::make_test_library();
+  auto f = make_reg_chain(2, lib);
+  const auto t = sta::run_sta(f.nl, zero_parasitics(f.nl), {});
+  // q drives one INV_X1 pin (0.53 fF in the fixture).
+  EXPECT_NEAR(t.load_ff[static_cast<size_t>(f.q)], 0.53, 1e-9);
+}
+
+TEST(Sta, RequiredTimesBackPropagate) {
+  const auto lib = test::make_test_library();
+  auto f = make_reg_chain(5, lib);
+  sta::StaOptions opt;
+  opt.clock_ns = 2.0;
+  const auto t = sta::run_sta(f.nl, zero_parasitics(f.nl), opt);
+  // Required decreases from endpoint toward the source.
+  EXPECT_LT(t.required_ps[static_cast<size_t>(f.q)],
+            t.required_ps[static_cast<size_t>(f.last)]);
+  // Slack roughly uniform along a single chain.
+  const double s_start = t.required_ps[static_cast<size_t>(f.q)] -
+                         t.arrival_ps[static_cast<size_t>(f.q)];
+  const double s_end = t.required_ps[static_cast<size_t>(f.last)] -
+                       t.arrival_ps[static_cast<size_t>(f.last)];
+  EXPECT_NEAR(s_start, s_end, 1.0);
+}
+
+// --- Power -------------------------------------------------------------------
+
+TEST(Power, InverterChainPreservesActivity) {
+  const auto lib = test::make_test_library();
+  auto f = make_reg_chain(4, lib);
+  power::PowerOptions opt;
+  opt.seq_activity = 0.1;
+  const auto p = power::run_power(f.nl, zero_parasitics(f.nl), nullptr, opt);
+  EXPECT_NEAR(p.net_activity[static_cast<size_t>(f.q)], 0.1, 1e-9);
+  EXPECT_NEAR(p.net_activity[static_cast<size_t>(f.last)], 0.1, 1e-9);
+}
+
+TEST(Power, XorSumsActivities) {
+  const auto lib = test::make_test_library();
+  circuit::Netlist nl;
+  const NetId a = nl.new_net("a");
+  const NetId b = nl.new_net("b");
+  nl.add_input_port("a", a);
+  nl.add_input_port("b", b);
+  const NetId x = nl.new_net("x");
+  nl.add_gate(Func::kXor2, {a, b}, {x});
+  const NetId y = nl.new_net("y");
+  nl.add_gate(Func::kAnd2, {a, b}, {y});
+  nl.add_output_port("x", x);
+  nl.add_output_port("y", y);
+  nl.bind(lib);
+  power::PowerOptions opt;
+  opt.pi_activity = 0.2;
+  const auto p = power::run_power(nl, zero_parasitics(nl), nullptr, opt);
+  // XOR: boolean difference prob = 1 for each input -> a = 0.4.
+  EXPECT_NEAR(p.net_activity[static_cast<size_t>(x)], 0.4, 1e-9);
+  // AND: difference prob = P(other=1) = 0.5 -> a = 0.2.
+  EXPECT_NEAR(p.net_activity[static_cast<size_t>(y)], 0.2, 1e-9);
+}
+
+TEST(Power, ClockPinsBurnTwoTogglesPerCycle) {
+  const auto lib = test::make_test_library();
+  auto f = make_reg_chain(1, lib);
+  power::PowerOptions opt;
+  opt.clock_ns = 1.0;
+  opt.vdd_v = 1.0;
+  const auto p = power::run_power(f.nl, zero_parasitics(f.nl), nullptr, opt);
+  EXPECT_NEAR(p.net_activity[static_cast<size_t>(f.clk)], 2.0, 1e-9);
+  // Pin power includes the two DFF CK pins at a=2.
+  EXPECT_GT(p.pin_uw, 0.0);
+}
+
+TEST(Power, WirePowerScalesWithCapAndFreq) {
+  const auto lib = test::make_test_library();
+  auto f = make_reg_chain(2, lib);
+  auto par = zero_parasitics(f.nl);
+  par[static_cast<size_t>(f.q)].wire_cap_ff = 10.0;
+  power::PowerOptions opt;
+  opt.clock_ns = 1.0;
+  opt.vdd_v = 1.0;
+  opt.seq_activity = 0.1;
+  const auto p1 = power::run_power(f.nl, par, nullptr, opt);
+  // 0.5 * 0.1 * 10 fF * 1 V^2 * 1 GHz = 0.5 uW on that net.
+  EXPECT_NEAR(p1.wire_uw, 0.5, 1e-9);
+  opt.clock_ns = 2.0;
+  const auto p2 = power::run_power(f.nl, par, nullptr, opt);
+  EXPECT_NEAR(p2.wire_uw, 0.25, 1e-9);
+}
+
+TEST(Power, LeakageSumsCells) {
+  const auto lib = test::make_test_library();
+  auto f = make_reg_chain(3, lib);
+  const auto p = power::run_power(f.nl, zero_parasitics(f.nl), nullptr, {});
+  // 2 DFF + 3 INV at 0.003 uW each.
+  EXPECT_NEAR(p.leakage_uw, 5 * 0.003, 1e-9);
+}
+
+TEST(Power, TotalIsSumOfParts) {
+  const auto lib = test::make_test_library();
+  auto f = make_reg_chain(6, lib);
+  auto par = zero_parasitics(f.nl);
+  par[static_cast<size_t>(f.q)].wire_cap_ff = 3.0;
+  const auto p = power::run_power(f.nl, par, nullptr, {});
+  EXPECT_NEAR(p.total_uw, p.cell_internal_uw + p.net_switching_uw + p.leakage_uw,
+              1e-9);
+  EXPECT_NEAR(p.net_switching_uw, p.wire_uw + p.pin_uw, 1e-9);
+}
+
+TEST(Power, ActivityCappedAtOne) {
+  const auto lib = test::make_test_library();
+  circuit::Netlist nl;
+  std::vector<NetId> ins;
+  for (int i = 0; i < 4; ++i) {
+    ins.push_back(nl.new_net());
+    nl.add_input_port("i" + std::to_string(i), ins.back());
+  }
+  // XOR tree of highly active inputs.
+  const NetId x1 = nl.new_net();
+  nl.add_gate(Func::kXor2, {ins[0], ins[1]}, {x1});
+  const NetId x2 = nl.new_net();
+  nl.add_gate(Func::kXor2, {ins[2], ins[3]}, {x2});
+  const NetId x3 = nl.new_net();
+  nl.add_gate(Func::kXor2, {x1, x2}, {x3});
+  nl.add_output_port("x", x3);
+  nl.bind(lib);
+  power::PowerOptions opt;
+  opt.pi_activity = 0.9;
+  const auto p = power::run_power(nl, zero_parasitics(nl), nullptr, opt);
+  EXPECT_LE(p.net_activity[static_cast<size_t>(x3)], 1.0);
+}
+
+}  // namespace
+}  // namespace m3d
+
+namespace m3d {
+namespace {
+
+// Regression: arrivals must be monotone along every combinational edge even
+// after optimization inserts/removes buffers and CTS rewires the clock
+// (a Kahn-ordering bug once let DFF sources decrement uncounted deps).
+TEST(Sta, ArrivalsMonotoneAfterFullFlow) {
+  const auto lib = test::make_test_library();
+  flow::FlowOptions o;
+  o.bench = gen::Bench::kDes;
+  o.scale_shift = 4;
+  o.clock_ns = 1.5;
+  o.lib = &lib;
+  const flow::FlowResult r = flow::run_flow(o);
+  const tech::Tech t(tech::Node::k45nm, tech::Style::k2D);
+  const auto par = extract::extract_from_routes(r.netlist, t, r.routes);
+  sta::StaOptions so;
+  so.clock_ns = 1.5;
+  const auto timing = sta::run_sta(r.netlist, par, so);
+  for (int i = 0; i < r.netlist.num_instances(); ++i) {
+    const auto& inst = r.netlist.inst(i);
+    if (inst.dead || inst.sequential() || inst.libcell == nullptr) continue;
+    for (circuit::NetId in : inst.in_nets) {
+      for (circuit::NetId out : inst.out_nets) {
+        EXPECT_GE(timing.arrival_ps[static_cast<size_t>(out)] + 1e-6,
+                  timing.arrival_ps[static_cast<size_t>(in)])
+            << "inst " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace m3d
+
+namespace m3d {
+namespace {
+
+TEST(Hold, NoViolationsOnHealthyDesign) {
+  const auto lib = test::make_test_library();
+  flow::FlowOptions o;
+  o.bench = gen::Bench::kDes;
+  o.scale_shift = 4;
+  o.clock_ns = 1.5;
+  o.lib = &lib;
+  const flow::FlowResult r = flow::run_flow(o);
+  const tech::Tech t(tech::Node::k45nm, tech::Style::k2D);
+  const auto par = extract::extract_from_routes(r.netlist, t, r.routes);
+  sta::StaOptions so;
+  so.clock_ns = 1.5;
+  const auto h = sta::run_hold_check(r.netlist, par, so);
+  // Fixture hold = 5 ps; even the shortest reg-to-reg path has a full
+  // clk->q plus at least one gate.
+  EXPECT_EQ(h.violations, 0);
+  EXPECT_GT(h.worst_slack_ps, 0.0);
+}
+
+TEST(Hold, DetectsArtificiallyLargeHold) {
+  // Clone the fixture library with an absurd hold requirement.
+  liberty::Library lib = test::make_test_library();
+  liberty::Library harsh;
+  harsh.name = lib.name;
+  harsh.node = lib.node;
+  harsh.style = lib.style;
+  harsh.vdd_v = lib.vdd_v;
+  for (liberty::LibCell c : lib.cells()) {
+    if (c.sequential) c.hold_ps = 1e5;
+    harsh.add(std::move(c));
+  }
+  flow::FlowOptions o;
+  o.bench = gen::Bench::kDes;
+  o.scale_shift = 4;
+  o.clock_ns = 1.5;
+  o.lib = &harsh;
+  const flow::FlowResult r = flow::run_flow(o);
+  const tech::Tech t(tech::Node::k45nm, tech::Style::k2D);
+  const auto par = extract::extract_from_routes(r.netlist, t, r.routes);
+  sta::StaOptions so;
+  so.clock_ns = 1.5;
+  const auto h = sta::run_hold_check(r.netlist, par, so);
+  EXPECT_GT(h.violations, 0);
+  EXPECT_LT(h.worst_slack_ps, 0.0);
+}
+
+}  // namespace
+}  // namespace m3d
