@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sys/stat.h>
 
+#include "flow/report.hpp"
 #include "liberty/characterize.hpp"
 #include "util/log.hpp"
 #include "util/strf.hpp"
@@ -81,6 +82,20 @@ bool read_metrics(std::istream& is, Metrics* m) {
 
 }  // namespace
 
+void write_run_reports(const flow::CompareResult& r) {
+  ::mkdir("out_figs", 0755);
+  for (const flow::FlowResult* res : {&r.flat, &r.tmi}) {
+    const std::string path =
+        "out_figs/" + report::report_filename(res->bench_name,
+                                              tech::to_string(res->style));
+    if (report::write_json(*res, path)) {
+      util::info("wrote run report " + path);
+    } else {
+      util::warn("could not write run report " + path);
+    }
+  }
+}
+
 Cmp compare_cached(const std::string& key, const flow::FlowOptions& base) {
   const std::string path =
       util::strf("%s/result_%s_v%d.txt", cache_dir().c_str(), key.c_str(),
@@ -97,6 +112,7 @@ Cmp compare_cached(const std::string& key, const flow::FlowOptions& base) {
                                             ? tech::Style::kTMI
                                             : base.style);
   const flow::CompareResult r = flow::run_iso_comparison(base, l2, l3);
+  write_run_reports(r);
   Cmp cmp;
   cmp.flat = to_metrics(r.flat);
   cmp.tmi = to_metrics(r.tmi);

@@ -42,13 +42,21 @@ Metrics to_metrics(const flow::FlowResult& r);
 
 struct Cmp {
   Metrics flat, tmi;
-  double pct(double v3, double v2) const { return 100.0 * (v3 / v2 - 1.0); }
+  /// Percent change with a zero-baseline guard (see flow::CompareResult::pct).
+  double pct(double v3, double v2) const {
+    return flow::CompareResult{}.pct(v3, v2);
+  }
 };
 
 /// Runs (or loads from the result cache) an iso-performance comparison.
 /// `key` must uniquely identify the configuration; bump kResultVersion in
-/// common.cpp when flow behaviour changes.
+/// common.cpp when flow behaviour changes. Fresh (non-cached) runs also drop
+/// one JSON run report per side under out_figs/run_<bench>_<style>.json.
 Cmp compare_cached(const std::string& key, const flow::FlowOptions& base);
+
+/// Writes the out_figs/run_<bench>_<style>.json reports for both sides of a
+/// comparison (stage timings + counters; see flow/report.hpp).
+void write_run_reports(const flow::CompareResult& r);
 
 /// FlowOptions preset for one of the five paper benchmarks at a node.
 flow::FlowOptions preset(gen::Bench bench, tech::Node node);

@@ -6,8 +6,10 @@
 //   ./build/examples/full_flow_aes [scale_shift] [clock_ns]
 #include <cstdio>
 #include <cstdlib>
+#include <sys/stat.h>
 
 #include "flow/flow.hpp"
+#include "flow/report.hpp"
 #include "liberty/characterize.hpp"
 #include "util/log.hpp"
 #include "util/strf.hpp"
@@ -16,7 +18,7 @@
 using namespace m3d;
 
 int main(int argc, char** argv) {
-  util::set_log_level(util::LogLevel::kInfo);
+  util::set_default_log_level(util::LogLevel::kInfo);
   const int shift = argc > 1 ? std::atoi(argv[1]) : 2;
   const double clock_ns = argc > 2 ? std::atof(argv[2]) : 0.0;  // 0 = auto
 
@@ -54,5 +56,16 @@ int main(int argc, char** argv) {
   t.add_row({"timing met", cmp.flat.timing_met ? "yes" : "NO",
              cmp.tmi.timing_met ? "yes" : "NO", ""});
   t.print();
+
+  // Machine-readable run reports: per-stage wall clock + iteration counters.
+  ::mkdir("out_figs", 0755);
+  for (const flow::FlowResult* r : {&cmp.flat, &cmp.tmi}) {
+    const std::string path =
+        "out_figs/" + report::report_filename(r->bench_name,
+                                              tech::to_string(r->style));
+    if (report::write_json(*r, path)) {
+      std::printf("run report: %s\n", path.c_str());
+    }
+  }
   return cmp.flat.timing_met && cmp.tmi.timing_met ? 0 : 1;
 }

@@ -9,7 +9,8 @@
 //   cts                            route
 //   optimize                       extract
 //   report_timing                  report_power
-//   report_design                  write_def <file>
+//   report_design                  report_metrics
+//   write_report <file>            write_def <file>
 //   write_gds <file>               write_lib <file>
 //   help                           quit
 #include <cstdio>
@@ -22,6 +23,7 @@
 #include "cts/cts.hpp"
 #include "extract/extract.hpp"
 #include "flow/flow.hpp"
+#include "flow/report.hpp"
 #include "gen/gen.hpp"
 #include "liberty/characterize.hpp"
 #include "liberty/liberty_writer.hpp"
@@ -84,15 +86,15 @@ void cmd_help() {
       "  read_verilog <file> | write_verilog <file>\n"
       "  use_style <2D|T-MI|T-MI+M> | use_node <45nm|7nm>\n"
       "  synth <clock_ns> | place [util] | cts | route | optimize\n"
-      "  report_timing | report_power | report_design\n"
-      "  write_def <f> | write_gds <f> | write_lib <f>\n"
+      "  report_timing | report_power | report_design | report_metrics\n"
+      "  write_report <f> | write_def <f> | write_gds <f> | write_lib <f>\n"
       "  help | quit\n");
 }
 
 }  // namespace
 
 int main() {
-  util::set_log_level(util::LogLevel::kWarn);
+  util::set_default_log_level(util::LogLevel::kWarn);
   Session s;
   std::printf("monolith3d shell — 'help' for commands\n");
   std::string line;
@@ -235,6 +237,15 @@ int main() {
           s.nl.count_sequential(), s.nl.num_signal_nets(),
           s.nl.total_cell_area_um2(), tech::to_string(s.style),
           tech::to_string(s.node));
+    } else if (cmd == "report_metrics") {
+      // Everything the instrumentation collected so far in this session.
+      std::printf("%s\n", report::metrics_to_json().dump().c_str());
+    } else if (cmd == "write_report") {
+      std::string path;
+      is >> path;
+      if (path.empty()) path = "m3d_metrics.json";
+      std::printf("%s\n", report::write_metrics_json(path)
+                              ? ("written " + path).c_str() : "failed");
     } else if (cmd == "write_def") {
       std::string path;
       is >> path;

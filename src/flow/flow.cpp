@@ -10,10 +10,31 @@
 #include "sta/sta.hpp"
 #include "synth/synth.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/strf.hpp"
+#include "util/trace.hpp"
 
 namespace m3d::flow {
 namespace {
+
+/// Runs one flow stage under a span and appends a StageReport to `res`:
+/// wall time plus the delta of every global counter the stage touched.
+template <typename Body>
+void run_stage(FlowResult* res, const char* name, Body&& body) {
+  auto& reg = util::MetricsRegistry::global();
+  const auto before = reg.counters();
+  util::ScopedTimer timer(util::strf("flow.%s", name));
+  body();
+  StageReport sr;
+  sr.name = name;
+  sr.wall_ms = timer.stop();
+  for (const auto& [key, value] : reg.counters()) {
+    const auto it = before.find(key);
+    const double delta = value - (it == before.end() ? 0.0 : it->second);
+    if (delta != 0.0) sr.counters.emplace_back(key, delta);
+  }
+  res->stages.push_back(std::move(sr));
+}
 
 synth::Wlm default_wlm(const FlowOptions& opt, const circuit::Netlist& nl,
                        const tech::Tech& tch) {
@@ -73,74 +94,92 @@ FlowResult run_flow(const FlowOptions& opt) {
   FlowResult res;
   res.style = opt.style;
   res.clock_ns = opt.clock_ns;
+  util::ScopedTimer flow_span(
+      util::strf("flow.run %s/%s", tech::to_string(opt.node),
+                 tech::to_string(opt.style)));
 
   // 1. Benchmark netlist.
-  gen::GenOptions gopt;
-  gopt.scale_shift = opt.scale_shift;
-  gopt.seed = opt.seed;
-  res.netlist = gen::make_benchmark(opt.bench, gopt);
   circuit::Netlist& nl = res.netlist;
-  res.bench_name = nl.name;
+  run_stage(&res, "gen", [&] {
+    gen::GenOptions gopt;
+    gopt.scale_shift = opt.scale_shift;
+    gopt.seed = opt.seed;
+    res.netlist = gen::make_benchmark(opt.bench, gopt);
+    res.bench_name = nl.name;
+  });
 
   // 2. Synthesis with the style's WLM.
-  const synth::Wlm wlm = opt.wlm.has_value() ? *opt.wlm : default_wlm(opt, nl, tch);
-  synth::SynthOptions sopt;
-  sopt.clock_ns = opt.clock_ns;
-  synth::synthesize(&nl, *opt.lib, wlm, sopt);
+  run_stage(&res, "synth", [&] {
+    const synth::Wlm wlm =
+        opt.wlm.has_value() ? *opt.wlm : default_wlm(opt, nl, tch);
+    synth::SynthOptions sopt;
+    sopt.clock_ns = opt.clock_ns;
+    synth::synthesize(&nl, *opt.lib, wlm, sopt);
+  });
 
-  // 3. Placement.
-  res.die = place::make_die(&nl, opt.target_util, tch.row_height_um());
-  place::PlaceOptions popt;
-  popt.target_util = opt.target_util;
-  popt.seed = opt.seed;
-  place::place_design(&nl, res.die, popt);
-
-  // 3b. Clock tree synthesis (the tree's buffers/nets are ordinary objects:
-  // routed, extracted and powered like everything else).
-  if (opt.build_cts) {
-    cts::build_clock_tree(&nl, *opt.lib);
-  }
+  // 3. Placement, plus clock tree synthesis (the tree's buffers/nets are
+  // ordinary objects: routed, extracted and powered like everything else).
+  run_stage(&res, "place", [&] {
+    res.die = place::make_die(&nl, opt.target_util, tch.row_height_um());
+    place::PlaceOptions popt;
+    popt.target_util = opt.target_util;
+    popt.seed = opt.seed;
+    place::place_design(&nl, res.die, popt);
+    if (opt.build_cts) {
+      cts::build_clock_tree(&nl, *opt.lib);
+    }
+  });
 
   // 4. Pre-route optimization on placement estimates.
   opt::OptOptions oopt;
-  oopt.clock_ns = opt.clock_ns;
-  oopt.allow_buffering = true;
-  oopt.buffer_net_wl_um =
-      120.0 * (opt.node == tech::Node::k7nm ? 7.0 / 45.0 : 1.0);
-  opt::optimize(&nl, *opt.lib,
-                [&](const circuit::Netlist& n) {
-                  return extract::extract_from_placement(n, tch);
-                },
-                oopt);
+  run_stage(&res, "opt_preroute", [&] {
+    oopt.clock_ns = opt.clock_ns;
+    oopt.allow_buffering = true;
+    oopt.buffer_net_wl_um =
+        120.0 * (opt.node == tech::Node::k7nm ? 7.0 / 45.0 : 1.0);
+    opt::optimize(&nl, *opt.lib,
+                  [&](const circuit::Netlist& n) {
+                    return extract::extract_from_placement(n, tch);
+                  },
+                  oopt);
+  });
 
   // 5. Global routing.
-  route::RouteOptions ropt;
-  ropt.seed = opt.seed;
-  ropt.local_blockage_frac =
-      opt.local_blockage_frac >= 0.0 ? opt.local_blockage_frac
-                                     : (tch.is_3d() ? 0.03 : 0.0);
-  res.routes = route::global_route(nl, res.die, tch, ropt);
+  run_stage(&res, "route", [&] {
+    route::RouteOptions ropt;
+    ropt.seed = opt.seed;
+    ropt.local_blockage_frac =
+        opt.local_blockage_frac >= 0.0 ? opt.local_blockage_frac
+                                       : (tch.is_3d() ? 0.03 : 0.0);
+    res.routes = route::global_route(nl, res.die, tch, ropt);
+  });
 
   // 6. Post-route optimization: sizing only, routes preserved (paper S5).
-  opt::OptOptions oopt2 = oopt;
-  oopt2.allow_buffering = false;
-  opt::optimize(&nl, *opt.lib,
-                [&](const circuit::Netlist& n) {
-                  return extract::extract_from_routes(n, tch, res.routes);
-                },
-                oopt2);
+  run_stage(&res, "opt_postroute", [&] {
+    opt::OptOptions oopt2 = oopt;
+    oopt2.allow_buffering = false;
+    opt::optimize(&nl, *opt.lib,
+                  [&](const circuit::Netlist& n) {
+                    return extract::extract_from_routes(n, tch, res.routes);
+                  },
+                  oopt2);
+  });
 
   // 7. Sign-off timing and power.
-  const auto par = extract::extract_from_routes(nl, tch, res.routes);
-  sta::StaOptions sta_opt;
-  sta_opt.clock_ns = opt.clock_ns;
-  const auto timing = sta::run_sta(nl, par, sta_opt);
-  power::PowerOptions pw;
-  pw.clock_ns = opt.clock_ns;
-  pw.vdd_v = opt.lib->vdd_v;
-  pw.pi_activity = opt.pi_activity;
-  pw.seq_activity = opt.seq_activity;
-  const auto power = power::run_power(nl, par, &timing, pw);
+  sta::TimingResult timing;
+  power::PowerResult power;
+  run_stage(&res, "sta_power", [&] {
+    const auto par = extract::extract_from_routes(nl, tch, res.routes);
+    sta::StaOptions sta_opt;
+    sta_opt.clock_ns = opt.clock_ns;
+    timing = sta::run_sta(nl, par, sta_opt);
+    power::PowerOptions pw;
+    pw.clock_ns = opt.clock_ns;
+    pw.vdd_v = opt.lib->vdd_v;
+    pw.pi_activity = opt.pi_activity;
+    pw.seq_activity = opt.seq_activity;
+    power = power::run_power(nl, par, &timing, pw);
+  });
 
   res.footprint_um2 = res.die.core.area();
   res.cells = 0;

@@ -5,7 +5,10 @@
 // same clock (iso-performance) and reports the paper's metrics.
 #pragma once
 
+#include <cmath>
+#include <limits>
 #include <optional>
+#include <utility>
 
 #include "circuit/netlist.hpp"
 #include "gen/gen.hpp"
@@ -37,6 +40,23 @@ struct FlowOptions {
   uint64_t seed = 20130529;
 };
 
+/// Per-stage observability record: wall time plus the counters the stage's
+/// instrumentation incremented while it ran (e.g. "route.twopins",
+/// "opt.upsized"). run_flow emits one per flow stage, in execution order;
+/// report::write_json serializes them into the machine-readable run report.
+struct StageReport {
+  std::string name;
+  double wall_ms = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+
+  double counter(const std::string& key) const {
+    for (const auto& [k, v] : counters) {
+      if (k == key) return v;
+    }
+    return 0.0;
+  }
+};
+
 struct FlowResult {
   // Identification.
   std::string bench_name;
@@ -65,6 +85,15 @@ struct FlowResult {
   circuit::Netlist netlist;
   place::Die die;
   route::RouteResult routes;
+  // Observability: one entry per flow stage, in execution order.
+  std::vector<StageReport> stages;
+
+  const StageReport* stage(const std::string& name) const {
+    for (const auto& s : stages) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
 };
 
 /// Runs the complete flow once. opt.lib must outlive the call.
@@ -77,7 +106,16 @@ double auto_clock_ns(const FlowOptions& base, double tighten = 1.05);
 struct CompareResult {
   FlowResult flat;  // 2D
   FlowResult tmi;   // T-MI (or T-MI+M)
-  double pct(double v3, double v2) const { return 100.0 * (v3 / v2 - 1.0); }
+  /// Percent change of v3 over v2. A zero baseline (e.g. leak_uw at coarse
+  /// scale shifts) yields 0 when both are zero, else a signed infinity, so
+  /// the ratio never divides by zero.
+  double pct(double v3, double v2) const {
+    if (v2 == 0.0) {
+      if (v3 == 0.0) return 0.0;
+      return std::copysign(std::numeric_limits<double>::infinity(), v3);
+    }
+    return 100.0 * (v3 / v2 - 1.0);
+  }
   double footprint_pct() const { return pct(tmi.footprint_um2, flat.footprint_um2); }
   double wl_pct() const { return pct(tmi.total_wl_um, flat.total_wl_um); }
   double power_pct() const { return pct(tmi.total_uw, flat.total_uw); }

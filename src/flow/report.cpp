@@ -1,0 +1,160 @@
+#include "flow/report.hpp"
+
+#include <cctype>
+#include <fstream>
+
+#include "util/metrics.hpp"
+
+namespace m3d::report {
+
+using util::json::Value;
+
+namespace {
+
+Value metrics_block(const flow::FlowResult& r) {
+  Value m = Value::object();
+  m.set("footprint_um2", Value::number(r.footprint_um2));
+  m.set("cells", Value::number(r.cells));
+  m.set("buffers", Value::number(r.buffers));
+  m.set("utilization", Value::number(r.utilization));
+  m.set("total_wl_um", Value::number(r.total_wl_um));
+  m.set("wns_ps", Value::number(r.wns_ps));
+  m.set("timing_met", Value::boolean(r.timing_met));
+  m.set("routed", Value::boolean(r.routed));
+  m.set("total_uw", Value::number(r.total_uw));
+  m.set("cell_uw", Value::number(r.cell_uw));
+  m.set("net_uw", Value::number(r.net_uw));
+  m.set("leak_uw", Value::number(r.leak_uw));
+  m.set("wire_uw", Value::number(r.wire_uw));
+  m.set("pin_uw", Value::number(r.pin_uw));
+  m.set("wire_cap_pf", Value::number(r.wire_cap_pf));
+  m.set("pin_cap_pf", Value::number(r.pin_cap_pf));
+  m.set("longest_path_ns", Value::number(r.longest_path_ns));
+  return m;
+}
+
+Value stage_to_json(const flow::StageReport& s) {
+  Value v = Value::object();
+  v.set("name", Value::str(s.name));
+  v.set("wall_ms", Value::number(s.wall_ms));
+  Value counters = Value::object();
+  for (const auto& [key, value] : s.counters) {
+    counters.set(key, Value::number(value));
+  }
+  v.set("counters", std::move(counters));
+  return v;
+}
+
+}  // namespace
+
+Value to_json(const flow::FlowResult& r) {
+  Value doc = Value::object();
+  doc.set("schema", Value::str("m3d.run_report/v1"));
+  doc.set("bench", Value::str(r.bench_name));
+  doc.set("style", Value::str(tech::to_string(r.style)));
+  doc.set("clock_ns", Value::number(r.clock_ns));
+  doc.set("metrics", metrics_block(r));
+  Value stages = Value::array();
+  double total_ms = 0.0;
+  for (const auto& s : r.stages) {
+    stages.push(stage_to_json(s));
+    total_ms += s.wall_ms;
+  }
+  doc.set("stages", std::move(stages));
+  doc.set("total_wall_ms", Value::number(total_ms));
+  return doc;
+}
+
+std::string to_json_string(const flow::FlowResult& r) {
+  return to_json(r).dump() + "\n";
+}
+
+bool write_json(const flow::FlowResult& r, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_json_string(r);
+  return static_cast<bool>(os);
+}
+
+bool parse_stages(const std::string& json_text,
+                  std::vector<flow::StageReport>* out, std::string* err) {
+  Value doc;
+  if (!util::json::parse(json_text, &doc, err)) return false;
+  const Value* stages = doc.find("stages");
+  // Accept both a full report document and a bare stage array.
+  if (stages == nullptr && doc.is_array()) stages = &doc;
+  if (stages == nullptr || !stages->is_array()) {
+    if (err != nullptr) *err = "no 'stages' array";
+    return false;
+  }
+  out->clear();
+  for (const Value& item : stages->items()) {
+    if (!item.is_object()) {
+      if (err != nullptr) *err = "stage entry is not an object";
+      return false;
+    }
+    flow::StageReport sr;
+    sr.name = item.string_or("name", "");
+    sr.wall_ms = item.number_or("wall_ms", 0.0);
+    if (const Value* counters = item.find("counters");
+        counters != nullptr && counters->is_object()) {
+      for (const auto& [key, value] : counters->members()) {
+        sr.counters.emplace_back(key, value.as_number());
+      }
+    }
+    out->push_back(std::move(sr));
+  }
+  return true;
+}
+
+Value metrics_to_json() {
+  auto& reg = util::MetricsRegistry::global();
+  Value doc = Value::object();
+  doc.set("schema", Value::str("m3d.metrics/v1"));
+  Value counters = Value::object();
+  for (const auto& [name, value] : reg.counters()) {
+    counters.set(name, Value::number(value));
+  }
+  doc.set("counters", std::move(counters));
+  Value gauges = Value::object();
+  for (const auto& [name, value] : reg.gauges()) {
+    gauges.set(name, Value::number(value));
+  }
+  doc.set("gauges", std::move(gauges));
+  Value hists = Value::object();
+  for (const auto& [name, h] : reg.histograms()) {
+    Value stats = Value::object();
+    stats.set("count", Value::number(static_cast<double>(h.count)));
+    stats.set("min", Value::number(h.min));
+    stats.set("mean", Value::number(h.mean));
+    stats.set("max", Value::number(h.max));
+    stats.set("p95", Value::number(h.p95));
+    stats.set("total", Value::number(h.total));
+    hists.set(name, std::move(stats));
+  }
+  doc.set("histograms", std::move(hists));
+  return doc;
+}
+
+bool write_metrics_json(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << metrics_to_json().dump() << '\n';
+  return static_cast<bool>(os);
+}
+
+std::string report_filename(const std::string& bench,
+                            const std::string& style) {
+  auto sanitize = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                      c == '.' || c == '_' || c == '-';
+      out.push_back(ok ? c : '_');
+    }
+    return out;
+  };
+  return "run_" + sanitize(bench) + "_" + sanitize(style) + ".json";
+}
+
+}  // namespace m3d::report

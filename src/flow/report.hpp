@@ -1,0 +1,42 @@
+// Machine-readable run reports (schema "m3d.run_report/v1"): one JSON
+// document per flow run with the identification, the Table 13/14 metric
+// block, and the per-stage wall-clock timings + counters collected by the
+// instrumentation layer (util/trace.hpp, util/metrics.hpp). The benches drop
+// one per run under out_figs/run_<bench>_<style>.json so later perf PRs can
+// diff where the time goes.
+#pragma once
+
+#include <string>
+
+#include "flow/flow.hpp"
+#include "util/json.hpp"
+
+namespace m3d::report {
+
+/// Full run report document for one flow result.
+util::json::Value to_json(const flow::FlowResult& r);
+
+/// to_json, pretty-printed.
+std::string to_json_string(const flow::FlowResult& r);
+
+/// Writes the run report; returns false when the file cannot be opened.
+bool write_json(const flow::FlowResult& r, const std::string& path);
+
+/// Parses a serialized run report back into stage reports (inverse of the
+/// "stages" block of to_json). Used by tests and external tooling; returns
+/// false on malformed input.
+bool parse_stages(const std::string& json_text,
+                  std::vector<flow::StageReport>* out,
+                  std::string* err = nullptr);
+
+/// Snapshot of the whole global metrics registry (counters, gauges,
+/// histogram stats) as JSON — the report for interactive sessions
+/// (m3d_shell) that run stages manually rather than through run_flow.
+util::json::Value metrics_to_json();
+bool write_metrics_json(const std::string& path);
+
+/// "AES" + "T-MI" -> "run_AES_T-MI.json" (characters outside [A-Za-z0-9._-]
+/// become '_').
+std::string report_filename(const std::string& bench, const std::string& style);
+
+}  // namespace m3d::report

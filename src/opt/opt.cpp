@@ -5,7 +5,9 @@
 
 #include "sta/sta.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/strf.hpp"
+#include "util/trace.hpp"
 
 namespace m3d::opt {
 namespace {
@@ -37,11 +39,14 @@ double input_slew_of(const circuit::Netlist& nl, const sta::TimingResult& t,
 OptReport optimize(circuit::Netlist* nl, const liberty::Library& lib,
                    const ParasiticFn& parasitics, const OptOptions& opt) {
   OptReport rep;
+  util::ScopedTimer opt_span(opt.allow_buffering ? "opt.preroute"
+                                                 : "opt.postroute");
   sta::StaOptions sta_opt;
   sta_opt.clock_ns = opt.clock_ns;
   const double margin_ps = opt.downsize_margin_frac * opt.clock_ns * 1000.0;
 
   for (int round = 0; round < opt.rounds; ++round) {
+    util::count("opt.rounds");
     const auto par = parasitics(*nl);
     const auto timing = sta::run_sta(*nl, par, sta_opt);
     rep.wns_ps = timing.wns_ps;
@@ -258,6 +263,7 @@ OptReport optimize(circuit::Netlist* nl, const liberty::Library& lib,
     const auto par = parasitics(*nl);
     const auto timing = sta::run_sta(*nl, par, sta_opt);
     if (timing.met()) break;
+    util::count("opt.fixup_rounds");
     int changed = 0;
     for (int i = 0; i < nl->num_instances(); ++i) {
       const auto& inst = nl->inst(i);
@@ -282,6 +288,10 @@ OptReport optimize(circuit::Netlist* nl, const liberty::Library& lib,
   const auto timing = sta::run_sta(*nl, par, sta_opt);
   rep.wns_ps = timing.wns_ps;
   rep.met = timing.met();
+  util::count("opt.upsized", rep.upsized);
+  util::count("opt.downsized", rep.downsized);
+  util::count("opt.buffers_added", rep.buffers_added);
+  util::count("opt.buffers_removed", rep.buffers_removed);
   util::info(util::strf("opt %s: wns=%+.0f ps, +%d/-%d sizes, +%d/-%d bufs",
                         nl->name.c_str(), rep.wns_ps, rep.upsized,
                         rep.downsized, rep.buffers_added, rep.buffers_removed));

@@ -5,8 +5,10 @@
 #include <cmath>
 
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/strf.hpp"
+#include "util/trace.hpp"
 
 namespace m3d::place {
 namespace {
@@ -135,8 +137,10 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
   }
   const int nv = static_cast<int>(movable.size());
   if (nv == 0) return;
+  util::count("place.cells", nv);
 
   // --- Quadratic global placement -------------------------------------------
+  util::ScopedTimer quad_span("place.quadratic");
   Mat mat(nv);
   auto pin_var = [&](const circuit::PinRef& p) {
     return p.inst == circuit::kInvalid ? -1 : var_of[static_cast<size_t>(p.inst)];
@@ -196,6 +200,8 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
   }
   cg_solve(mat, mat.rhs_x, x, opt.cg_iters);
   cg_solve(mat, mat.rhs_y, y, opt.cg_iters);
+  util::count("place.cg_solves", 2.0);
+  quad_span.stop();
 
   auto solve_with_spread_anchors = [&](double weight) {
     // Re-solve the quadratic system pulling each cell toward its spread
@@ -206,6 +212,7 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
     }
     cg_solve(m2, m2.rhs_x, x, opt.cg_iters);
     cg_solve(m2, m2.rhs_y, y, opt.cg_iters);
+    util::count("place.cg_solves", 2.0);
   };
 
   // --- Spreading: recursive capacity-balanced bisection -----------------------
@@ -288,13 +295,18 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
       stack.push_back({cut, t.hi, right, !t.split_x});
     }
   };
-  bisect_spread();
-  for (int round = 0; round < 2; ++round) {
-    solve_with_spread_anchors(0.4);
+  {
+    util::ScopedTimer spread_span("place.spread");
     bisect_spread();
+    for (int round = 0; round < 2; ++round) {
+      solve_with_spread_anchors(0.4);
+      bisect_spread();
+      util::count("place.spread_rounds");
+    }
   }
 
   // --- Tetris legalization ----------------------------------------------------
+  util::ScopedTimer legal_span("place.legalize");
   std::vector<int> order(static_cast<size_t>(nv));
   for (int v = 0; v < nv; ++v) order[static_cast<size_t>(v)] = v;
   std::sort(order.begin(), order.end(), [&](int a, int b) {
@@ -329,6 +341,7 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
       // Fall back to the least-filled row.
       best_row = static_cast<int>(std::min_element(row_edge.begin(), row_edge.end()) -
                                   row_edge.begin());
+      util::count("place.legalize_fallbacks");
     }
     const double cx = std::min(
         std::max(row_edge[static_cast<size_t>(best_row)],
@@ -339,10 +352,12 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
     minst.placed = true;
     row_edge[static_cast<size_t>(best_row)] = cx + w;
   }
+  legal_span.stop();
   // --- Detailed placement: median-seeking swaps ------------------------------
   // For each cell, find the median of its connected pins and try swapping
   // with the cell nearest that spot; keep the swap when HPWL drops.
   {
+    util::ScopedTimer detail_span("place.detail");
     std::vector<std::vector<circuit::NetId>> nets_of(static_cast<size_t>(n));
     for (circuit::NetId ni = 0; ni < nl->num_nets(); ++ni) {
       const circuit::Net& net = nl->net(ni);
@@ -427,13 +442,18 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
         std::swap(inst.pos, jnst.pos);
         double after = 0.0;
         for (circuit::NetId ni : affected) after += net_hpwl(ni);
+        util::count("place.detail_swaps_tried");
         if (after >= before) {
           std::swap(inst.pos, jnst.pos);  // revert
+        } else {
+          util::count("place.detail_swaps_accepted");
         }
       }
     }
   }
-  util::debug(util::strf("place: %d cells, hpwl=%.0f um", nv, total_hpwl_um(*nl)));
+  const double hpwl = total_hpwl_um(*nl);
+  util::set_gauge("place.hpwl_um", hpwl);
+  util::debug(util::strf("place: %d cells, hpwl=%.0f um", nv, hpwl));
 }
 
 double total_hpwl_um(const circuit::Netlist& nl) {

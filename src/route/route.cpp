@@ -6,8 +6,10 @@
 #include <queue>
 
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/strf.hpp"
+#include "util/trace.hpp"
 
 namespace m3d::route {
 namespace {
@@ -254,6 +256,7 @@ RouteResult global_route(const circuit::Netlist& nl, const place::Die& die,
   const double t_local = 60.0 * node_scale;
   const double t_inter = 400.0 * node_scale;
 
+  util::ScopedTimer build_span("route.build_topology");
   result.nets.assign(static_cast<size_t>(nl.num_nets()), NetRoute{});
   std::vector<TwoPin> twopins;
   std::vector<std::vector<int>> net_pin_parent;  // per net: MST parent of pin k
@@ -341,9 +344,13 @@ RouteResult global_route(const circuit::Netlist& nl, const place::Die& die,
       tp.level = len <= t_local ? kLocal : (len <= t_inter ? kIntermediate : kGlobal);
       twopins.push_back(std::move(tp));
     }
+    util::count("route.nets");
   }
+  build_span.stop();
+  util::count("route.twopins", static_cast<double>(twopins.size()));
 
   // Initial pattern routing, short connections first.
+  util::ScopedTimer pattern_span("route.pattern");
   std::vector<int> order(twopins.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
   std::sort(order.begin(), order.end(), [&](int a, int b) {
@@ -359,17 +366,21 @@ RouteResult global_route(const circuit::Netlist& nl, const place::Die& die,
     tp.path = (path_cost(grid, tp.level, p1) <= path_cost(grid, tp.level, p2)) ? p1 : p2;
     grid.add_path(tp.level, tp.path, 1.0);
   }
+  pattern_span.stop();
 
   // Rip-up and reroute.
+  util::ScopedTimer rrr_span("route.rrr");
   for (int iter = 0; iter < opt.rrr_iters; ++iter) {
     double mc = 0.0;
     const int over = grid.count_overflow(&mc);
     util::debug(util::strf("route iter %d: overflow=%d maxcong=%.2f", iter, over, mc));
     if (over == 0) break;
+    util::count("route.rrr_iters");
     grid.add_history();
     for (int ti : order) {
       TwoPin& tp = twopins[static_cast<size_t>(ti)];
       if (!grid.path_overflows(tp.level, tp.path)) continue;
+      util::count("route.overflow_retries");
       grid.add_path(tp.level, tp.path, -1.0);
       // Try levels: preferred, then one up, then one down.
       int best_level = tp.level;
@@ -377,6 +388,7 @@ RouteResult global_route(const circuit::Netlist& nl, const place::Die& die,
       double best_cost = 1e18;
       for (int l : {tp.level, std::min(tp.level + 1, static_cast<int>(kGlobal)),
                     std::max(tp.level - 1, static_cast<int>(kLocal))}) {
+        util::count("route.maze_calls");
         auto path = maze_route(grid, l, tp.a, tp.b, 12);
         if (path.empty()) continue;
         // Level changes cost vias; bias toward the preferred level.
@@ -395,6 +407,7 @@ RouteResult global_route(const circuit::Netlist& nl, const place::Die& die,
       grid.add_path(tp.level, tp.path, 1.0);
     }
   }
+  rrr_span.stop();
 
   // Collect results.
   for (const TwoPin& tp : twopins) {
@@ -449,6 +462,10 @@ RouteResult global_route(const circuit::Netlist& nl, const place::Die& die,
   result.total_wl_um = result.wl_by_level[0] + result.wl_by_level[1] + result.wl_by_level[2];
   result.overflow_edges = grid.count_overflow(&result.max_congestion);
   result.routed = result.overflow_edges == 0;
+  util::count("route.overflow_edges_final",
+              static_cast<double>(result.overflow_edges));
+  util::set_gauge("route.max_congestion", result.max_congestion);
+  util::set_gauge("route.total_wl_um", result.total_wl_um);
   result.nx = nx;
   result.ny = ny;
   result.gcell_um = gc;

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <limits>
 
+#include "util/metrics.hpp"
 #include "util/strf.hpp"
+#include "util/trace.hpp"
 
 namespace m3d::sta {
 namespace {
@@ -32,6 +34,11 @@ double net_delay_ps(const extract::NetParasitics& par, size_t sink_idx,
 
 TimingResult run_sta(const circuit::Netlist& nl, const extract::Parasitics& par,
                      const StaOptions& opt) {
+  // Counters only (no span): run_sta sits inside the optimizer's inner loop,
+  // so per-call span logging would swamp the debug stream. The histogram
+  // still captures every call's duration.
+  const util::ScopedMsObserver observer("sta.run_sta_ms");
+  util::count("sta.runs");
   const int num_nets = nl.num_nets();
   const int num_inst = nl.num_instances();
   const double clock_ps = opt.clock_ns * 1000.0;
@@ -102,6 +109,7 @@ TimingResult run_sta(const circuit::Netlist& nl, const extract::Parasitics& par,
 
   // Forward pass over combinational instances.
   const std::vector<circuit::InstId> order = nl.topo_order();
+  util::count("sta.arrivals_propagated", static_cast<double>(order.size()));
   for (circuit::InstId id : order) {
     const circuit::Instance& inst = nl.inst(id);
     if (inst.sequential() || inst.libcell == nullptr) continue;

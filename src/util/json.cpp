@@ -1,0 +1,350 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace m3d::util::json {
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(double n) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.num_ = n;
+  return v;
+}
+
+Value Value::str(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+Value Value::object() {
+  Value v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Value::number_or(const std::string& key, double fallback) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->type_ == Type::kNumber) ? v->num_ : fallback;
+}
+
+std::string Value::string_or(const std::string& key,
+                             std::string fallback) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->type_ == Type::kString) ? v->str_
+                                                     : std::move(fallback);
+}
+
+Value& Value::set(const std::string& key, Value v) {
+  if (type_ == Type::kObject) {
+    for (auto& [k, old] : obj_) {
+      if (k == key) {
+        old = std::move(v);
+        return *this;
+      }
+    }
+    obj_.emplace_back(key, std::move(v));
+  }
+  return *this;
+}
+
+Value& Value::push(Value v) {
+  if (type_ == Type::kArray) arr_.push_back(std::move(v));
+  return *this;
+}
+
+namespace {
+
+void escape_to(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void number_to(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; emit null so consumers fail loudly, not subtly.
+    *out += "null";
+    return;
+  }
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    *out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    *out += buf;
+  }
+}
+
+}  // namespace
+
+void Value::dump_to(std::string* out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<size_t>(indent * (depth + 1)), ' ') : "";
+  const std::string close_pad =
+      pretty ? std::string(static_cast<size_t>(indent * depth), ' ') : "";
+  switch (type_) {
+    case Type::kNull: *out += "null"; break;
+    case Type::kBool: *out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: number_to(num_, out); break;
+    case Type::kString: escape_to(str_, out); break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += '[';
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) *out += ',';
+        if (pretty) {
+          *out += '\n';
+          *out += pad;
+        }
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (pretty) {
+        *out += '\n';
+        *out += close_pad;
+      }
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += '{';
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) *out += ',';
+        if (pretty) {
+          *out += '\n';
+          *out += pad;
+        }
+        escape_to(obj_[i].first, out);
+        *out += pretty ? ": " : ":";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (pretty) {
+        *out += '\n';
+        *out += close_pad;
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* err)
+      : text_(text), err_(err) {}
+
+  bool parse(Value* out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (err_ != nullptr) {
+      *err_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return fail("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            const unsigned long cp =
+                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+            pos_ += 4;
+            // ASCII-only reports: non-ASCII code points become '?'.
+            out->push_back(cp < 0x80 ? static_cast<char>(cp) : '?');
+            break;
+          }
+          default: return fail("bad escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(Value* out) {
+    if (pos_ >= text_.size()) return fail("unexpected end");
+    const char c = text_[pos_];
+    if (c == 'n') {
+      if (!literal("null")) return fail("bad literal");
+      *out = Value::null();
+      return true;
+    }
+    if (c == 't') {
+      if (!literal("true")) return fail("bad literal");
+      *out = Value::boolean(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!literal("false")) return fail("bad literal");
+      *out = Value::boolean(false);
+      return true;
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(&s)) return false;
+      *out = Value::str(std::move(s));
+      return true;
+    }
+    if (c == '[') {
+      ++pos_;
+      *out = Value::array();
+      skip_ws();
+      if (consume(']')) return true;
+      while (true) {
+        Value item;
+        skip_ws();
+        if (!parse_value(&item)) return false;
+        out->push(std::move(item));
+        skip_ws();
+        if (consume(']')) return true;
+        if (!consume(',')) return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '{') {
+      ++pos_;
+      *out = Value::object();
+      skip_ws();
+      if (consume('}')) return true;
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key)) return false;
+        skip_ws();
+        if (!consume(':')) return fail("expected ':'");
+        skip_ws();
+        Value item;
+        if (!parse_value(&item)) return false;
+        out->set(key, std::move(item));
+        skip_ws();
+        if (consume('}')) return true;
+        if (!consume(',')) return fail("expected ',' or '}'");
+      }
+    }
+    // Number.
+    char* end = nullptr;
+    const double v = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) return fail("unexpected character");
+    pos_ = static_cast<size_t>(end - text_.c_str());
+    *out = Value::number(v);
+    return true;
+  }
+
+  const std::string& text_;
+  std::string* err_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse(const std::string& text, Value* out, std::string* err) {
+  return Parser(text, err).parse(out);
+}
+
+}  // namespace m3d::util::json

@@ -1,0 +1,66 @@
+// Minimal JSON document model with a writer and a strict parser — just
+// enough for the machine-readable run reports (report.hpp) and their
+// round-trip tests. Objects preserve insertion order so emitted reports are
+// stable across runs and easy to diff.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace m3d::util::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  static Value null() { return Value(); }
+  static Value boolean(bool b);
+  static Value number(double v);
+  static Value str(std::string s);
+  static Value array();
+  static Value object();
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+  const std::vector<Value>& items() const { return arr_; }
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return obj_;
+  }
+
+  /// Object field access; returns nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+  /// Shorthands over find() with a fallback for missing/mistyped fields.
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key, std::string fallback) const;
+
+  /// Sets/overwrites an object field (no-op unless this is an object).
+  Value& set(const std::string& key, Value v);
+  /// Appends to an array (no-op unless this is an array).
+  Value& push(Value v);
+
+  /// Serializes; indent >= 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 2) const;
+
+ private:
+  void dump_to(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/// Parses `text` into `*out`. On failure returns false and describes the
+/// problem in `*err` (when non-null).
+bool parse(const std::string& text, Value* out, std::string* err = nullptr);
+
+}  // namespace m3d::util::json

@@ -1,7 +1,13 @@
 // Minimal leveled logger. All flow/bench output that is not a result table
 // goes through this so verbosity can be controlled globally.
+//
+// Each line carries a monotonic timestamp (seconds since process start) and
+// emission is mutex-serialized, so interleaved lines from future parallel
+// stages stay intact. The initial threshold comes from the M3D_LOG_LEVEL
+// environment variable (debug|info|warn|error|silent) and defaults to warn.
 #pragma once
 
+#include <optional>
 #include <string>
 
 namespace m3d::util {
@@ -11,6 +17,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 
 /// Global verbosity threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Like set_log_level, but only applies when M3D_LOG_LEVEL is unset, so an
+/// explicit environment override always wins over a program's default.
+void set_default_log_level(LogLevel level);
+
+/// Parses "debug" / "info" / "warn" / "error" / "silent" (case-insensitive);
+/// nullopt on anything else.
+std::optional<LogLevel> parse_log_level(const std::string& name);
 
 void log(LogLevel level, const std::string& msg);
 

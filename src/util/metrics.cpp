@@ -1,0 +1,88 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+
+namespace m3d::util {
+namespace {
+
+HistStats stats_of(const std::vector<double>& samples) {
+  HistStats s;
+  s.count = static_cast<int64_t>(samples.size());
+  if (samples.empty()) return s;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  for (double v : sorted) s.total += v;
+  s.mean = s.total / static_cast<double>(sorted.size());
+  // Nearest-rank p95: the ceil(0.95 * n)-th smallest sample.
+  const size_t rank = (19 * sorted.size() + 19) / 20;  // ceil(0.95 * n)
+  s.p95 = sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+  return s;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+void MetricsRegistry::add_counter(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_[name].push_back(sample);
+}
+
+double MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+HistStats MetricsRegistry::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = samples_.find(name);
+  return it == samples_.end() ? HistStats{} : stats_of(it->second);
+}
+
+std::map<std::string, double> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::map<std::string, double> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_;
+}
+
+std::map<std::string, HistStats> MetricsRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistStats> out;
+  for (const auto& [name, samples] : samples_) out[name] = stats_of(samples);
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  samples_.clear();
+}
+
+}  // namespace m3d::util

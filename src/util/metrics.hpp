@@ -1,0 +1,72 @@
+// Global thread-safe metrics registry: named counters, gauges, and duration
+// histograms. Every flow stage, the placer/router/optimizer inner loops and
+// STA report into it; `flow::run_flow` snapshots it per stage to build the
+// machine-readable StageReports, and `report::write_metrics_json` dumps the
+// whole registry for interactive sessions (m3d_shell).
+//
+// Counters are monotonically accumulated doubles ("route.twopins"),
+// gauges hold the last value set ("place.hpwl_um"), histograms collect
+// individual samples and expose min/mean/max/p95 ("span.route").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace m3d::util {
+
+struct HistStats {
+  int64_t count = 0;
+  double min = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+  double p95 = 0.0;
+  double total = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by all instrumentation helpers below.
+  static MetricsRegistry& global();
+
+  void add_counter(const std::string& name, double delta = 1.0);
+  void set_gauge(const std::string& name, double value);
+  /// Records one sample into the named histogram (any unit; spans use ms).
+  void observe(const std::string& name, double sample);
+
+  /// Current value (0 if the name was never touched).
+  double counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  /// Summary stats of a histogram (count 0 if absent). p95 is exact
+  /// (nearest-rank over all recorded samples).
+  HistStats histogram(const std::string& name) const;
+
+  /// Snapshots for reporting; histogram samples are reduced to HistStats.
+  std::map<std::string, double> counters() const;
+  std::map<std::string, double> gauges() const;
+  std::map<std::string, HistStats> histograms() const;
+
+  /// Drops every metric (tests and fresh interactive sessions).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, std::vector<double>> samples_;
+};
+
+/// Convenience wrappers over MetricsRegistry::global().
+inline void count(const std::string& name, double delta = 1.0) {
+  MetricsRegistry::global().add_counter(name, delta);
+}
+inline void set_gauge(const std::string& name, double value) {
+  MetricsRegistry::global().set_gauge(name, value);
+}
+inline void observe(const std::string& name, double sample) {
+  MetricsRegistry::global().observe(name, sample);
+}
+
+}  // namespace m3d::util

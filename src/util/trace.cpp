@@ -1,0 +1,52 @@
+#include "util/trace.hpp"
+
+#include "util/metrics.hpp"
+#include "util/strf.hpp"
+
+namespace m3d::util {
+namespace {
+
+thread_local int t_depth = 0;
+
+std::string indent(int depth) {
+  return std::string(static_cast<size_t>(depth) * 2, ' ');
+}
+
+}  // namespace
+
+int span_depth() { return t_depth; }
+
+ScopedTimer::ScopedTimer(std::string name, LogLevel level)
+    : name_(std::move(name)),
+      level_(level),
+      start_(std::chrono::steady_clock::now()) {
+  log(level_, strf("%s%s ...", indent(t_depth).c_str(), name_.c_str()));
+  ++t_depth;
+}
+
+double ScopedTimer::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+double ScopedTimer::stop() {
+  if (stopped_) return 0.0;
+  stopped_ = true;
+  const double ms = elapsed_ms();
+  --t_depth;
+  log(level_, strf("%s%s: %.2f ms", indent(t_depth).c_str(), name_.c_str(), ms));
+  observe("span." + name_, ms);
+  return ms;
+}
+
+ScopedTimer::~ScopedTimer() { stop(); }
+
+ScopedMsObserver::~ScopedMsObserver() {
+  observe(histogram_,
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start_)
+              .count());
+}
+
+}  // namespace m3d::util

@@ -1,0 +1,57 @@
+// RAII span timing. A ScopedTimer marks a named region of the flow: on
+// construction it logs a nested "begin" line (kDebug by default), on
+// destruction it logs the elapsed wall time and records the sample into the
+// global metrics registry under "span.<name>". Spans nest (per thread): the
+// log indentation follows the nesting depth, so `M3D_LOG_LEVEL=debug` prints
+// a live call-tree of the flow with timings.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "util/log.hpp"
+
+namespace m3d::util {
+
+/// Current per-thread span nesting depth (0 outside any span).
+int span_depth();
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name, LogLevel level = LogLevel::kDebug);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Wall time since construction, in milliseconds.
+  double elapsed_ms() const;
+
+  /// Ends the span early (logs + records); the destructor then does nothing.
+  /// Returns the elapsed milliseconds.
+  double stop();
+
+ private:
+  std::string name_;
+  LogLevel level_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
+
+/// Lightweight sibling of ScopedTimer for hot paths: records its lifetime
+/// into the named duration histogram but never logs and does not affect
+/// span nesting. Use where a full span would swamp the debug stream.
+class ScopedMsObserver {
+ public:
+  explicit ScopedMsObserver(std::string histogram)
+      : histogram_(std::move(histogram)),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedMsObserver();
+  ScopedMsObserver(const ScopedMsObserver&) = delete;
+  ScopedMsObserver& operator=(const ScopedMsObserver&) = delete;
+
+ private:
+  std::string histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace m3d::util

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <iterator>
+
 #include "flow/flow.hpp"
 #include "test_fixtures.hpp"
 
@@ -36,6 +38,32 @@ TEST(Flow, SingleRunProducesCompleteResult) {
   EXPECT_GT(r.utilization, 0.5);
   EXPECT_LT(r.utilization, 1.0);
   EXPECT_TRUE(r.netlist.validate());
+}
+
+TEST(Flow, RunFlowPopulatesStageReports) {
+  FlowOptions o = small_opts(gen::Bench::kDes);
+  o.clock_ns = 2.0;
+  const FlowResult r = run_flow(o);
+  ASSERT_FALSE(r.stages.empty());
+  // All six paper flow stages must be reported, in execution order.
+  const char* expected[] = {"synth",  "place",        "opt_preroute",
+                            "route",  "opt_postroute", "sta_power"};
+  size_t found = 0;
+  for (const auto& s : r.stages) {
+    EXPECT_GE(s.wall_ms, 0.0);
+    if (found < std::size(expected) && s.name == expected[found]) ++found;
+  }
+  EXPECT_EQ(found, std::size(expected));
+  // The instrumented loops must have reported effort counters.
+  const StageReport* place = r.stage("place");
+  ASSERT_NE(place, nullptr);
+  EXPECT_GT(place->counter("place.cells"), 100.0);
+  const StageReport* route = r.stage("route");
+  ASSERT_NE(route, nullptr);
+  EXPECT_GT(route->counter("route.twopins"), 0.0);
+  const StageReport* sta = r.stage("sta_power");
+  ASSERT_NE(sta, nullptr);
+  EXPECT_GT(sta->counter("sta.runs"), 0.0);
 }
 
 TEST(Flow, IsoComparisonClosesBothAndShrinksFootprint) {
