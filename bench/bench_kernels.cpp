@@ -1,9 +1,16 @@
 // google-benchmark microbenchmarks of the library's computational kernels:
 // transient simulation, placement CG, maze routing, STA propagation, power
-// analysis, cell folding/extraction.
+// analysis, cell folding/extraction — plus parallel variants of the three
+// exec-wired kernels (characterization sweep, STA propagation, batched maze
+// routing) swept over 1/2/4/8 threads. Results are also dumped to
+// out_figs/bench_kernels.json so later PRs can track the speedup trajectory.
 #include <benchmark/benchmark.h>
+#include <sys/stat.h>
+
+#include <fstream>
 
 #include "cells/layout.hpp"
+#include "exec/exec.hpp"
 #include "extract/extract.hpp"
 #include "gen/gen.hpp"
 #include "liberty/characterize.hpp"
@@ -14,6 +21,7 @@
 #include "spice/sim.hpp"
 #include "sta/sta.hpp"
 #include "synth/synth.hpp"
+#include "util/json.hpp"
 #include "../tests/test_fixtures.hpp"
 
 using namespace m3d;
@@ -125,6 +133,115 @@ void BM_ParasiticExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_ParasiticExtraction)->Unit(benchmark::kMillisecond);
 
+// --- Parallel kernel variants (Arg = exec pool thread count). ------------
+//
+// All three produce bit-identical results at every thread count (the exec
+// contract); what the sweep measures is pure wall-clock scaling.
+
+void BM_CharSweepParallel(benchmark::State& state) {
+  exec::set_default_threads(static_cast<int>(state.range(0)));
+  const cells::CellSpec spec = cells::make_spec(cells::Func::kNand2, 1);
+  const tech::Tech tch(tech::Node::k45nm, tech::Style::k2D);
+  const cells::CellLayout layout = cells::layout_2d(spec, tch);
+  liberty::CharOptions copt;
+  // Denser grid than the library default: 6x6 x 2 arcs = 72 independent
+  // SPICE points, enough work to feed 8 workers.
+  copt.slews_ps = {5.0, 10.0, 20.0, 40.0, 80.0, 160.0};
+  copt.loads_ff = {0.4, 0.8, 1.6, 3.2, 6.4, 12.8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(liberty::characterize_cell(spec, layout, 1.1, copt));
+  }
+  exec::set_default_threads(0);
+}
+BENCHMARK(BM_CharSweepParallel)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StaPropagationParallel(benchmark::State& state) {
+  exec::set_default_threads(static_cast<int>(state.range(0)));
+  auto& f = fixture();
+  const auto par = extract::extract_from_placement(f.nl, f.tch);
+  sta::StaOptions opt;
+  opt.clock_ns = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sta::run_sta(f.nl, par, opt));
+  }
+  exec::set_default_threads(0);
+}
+BENCHMARK(BM_StaPropagationParallel)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MazeBatchParallel(benchmark::State& state) {
+  exec::set_default_threads(static_cast<int>(state.range(0)));
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route::global_route(f.nl, f.die, f.tch, {}));
+  }
+  exec::set_default_threads(0);
+}
+BENCHMARK(BM_MazeBatchParallel)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Console output as usual, plus every run captured for the JSON dump.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double real_time = 0.0;
+    double cpu_time = 0.0;
+    std::string time_unit;
+    int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.error_occurred) continue;
+      Entry e;
+      e.name = run.benchmark_name();
+      e.real_time = run.GetAdjustedRealTime();
+      e.cpu_time = run.GetAdjustedCPUTime();
+      e.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+      e.iterations = run.iterations;
+      entries.push_back(std::move(e));
+    }
+    benchmark::ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<Entry> entries;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  using util::json::Value;
+  Value doc = Value::object();
+  doc.set("schema", Value::str("m3d.bench_kernels/v1"));
+  Value benches = Value::array();
+  for (const auto& e : reporter.entries) {
+    Value b = Value::object();
+    b.set("name", Value::str(e.name));
+    b.set("real_time", Value::number(e.real_time));
+    b.set("cpu_time", Value::number(e.cpu_time));
+    b.set("time_unit", Value::str(e.time_unit));
+    b.set("iterations", Value::number(static_cast<double>(e.iterations)));
+    benches.push(std::move(b));
+  }
+  doc.set("benchmarks", std::move(benches));
+  ::mkdir("out_figs", 0755);
+  std::ofstream os("out_figs/bench_kernels.json");
+  if (os) {
+    os << doc.dump() << '\n';
+    std::fprintf(stderr, "wrote out_figs/bench_kernels.json (%zu entries)\n",
+                 reporter.entries.size());
+  } else {
+    std::fprintf(stderr, "could not write out_figs/bench_kernels.json\n");
+  }
+  return 0;
+}

@@ -22,10 +22,17 @@ int main() {
       "Paper values in the second line of each row.");
   t.set_header({"circuit", "footprint", "wirelen", "total pwr", "cell pwr",
                 "net pwr", "leakage", "clk ns", "met"});
+  // All five circuits are independent experiments: fan them out across the
+  // exec pool and print the rows in order afterwards.
+  std::vector<Job> jobs;
+  for (gen::Bench b : gen::all_benches()) {
+    jobs.push_back({util::strf("t7_7_%s", gen::to_string(b)),
+                    preset(b, tech::Node::k7nm)});
+  }
+  const std::vector<Cmp> results = compare_cached_all(jobs);
   int i = 0;
   for (gen::Bench b : gen::all_benches()) {
-    const Cmp c = compare_cached(util::strf("t7_7_%s", gen::to_string(b)),
-                                 preset(b, tech::Node::k7nm));
+    const Cmp& c = results[static_cast<size_t>(i)];
     t.add_row({gen::to_string(b),
                pct_str(c.tmi.footprint_um2, c.flat.footprint_um2),
                pct_str(c.tmi.wl_um, c.flat.wl_um),

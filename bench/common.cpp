@@ -2,8 +2,10 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sys/stat.h>
 
+#include "exec/exec.hpp"
 #include "flow/report.hpp"
 #include "liberty/characterize.hpp"
 #include "util/log.hpp"
@@ -13,7 +15,12 @@ namespace m3d::bench {
 namespace {
 
 // Bump when flow/calibration changes invalidate cached experiment results.
-constexpr int kResultVersion = 4;
+// v5: batched rip-up-and-reroute (route.cpp) reschedules maze routing.
+constexpr int kResultVersion = 5;
+
+// Concurrent comparisons can share report filenames (e.g. the fig11
+// activity sweep reruns the same bench); serialize the writes.
+std::mutex g_report_mu;
 
 std::string cache_dir() {
   const char* env = std::getenv("M3D_LIBCACHE");
@@ -83,6 +90,7 @@ bool read_metrics(std::istream& is, Metrics* m) {
 }  // namespace
 
 void write_run_reports(const flow::CompareResult& r) {
+  const std::lock_guard<std::mutex> lock(g_report_mu);
   ::mkdir("out_figs", 0755);
   for (const flow::FlowResult* res : {&r.flat, &r.tmi}) {
     const std::string path =
@@ -122,6 +130,19 @@ Cmp compare_cached(const std::string& key, const flow::FlowOptions& base) {
     write_metrics(os, cmp.tmi);
   }
   return cmp;
+}
+
+std::vector<Cmp> compare_cached_all(const std::vector<Job>& jobs) {
+  // Force the library magic-static before fanning out, so concurrent jobs
+  // don't race to characterize.
+  (void)libs();
+  std::vector<Cmp> out(jobs.size());
+  exec::TaskGroup group(exec::default_pool());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    group.run([&jobs, &out, i] { out[i] = compare_cached(jobs[i].key, jobs[i].opt); });
+  }
+  group.wait();
+  return out;
 }
 
 flow::FlowOptions preset(gen::Bench bench, tech::Node node) {

@@ -6,6 +6,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "flow/flow.hpp"
 #include "liberty/library.hpp"
@@ -53,6 +54,17 @@ struct Cmp {
 /// common.cpp when flow behaviour changes. Fresh (non-cached) runs also drop
 /// one JSON run report per side under out_figs/run_<bench>_<style>.json.
 Cmp compare_cached(const std::string& key, const flow::FlowOptions& base);
+
+/// One experiment configuration for compare_cached_all.
+struct Job {
+  std::string key;
+  flow::FlowOptions opt;
+};
+
+/// compare_cached for a batch of independent configurations, fanned out
+/// across the exec pool ($M3D_THREADS). Results come back in job order, so
+/// table printing is unchanged; run-report writes are serialized.
+std::vector<Cmp> compare_cached_all(const std::vector<Job>& jobs);
 
 /// Writes the out_figs/run_<bench>_<style>.json reports for both sides of a
 /// comparison (stage timings + counters; see flow/report.hpp).

@@ -1,0 +1,175 @@
+// Deterministic parallel execution: a work-stealing thread pool with a
+// task-graph API used by characterization, the flow harness, STA and the
+// router. The design contract is that a parallel run is *bit-identical* to
+// the serial run:
+//
+//  * `parallel_for` uses static chunking whose boundaries depend only on
+//    (n, grain) — never on the thread count — so per-chunk work and
+//    chunk-ordered reductions (`parallel_reduce`) reproduce on any pool.
+//  * Callers only parallelize bodies whose writes are disjoint per index
+//    (or reduce through `parallel_reduce`, which folds partials in chunk
+//    order), so execution interleaving cannot change results.
+//  * Tasks inherit the submitting thread's span nesting (util/trace.hpp)
+//    and metrics sink (util/metrics.hpp), so reports attribute worker-side
+//    work to the task that spawned it.
+//
+// Thread count: `ExecOptions::num_threads`, else the `M3D_THREADS`
+// environment variable, else `hardware_concurrency()`. One (or fewer)
+// thread means serial fallback: submitted work runs inline on the calling
+// thread and no workers are spawned.
+//
+// Observability (always in the *global* registry, never the flow-local
+// sink, so StageReport counter deltas stay identical between serial and
+// parallel runs): `exec.tasks`, `exec.steals`, and a per-pool
+// `exec.<name>.queue_depth` gauge.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace m3d::exec {
+
+struct ExecOptions {
+  /// Worker threads. 0: resolve from $M3D_THREADS, falling back to
+  /// hardware_concurrency(). 1 (or a resolved 1): serial fallback.
+  int num_threads = 0;
+  /// Names the pool's queue-depth gauge: exec.<name>.queue_depth.
+  std::string name = "default";
+};
+
+/// The worker count `opt` resolves to (>= 1; 1 means serial).
+int resolve_num_threads(const ExecOptions& opt = {});
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(const ExecOptions& opt = {});
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker thread count; 0 in serial fallback.
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  bool serial() const { return workers_.empty(); }
+
+  /// Submits one task. The task captures the submitter's span context and
+  /// metrics sink; on a serial pool it runs inline before submit returns.
+  void submit(std::function<void()> fn);
+
+  /// Runs one pending task on the calling thread, if any is immediately
+  /// available (own deque for workers, else global queue / stealing).
+  /// Returns false when nothing was run.
+  bool try_run_one();
+
+  /// Splits [0, n) into chunks of `grain` indices (0: see chunk_grain) and
+  /// runs `body(begin, end)` per chunk, blocking until all complete. The
+  /// caller helps execute while waiting. Body results must not depend on
+  /// how [0, n) is partitioned: writes disjoint per index, reductions via
+  /// parallel_reduce. On a serial pool the body runs inline as body(0, n).
+  void parallel_for(size_t n, size_t grain,
+                    const std::function<void(size_t, size_t)>& body);
+
+ private:
+  friend class TaskGroup;
+
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> q;
+  };
+
+  void worker_main(int index);
+  /// Pops a task: own deque back (LIFO) for workers, then the global queue
+  /// front, then steals another worker's front (FIFO).
+  bool pop_task(int worker_index, std::function<void()>* out);
+
+  ExecOptions opt_;
+  std::vector<std::unique_ptr<WorkerQueue>> local_;
+  WorkerQueue global_;
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  bool stop_ = false;          // guarded by sleep_mu_
+  size_t queued_ = 0;          // guarded by sleep_mu_
+  std::vector<std::thread> workers_;
+};
+
+/// Structured fan-out: run() submits, wait() blocks (helping execute pool
+/// work) until every task of this group finished, then rethrows the first
+/// task exception, if any. The destructor waits but swallows errors.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup();
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> fn);
+  void wait();
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending = 0;
+    std::exception_ptr error;
+  };
+  ThreadPool& pool_;
+  std::shared_ptr<State> state_ = std::make_shared<State>();
+};
+
+/// The process-wide pool, created on first use from ExecOptions{} (i.e.
+/// $M3D_THREADS or hardware_concurrency).
+ThreadPool& default_pool();
+
+/// Replaces the process-wide pool with an `n`-thread one (n <= 0: re-resolve
+/// from the environment). Tests and benches only — not safe while tasks are
+/// in flight.
+void set_default_threads(int n);
+
+/// Chunk size for `n` items: `grain` if positive, else ceil(n / 64) — a
+/// function of n only, never of the thread count, so chunk boundaries (and
+/// with them chunk-ordered reductions) are identical on every pool size.
+size_t chunk_grain(size_t n, size_t grain);
+
+/// parallel_for on the default pool.
+inline void parallel_for(size_t n,
+                         const std::function<void(size_t, size_t)>& body,
+                         size_t grain = 0) {
+  default_pool().parallel_for(n, grain, body);
+}
+
+/// Deterministic map-reduce: `chunk_fn(begin, end)` produces one partial per
+/// static chunk; partials fold left-to-right in chunk order, so the result
+/// is bit-identical across thread counts (including serial, which uses the
+/// same chunking).
+template <typename T, typename ChunkFn, typename Combine>
+T parallel_reduce(ThreadPool& pool, size_t n, T init, ChunkFn chunk_fn,
+                  Combine combine, size_t grain = 0) {
+  if (n == 0) return init;
+  const size_t g = chunk_grain(n, grain);
+  const size_t nchunks = (n + g - 1) / g;
+  std::vector<T> parts(nchunks, init);
+  pool.parallel_for(nchunks, 1, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      parts[c] = chunk_fn(c * g, std::min(n, (c + 1) * g));
+    }
+  });
+  T acc = init;
+  for (const T& p : parts) acc = combine(acc, p);
+  return acc;
+}
+
+template <typename T, typename ChunkFn, typename Combine>
+T parallel_reduce(size_t n, T init, ChunkFn chunk_fn, Combine combine,
+                  size_t grain = 0) {
+  return parallel_reduce(default_pool(), n, init, std::move(chunk_fn),
+                         std::move(combine), grain);
+}
+
+}  // namespace m3d::exec

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "cts/cts.hpp"
+#include "exec/exec.hpp"
 #include "extract/extract.hpp"
 #include "opt/opt.hpp"
 #include "sta/sta.hpp"
@@ -18,10 +19,12 @@ namespace m3d::flow {
 namespace {
 
 /// Runs one flow stage under a span and appends a StageReport to `res`:
-/// wall time plus the delta of every global counter the stage touched.
+/// wall time plus the delta of every counter the stage touched in the
+/// thread's current sink (run_flow installs a flow-local one, so counter
+/// deltas are exact even when several flows run concurrently).
 template <typename Body>
 void run_stage(FlowResult* res, const char* name, Body&& body) {
-  auto& reg = util::MetricsRegistry::global();
+  auto& reg = util::MetricsRegistry::current();
   const auto before = reg.counters();
   util::ScopedTimer timer(util::strf("flow.%s", name));
   body();
@@ -98,6 +101,17 @@ FlowResult run_flow(const FlowOptions& opt) {
       util::strf("flow.run %s/%s", tech::to_string(opt.node),
                  tech::to_string(opt.style)));
 
+  // All metrics of this run collect into a flow-local registry, published
+  // into the parent sink only when the run finishes: concurrent flows (the
+  // iso-comparison runs 2D and T-MI together) never interleave counters
+  // inside each other's StageReports.
+  util::MetricsRegistry& parent = util::MetricsRegistry::current();
+  util::MetricsRegistry local;
+  sta::TimingResult timing;
+  power::PowerResult power;
+  {
+  const util::ScopedMetricsSink sink(local);
+
   // 1. Benchmark netlist.
   circuit::Netlist& nl = res.netlist;
   run_stage(&res, "gen", [&] {
@@ -166,8 +180,6 @@ FlowResult run_flow(const FlowOptions& opt) {
   });
 
   // 7. Sign-off timing and power.
-  sta::TimingResult timing;
-  power::PowerResult power;
   run_stage(&res, "sta_power", [&] {
     const auto par = extract::extract_from_routes(nl, tch, res.routes);
     sta::StaOptions sta_opt;
@@ -180,7 +192,10 @@ FlowResult run_flow(const FlowOptions& opt) {
     pw.seq_activity = opt.seq_activity;
     power = power::run_power(nl, par, &timing, pw);
   });
+  }  // flow-local sink scope
+  parent.merge_from(local);
 
+  const circuit::Netlist& nl = res.netlist;
   res.footprint_um2 = res.die.core.area();
   res.cells = 0;
   for (int i = 0; i < nl.num_instances(); ++i) {
@@ -247,10 +262,27 @@ CompareResult run_iso_comparison(const FlowOptions& opt,
   FlowOptions o2 = opt;
   o2.style = tech::Style::k2D;
   o2.lib = &lib2d;
-  if (o2.clock_ns <= 0.0) {
+  FlowOptions o3 = opt;
+  o3.style = (opt.style == tech::Style::k2D) ? tech::Style::kTMI : opt.style;
+  o3.lib = &lib3d;
+
+  const bool auto_clock = opt.clock_ns <= 0.0;
+  bool tmi_valid = false;
+  if (auto_clock) {
     o2.clock_ns = auto_clock_ns(o2);
+    cmp.flat = run_flow(o2);
+  } else {
+    // Fixed clock: speculate that it holds for 2D and run the T-MI design
+    // concurrently at the same clock. If the 2D run has to relax below,
+    // the speculative T-MI result is discarded and redone at the final
+    // clock — exactly what a serial sweep would have produced.
+    o3.clock_ns = o2.clock_ns;
+    exec::TaskGroup group(exec::default_pool());
+    group.run([&] { cmp.flat = run_flow(o2); });
+    group.run([&] { cmp.tmi = run_flow(o3); });
+    group.wait();
+    tmi_valid = true;
   }
-  cmp.flat = run_flow(o2);
   // The WLM-derived clock is optimistic about routed parasitics; relax to
   // the period the 2D design actually achieves (still iso-performance: the
   // T-MI run below uses the same final clock).
@@ -261,7 +293,7 @@ CompareResult run_iso_comparison(const FlowOptions& opt,
   // Then tighten while the 2D design has generous slack, so the comparison
   // runs under real timing pressure (only when the caller asked for auto).
   // Bisect between the tightest met clock and the loosest failed one.
-  if (opt.clock_ns <= 0.0 && cmp.flat.timing_met) {
+  if (auto_clock && cmp.flat.timing_met) {
     double failed_clk = 0.0;  // loosest clock known to fail
     for (int attempt = 0; attempt < 5; ++attempt) {
       if (cmp.flat.wns_ps < 0.03 * o2.clock_ns * 1000.0) break;
@@ -283,24 +315,24 @@ CompareResult run_iso_comparison(const FlowOptions& opt,
     }
   }
 
-  FlowOptions o3 = opt;
-  o3.style = (opt.style == tech::Style::k2D) ? tech::Style::kTMI : opt.style;
-  o3.lib = &lib3d;
-  o3.clock_ns = o2.clock_ns;  // iso-performance
-  cmp.tmi = run_flow(o3);
+  if (!tmi_valid || o3.clock_ns != o2.clock_ns) {
+    o3.clock_ns = o2.clock_ns;  // iso-performance
+    cmp.tmi = run_flow(o3);
+  }
   // Iso-performance requires BOTH designs to close. If the T-MI run misses
   // (the folded DFF is a few percent slower), relax the shared clock and
-  // rerun both.
+  // rerun both — the pair shares nothing, so the reruns go concurrently.
   for (int attempt = 0;
-       attempt < 3 && opt.clock_ns <= 0.0 && cmp.flat.timing_met &&
-       !cmp.tmi.timing_met;
+       attempt < 3 && auto_clock && cmp.flat.timing_met && !cmp.tmi.timing_met;
        ++attempt) {
     const double new_clk =
         (o3.clock_ns * 1000.0 - cmp.tmi.wns_ps) * 1.02 / 1000.0;
     o2.clock_ns = new_clk;
     o3.clock_ns = new_clk;
-    cmp.flat = run_flow(o2);
-    cmp.tmi = run_flow(o3);
+    exec::TaskGroup group(exec::default_pool());
+    group.run([&] { cmp.flat = run_flow(o2); });
+    group.run([&] { cmp.tmi = run_flow(o3); });
+    group.wait();
   }
   return cmp;
 }

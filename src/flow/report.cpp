@@ -33,10 +33,10 @@ Value metrics_block(const flow::FlowResult& r) {
   return m;
 }
 
-Value stage_to_json(const flow::StageReport& s) {
+Value stage_to_json(const flow::StageReport& s, bool canonical) {
   Value v = Value::object();
   v.set("name", Value::str(s.name));
-  v.set("wall_ms", Value::number(s.wall_ms));
+  v.set("wall_ms", Value::number(canonical ? 0.0 : s.wall_ms));
   Value counters = Value::object();
   for (const auto& [key, value] : s.counters) {
     counters.set(key, Value::number(value));
@@ -45,9 +45,7 @@ Value stage_to_json(const flow::StageReport& s) {
   return v;
 }
 
-}  // namespace
-
-Value to_json(const flow::FlowResult& r) {
+Value build_json(const flow::FlowResult& r, bool canonical) {
   Value doc = Value::object();
   doc.set("schema", Value::str("m3d.run_report/v1"));
   doc.set("bench", Value::str(r.bench_name));
@@ -57,16 +55,28 @@ Value to_json(const flow::FlowResult& r) {
   Value stages = Value::array();
   double total_ms = 0.0;
   for (const auto& s : r.stages) {
-    stages.push(stage_to_json(s));
+    stages.push(stage_to_json(s, canonical));
     total_ms += s.wall_ms;
   }
   doc.set("stages", std::move(stages));
-  doc.set("total_wall_ms", Value::number(total_ms));
+  doc.set("total_wall_ms", Value::number(canonical ? 0.0 : total_ms));
   return doc;
 }
 
+}  // namespace
+
+Value to_json(const flow::FlowResult& r) { return build_json(r, false); }
+
 std::string to_json_string(const flow::FlowResult& r) {
   return to_json(r).dump() + "\n";
+}
+
+Value to_canonical_json(const flow::FlowResult& r) {
+  return build_json(r, true);
+}
+
+std::string to_canonical_json_string(const flow::FlowResult& r) {
+  return to_canonical_json(r).dump() + "\n";
 }
 
 bool write_json(const flow::FlowResult& r, const std::string& path) {

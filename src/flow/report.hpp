@@ -19,6 +19,13 @@ util::json::Value to_json(const flow::FlowResult& r);
 /// to_json, pretty-printed.
 std::string to_json_string(const flow::FlowResult& r);
 
+/// Like to_json, but with every volatile field (wall_ms, total_wall_ms)
+/// zeroed, so two runs that computed identical results serialize to
+/// byte-identical documents regardless of machine speed or thread count.
+/// The determinism tests compare serial vs parallel runs through this.
+util::json::Value to_canonical_json(const flow::FlowResult& r);
+std::string to_canonical_json_string(const flow::FlowResult& r);
+
 /// Writes the run report; returns false when the file cannot be opened.
 bool write_json(const flow::FlowResult& r, const std::string& path);
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "exec/exec.hpp"
 #include "liberty/io.hpp"
 #include "spice/mosfet.hpp"
 #include "spice/sim.hpp"
@@ -206,38 +207,46 @@ double measure_leakage_uw(const cells::CellSpec& spec,
                           cells::SiliconModel silicon, double vdd) {
   const auto inputs = spec.inputs();
   const int n = static_cast<int>(inputs.size());
-  double total = 0.0;
-  int states = 0;
   const bool seq = spec.sequential();
-  for (uint32_t m = 0; m < (1u << n); ++m) {
-    CellCkt cc = build(spec, layout, silicon);
-    auto& ckt = cc.ckt;
-    ckt.add_source(cc.vdd_node, spice::Pwl::dc(vdd));
-    for (int i = 0; i < n; ++i) {
-      const std::string& pin = inputs[static_cast<size_t>(i)];
-      const double v = ((m >> i) & 1u) ? vdd : 0.0;
-      if (seq && pin == "CK") {
-        // Pulse the clock first so the internal latches settle into a real
-        // state (a cold DC solve can park the feedback loops at a
-        // metastable midpoint and report crowbar current as leakage).
-        spice::Pwl ck;
-        ck.points = {{0.0, 0.0}, {50.0, 0.0}, {60.0, vdd},
-                     {150.0, vdd}, {160.0, v}};
-        ckt.add_source(cc.net_node.at(pin), ck);
-      } else {
-        ckt.add_source(cc.net_node.at(pin), spice::Pwl::dc(v));
-      }
-    }
-    spice::TranOptions topt;
-    topt.t_stop_ps = seq ? 500.0 : 100.0;
-    topt.dt_ps = seq ? 1.0 : 5.0;
-    topt.tail_ps = seq ? 100.0 : 0.0;
-    const spice::TranResult r = spice::simulate(ckt, topt);
-    // mA * V = mW; convert to uW.
-    total += r.source_avg_current_ma.at(cc.vdd_node) * vdd * 1000.0;
-    ++states;
-  }
-  return states > 0 ? std::max(0.0, total / states) : 0.0;
+  const size_t states = size_t{1} << n;
+  // One minterm per chunk (grain 1), so the left-to-right partial fold is
+  // the exact same `total += state` sequence the serial loop performed.
+  const double total = exec::parallel_reduce(
+      states, 0.0,
+      [&](size_t mb, size_t me) {
+        double part = 0.0;
+        for (size_t ms = mb; ms < me; ++ms) {
+          const uint32_t m = static_cast<uint32_t>(ms);
+          CellCkt cc = build(spec, layout, silicon);
+          auto& ckt = cc.ckt;
+          ckt.add_source(cc.vdd_node, spice::Pwl::dc(vdd));
+          for (int i = 0; i < n; ++i) {
+            const std::string& pin = inputs[static_cast<size_t>(i)];
+            const double v = ((m >> i) & 1u) ? vdd : 0.0;
+            if (seq && pin == "CK") {
+              // Pulse the clock first so the internal latches settle into a
+              // real state (a cold DC solve can park the feedback loops at a
+              // metastable midpoint and report crowbar current as leakage).
+              spice::Pwl ck;
+              ck.points = {{0.0, 0.0}, {50.0, 0.0}, {60.0, vdd},
+                           {150.0, vdd}, {160.0, v}};
+              ckt.add_source(cc.net_node.at(pin), ck);
+            } else {
+              ckt.add_source(cc.net_node.at(pin), spice::Pwl::dc(v));
+            }
+          }
+          spice::TranOptions topt;
+          topt.t_stop_ps = seq ? 500.0 : 100.0;
+          topt.dt_ps = seq ? 1.0 : 5.0;
+          topt.tail_ps = seq ? 100.0 : 0.0;
+          const spice::TranResult r = spice::simulate(ckt, topt);
+          // mA * V = mW; convert to uW.
+          part += r.source_avg_current_ma.at(cc.vdd_node) * vdd * 1000.0;
+        }
+        return part;
+      },
+      [](double a, double b) { return a + b; }, /*grain=*/1);
+  return states > 0 ? std::max(0.0, total / static_cast<double>(states)) : 0.0;
 }
 
 /// Replaces failed (zero) characterization points with the nearest valid
@@ -372,25 +381,34 @@ LibCell characterize_cell(const cells::CellSpec& spec,
       arc.out_slew[e] = blank_table();
       arc.energy[e] = blank_table();
     }
-    for (size_t si = 0; si < slews.size(); ++si) {
-      for (size_t li = 0; li < opt.loads_ff.size(); ++li) {
-        for (int e = 0; e < 2; ++e) {
-          const bool q_rise = (e == static_cast<int>(Edge::kRise));
-          const Measurement m =
-              run_dff_point(spec, layout, opt.silicon, vdd_v, q_rise,
-                            slews[si], opt.loads_ff[li]);
-          if (!m.valid) {
-            util::warn(util::strf("char: %s CK->Q %s failed at (%.1f, %.1f)",
-                                  spec.name.c_str(), q_rise ? "rise" : "fall",
-                                  slews[si], opt.loads_ff[li]));
-            continue;
+    // One task per (slew, load) point; each point only writes its own
+    // (si, li) table cells, so the sweep parallelizes bit-identically.
+    const size_t nl = opt.loads_ff.size();
+    exec::parallel_for(
+        slews.size() * nl,
+        [&](size_t pb, size_t pe) {
+          for (size_t p = pb; p < pe; ++p) {
+            const size_t si = p / nl;
+            const size_t li = p % nl;
+            for (int e = 0; e < 2; ++e) {
+              const bool q_rise = (e == static_cast<int>(Edge::kRise));
+              const Measurement m =
+                  run_dff_point(spec, layout, opt.silicon, vdd_v, q_rise,
+                                slews[si], opt.loads_ff[li]);
+              if (!m.valid) {
+                util::warn(util::strf(
+                    "char: %s CK->Q %s failed at (%.1f, %.1f)",
+                    spec.name.c_str(), q_rise ? "rise" : "fall", slews[si],
+                    opt.loads_ff[li]));
+                continue;
+              }
+              arc.delay[e].cell(si, li) = m.delay_ps;
+              arc.out_slew[e].cell(si, li) = m.slew_ps;
+              arc.energy[e].cell(si, li) = m.energy_fj;
+            }
           }
-          arc.delay[e].cell(si, li) = m.delay_ps;
-          arc.out_slew[e].cell(si, li) = m.slew_ps;
-          arc.energy[e].cell(si, li) = m.energy_fj;
-        }
-      }
-    }
+        },
+        /*grain=*/1);
     cell.arcs.push_back(std::move(arc));
   } else {
     const auto inputs = spec.inputs();
@@ -408,33 +426,44 @@ LibCell characterize_cell(const cells::CellSpec& spec,
           arc.out_slew[e] = blank_table();
           arc.energy[e] = blank_table();
         }
-        for (size_t si = 0; si < slews.size(); ++si) {
-          for (size_t li = 0; li < opt.loads_ff.size(); ++li) {
-            for (bool in_rise : {false, true}) {
-              const Measurement m = run_comb_point(
-                  spec, layout, opt.silicon, vdd_v, inputs[ii], in_rise,
-                  static_cast<uint32_t>(base), outputs[oi], slews[si],
-                  opt.loads_ff[li]);
-              if (!m.valid) {
-                util::warn(util::strf(
-                    "char: %s %s->%s %s failed at (%.1f, %.1f)",
-                    spec.name.c_str(), inputs[ii].c_str(), outputs[oi].c_str(),
-                    in_rise ? "rise" : "fall", slews[si], opt.loads_ff[li]));
-                continue;
+        // One task per (slew, load) point. Both in_rise edges stay inside
+        // the same task: they can map to the same output-edge table cell,
+        // and keeping them together preserves the serial last-write-wins
+        // order at that cell.
+        const size_t nl = opt.loads_ff.size();
+        exec::parallel_for(
+            slews.size() * nl,
+            [&](size_t pb, size_t pe) {
+              for (size_t p = pb; p < pe; ++p) {
+                const size_t si = p / nl;
+                const size_t li = p % nl;
+                for (bool in_rise : {false, true}) {
+                  const Measurement m = run_comb_point(
+                      spec, layout, opt.silicon, vdd_v, inputs[ii], in_rise,
+                      static_cast<uint32_t>(base), outputs[oi], slews[si],
+                      opt.loads_ff[li]);
+                  if (!m.valid) {
+                    util::warn(util::strf(
+                        "char: %s %s->%s %s failed at (%.1f, %.1f)",
+                        spec.name.c_str(), inputs[ii].c_str(),
+                        outputs[oi].c_str(), in_rise ? "rise" : "fall",
+                        slews[si], opt.loads_ff[li]));
+                    continue;
+                  }
+                  // Output edge for this input edge at the base minterm.
+                  const bool out_high_after = cells::eval(
+                      spec.func, static_cast<int>(oi),
+                      in_rise ? (static_cast<uint32_t>(base) | (1u << ii))
+                              : static_cast<uint32_t>(base));
+                  const int e = out_high_after ? static_cast<int>(Edge::kRise)
+                                               : static_cast<int>(Edge::kFall);
+                  arc.delay[e].cell(si, li) = m.delay_ps;
+                  arc.out_slew[e].cell(si, li) = m.slew_ps;
+                  arc.energy[e].cell(si, li) = m.energy_fj;
+                }
               }
-              // Output edge for this input edge at the base minterm.
-              const bool out_high_after = cells::eval(
-                  spec.func, static_cast<int>(oi),
-                  in_rise ? (static_cast<uint32_t>(base) | (1u << ii))
-                          : static_cast<uint32_t>(base));
-              const int e = out_high_after ? static_cast<int>(Edge::kRise)
-                                           : static_cast<int>(Edge::kFall);
-              arc.delay[e].cell(si, li) = m.delay_ps;
-              arc.out_slew[e].cell(si, li) = m.slew_ps;
-              arc.energy[e].cell(si, li) = m.energy_fj;
-            }
-          }
-        }
+            },
+            /*grain=*/1);
         cell.arcs.push_back(std::move(arc));
       }
     }
@@ -459,21 +488,37 @@ Library build_library_45nm(tech::Style style, const CharOptions& opt) {
   lib.style = style;
   lib.vdd_v = kVdd45;
 
-  auto add_cell = [&](cells::Func f, int drive) {
-    const cells::CellSpec spec = cells::make_spec(f, drive);
-    const cells::CellLayout layout = (style == tech::Style::k2D)
-                                         ? cells::layout_2d(spec, tch)
-                                         : cells::fold_tmi(spec, tch);
-    lib.add(characterize_cell(spec, layout, kVdd45, opt));
-    util::info(util::strf("characterized %s (%s)", spec.name.c_str(),
-                          tech::to_string(style)));
+  struct CellJob {
+    cells::Func func;
+    int drive;
   };
+  std::vector<CellJob> jobs;
   for (cells::Func f : cells::all_comb_funcs()) {
-    for (int d : cells::drive_options(f)) add_cell(f, d);
+    for (int d : cells::drive_options(f)) jobs.push_back({f, d});
   }
   for (int d : cells::drive_options(cells::Func::kDff)) {
-    add_cell(cells::Func::kDff, d);
+    jobs.push_back({cells::Func::kDff, d});
   }
+  // Characterize cells concurrently (each job writes only its own slot),
+  // then add them to the library in the original job order so the library
+  // is identical to a serial build.
+  std::vector<LibCell> done(jobs.size());
+  exec::parallel_for(
+      jobs.size(),
+      [&](size_t jb, size_t je) {
+        for (size_t j = jb; j < je; ++j) {
+          const cells::CellSpec spec = cells::make_spec(jobs[j].func,
+                                                        jobs[j].drive);
+          const cells::CellLayout layout = (style == tech::Style::k2D)
+                                               ? cells::layout_2d(spec, tch)
+                                               : cells::fold_tmi(spec, tch);
+          done[j] = characterize_cell(spec, layout, kVdd45, opt);
+          util::info(util::strf("characterized %s (%s)", spec.name.c_str(),
+                                tech::to_string(style)));
+        }
+      },
+      /*grain=*/1);
+  for (LibCell& cell : done) lib.add(std::move(cell));
   return lib;
 }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <queue>
 
+#include "exec/exec.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -17,6 +18,10 @@ namespace {
 struct Cell {
   int x, y;
 };
+
+/// Maze-search window inflation around a two-pin bbox, in gcells. Also the
+/// inflation used to decide whether two reroutes are spatially disjoint.
+constexpr int kMazeMargin = 12;
 
 struct TwoPin {
   circuit::NetId net;
@@ -368,8 +373,33 @@ RouteResult global_route(const circuit::Netlist& nl, const place::Die& die,
   }
   pattern_span.stop();
 
-  // Rip-up and reroute.
+  // Rip-up and reroute, in batches of spatially disjoint two-pins. Each
+  // iteration collects the overflowing two-pins (shortest first, like the
+  // pattern pass), greedily packs them into batches whose inflated maze
+  // windows don't overlap, and then for each batch: rips every member,
+  // reroutes every member against the frozen batch-start grid — this is
+  // the parallel section; the grid is read-only while the mazes run — and
+  // commits the results in order. Batch formation and every maze see only
+  // deterministic grid states, so the routing is bit-identical at any
+  // thread count (the batched schedule itself, not the thread count, is
+  // what differs from a one-at-a-time sweep).
   util::ScopedTimer rrr_span("route.rrr");
+  struct Window {
+    int xlo, xhi, ylo, yhi;
+  };
+  auto window_of = [&](const TwoPin& tp) {
+    return Window{std::max(0, std::min(tp.a.x, tp.b.x) - kMazeMargin),
+                  std::min(nx - 1, std::max(tp.a.x, tp.b.x) + kMazeMargin),
+                  std::max(0, std::min(tp.a.y, tp.b.y) - kMazeMargin),
+                  std::min(ny - 1, std::max(tp.a.y, tp.b.y) + kMazeMargin)};
+  };
+  auto overlaps = [](const Window& a, const Window& b) {
+    return a.xlo <= b.xhi && b.xlo <= a.xhi && a.ylo <= b.yhi && b.ylo <= a.yhi;
+  };
+  struct Reroute {
+    int level = 0;
+    std::vector<Cell> path;
+  };
   for (int iter = 0; iter < opt.rrr_iters; ++iter) {
     double mc = 0.0;
     const int over = grid.count_overflow(&mc);
@@ -377,34 +407,81 @@ RouteResult global_route(const circuit::Netlist& nl, const place::Die& die,
     if (over == 0) break;
     util::count("route.rrr_iters");
     grid.add_history();
+    std::vector<int> todo;
     for (int ti : order) {
-      TwoPin& tp = twopins[static_cast<size_t>(ti)];
-      if (!grid.path_overflows(tp.level, tp.path)) continue;
-      util::count("route.overflow_retries");
-      grid.add_path(tp.level, tp.path, -1.0);
-      // Try levels: preferred, then one up, then one down.
-      int best_level = tp.level;
-      std::vector<Cell> best_path;
-      double best_cost = 1e18;
-      for (int l : {tp.level, std::min(tp.level + 1, static_cast<int>(kGlobal)),
-                    std::max(tp.level - 1, static_cast<int>(kLocal))}) {
-        util::count("route.maze_calls");
-        auto path = maze_route(grid, l, tp.a, tp.b, 12);
-        if (path.empty()) continue;
-        // Level changes cost vias; bias toward the preferred level.
-        const double cost = path_cost(grid, l, path) + 4.0 * std::abs(l - tp.level);
-        if (cost < best_cost) {
-          best_cost = cost;
-          best_path = std::move(path);
-          best_level = l;
+      const TwoPin& tp = twopins[static_cast<size_t>(ti)];
+      if (grid.path_overflows(tp.level, tp.path)) todo.push_back(ti);
+    }
+    while (!todo.empty()) {
+      // Greedy maximal prefix-respecting independent set: a two-pin joins
+      // the batch unless its window overlaps an earlier member's.
+      std::vector<int> batch, deferred;
+      std::vector<Window> windows;
+      for (int ti : todo) {
+        const Window w = window_of(twopins[static_cast<size_t>(ti)]);
+        bool clash = false;
+        for (const Window& bw : windows) {
+          if (overlaps(w, bw)) {
+            clash = true;
+            break;
+          }
         }
-        if (l == tp.level && !grid.path_overflows(l, best_path)) break;
+        if (clash) {
+          deferred.push_back(ti);
+        } else {
+          batch.push_back(ti);
+          windows.push_back(w);
+        }
       }
-      if (!best_path.empty()) {
-        tp.level = best_level;
-        tp.path = std::move(best_path);
+      util::count("route.maze_batches");
+      // Rip every member first, so the mazes all route against the same
+      // batch-start congestion state.
+      for (int ti : batch) {
+        TwoPin& tp = twopins[static_cast<size_t>(ti)];
+        util::count("route.overflow_retries");
+        grid.add_path(tp.level, tp.path, -1.0);
       }
-      grid.add_path(tp.level, tp.path, 1.0);
+      std::vector<Reroute> rerouted(batch.size());
+      exec::parallel_for(
+          batch.size(),
+          [&](size_t bb, size_t be) {
+            for (size_t bi = bb; bi < be; ++bi) {
+              const TwoPin& tp = twopins[static_cast<size_t>(batch[bi])];
+              // Try levels: preferred, then one up, then one down.
+              int best_level = tp.level;
+              std::vector<Cell> best_path;
+              double best_cost = 1e18;
+              for (int l :
+                   {tp.level, std::min(tp.level + 1, static_cast<int>(kGlobal)),
+                    std::max(tp.level - 1, static_cast<int>(kLocal))}) {
+                util::count("route.maze_calls");
+                auto path = maze_route(grid, l, tp.a, tp.b, kMazeMargin);
+                if (path.empty()) continue;
+                // Level changes cost vias; bias toward the preferred level.
+                const double cost =
+                    path_cost(grid, l, path) + 4.0 * std::abs(l - tp.level);
+                if (cost < best_cost) {
+                  best_cost = cost;
+                  best_path = std::move(path);
+                  best_level = l;
+                }
+                if (l == tp.level && !grid.path_overflows(l, best_path)) break;
+              }
+              rerouted[bi].level = best_level;
+              rerouted[bi].path = std::move(best_path);
+            }
+          },
+          /*grain=*/1);
+      // Commit in batch order; a failed maze keeps the ripped-up old path.
+      for (size_t bi = 0; bi < batch.size(); ++bi) {
+        TwoPin& tp = twopins[static_cast<size_t>(batch[bi])];
+        if (!rerouted[bi].path.empty()) {
+          tp.level = rerouted[bi].level;
+          tp.path = std::move(rerouted[bi].path);
+        }
+        grid.add_path(tp.level, tp.path, 1.0);
+      }
+      todo = std::move(deferred);
     }
   }
   rrr_span.stop();

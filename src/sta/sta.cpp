@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "exec/exec.hpp"
 #include "util/metrics.hpp"
 #include "util/strf.hpp"
 #include "util/trace.hpp"
@@ -51,13 +52,15 @@ TimingResult run_sta(const circuit::Netlist& nl, const extract::Parasitics& par,
   r.inst_slack_ps.assign(static_cast<size_t>(num_inst), kInf);
   r.load_ff.assign(static_cast<size_t>(num_nets), 0.0);
 
-  // Loads.
-  for (circuit::NetId n = 0; n < num_nets; ++n) {
-    const circuit::Net& net = nl.net(n);
-    double load = par[static_cast<size_t>(n)].wire_cap_ff;
-    for (const auto& s : net.sinks) load += sink_cap_ff(nl, s);
-    r.load_ff[static_cast<size_t>(n)] = load;
-  }
+  // Loads: each net writes only its own slot.
+  exec::parallel_for(static_cast<size_t>(num_nets), [&](size_t nb, size_t ne) {
+    for (size_t n = nb; n < ne; ++n) {
+      const circuit::Net& net = nl.net(static_cast<circuit::NetId>(n));
+      double load = par[n].wire_cap_ff;
+      for (const auto& s : net.sinks) load += sink_cap_ff(nl, s);
+      r.load_ff[n] = load;
+    }
+  });
 
   // Arrival/slew at each instance input pin.
   std::vector<std::vector<double>> arr_in(static_cast<size_t>(num_inst));
@@ -107,34 +110,70 @@ TimingResult run_sta(const circuit::Netlist& nl, const extract::Parasitics& par,
     propagate_net(q);
   }
 
-  // Forward pass over combinational instances.
+  // Forward pass over combinational instances, one topological level at a
+  // time. Levels use the same edge rule as topo_order (combinational
+  // drivers only), so every value an instance reads (its arr_in/slew_in,
+  // written by its drivers' propagate_net) is finalized by the barrier
+  // between levels. Within a level all writes are disjoint — an instance
+  // touches only its own output nets' arrival/slew and its sink pins'
+  // arr_in/slew_in, each of which has exactly one driver — so the chunks
+  // can run concurrently and the result is bit-identical to serial.
   const std::vector<circuit::InstId> order = nl.topo_order();
   util::count("sta.arrivals_propagated", static_cast<double>(order.size()));
+  std::vector<int> level(static_cast<size_t>(num_inst), 0);
+  std::vector<std::vector<circuit::InstId>> levels;
   for (circuit::InstId id : order) {
     const circuit::Instance& inst = nl.inst(id);
-    if (inst.sequential() || inst.libcell == nullptr) continue;
-    const auto in_pins = cells::input_pins(inst.func);
-    const auto out_pins = cells::output_pins(inst.func);
-    for (size_t o = 0; o < inst.out_nets.size(); ++o) {
-      const circuit::NetId out = inst.out_nets[o];
-      const double load = r.load_ff[static_cast<size_t>(out)];
-      double arr = 0.0, slew = opt.primary_input_slew_ps;
-      for (size_t p = 0; p < inst.in_nets.size(); ++p) {
-        const liberty::TimingArc* arc =
-            inst.libcell->arc(in_pins[p], out_pins[o]);
-        if (arc == nullptr) continue;
-        const double in_slew = slew_in[static_cast<size_t>(id)][p];
-        const double d = arc->worst_delay(in_slew, load);
-        const double a = arr_in[static_cast<size_t>(id)][p] + d;
-        if (a > arr) {
-          arr = a;
-          slew = arc->worst_slew(in_slew, load);
+    int lv = 0;
+    if (!inst.sequential()) {
+      for (circuit::NetId in : inst.in_nets) {
+        const auto& drv = nl.net(in).driver;
+        if (drv.inst != circuit::kInvalid && !nl.inst(drv.inst).sequential()) {
+          lv = std::max(lv, level[static_cast<size_t>(drv.inst)] + 1);
         }
       }
-      r.arrival_ps[static_cast<size_t>(out)] = arr;
-      r.slew_ps[static_cast<size_t>(out)] = slew;
-      propagate_net(out);
     }
+    level[static_cast<size_t>(id)] = lv;
+    if (inst.sequential() || inst.libcell == nullptr) continue;
+    if (static_cast<size_t>(lv) >= levels.size()) {
+      levels.resize(static_cast<size_t>(lv) + 1);
+    }
+    levels[static_cast<size_t>(lv)].push_back(id);
+  }
+  util::set_gauge("sta.levels", static_cast<double>(levels.size()));
+  constexpr size_t kLevelGrain = 32;  // fixed => same chunks at any threads
+  for (const auto& bucket : levels) {
+    exec::parallel_for(
+        bucket.size(),
+        [&](size_t kb, size_t ke) {
+          for (size_t k = kb; k < ke; ++k) {
+            const circuit::InstId id = bucket[k];
+            const circuit::Instance& inst = nl.inst(id);
+            const auto in_pins = cells::input_pins(inst.func);
+            const auto out_pins = cells::output_pins(inst.func);
+            for (size_t o = 0; o < inst.out_nets.size(); ++o) {
+              const circuit::NetId out = inst.out_nets[o];
+              const double load = r.load_ff[static_cast<size_t>(out)];
+              double arr = 0.0, slew = opt.primary_input_slew_ps;
+              for (size_t p = 0; p < inst.in_nets.size(); ++p) {
+                const liberty::TimingArc* arc =
+                    inst.libcell->arc(in_pins[p], out_pins[o]);
+                if (arc == nullptr) continue;
+                const double in_slew = slew_in[static_cast<size_t>(id)][p];
+                const double d = arc->worst_delay(in_slew, load);
+                const double a = arr_in[static_cast<size_t>(id)][p] + d;
+                if (a > arr) {
+                  arr = a;
+                  slew = arc->worst_slew(in_slew, load);
+                }
+              }
+              r.arrival_ps[static_cast<size_t>(out)] = arr;
+              r.slew_ps[static_cast<size_t>(out)] = slew;
+              propagate_net(out);
+            }
+          }
+        },
+        kLevelGrain);
   }
 
   // Endpoint slacks: DFF D pins and primary outputs.
@@ -172,37 +211,52 @@ TimingResult run_sta(const circuit::Netlist& nl, const extract::Parasitics& par,
   }
   if (r.wns_ps >= kInf / 2) r.wns_ps = clock_ps;  // no endpoints
 
-  // Backward pass: required time at each net's driver pin.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const circuit::Instance& inst = nl.inst(*it);
-    if (inst.sequential() || inst.libcell == nullptr) continue;
-    const auto in_pins = cells::input_pins(inst.func);
-    const auto out_pins = cells::output_pins(inst.func);
-    // Required at each output net driver = min over sinks.
-    for (size_t o = 0; o < inst.out_nets.size(); ++o) {
-      const circuit::NetId out = inst.out_nets[o];
-      const circuit::Net& net = nl.net(out);
-      double req = net.is_primary_output ? clock_ps : kInf;
-      const auto& p = par[static_cast<size_t>(out)];
-      for (size_t k = 0; k < net.sinks.size(); ++k) {
-        const auto& s = net.sinks[k];
-        if (s.inst == circuit::kInvalid) continue;
-        const double nd = net_delay_ps(p, k, sink_cap_ff(nl, s));
-        req = std::min(req, req_in[static_cast<size_t>(s.inst)][static_cast<size_t>(s.pin)] - nd);
-      }
-      r.required_ps[static_cast<size_t>(out)] = req;
-      // Push through the cell to its input pins.
-      const double load = r.load_ff[static_cast<size_t>(out)];
-      for (size_t pi = 0; pi < inst.in_nets.size(); ++pi) {
-        const liberty::TimingArc* arc =
-            inst.libcell->arc(in_pins[pi], out_pins[o]);
-        if (arc == nullptr) continue;
-        const double d =
-            arc->worst_delay(slew_in[static_cast<size_t>(*it)][pi], load);
-        req_in[static_cast<size_t>(*it)][pi] =
-            std::min(req_in[static_cast<size_t>(*it)][pi], req - d);
-      }
-    }
+  // Backward pass: required time at each net's driver pin. Levels run
+  // highest-first; an instance reads req_in of its sinks (all at strictly
+  // higher levels, or DFF D pins pre-set above) and writes only its own
+  // output nets' required_ps and its own req_in entries, so within a level
+  // the chunks are independent and the result matches the serial reverse
+  // topological sweep bit for bit.
+  for (auto lit = levels.rbegin(); lit != levels.rend(); ++lit) {
+    const auto& bucket = *lit;
+    exec::parallel_for(
+        bucket.size(),
+        [&](size_t kb, size_t ke) {
+          for (size_t k = kb; k < ke; ++k) {
+            const circuit::InstId id = bucket[k];
+            const circuit::Instance& inst = nl.inst(id);
+            const auto in_pins = cells::input_pins(inst.func);
+            const auto out_pins = cells::output_pins(inst.func);
+            // Required at each output net driver = min over sinks.
+            for (size_t o = 0; o < inst.out_nets.size(); ++o) {
+              const circuit::NetId out = inst.out_nets[o];
+              const circuit::Net& net = nl.net(out);
+              double req = net.is_primary_output ? clock_ps : kInf;
+              const auto& p = par[static_cast<size_t>(out)];
+              for (size_t sk = 0; sk < net.sinks.size(); ++sk) {
+                const auto& s = net.sinks[sk];
+                if (s.inst == circuit::kInvalid) continue;
+                const double nd = net_delay_ps(p, sk, sink_cap_ff(nl, s));
+                req = std::min(
+                    req, req_in[static_cast<size_t>(s.inst)]
+                               [static_cast<size_t>(s.pin)] - nd);
+              }
+              r.required_ps[static_cast<size_t>(out)] = req;
+              // Push through the cell to its input pins.
+              const double load = r.load_ff[static_cast<size_t>(out)];
+              for (size_t pi = 0; pi < inst.in_nets.size(); ++pi) {
+                const liberty::TimingArc* arc =
+                    inst.libcell->arc(in_pins[pi], out_pins[o]);
+                if (arc == nullptr) continue;
+                const double d =
+                    arc->worst_delay(slew_in[static_cast<size_t>(id)][pi], load);
+                req_in[static_cast<size_t>(id)][pi] =
+                    std::min(req_in[static_cast<size_t>(id)][pi], req - d);
+              }
+            }
+          }
+        },
+        kLevelGrain);
   }
   // Required at source nets (DFF outputs / PIs) for completeness.
   for (circuit::NetId n = 0; n < num_nets; ++n) {

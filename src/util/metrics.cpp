@@ -21,12 +21,24 @@ HistStats stats_of(const std::vector<double>& samples) {
   return s;
 }
 
+thread_local MetricsRegistry* t_sink = nullptr;
+
 }  // namespace
 
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry instance;
   return instance;
 }
+
+MetricsRegistry& MetricsRegistry::current() {
+  return t_sink != nullptr ? *t_sink : global();
+}
+
+ScopedMetricsSink::ScopedMetricsSink(MetricsRegistry& sink) : saved_(t_sink) {
+  t_sink = &sink;
+}
+
+ScopedMetricsSink::~ScopedMetricsSink() { t_sink = saved_; }
 
 void MetricsRegistry::add_counter(const std::string& name, double delta) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -76,6 +88,17 @@ std::map<std::string, HistStats> MetricsRegistry::histograms() const {
   std::map<std::string, HistStats> out;
   for (const auto& [name, samples] : samples_) out[name] = stats_of(samples);
   return out;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& src) {
+  if (&src == this) return;
+  std::scoped_lock lock(mu_, src.mu_);
+  for (const auto& [name, value] : src.counters_) counters_[name] += value;
+  for (const auto& [name, value] : src.gauges_) gauges_[name] = value;
+  for (const auto& [name, samples] : src.samples_) {
+    auto& dst = samples_[name];
+    dst.insert(dst.end(), samples.begin(), samples.end());
+  }
 }
 
 void MetricsRegistry::reset() {

@@ -28,8 +28,15 @@ struct HistStats {
 
 class MetricsRegistry {
  public:
-  /// The process-wide registry used by all instrumentation helpers below.
+  /// The process-wide registry.
   static MetricsRegistry& global();
+
+  /// The calling thread's active sink: the registry most recently installed
+  /// with ScopedMetricsSink on this thread, else global(). The convenience
+  /// wrappers below report here, which lets concurrent flows collect their
+  /// counters into private registries (merged back via merge_from) without
+  /// interleaving each other's StageReports.
+  static MetricsRegistry& current();
 
   void add_counter(const std::string& name, double delta = 1.0);
   void set_gauge(const std::string& name, double value);
@@ -51,6 +58,11 @@ class MetricsRegistry {
   /// Drops every metric (tests and fresh interactive sessions).
   void reset();
 
+  /// Folds `src` into this registry: counters add, gauges take src's value,
+  /// histogram samples append. Used to publish a flow-local registry into
+  /// its parent when a concurrent flow finishes.
+  void merge_from(const MetricsRegistry& src);
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, double> counters_;
@@ -58,15 +70,30 @@ class MetricsRegistry {
   std::map<std::string, std::vector<double>> samples_;
 };
 
-/// Convenience wrappers over MetricsRegistry::global().
+/// RAII redirection of this thread's metric reporting into `sink` (see
+/// MetricsRegistry::current()). The exec pool captures the submitter's sink
+/// at task-submit time and installs it on the worker, so metrics emitted on
+/// pool threads land in the flow that spawned the work.
+class ScopedMetricsSink {
+ public:
+  explicit ScopedMetricsSink(MetricsRegistry& sink);
+  ~ScopedMetricsSink();
+  ScopedMetricsSink(const ScopedMetricsSink&) = delete;
+  ScopedMetricsSink& operator=(const ScopedMetricsSink&) = delete;
+
+ private:
+  MetricsRegistry* saved_;
+};
+
+/// Convenience wrappers over MetricsRegistry::current().
 inline void count(const std::string& name, double delta = 1.0) {
-  MetricsRegistry::global().add_counter(name, delta);
+  MetricsRegistry::current().add_counter(name, delta);
 }
 inline void set_gauge(const std::string& name, double value) {
-  MetricsRegistry::global().set_gauge(name, value);
+  MetricsRegistry::current().set_gauge(name, value);
 }
 inline void observe(const std::string& name, double sample) {
-  MetricsRegistry::global().observe(name, sample);
+  MetricsRegistry::current().observe(name, sample);
 }
 
 }  // namespace m3d::util

@@ -16,6 +16,15 @@ std::string indent(int depth) {
 
 int span_depth() { return t_depth; }
 
+SpanContext capture_span_context() { return SpanContext{t_depth}; }
+
+SpanContextScope::SpanContextScope(const SpanContext& ctx)
+    : saved_depth_(t_depth) {
+  t_depth = ctx.depth;
+}
+
+SpanContextScope::~SpanContextScope() { t_depth = saved_depth_; }
+
 ScopedTimer::ScopedTimer(std::string name, LogLevel level)
     : name_(std::move(name)),
       level_(level),

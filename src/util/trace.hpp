@@ -16,6 +16,30 @@ namespace m3d::util {
 /// Current per-thread span nesting depth (0 outside any span).
 int span_depth();
 
+/// Snapshot of a thread's span nesting, for carrying across thread hops:
+/// capture on the submitting thread, adopt on the worker with a
+/// SpanContextScope so worker-side spans attach to the submitting task's
+/// span instead of starting a fresh root.
+struct SpanContext {
+  int depth = 0;
+};
+
+/// The calling thread's current span context.
+SpanContext capture_span_context();
+
+/// RAII adoption of a captured span context: sets the calling thread's span
+/// depth for the scope's lifetime and restores the previous depth on exit.
+class SpanContextScope {
+ public:
+  explicit SpanContextScope(const SpanContext& ctx);
+  ~SpanContextScope();
+  SpanContextScope(const SpanContextScope&) = delete;
+  SpanContextScope& operator=(const SpanContextScope&) = delete;
+
+ private:
+  int saved_depth_;
+};
+
 class ScopedTimer {
  public:
   explicit ScopedTimer(std::string name, LogLevel level = LogLevel::kDebug);
