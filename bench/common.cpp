@@ -16,7 +16,8 @@ namespace {
 
 // Bump when flow/calibration changes invalidate cached experiment results.
 // v5: batched rip-up-and-reroute (route.cpp) reschedules maze routing.
-constexpr int kResultVersion = 5;
+constexpr int kResultVersion = 6;  // v6: full invariant checking + placer
+                                   // legality fixes changed flow QoR
 
 // Concurrent comparisons can share report filenames (e.g. the fig11
 // activity sweep reruns the same bench); serialize the writes.
@@ -152,6 +153,10 @@ flow::FlowOptions preset(gen::Bench bench, tech::Node node) {
   o.scale_shift = flow::default_scale_shift(bench);
   o.target_util = flow::default_utilization(bench);
   o.lib = &libs().of(node, tech::Style::k2D);
+  // Paper-table runs carry the full invariant battery: a violation in a
+  // published number should be loud, and the check stage is a rounding
+  // error next to the flow itself.
+  o.check_level = check::Level::kFull;
   return o;
 }
 

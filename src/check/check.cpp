@@ -1,0 +1,643 @@
+#include "check/check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "util/rng.hpp"
+#include "util/strf.hpp"
+
+namespace m3d::check {
+namespace {
+
+constexpr double kPosEps = 1e-6;     // um: row alignment / overlap slack
+constexpr double kSumRelTol = 1e-9;  // relative tolerance for FP re-sums
+constexpr double kTimeEps = 1e-6;    // ps
+// Required times start at kInf (sta.cpp) and stay there for nets with no
+// timing endpoint downstream; anything above this is "unconstrained".
+constexpr double kUnconstrained = std::numeric_limits<double>::max() / 8;
+
+bool close_rel(double a, double b, double rel, double abs_tol) {
+  return std::abs(a - b) <= abs_tol + rel * std::max(std::abs(a), std::abs(b));
+}
+
+void mix(uint64_t* h, uint64_t v) {
+  *h ^= v + 0x9e3779b97f4a7c15ULL + (*h << 6) + (*h >> 2);
+  uint64_t sm = *h;
+  *h = util::splitmix64(sm);
+}
+
+}  // namespace
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::kNone: return "none";
+    case Level::kBasic: return "basic";
+    case Level::kFull: return "full";
+  }
+  return "?";
+}
+
+int CheckResult::errors() const {
+  int n = 0;
+  for (const auto& v : violations) n += (v.severity == Severity::kError);
+  return n;
+}
+
+int CheckResult::warnings() const {
+  return static_cast<int>(violations.size()) - errors();
+}
+
+int CheckResult::count_for(const std::string& checker) const {
+  int n = 0;
+  for (const auto& v : violations) n += (v.checker == checker);
+  return n;
+}
+
+void CheckResult::add(std::string checker, std::string code,
+                      std::string message, Severity severity) {
+  violations.push_back(Violation{std::move(checker), std::move(code),
+                                 std::move(message), severity});
+}
+
+void CheckResult::merge(CheckResult other) {
+  violations.insert(violations.end(),
+                    std::make_move_iterator(other.violations.begin()),
+                    std::make_move_iterator(other.violations.end()));
+}
+
+std::string CheckResult::summary(size_t max_lines) const {
+  std::string out;
+  size_t shown = 0;
+  for (const auto& v : violations) {
+    if (max_lines != 0 && shown == max_lines) {
+      out += util::strf("... and %zu more\n", violations.size() - shown);
+      break;
+    }
+    out += util::strf("%s/%s: %s\n", v.checker.c_str(), v.code.c_str(),
+                      v.message.c_str());
+    ++shown;
+  }
+  return out;
+}
+
+CheckResult check_netlist(const circuit::Netlist& nl) {
+  CheckResult res;
+  const char* kC = "netlist";
+  const int num_nets = nl.num_nets();
+  const int num_inst = nl.num_instances();
+  auto net_ok = [&](circuit::NetId n) { return n >= 0 && n < num_nets; };
+  auto inst_ok = [&](circuit::InstId i) { return i >= 0 && i < num_inst; };
+
+  // Net side: driver/sink references in range, live, and cross-linked.
+  for (circuit::NetId n = 0; n < num_nets; ++n) {
+    const circuit::Net& net = nl.net(n);
+    if (net.driver.inst != circuit::kInvalid) {
+      if (!inst_ok(net.driver.inst)) {
+        res.add(kC, "bad-driver-ref",
+                util::strf("net %s: driver instance id %d out of range",
+                           net.name.c_str(), net.driver.inst));
+        continue;
+      }
+      const circuit::Instance& d = nl.inst(net.driver.inst);
+      if (d.dead) {
+        res.add(kC, "dead-driver",
+                util::strf("net %s driven by removed instance %s",
+                           net.name.c_str(), d.name.c_str()));
+      } else if (net.driver.pin < 0 ||
+                 net.driver.pin >= static_cast<int>(d.out_nets.size()) ||
+                 d.out_nets[static_cast<size_t>(net.driver.pin)] != n) {
+        res.add(kC, "driver-crosslink",
+                util::strf("net %s: driver %s pin %d does not drive it back",
+                           net.name.c_str(), d.name.c_str(), net.driver.pin));
+      }
+    } else if (!net.sinks.empty() && !net.is_primary_input && !net.is_clock) {
+      res.add(kC, "undriven-net",
+              util::strf("net %s has %d sink(s) but no driver and is not a "
+                         "primary input",
+                         net.name.c_str(), net.fanout()));
+    }
+    for (const circuit::PinRef& s : net.sinks) {
+      if (!inst_ok(s.inst)) {
+        res.add(kC, "bad-sink-ref",
+                util::strf("net %s: sink instance id %d out of range",
+                           net.name.c_str(), s.inst));
+        continue;
+      }
+      const circuit::Instance& si = nl.inst(s.inst);
+      if (si.dead) {
+        res.add(kC, "dead-sink",
+                util::strf("net %s fans out to removed instance %s",
+                           net.name.c_str(), si.name.c_str()));
+      } else if (s.pin < 0 || s.pin >= static_cast<int>(si.in_nets.size()) ||
+                 si.in_nets[static_cast<size_t>(s.pin)] != n) {
+        res.add(kC, "sink-crosslink",
+                util::strf("net %s: sink %s pin %d does not point back",
+                           net.name.c_str(), si.name.c_str(), s.pin));
+      }
+    }
+  }
+
+  // Instance side: every live pin wired to a valid net, exactly one driver
+  // per net (two instances claiming the same net is a driver conflict).
+  std::vector<circuit::InstId> driver_of(static_cast<size_t>(num_nets),
+                                         circuit::kInvalid);
+  int live = 0;
+  for (circuit::InstId i = 0; i < num_inst; ++i) {
+    const circuit::Instance& inst = nl.inst(i);
+    if (inst.dead) continue;
+    ++live;
+    for (size_t p = 0; p < inst.in_nets.size(); ++p) {
+      if (!net_ok(inst.in_nets[p])) {
+        res.add(kC, "dangling-input",
+                util::strf("instance %s input pin %zu wired to invalid net %d",
+                           inst.name.c_str(), p, inst.in_nets[p]));
+      }
+    }
+    for (size_t o = 0; o < inst.out_nets.size(); ++o) {
+      const circuit::NetId out = inst.out_nets[o];
+      if (!net_ok(out)) {
+        res.add(kC, "dangling-output",
+                util::strf("instance %s output pin %zu wired to invalid net %d",
+                           inst.name.c_str(), o, out));
+        continue;
+      }
+      circuit::InstId& owner = driver_of[static_cast<size_t>(out)];
+      if (owner != circuit::kInvalid && owner != i) {
+        res.add(kC, "multiple-drivers",
+                util::strf("net %s driven by both %s and %s",
+                           nl.net(out).name.c_str(),
+                           nl.inst(owner).name.c_str(), inst.name.c_str()));
+      }
+      owner = i;
+      if (nl.net(out).driver.inst != i) {
+        res.add(kC, "driver-mismatch",
+                util::strf("instance %s claims net %s but the net records a "
+                           "different driver",
+                           inst.name.c_str(), nl.net(out).name.c_str()));
+      }
+    }
+  }
+
+  // Ports reference valid nets with matching direction flags.
+  for (const circuit::Port& port : nl.ports()) {
+    if (!net_ok(port.net)) {
+      res.add(kC, "bad-port-net",
+              util::strf("port %s wired to invalid net %d", port.name.c_str(),
+                         port.net));
+      continue;
+    }
+    const circuit::Net& net = nl.net(port.net);
+    if (port.is_input && !net.is_primary_input && !net.is_clock) {
+      res.add(kC, "port-direction",
+              util::strf("input port %s on net %s not flagged primary input",
+                         port.name.c_str(), net.name.c_str()));
+    }
+  }
+
+  // Acyclicity: a combinational cycle leaves its members unreachable from
+  // the topological sources, so the order comes back short.
+  const size_t in_order = nl.topo_order().size();
+  if (in_order != static_cast<size_t>(live)) {
+    res.add(kC, "comb-cycle",
+            util::strf("topological order covers %zu of %d live instances — "
+                       "combinational cycle",
+                       in_order, live));
+  }
+  return res;
+}
+
+CheckResult check_placement(const circuit::Netlist& nl,
+                            const place::Die& die) {
+  CheckResult res;
+  const char* kC = "placement";
+  struct RowCell {
+    double xlo, xhi;
+    circuit::InstId id;
+  };
+  std::map<int, std::vector<RowCell>> rows;
+
+  for (circuit::InstId i = 0; i < nl.num_instances(); ++i) {
+    const circuit::Instance& inst = nl.inst(i);
+    if (inst.dead) continue;
+    if (inst.libcell == nullptr) {
+      res.add(kC, "unbound",
+              util::strf("instance %s has no bound library cell",
+                         inst.name.c_str()));
+      continue;
+    }
+    if (!inst.placed) {
+      res.add(kC, "unplaced",
+              util::strf("instance %s not placed", inst.name.c_str()));
+      continue;
+    }
+    const double w = inst.libcell->width_um;
+    const double h = die.row_height_um;
+    // Row alignment: the cell center must sit on a row center line.
+    const int row = static_cast<int>(
+        std::lround((inst.pos.y - die.core.ylo) / h - 0.5));
+    if (row < 0 || row >= die.num_rows ||
+        std::abs(inst.pos.y - die.row_y(row)) > kPosEps) {
+      res.add(kC, "row-misaligned",
+              util::strf("instance %s at y=%.6f not on a row center "
+                         "(row pitch %.3f)",
+                         inst.name.c_str(), inst.pos.y, h));
+      continue;
+    }
+    const double xlo = inst.pos.x - w / 2;
+    const double xhi = inst.pos.x + w / 2;
+    if (xlo < die.core.xlo - kPosEps || xhi > die.core.xhi + kPosEps ||
+        inst.pos.y - h / 2 < die.core.ylo - kPosEps ||
+        inst.pos.y + h / 2 > die.core.yhi + kPosEps) {
+      res.add(kC, "outside-core",
+              util::strf("instance %s [%.4f, %.4f] x row %d escapes the core",
+                         inst.name.c_str(), xlo, xhi, row));
+    }
+    // Overlap is the placer's contract over the cells it legalized.
+    // Optimizer/CTS buffers are snapped to the row grid (row alignment and
+    // containment hold, checked above) but not gap-legalized — they are
+    // area-negligible, and a full incremental legalizer is future work.
+    if (!inst.from_optimizer) rows[row].push_back(RowCell{xlo, xhi, i});
+  }
+
+  for (auto& [row, cells] : rows) {
+    std::sort(cells.begin(), cells.end(),
+              [](const RowCell& a, const RowCell& b) { return a.xlo < b.xlo; });
+    for (size_t k = 0; k + 1 < cells.size(); ++k) {
+      const double over = cells[k].xhi - cells[k + 1].xlo;
+      if (over > kPosEps) {
+        res.add(kC, "overlap",
+                util::strf("row %d: %s and %s overlap by %.6f um", row,
+                           nl.inst(cells[k].id).name.c_str(),
+                           nl.inst(cells[k + 1].id).name.c_str(), over));
+      }
+    }
+  }
+  return res;
+}
+
+CheckResult check_routing(const circuit::Netlist& nl,
+                          const route::RouteResult& routes,
+                          const tech::Tech& tech) {
+  CheckResult res;
+  const char* kC = "routing";
+  if (routes.nets.size() != static_cast<size_t>(nl.num_nets())) {
+    res.add(kC, "net-table-size",
+            util::strf("route table has %zu entries for %d nets",
+                       routes.nets.size(), nl.num_nets()));
+    return res;  // indices below would be meaningless
+  }
+
+  // Connectivity: the router owns every non-clock net with sinks, and its
+  // per-sink path table must be parallel to the net's sink list.
+  for (circuit::NetId n = 0; n < nl.num_nets(); ++n) {
+    const circuit::Net& net = nl.net(n);
+    const route::NetRoute& nr = routes.nets[static_cast<size_t>(n)];
+    if (net.is_clock || net.sinks.empty()) {
+      if (nr.total_wl() != 0.0) {
+        res.add(kC, "phantom-route",
+                util::strf("unrouted-class net %s carries %.3f um of wire",
+                           net.name.c_str(), nr.total_wl()));
+      }
+      continue;
+    }
+    if (nr.sink_path_wl.size() != net.sinks.size()) {
+      res.add(kC, "disconnected-net",
+              util::strf("net %s: %zu per-sink paths for %zu sinks",
+                         net.name.c_str(), nr.sink_path_wl.size(),
+                         net.sinks.size()));
+    }
+    for (int l = 0; l < route::kNumLevels; ++l) {
+      if (nr.wl_um[static_cast<size_t>(l)] < 0.0) {
+        res.add(kC, "negative-wl",
+                util::strf("net %s level %d wirelength %.3f < 0",
+                           net.name.c_str(), l,
+                           nr.wl_um[static_cast<size_t>(l)]));
+      }
+    }
+    if (nr.vias < 0) {
+      res.add(kC, "negative-vias",
+              util::strf("net %s via count %d < 0", net.name.c_str(), nr.vias));
+    }
+  }
+
+  // Totals must re-sum from the per-net table.
+  std::array<double, route::kNumLevels> wl{};
+  long vias = 0;
+  for (const route::NetRoute& nr : routes.nets) {
+    for (int l = 0; l < route::kNumLevels; ++l) {
+      wl[static_cast<size_t>(l)] += nr.wl_um[static_cast<size_t>(l)];
+    }
+    vias += nr.vias;
+  }
+  for (int l = 0; l < route::kNumLevels; ++l) {
+    if (!close_rel(wl[static_cast<size_t>(l)],
+                   routes.wl_by_level[static_cast<size_t>(l)], kSumRelTol,
+                   1e-6)) {
+      res.add(kC, "wl-sum",
+              util::strf("level %d wirelength %.6f != per-net sum %.6f", l,
+                         routes.wl_by_level[static_cast<size_t>(l)],
+                         wl[static_cast<size_t>(l)]));
+    }
+  }
+  if (!close_rel(routes.total_wl_um, wl[0] + wl[1] + wl[2], kSumRelTol, 1e-6)) {
+    res.add(kC, "total-wl-sum",
+            util::strf("total wirelength %.6f != level sum %.6f",
+                       routes.total_wl_um, wl[0] + wl[1] + wl[2]));
+  }
+  if (routes.total_vias != vias) {
+    res.add(kC, "via-sum",
+            util::strf("total vias %ld != per-net sum %ld", routes.total_vias,
+                       vias));
+  }
+
+  // Capacity: recount overflow from the stored usage grids with the
+  // router's own rule (usage > cap + 1e-9) and demand the bookkeeping
+  // agrees; a result flagged `routed` must have no overflowing edge.
+  int over = 0;
+  double max_cong = 0.0;
+  for (int l = 0; l < route::kNumLevels; ++l) {
+    const auto count = [&](const std::vector<double>& usage, double cap,
+                           char dir) {
+      for (size_t e = 0; e < usage.size(); ++e) {
+        max_cong = std::max(max_cong, usage[e] / std::max(cap, 1e-9));
+        if (usage[e] < 0.0) {
+          res.add(kC, "negative-usage",
+                  util::strf("level %d %c-edge %zu usage %.4f < 0", l, dir, e,
+                             usage[e]));
+        }
+        if (usage[e] > cap + 1e-9) {
+          ++over;
+          if (routes.routed) {
+            res.add(kC, "capacity",
+                    util::strf("level %d %c-edge %zu usage %.4f exceeds "
+                               "capacity %.4f on a result claiming routed",
+                               l, dir, e, usage[e], cap));
+          }
+        }
+      }
+    };
+    count(routes.usage_h[static_cast<size_t>(l)],
+          routes.cap_h[static_cast<size_t>(l)], 'h');
+    count(routes.usage_v[static_cast<size_t>(l)],
+          routes.cap_v[static_cast<size_t>(l)], 'v');
+  }
+  if (over != routes.overflow_edges) {
+    res.add(kC, "overflow-count",
+            util::strf("stored overflow_edges %d != recount %d",
+                       routes.overflow_edges, over));
+  }
+  if (routes.routed != (over == 0)) {
+    res.add(kC, "routed-flag",
+            util::strf("routed=%d inconsistent with %d overflowing edges",
+                       routes.routed ? 1 : 0, over));
+  }
+  if (!close_rel(routes.max_congestion, max_cong, 1e-9, 1e-9)) {
+    res.add(kC, "max-congestion",
+            util::strf("stored max congestion %.6f != recomputed %.6f",
+                       routes.max_congestion, max_cong),
+            Severity::kWarning);
+  }
+
+  // Via model vs style: only 3D stacks have a monolithic inter-tier cut.
+  const int miv_cut = tech.miv_cut_index();
+  if (tech.is_3d() != (miv_cut >= 0)) {
+    res.add(kC, "miv-cut",
+            util::strf("style %s reports MIV cut index %d",
+                       tech::to_string(tech.style()), miv_cut));
+  }
+  return res;
+}
+
+CheckResult check_timing(const circuit::Netlist& nl,
+                         const sta::TimingResult& timing) {
+  CheckResult res;
+  const char* kC = "timing";
+  const size_t num_nets = static_cast<size_t>(nl.num_nets());
+  if (timing.arrival_ps.size() != num_nets ||
+      timing.slew_ps.size() != num_nets ||
+      timing.required_ps.size() != num_nets ||
+      timing.load_ff.size() != num_nets) {
+    res.add(kC, "vector-size",
+            util::strf("timing vectors not sized to %zu nets", num_nets));
+    return res;
+  }
+  if (timing.inst_slack_ps.size() !=
+      static_cast<size_t>(nl.num_instances())) {
+    res.add(kC, "vector-size",
+            util::strf("instance slack vector not sized to %d instances",
+                       nl.num_instances()));
+    return res;
+  }
+  for (size_t n = 0; n < num_nets; ++n) {
+    const auto bad = [&](double v) { return !std::isfinite(v) || v < 0.0; };
+    if (bad(timing.arrival_ps[n]) || bad(timing.slew_ps[n]) ||
+        bad(timing.load_ff[n])) {
+      res.add(kC, "bad-node-value",
+              util::strf("net %s: arrival=%.3g slew=%.3g load=%.3g",
+                         nl.net(static_cast<circuit::NetId>(n)).name.c_str(),
+                         timing.arrival_ps[n], timing.slew_ps[n],
+                         timing.load_ff[n]));
+    }
+    // At closure every constrained node meets its required time.
+    if (timing.met() && timing.required_ps[n] < kUnconstrained &&
+        timing.arrival_ps[n] > timing.required_ps[n] + kTimeEps) {
+      res.add(kC, "arrival-after-required",
+              util::strf("net %s: arrival %.3f ps > required %.3f ps on a "
+                         "design claiming timing met",
+                         nl.net(static_cast<circuit::NetId>(n)).name.c_str(),
+                         timing.arrival_ps[n], timing.required_ps[n]));
+    }
+  }
+  if (timing.met()) {
+    for (int i = 0; i < nl.num_instances(); ++i) {
+      if (nl.inst(i).dead) continue;
+      const double slack = timing.inst_slack_ps[static_cast<size_t>(i)];
+      if (slack < -kTimeEps && slack < kUnconstrained) {
+        res.add(kC, "negative-slack",
+                util::strf("instance %s slack %.3f ps < 0 at closure",
+                           nl.inst(i).name.c_str(), slack));
+      }
+    }
+  }
+  if (!std::isfinite(timing.critical_path_ps) ||
+      timing.critical_path_ps < 0.0) {
+    res.add(kC, "critical-path",
+            util::strf("critical path %.3f ps invalid",
+                       timing.critical_path_ps));
+  }
+  return res;
+}
+
+CheckResult check_power(const circuit::Netlist& nl,
+                        const power::PowerResult& power) {
+  CheckResult res;
+  const char* kC = "power";
+  const auto nonneg = [&](double v, const char* what) {
+    if (!std::isfinite(v) || v < -1e-9) {
+      res.add(kC, "negative-component",
+              util::strf("%s = %.6g uW", what, v));
+    }
+  };
+  nonneg(power.total_uw, "total");
+  nonneg(power.cell_internal_uw, "cell internal");
+  nonneg(power.net_switching_uw, "net switching");
+  nonneg(power.leakage_uw, "leakage");
+  nonneg(power.wire_uw, "wire switching");
+  nonneg(power.pin_uw, "pin switching");
+  nonneg(power.wire_cap_pf, "wire cap");
+  nonneg(power.pin_cap_pf, "pin cap");
+  const double sum =
+      power.cell_internal_uw + power.net_switching_uw + power.leakage_uw;
+  if (!close_rel(power.total_uw, sum, 1e-9, 1e-9)) {
+    res.add(kC, "total-mismatch",
+            util::strf("total %.9f uW != internal+switching+leakage %.9f uW",
+                       power.total_uw, sum));
+  }
+  const double split = power.wire_uw + power.pin_uw;
+  if (!close_rel(power.net_switching_uw, split, 1e-9, 1e-9)) {
+    res.add(kC, "switching-split",
+            util::strf("net switching %.9f uW != wire+pin %.9f uW",
+                       power.net_switching_uw, split));
+  }
+  if (power.net_activity.size() == static_cast<size_t>(nl.num_nets())) {
+    for (size_t n = 0; n < power.net_activity.size(); ++n) {
+      const double a = power.net_activity[n];
+      if (!std::isfinite(a) || a < 0.0 || a > 2.0 + 1e-9) {
+        res.add(kC, "activity-range",
+                util::strf("net %s activity %.4f outside [0, 2]",
+                           nl.net(static_cast<circuit::NetId>(n)).name.c_str(),
+                           a));
+      }
+    }
+  } else if (!power.net_activity.empty()) {
+    res.add(kC, "activity-size",
+            util::strf("activity vector has %zu entries for %d nets",
+                       power.net_activity.size(), nl.num_nets()));
+  }
+  return res;
+}
+
+CheckResult check_library(const liberty::Library& lib) {
+  CheckResult res;
+  const char* kC = "library";
+  const auto check_axes = [&](const liberty::NldmTable& t,
+                              const std::string& where) {
+    if (t.empty() || t.slew_ps.empty() || t.load_ff.empty() ||
+        t.value.size() != t.slew_ps.size() * t.load_ff.size()) {
+      res.add(kC, "bad-table", util::strf("%s: malformed table", where.c_str()));
+      return false;
+    }
+    for (size_t i = 0; i + 1 < t.slew_ps.size(); ++i) {
+      if (t.slew_ps[i + 1] <= t.slew_ps[i]) {
+        res.add(kC, "axis-order",
+                util::strf("%s: slew axis not increasing", where.c_str()));
+        return false;
+      }
+    }
+    for (size_t i = 0; i + 1 < t.load_ff.size(); ++i) {
+      if (t.load_ff[i + 1] <= t.load_ff[i]) {
+        res.add(kC, "axis-order",
+                util::strf("%s: load axis not increasing", where.c_str()));
+        return false;
+      }
+    }
+    return true;
+  };
+  // Monotone in load along each slew row. Characterized tables carry solver
+  // noise, so only decreases beyond 0.2% (or 1e-6 absolute) are flagged.
+  const auto check_monotone = [&](const liberty::NldmTable& t,
+                                  const std::string& where) {
+    for (size_t si = 0; si < t.slew_ps.size(); ++si) {
+      for (size_t li = 0; li + 1 < t.load_ff.size(); ++li) {
+        const double a = t.cell(si, li);
+        const double b = t.cell(si, li + 1);
+        if (b < a - std::max(1e-6, 0.002 * std::abs(a))) {
+          res.add(kC, "non-monotone-load",
+                  util::strf("%s: row slew=%.1fps drops %.4f -> %.4f with "
+                             "rising load",
+                             where.c_str(), t.slew_ps[si], a, b));
+        }
+      }
+    }
+  };
+  for (const liberty::LibCell& cell : lib.cells()) {
+    const liberty::LibCell* c = &cell;
+    if (c->area_um2() <= 0.0) {
+      res.add(kC, "bad-area",
+              util::strf("cell %s area %.4f <= 0", c->name.c_str(),
+                         c->area_um2()));
+    }
+    if (c->leakage_uw < 0.0) {
+      res.add(kC, "negative-leakage",
+              util::strf("cell %s leakage %.6f < 0", c->name.c_str(),
+                         c->leakage_uw));
+    }
+    for (const auto& [pin, cap] : c->pin_cap_ff) {
+      if (cap <= 0.0) {
+        res.add(kC, "bad-pin-cap",
+                util::strf("cell %s pin %s cap %.4f <= 0", c->name.c_str(),
+                           pin.c_str(), cap));
+      }
+    }
+    if (c->arcs.empty()) {
+      res.add(kC, "no-arcs",
+              util::strf("cell %s has no timing arcs", c->name.c_str()));
+    }
+    for (const liberty::TimingArc& arc : c->arcs) {
+      for (int e = 0; e < 2; ++e) {
+        const std::string where = util::strf(
+            "%s %s->%s edge %d", c->name.c_str(), arc.from.c_str(),
+            arc.to.c_str(), e);
+        if (check_axes(arc.delay[e], where + " delay")) {
+          check_monotone(arc.delay[e], where + " delay");
+        }
+        if (check_axes(arc.out_slew[e], where + " slew")) {
+          check_monotone(arc.out_slew[e], where + " slew");
+        }
+        check_axes(arc.energy[e], where + " energy");
+      }
+    }
+  }
+  return res;
+}
+
+uint64_t netlist_hash(const circuit::Netlist& nl) {
+  uint64_t h = util::hash64(nl.name);
+  mix(&h, static_cast<uint64_t>(nl.num_instances()));
+  mix(&h, static_cast<uint64_t>(nl.num_nets()));
+  mix(&h, static_cast<uint64_t>(nl.clock_net() + 1));
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const circuit::Instance& inst = nl.inst(i);
+    mix(&h, util::hash64(inst.name));
+    mix(&h, static_cast<uint64_t>(inst.func));
+    mix(&h, static_cast<uint64_t>(inst.drive));
+    mix(&h, inst.dead ? 1 : 0);
+    for (circuit::NetId n : inst.in_nets) mix(&h, static_cast<uint64_t>(n + 1));
+    for (circuit::NetId n : inst.out_nets) {
+      mix(&h, static_cast<uint64_t>(n + 1));
+    }
+  }
+  for (circuit::NetId n = 0; n < nl.num_nets(); ++n) {
+    const circuit::Net& net = nl.net(n);
+    mix(&h, util::hash64(net.name));
+    mix(&h, static_cast<uint64_t>(net.driver.inst + 1));
+    mix(&h, static_cast<uint64_t>(net.driver.pin + 1));
+    mix(&h, (net.is_clock ? 1 : 0) | (net.is_primary_input ? 2 : 0) |
+                (net.is_primary_output ? 4 : 0));
+    for (const circuit::PinRef& s : net.sinks) {
+      mix(&h, static_cast<uint64_t>(s.inst + 1));
+      mix(&h, static_cast<uint64_t>(s.pin + 1));
+    }
+  }
+  for (const circuit::Port& p : nl.ports()) {
+    mix(&h, util::hash64(p.name));
+    mix(&h, static_cast<uint64_t>(p.net + 1));
+    mix(&h, p.is_input ? 1 : 0);
+  }
+  return h;
+}
+
+}  // namespace m3d::check

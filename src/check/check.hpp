@@ -1,0 +1,109 @@
+// Flow invariant checkers: structural sign-off oracles for every stage
+// artifact the flow produces. Each checker inspects one artifact (netlist,
+// placement, routing, timing, power, library) and returns structured
+// Violation records instead of asserting, so callers can aggregate them
+// into the metrics registry ("check.violations") and the JSON run report,
+// and the fuzz driver can push thousands of random circuits through the
+// flow with the full battery enabled.
+//
+// The checkers are pure observers: they never mutate the artifact, and a
+// clean run returns an empty CheckResult. `run_flow` invokes them behind
+// `FlowOptions::check_level` (see Level below).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "liberty/library.hpp"
+#include "place/place.hpp"
+#include "power/power.hpp"
+#include "route/route.hpp"
+#include "sta/sta.hpp"
+#include "tech/tech.hpp"
+
+namespace m3d::check {
+
+/// How much checking run_flow performs after sign-off:
+///  kNone  — no checks (perf-sensitive sweeps);
+///  kBasic — O(V+E) artifact checks: netlist, timing, power;
+///  kFull  — kBasic + placement legality, routing DRC, library sanity.
+enum class Level { kNone = 0, kBasic = 1, kFull = 2 };
+
+const char* to_string(Level level);
+
+enum class Severity { kWarning, kError };
+
+/// One invariant violation. `checker` names the checker that found it
+/// ("netlist", "placement", ...), `code` is a stable machine-readable slug
+/// ("overlap", "undriven-net", ...), `message` carries the object names and
+/// values a human needs to reproduce and fix it.
+struct Violation {
+  std::string checker;
+  std::string code;
+  std::string message;
+  Severity severity = Severity::kError;
+};
+
+struct CheckResult {
+  std::vector<Violation> violations;
+
+  bool ok() const { return errors() == 0; }
+  int errors() const;
+  int warnings() const;
+  /// Violations found by one checker (for per-checker metrics).
+  int count_for(const std::string& checker) const;
+
+  void add(std::string checker, std::string code, std::string message,
+           Severity severity = Severity::kError);
+  void merge(CheckResult other);
+  /// "netlist/undriven-net: ..." lines, at most `max_lines` (0: all).
+  std::string summary(size_t max_lines = 10) const;
+};
+
+/// Netlist well-formedness: every net/pin reference in range and
+/// cross-linked, exactly one driver per net (or a primary input), no
+/// dangling sink pins, no undriven nets with sinks, and combinational
+/// logic acyclic (every live gate reachable in topo order).
+CheckResult check_netlist(const circuit::Netlist& nl);
+
+/// Placement legality: every live cell bound, placed, centered on a row,
+/// fully inside the core, and non-overlapping with its row neighbours.
+/// Works for 2D and folded T-MI dies alike — only row_height_um differs.
+CheckResult check_placement(const circuit::Netlist& nl, const place::Die& die);
+
+/// Routing DRC: per-edge usage within capacity whenever the result claims
+/// `routed`, overflow/congestion bookkeeping consistent with the stored
+/// usage grids, every non-clock net with sinks fully connected
+/// (per-sink path entries present), per-net wirelengths and via counts
+/// summing to the totals, and the via model consistent with the style
+/// (a 2D stack must not report an MIV cut).
+CheckResult check_routing(const circuit::Netlist& nl,
+                          const route::RouteResult& routes,
+                          const tech::Tech& tech);
+
+/// STA graph consistency: result vectors sized to the netlist, arrivals /
+/// slews / loads finite and non-negative, and — at timing closure — every
+/// arrival no later than its required time and no negative instance slack.
+CheckResult check_timing(const circuit::Netlist& nl,
+                         const sta::TimingResult& timing);
+
+/// Power sanity: every component non-negative, total = internal +
+/// switching + leakage, switching = wire + pin, and per-net activities
+/// within [0, 2] toggles per cycle.
+CheckResult check_power(const circuit::Netlist& nl,
+                        const power::PowerResult& power);
+
+/// Library sanity: non-empty monotone-axis NLDM tables, output slew and
+/// delay monotone (non-decreasing) in load along every table row, positive
+/// pin caps and areas, non-negative leakage.
+CheckResult check_library(const liberty::Library& lib);
+
+/// Deterministic structural hash of a netlist (names, functions, drives,
+/// connectivity, ports, clock). Placement and binding pointers excluded:
+/// two netlists with the same structure hash equal across processes and
+/// platforms. Oracle for generator-determinism tests.
+uint64_t netlist_hash(const circuit::Netlist& nl);
+
+}  // namespace m3d::check

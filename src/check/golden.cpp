@@ -1,0 +1,151 @@
+#include "check/golden.hpp"
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "util/strf.hpp"
+
+namespace m3d::check {
+namespace {
+
+const char* kC = "golden";
+
+bool is_exact_field(const std::string& field) {
+  // Integer counts: any drift is a real netlist change, never FP noise.
+  return field == "cells" || field == "buffers";
+}
+
+bool within(const Band& b, double got, double want, double scale) {
+  return std::abs(got - want) <=
+         scale * (b.abs + b.rel * std::max(std::abs(got), std::abs(want)));
+}
+
+void compare_number(CheckResult* res, const GoldenPolicy& policy,
+                    const std::string& field, double got, double want) {
+  if (is_exact_field(field)) {
+    if (got != want) {
+      res->add(kC, "exact-field",
+               util::strf("%s: %.17g != golden %.17g (exact field)",
+                          field.c_str(), got, want));
+    }
+    return;
+  }
+  const Band band = band_for_field(policy, field);
+  if (!within(band, got, want, policy.scale)) {
+    res->add(kC, "out-of-band",
+             util::strf("%s: %.6g vs golden %.6g exceeds band "
+                        "(rel %.3g, abs %.3g)",
+                        field.c_str(), got, want, band.rel * policy.scale,
+                        band.abs * policy.scale));
+  }
+}
+
+void compare_value(CheckResult* res, const GoldenPolicy& policy,
+                   const std::string& field, const util::json::Value& got,
+                   const util::json::Value& want) {
+  using Type = util::json::Value::Type;
+  if (got.type() != want.type()) {
+    res->add(kC, "type-mismatch",
+             util::strf("%s: report/golden field types differ", field.c_str()));
+    return;
+  }
+  switch (want.type()) {
+    case Type::kBool:
+      if (got.as_bool() != want.as_bool()) {
+        res->add(kC, "bool-flip",
+                 util::strf("%s: %s != golden %s", field.c_str(),
+                            got.as_bool() ? "true" : "false",
+                            want.as_bool() ? "true" : "false"));
+      }
+      break;
+    case Type::kNumber:
+      compare_number(res, policy, field, got.as_number(), want.as_number());
+      break;
+    case Type::kString:
+      if (got.as_string() != want.as_string()) {
+        res->add(kC, "string-mismatch",
+                 util::strf("%s: \"%s\" != golden \"%s\"", field.c_str(),
+                            got.as_string().c_str(),
+                            want.as_string().c_str()));
+      }
+      break;
+    default:
+      break;  // arrays/objects handled by the caller's field walk
+  }
+}
+
+}  // namespace
+
+Band band_for_field(const GoldenPolicy& policy, const std::string& field) {
+  if (is_exact_field(field)) return Band{0.0, 0.0};
+  if (field == "wns_ps") return policy.wns_band;
+  if (field == "utilization") return policy.utilization_band;
+  return policy.default_band;
+}
+
+CheckResult compare_to_golden(const util::json::Value& report,
+                              const util::json::Value& golden,
+                              const GoldenPolicy& policy) {
+  CheckResult res;
+  if (!report.is_object() || !golden.is_object()) {
+    res.add(kC, "not-a-report", "report or golden is not a JSON object");
+    return res;
+  }
+  // Identity fields must match exactly.
+  for (const char* field : {"schema", "bench", "style", "seed"}) {
+    const util::json::Value* want = golden.find(field);
+    const util::json::Value* got = report.find(field);
+    if (want == nullptr) continue;  // older golden without the field
+    if (got == nullptr) {
+      res.add(kC, "missing-field",
+              util::strf("report lacks identity field %s", field));
+      continue;
+    }
+    compare_value(&res, policy, field, *got, *want);
+  }
+  if (const util::json::Value* want = golden.find("clock_ns")) {
+    if (const util::json::Value* got = report.find("clock_ns")) {
+      compare_number(&res, policy, "clock_ns", got->as_number(),
+                     want->as_number());
+    } else {
+      res.add(kC, "missing-field", "report lacks clock_ns");
+    }
+  }
+
+  const util::json::Value* want_metrics = golden.find("metrics");
+  const util::json::Value* got_metrics = report.find("metrics");
+  if (want_metrics == nullptr || !want_metrics->is_object()) {
+    res.add(kC, "bad-golden", "golden has no metrics object");
+    return res;
+  }
+  if (got_metrics == nullptr || !got_metrics->is_object()) {
+    res.add(kC, "missing-field", "report has no metrics object");
+    return res;
+  }
+  std::set<std::string> golden_fields;
+  for (const auto& [field, want] : want_metrics->members()) {
+    golden_fields.insert(field);
+    const util::json::Value* got = got_metrics->find(field);
+    if (got == nullptr) {
+      res.add(kC, "missing-field",
+              util::strf("report metrics lack %s", field.c_str()));
+      continue;
+    }
+    compare_value(&res, policy, field, *got, want);
+  }
+  // New metric fields are fine for forward evolution but worth a warning:
+  // regenerate the golden so the new field is under regression too.
+  for (const auto& [field, got] : got_metrics->members()) {
+    (void)got;
+    if (golden_fields.count(field) == 0) {
+      res.add(kC, "unsnapshotted-field",
+              util::strf("metrics field %s absent from golden — regenerate",
+                         field.c_str()),
+              Severity::kWarning);
+    }
+  }
+  return res;
+}
+
+}  // namespace m3d::check

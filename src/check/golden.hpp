@@ -1,0 +1,46 @@
+// Golden-report regression comparison: diff a canonical run report (see
+// report::to_canonical_json) against a stored snapshot under per-field
+// tolerance bands, returning check::Violation records for every field that
+// drifted out of band. The bands encode which drift is acceptable for a
+// perf PR (small FP reassociation noise) versus which must fail tier-1
+// loudly (paper metrics moving, cell counts changing, timing flipping).
+#pragma once
+
+#include "check/check.hpp"
+#include "util/json.hpp"
+
+namespace m3d::check {
+
+/// One tolerance band: |got - want| <= abs + rel * max(|got|, |want|).
+struct Band {
+  double rel = 0.0;
+  double abs = 0.0;
+};
+
+struct GoldenPolicy {
+  /// Band for metric fields without an explicit override (paper percentages
+  /// are quoted to ~1%, so 2% relative keeps the headline numbers honest).
+  Band default_band{0.02, 1e-9};
+  /// wns can legitimately sit near zero at closure; give it an absolute
+  /// floor in ps on top of the relative band.
+  Band wns_band{0.05, 10.0};
+  Band utilization_band{0.0, 0.02};
+  /// Multiplies every band (golden tests can tighten or loosen globally).
+  double scale = 1.0;
+};
+
+/// The band the policy assigns to a metrics field (exact fields — integer
+/// counts — return {0, 0}).
+Band band_for_field(const GoldenPolicy& policy, const std::string& field);
+
+/// Compares a canonical report against its golden snapshot. Identity fields
+/// (schema/bench/style), booleans and integer counts must match exactly;
+/// numeric metrics may drift within their band. Fields present in the
+/// golden but missing from the report (or vice versa) are violations, so
+/// schema drift is loud too. Stage timings/counters are not compared — the
+/// metrics block is the regression surface.
+CheckResult compare_to_golden(const util::json::Value& report,
+                              const util::json::Value& golden,
+                              const GoldenPolicy& policy = {});
+
+}  // namespace m3d::check

@@ -58,6 +58,12 @@ CtsResult build_clock_tree(circuit::Netlist* nl, const liberty::Library& lib,
     binst.pos = centroid;
     binst.placed = true;
     nl->resize_inst(node.buf, lib, opt.buffer_drive);
+    if (opt.die != nullptr) {
+      auto& bound = nl->inst(node.buf);
+      bound.pos = place::snap_to_row(
+          *opt.die, bound.pos,
+          bound.libcell != nullptr ? bound.libcell->width_um : 0.0);
+    }
     ++res.buffers_added;
 
     if (count <= static_cast<size_t>(opt.max_sinks_per_buffer)) {

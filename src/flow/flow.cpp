@@ -86,8 +86,13 @@ double default_utilization(gen::Bench bench) {
   }
 }
 
-FlowResult run_flow(const FlowOptions& opt) {
-  assert(opt.lib != nullptr);
+FlowResult run_flow(const FlowOptions& opt_in) {
+  assert(opt_in.lib != nullptr);
+  // Honor the documented "clock_ns == 0: auto" contract here, not just in
+  // run_iso_comparison: an unset clock used to flow a zero period into
+  // optimization and power (1/clock), yielding NaN/inf results.
+  FlowOptions opt = opt_in;
+  if (opt.clock_ns <= 0.0) opt.clock_ns = auto_clock_ns(opt);
   tech::Tech tch(opt.node, opt.style);
   if (opt.resistivity_scale != 1.0) {
     tch.scale_resistivity(tech::LayerLevel::kLocal, opt.resistivity_scale);
@@ -97,6 +102,8 @@ FlowResult run_flow(const FlowOptions& opt) {
   FlowResult res;
   res.style = opt.style;
   res.clock_ns = opt.clock_ns;
+  res.seed = opt.seed;
+  res.check_level = opt.check_level;
   util::ScopedTimer flow_span(
       util::strf("flow.run %s/%s", tech::to_string(opt.node),
                  tech::to_string(opt.style)));
@@ -115,10 +122,14 @@ FlowResult run_flow(const FlowOptions& opt) {
   // 1. Benchmark netlist.
   circuit::Netlist& nl = res.netlist;
   run_stage(&res, "gen", [&] {
-    gen::GenOptions gopt;
-    gopt.scale_shift = opt.scale_shift;
-    gopt.seed = opt.seed;
-    res.netlist = gen::make_benchmark(opt.bench, gopt);
+    if (opt.custom_netlist != nullptr) {
+      res.netlist = *opt.custom_netlist;
+    } else {
+      gen::GenOptions gopt;
+      gopt.scale_shift = opt.scale_shift;
+      gopt.seed = opt.seed;
+      res.netlist = gen::make_benchmark(opt.bench, gopt);
+    }
     res.bench_name = nl.name;
   });
 
@@ -140,7 +151,9 @@ FlowResult run_flow(const FlowOptions& opt) {
     popt.seed = opt.seed;
     place::place_design(&nl, res.die, popt);
     if (opt.build_cts) {
-      cts::build_clock_tree(&nl, *opt.lib);
+      cts::CtsOptions copt;
+      copt.die = &res.die;  // keep clock buffers row-legal
+      cts::build_clock_tree(&nl, *opt.lib, copt);
     }
   });
 
@@ -148,6 +161,7 @@ FlowResult run_flow(const FlowOptions& opt) {
   opt::OptOptions oopt;
   run_stage(&res, "opt_preroute", [&] {
     oopt.clock_ns = opt.clock_ns;
+    oopt.die = &res.die;  // keep inserted buffers row-legal
     oopt.allow_buffering = true;
     oopt.buffer_net_wl_um =
         120.0 * (opt.node == tech::Node::k7nm ? 7.0 / 45.0 : 1.0);
@@ -192,6 +206,38 @@ FlowResult run_flow(const FlowOptions& opt) {
     pw.seq_activity = opt.seq_activity;
     power = power::run_power(nl, par, &timing, pw);
   });
+
+  // 8. Invariant checks on every sign-off artifact (src/check). Violations
+  // are recorded, counted and logged — never fatal — so sweeps and fuzz
+  // runs see the complete picture instead of dying on the first breach.
+  if (opt.check_level != check::Level::kNone) {
+    run_stage(&res, "check", [&] {
+      check::CheckResult cr = check::check_netlist(nl);
+      cr.merge(check::check_timing(nl, timing));
+      cr.merge(check::check_power(nl, power));
+      if (opt.check_level == check::Level::kFull) {
+        cr.merge(check::check_placement(nl, res.die));
+        cr.merge(check::check_routing(nl, res.routes, tch));
+        cr.merge(check::check_library(*opt.lib));
+      }
+      for (const char* checker :
+           {"netlist", "timing", "power", "placement", "routing", "library"}) {
+        const int n = cr.count_for(checker);
+        if (n > 0) {
+          util::count(util::strf("check.%s.violations", checker),
+                      static_cast<double>(n));
+        }
+      }
+      if (!cr.violations.empty()) {
+        util::count("check.violations",
+                    static_cast<double>(cr.violations.size()));
+        util::warn(util::strf("flow check (%s): %d error(s), %d warning(s)\n%s",
+                              check::to_string(opt.check_level), cr.errors(),
+                              cr.warnings(), cr.summary().c_str()));
+      }
+      res.checks = std::move(cr);
+    });
+  }
   }  // flow-local sink scope
   parent.merge_from(local);
 
@@ -233,7 +279,9 @@ double auto_clock_ns(const FlowOptions& base, double tighten) {
   gen::GenOptions gopt;
   gopt.scale_shift = probe.scale_shift;
   gopt.seed = probe.seed;
-  circuit::Netlist nl = gen::make_benchmark(probe.bench, gopt);
+  circuit::Netlist nl = probe.custom_netlist != nullptr
+                            ? *probe.custom_netlist
+                            : gen::make_benchmark(probe.bench, gopt);
   const synth::Wlm wlm = synth::make_statistical_wlm(
       1.0, tch);  // area refined below via default path
   (void)wlm;

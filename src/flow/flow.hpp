@@ -10,6 +10,7 @@
 #include <optional>
 #include <utility>
 
+#include "check/check.hpp"
 #include "circuit/netlist.hpp"
 #include "gen/gen.hpp"
 #include "liberty/library.hpp"
@@ -38,6 +39,17 @@ struct FlowOptions {
   double seq_activity = 0.1;
   bool build_cts = true;  // buffered clock tree (counted in WL and power)
   uint64_t seed = 20130529;
+  /// Stage-invariant checking after sign-off (src/check): kBasic runs the
+  /// O(V+E) netlist/timing/power checkers on every run; kFull adds
+  /// placement legality, routing DRC and library sanity. Violations land in
+  /// FlowResult::checks, the "check" StageReport counters
+  /// ("check.violations", "check.<checker>.violations") and the JSON run
+  /// report; run_flow never aborts on them.
+  check::Level check_level = check::Level::kBasic;
+  /// When set, the gen stage copies this netlist instead of generating
+  /// `bench` (the fuzz driver pushes random circuits through the flow this
+  /// way). Must outlive the call; `seed` still controls place/route.
+  const circuit::Netlist* custom_netlist = nullptr;
 };
 
 /// Per-stage observability record: wall time plus the counters the stage's
@@ -87,6 +99,12 @@ struct FlowResult {
   route::RouteResult routes;
   // Observability: one entry per flow stage, in execution order.
   std::vector<StageReport> stages;
+  // Reproducibility + correctness record: the seed that produced this run
+  // (serialized into the run report so any failure replays from the log),
+  // the check level it ran at, and every invariant violation found.
+  uint64_t seed = 0;
+  check::Level check_level = check::Level::kNone;
+  check::CheckResult checks;
 
   const StageReport* stage(const std::string& name) const {
     for (const auto& s : stages) {

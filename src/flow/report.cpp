@@ -45,13 +45,45 @@ Value stage_to_json(const flow::StageReport& s, bool canonical) {
   return v;
 }
 
+Value checks_block(const flow::FlowResult& r) {
+  // Cap the serialized violation list: a badly broken run can produce one
+  // violation per net, and the report must stay readable.
+  constexpr size_t kMaxViolations = 32;
+  Value c = Value::object();
+  c.set("level", Value::str(check::to_string(r.check_level)));
+  c.set("errors", Value::number(r.checks.errors()));
+  c.set("warnings", Value::number(r.checks.warnings()));
+  Value items = Value::array();
+  size_t n = 0;
+  for (const check::Violation& v : r.checks.violations) {
+    if (n++ == kMaxViolations) break;
+    Value item = Value::object();
+    item.set("checker", Value::str(v.checker));
+    item.set("code", Value::str(v.code));
+    item.set("severity", Value::str(
+        v.severity == check::Severity::kError ? "error" : "warning"));
+    item.set("message", Value::str(v.message));
+    items.push(std::move(item));
+  }
+  c.set("violations", std::move(items));
+  if (r.checks.violations.size() > kMaxViolations) {
+    c.set("truncated",
+          Value::number(static_cast<double>(r.checks.violations.size())));
+  }
+  return c;
+}
+
 Value build_json(const flow::FlowResult& r, bool canonical) {
   Value doc = Value::object();
-  doc.set("schema", Value::str("m3d.run_report/v1"));
+  doc.set("schema", Value::str("m3d.run_report/v2"));
   doc.set("bench", Value::str(r.bench_name));
   doc.set("style", Value::str(tech::to_string(r.style)));
   doc.set("clock_ns", Value::number(r.clock_ns));
+  // Decimal string: the seed is a full uint64 and must survive the double-
+  // typed JSON number path losslessly (reproducibility from the CI log).
+  doc.set("seed", Value::str(std::to_string(r.seed)));
   doc.set("metrics", metrics_block(r));
+  doc.set("checks", checks_block(r));
   Value stages = Value::array();
   double total_ms = 0.0;
   for (const auto& s : r.stages) {

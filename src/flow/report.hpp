@@ -1,9 +1,12 @@
-// Machine-readable run reports (schema "m3d.run_report/v1"): one JSON
-// document per flow run with the identification, the Table 13/14 metric
-// block, and the per-stage wall-clock timings + counters collected by the
-// instrumentation layer (util/trace.hpp, util/metrics.hpp). The benches drop
-// one per run under out_figs/run_<bench>_<style>.json so later perf PRs can
-// diff where the time goes.
+// Machine-readable run reports (schema "m3d.run_report/v2"): one JSON
+// document per flow run with the identification (including the RNG seed,
+// as a decimal string, so any run replays from its log), the Table 13/14
+// metric block, the invariant-check record (level + violations, see
+// src/check), and the per-stage wall-clock timings + counters collected by
+// the instrumentation layer (util/trace.hpp, util/metrics.hpp). The benches
+// drop one per run under out_figs/run_<bench>_<style>.json so later perf
+// PRs can diff where the time goes; tests/golden snapshots the canonical
+// form for regression.
 #pragma once
 
 #include <string>

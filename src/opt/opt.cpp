@@ -100,6 +100,11 @@ OptReport optimize(circuit::Netlist* nl, const liberty::Library& lib,
           const circuit::InstId buf = nl->insert_buffer(n, chunk, lib, 4);
           auto& binst = nl->inst(buf);
           binst.pos = centroid * (1.0 / static_cast<double>(chunk.size()));
+          if (opt.die != nullptr) {
+            binst.pos = place::snap_to_row(
+                *opt.die, binst.pos,
+                binst.libcell != nullptr ? binst.libcell->width_um : 0.0);
+          }
           binst.placed = true;
           ++rep.buffers_added;
         }
@@ -182,6 +187,11 @@ OptReport optimize(circuit::Netlist* nl, const liberty::Library& lib,
           const circuit::InstId buf = nl->insert_buffer(n, far, lib, 4);
           auto& binst = nl->inst(buf);
           binst.pos = centroid * (1.0 / static_cast<double>(far.size()));
+          if (opt.die != nullptr) {
+            binst.pos = place::snap_to_row(
+                *opt.die, binst.pos,
+                binst.libcell != nullptr ? binst.libcell->width_um : 0.0);
+          }
           binst.placed = true;
           ++rep.buffers_added;
           ++changed;
@@ -282,6 +292,11 @@ OptReport optimize(circuit::Netlist* nl, const liberty::Library& lib,
     }
     if (changed == 0) break;
   }
+
+  // Resizing widens cells in place, which can overlap row neighbors or poke
+  // past the die boundary; a deterministic per-row shove restores legality
+  // (each cell moves by at most its row's accumulated width growth).
+  if (opt.die != nullptr) place::relegalize_rows(nl, *opt.die);
 
   // Final status.
   const auto par = parasitics(*nl);

@@ -14,6 +14,7 @@
 #include "circuit/netlist.hpp"
 #include "extract/parasitics.hpp"
 #include "liberty/library.hpp"
+#include "place/place.hpp"
 
 namespace m3d::opt {
 
@@ -28,6 +29,9 @@ struct OptOptions {
   double downsize_margin_frac = 0.03;  // of the clock period
   double buffer_net_wl_um = 80.0;      // buffer failing nets longer than this
   double max_slew_ps = 200.0;          // max-transition design rule
+  /// When set, inserted buffers are snapped onto the row grid inside this
+  /// die (place::snap_to_row) so optimization preserves placement legality.
+  const place::Die* die = nullptr;
 };
 
 struct OptReport {

@@ -326,9 +326,13 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
       for (int sgn : {1, -1}) {
         const int row = want_row + sgn * dr;
         if (row < 0 || row >= die.num_rows || (dr == 0 && sgn < 0)) continue;
-        const double cx = std::max(row_edge[static_cast<size_t>(row)],
-                                   x[static_cast<size_t>(v)] - w / 2);
-        if (cx + w > die.core.xhi + 1e-6) continue;
+        // Desired position, slid left if the core edge demands it; the row
+        // is usable only when that keeps us right of its packed edge (a
+        // cell must never land on top of its neighbor).
+        const double cx = std::min(std::max(row_edge[static_cast<size_t>(row)],
+                                            x[static_cast<size_t>(v)] - w / 2),
+                                   die.core.xhi - w);
+        if (cx < row_edge[static_cast<size_t>(row)] - 1e-9) continue;
         const double cost = std::abs(cx - x[static_cast<size_t>(v)]) +
                             std::abs(die.row_y(row) - y[static_cast<size_t>(v)]) * 1.5;
         if (cost < best_cost) {
@@ -337,16 +341,19 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
         }
       }
     }
+    double cx;
     if (best_row < 0) {
-      // Fall back to the least-filled row.
+      // Every row is packed full; append to the least-filled one. This can
+      // only spill past the core on a genuinely over-full die.
       best_row = static_cast<int>(std::min_element(row_edge.begin(), row_edge.end()) -
                                   row_edge.begin());
       util::count("place.legalize_fallbacks");
+      cx = row_edge[static_cast<size_t>(best_row)];
+    } else {
+      cx = std::min(std::max(row_edge[static_cast<size_t>(best_row)],
+                             x[static_cast<size_t>(v)] - w / 2),
+                    die.core.xhi - w);
     }
-    const double cx = std::min(
-        std::max(row_edge[static_cast<size_t>(best_row)],
-                 x[static_cast<size_t>(v)] - w / 2),
-        die.core.xhi - w);
     circuit::Instance& minst = nl->inst(movable[static_cast<size_t>(v)]);
     minst.pos = {cx + w / 2, die.row_y(best_row)};
     minst.placed = true;
@@ -427,10 +434,10 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
         const circuit::InstId j = it->second;
         if (j == i) continue;
         auto& jnst = nl->inst(j);
-        if (std::abs(inst_width(jnst) - inst_width(inst)) >
-            0.25 * std::max(inst_width(jnst), inst_width(inst))) {
-          continue;
-        }
+        // Only equal-width cells may trade places: a width mismatch would
+        // leave the wider cell overlapping its new neighbor (the old 25%
+        // tolerance silently broke row legality on every such swap).
+        if (std::abs(inst_width(jnst) - inst_width(inst)) > 1e-9) continue;
         // Evaluate the swap on the union of affected nets.
         std::vector<circuit::NetId> affected = nets_of[static_cast<size_t>(i)];
         affected.insert(affected.end(), nets_of[static_cast<size_t>(j)].begin(),
@@ -451,9 +458,100 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
       }
     }
   }
+  // Final legality pass: the greedy row packing can strand a cell past the
+  // core edge when every row's packed frontier reached the boundary; the
+  // shove (with capacity-based eviction) restores containment and removes
+  // any residual overlap without reordering rows.
+  relegalize_rows(nl, die);
+
   const double hpwl = total_hpwl_um(*nl);
   util::set_gauge("place.hpwl_um", hpwl);
   util::debug(util::strf("place: %d cells, hpwl=%.0f um", nv, hpwl));
+}
+
+geom::Pt snap_to_row(const Die& die, geom::Pt pos, double width_um) {
+  const double half = 0.5 * width_um;
+  geom::Pt out = pos;
+  out.x = std::clamp(out.x, die.core.xlo + half, die.core.xhi - half);
+  int row = static_cast<int>(
+      std::floor((pos.y - die.core.ylo) / die.row_height_um));
+  row = std::clamp(row, 0, die.num_rows - 1);
+  out.y = die.row_y(row);
+  return out;
+}
+
+void relegalize_rows(circuit::Netlist* nl, const Die& die) {
+  struct RowCell {
+    double x, w;
+    circuit::InstId id;
+  };
+  std::vector<std::vector<RowCell>> rows(static_cast<size_t>(die.num_rows));
+  for (circuit::InstId i = 0; i < nl->num_instances(); ++i) {
+    const circuit::Instance& inst = nl->inst(i);
+    if (inst.dead || !inst.placed || inst.libcell == nullptr) continue;
+    const int row = std::clamp(
+        static_cast<int>(std::lround((inst.pos.y - die.core.ylo) /
+                                         die.row_height_um -
+                                     0.5)),
+        0, die.num_rows - 1);
+    rows[static_cast<size_t>(row)].push_back(
+        RowCell{inst.pos.x, inst.libcell->width_um, i});
+  }
+  // Buffer insertion can over-fill a row outright; evict the rightmost
+  // optimizer-inserted cell (they are the ones that arrived after global
+  // legalization) to the least-filled row until every row fits.
+  const double capacity = die.core.xhi - die.core.xlo;
+  std::vector<double> filled(rows.size(), 0.0);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (const RowCell& c : rows[r]) filled[r] += c.w;
+    std::sort(rows[r].begin(), rows[r].end(),
+              [](const RowCell& a, const RowCell& b) {
+                return a.x < b.x || (a.x == b.x && a.id < b.id);
+              });
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    auto& cells = rows[r];
+    while (filled[r] > capacity && !cells.empty()) {
+      // Rightmost from_optimizer cell, else the rightmost cell.
+      size_t pick = cells.size() - 1;
+      for (size_t k = cells.size(); k-- > 0;) {
+        if (nl->inst(cells[k].id).from_optimizer) {
+          pick = k;
+          break;
+        }
+      }
+      const size_t dst = static_cast<size_t>(
+          std::min_element(filled.begin(), filled.end()) - filled.begin());
+      if (dst == r) break;  // every row is full; give up gracefully
+      RowCell moved = cells[static_cast<size_t>(pick)];
+      cells.erase(cells.begin() + static_cast<long>(pick));
+      filled[r] -= moved.w;
+      filled[dst] += moved.w;
+      nl->inst(moved.id).pos.y = die.row_y(static_cast<int>(dst));
+      auto& dcells = rows[dst];
+      dcells.insert(std::upper_bound(dcells.begin(), dcells.end(), moved,
+                                     [](const RowCell& a, const RowCell& b) {
+                                       return a.x < b.x ||
+                                              (a.x == b.x && a.id < b.id);
+                                     }),
+                    moved);
+      util::count("place.relegalize_evictions");
+    }
+  }
+  for (auto& cells : rows) {
+    if (cells.empty()) continue;
+    double lo = die.core.xlo;
+    for (RowCell& c : cells) {
+      c.x = std::max(c.x, lo + c.w / 2);
+      lo = c.x + c.w / 2;
+    }
+    double hi = die.core.xhi;
+    for (auto it = cells.rbegin(); it != cells.rend(); ++it) {
+      it->x = std::min(it->x, hi - it->w / 2);
+      hi = it->x - it->w / 2;
+    }
+    for (const RowCell& c : cells) nl->inst(c.id).pos.x = c.x;
+  }
 }
 
 double total_hpwl_um(const circuit::Netlist& nl) {

@@ -35,6 +35,19 @@ Die make_die(circuit::Netlist* nl, double target_util, double row_height_um);
 /// legal row positions inside the die.
 void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt);
 
+/// Snaps a cell center onto the nearest row center line and clamps it (by
+/// half of `width_um`) inside the core. Buffer insertion (opt, cts) runs
+/// every new cell through this so the whole flow maintains the placement
+/// legality invariant checked by check::check_placement.
+geom::Pt snap_to_row(const Die& die, geom::Pt pos, double width_um = 0.0);
+
+/// Incremental row re-legalization: removes cell overlaps introduced after
+/// global legalization (optimizer upsizing widens cells in place) with a
+/// deterministic per-row shove — left-to-right, then right-to-left when the
+/// row spills past the core edge. Order-preserving; each cell moves by at
+/// most the accumulated width growth in its row.
+void relegalize_rows(circuit::Netlist* nl, const Die& die);
+
 /// Half-perimeter wirelength over signal nets (clock excluded), um.
 double total_hpwl_um(const circuit::Netlist& nl);
 

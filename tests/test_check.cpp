@@ -1,0 +1,331 @@
+// The invariant-checking subsystem's own tests: clean flows pass the full
+// battery with zero violations, and every checker detects a deliberately
+// injected breach of the invariant it guards (the negative tests are what
+// make the fuzz sweep's "zero violations" meaningful).
+#include <gtest/gtest.h>
+
+#include "check/check.hpp"
+#include "extract/extract.hpp"
+#include "flow/flow.hpp"
+#include "sta/sta.hpp"
+#include "test_fixtures.hpp"
+
+namespace m3d::check {
+namespace {
+
+using cells::Func;
+using circuit::NetId;
+
+const liberty::Library& lib2d() {
+  static const liberty::Library lib = test::make_test_library(tech::Style::k2D);
+  return lib;
+}
+const liberty::Library& lib3d() {
+  static const liberty::Library lib =
+      test::make_test_library(tech::Style::kTMI);
+  return lib;
+}
+
+flow::FlowResult run_small_flow(tech::Style style) {
+  flow::FlowOptions o;
+  o.bench = gen::Bench::kDes;
+  o.scale_shift = 4;
+  o.clock_ns = 2.0;
+  o.style = style;
+  o.lib = style == tech::Style::k2D ? &lib2d() : &lib3d();
+  o.check_level = Level::kFull;
+  return flow::run_flow(o);
+}
+
+TEST(Check, CleanFlowPassesFullBatteryBothStyles) {
+  for (tech::Style style : {tech::Style::k2D, tech::Style::kTMI}) {
+    const flow::FlowResult r = run_small_flow(style);
+    EXPECT_TRUE(r.checks.ok()) << tech::to_string(style) << ":\n"
+                               << r.checks.summary();
+    EXPECT_EQ(r.checks.violations.size(), 0u) << r.checks.summary();
+    EXPECT_EQ(r.check_level, Level::kFull);
+    // The check stage reports through the instrumentation layer like every
+    // other stage, with no violation counters on a clean run.
+    const flow::StageReport* stage = r.stage("check");
+    ASSERT_NE(stage, nullptr);
+    EXPECT_EQ(stage->counter("check.violations"), 0.0);
+  }
+}
+
+TEST(Check, CheckLevelNoneSkipsTheStage) {
+  flow::FlowOptions o;
+  o.bench = gen::Bench::kDes;
+  o.scale_shift = 4;
+  o.clock_ns = 2.0;
+  o.lib = &lib2d();
+  o.check_level = Level::kNone;
+  const flow::FlowResult r = flow::run_flow(o);
+  EXPECT_EQ(r.stage("check"), nullptr);
+  EXPECT_TRUE(r.checks.violations.empty());
+}
+
+TEST(CheckNetlist, FindsUndrivenNet) {
+  circuit::Netlist nl;
+  nl.name = "undriven";
+  const NetId a = nl.new_net("floating");
+  const NetId b = nl.new_net("out");
+  nl.add_gate(Func::kInv, {a}, {b});
+  const CheckResult res = check_netlist(nl);
+  EXPECT_FALSE(res.ok());
+  EXPECT_GE(res.count_for("netlist"), 1);
+  bool found = false;
+  for (const auto& v : res.violations) found |= (v.code == "undriven-net");
+  EXPECT_TRUE(found) << res.summary();
+}
+
+TEST(CheckNetlist, FindsCombinationalCycle) {
+  circuit::Netlist nl;
+  nl.name = "cycle";
+  const NetId n1 = nl.new_net();
+  const NetId n2 = nl.new_net();
+  nl.add_gate(Func::kInv, {n2}, {n1});
+  nl.add_gate(Func::kInv, {n1}, {n2});
+  const CheckResult res = check_netlist(nl);
+  EXPECT_FALSE(res.ok());
+  bool found = false;
+  for (const auto& v : res.violations) found |= (v.code == "comb-cycle");
+  EXPECT_TRUE(found) << res.summary();
+}
+
+TEST(CheckNetlist, AcceptsEveryPaperBenchmark) {
+  for (gen::Bench b : gen::all_benches()) {
+    gen::GenOptions gopt;
+    gopt.scale_shift = 4;
+    gopt.seed = 20130529;
+    const circuit::Netlist nl = gen::make_benchmark(b, gopt);
+    const CheckResult res = check_netlist(nl);
+    EXPECT_TRUE(res.ok()) << gen::to_string(b) << ":\n" << res.summary();
+  }
+}
+
+TEST(CheckPlacement, FlagsOverlapMisalignmentAndEscape) {
+  flow::FlowResult r = run_small_flow(tech::Style::k2D);
+  ASSERT_TRUE(check_placement(r.netlist, r.die).ok());
+
+  // Stack a cell onto its neighbour: overlap.
+  circuit::Netlist broken = r.netlist;
+  int a = -1, b = -1;
+  for (int i = 0; i < broken.num_instances() && b < 0; ++i) {
+    if (broken.inst(i).dead) continue;
+    if (a < 0) {
+      a = i;
+    } else {
+      b = i;
+    }
+  }
+  ASSERT_GE(b, 0);
+  broken.inst(b).pos = broken.inst(a).pos;
+  CheckResult res = check_placement(broken, r.die);
+  EXPECT_FALSE(res.ok());
+  bool overlap = false;
+  for (const auto& v : res.violations) overlap |= (v.code == "overlap");
+  EXPECT_TRUE(overlap) << res.summary();
+
+  // Slide a cell off its row center: misalignment.
+  broken = r.netlist;
+  broken.inst(a).pos.y += 0.3 * r.die.row_height_um;
+  res = check_placement(broken, r.die);
+  bool misaligned = false;
+  for (const auto& v : res.violations) misaligned |= (v.code == "row-misaligned");
+  EXPECT_TRUE(misaligned) << res.summary();
+
+  // Push a cell outside the core (keeping it on a row line).
+  broken = r.netlist;
+  broken.inst(a).pos.x = r.die.core.xhi + 10.0;
+  res = check_placement(broken, r.die);
+  bool escaped = false;
+  for (const auto& v : res.violations) escaped |= (v.code == "outside-core");
+  EXPECT_TRUE(escaped) << res.summary();
+}
+
+TEST(CheckRouting, FlagsCorruptedBookkeeping) {
+  const flow::FlowResult r = run_small_flow(tech::Style::kTMI);
+  const tech::Tech tch(tech::Node::k45nm, tech::Style::kTMI);
+  ASSERT_TRUE(check_routing(r.netlist, r.routes, tch).ok());
+
+  route::RouteResult broken = r.routes;
+  broken.total_wl_um += 123.0;
+  CheckResult res = check_routing(r.netlist, broken, tch);
+  bool wl = false;
+  for (const auto& v : res.violations) wl |= (v.code == "total-wl-sum");
+  EXPECT_TRUE(wl) << res.summary();
+
+  broken = r.routes;
+  broken.total_vias += 7;
+  res = check_routing(r.netlist, broken, tch);
+  bool vias = false;
+  for (const auto& v : res.violations) vias |= (v.code == "via-sum");
+  EXPECT_TRUE(vias) << res.summary();
+
+  broken = r.routes;
+  broken.overflow_edges += 1;
+  res = check_routing(r.netlist, broken, tch);
+  bool overflow = false;
+  for (const auto& v : res.violations) overflow |= (v.code == "overflow-count");
+  EXPECT_TRUE(overflow) << res.summary();
+
+  // The routed flag is validated against the recounted overflow, so flipping
+  // it on an overflow-free result must be flagged.
+  broken = r.routes;
+  broken.routed = !broken.routed;
+  res = check_routing(r.netlist, broken, tch);
+  bool flag = false;
+  for (const auto& v : res.violations) flag |= (v.code == "routed-flag");
+  EXPECT_TRUE(flag) << res.summary();
+
+  // Overfill one edge on a result that claims `routed`: capacity DRC.
+  broken = r.routes;
+  ASSERT_FALSE(broken.usage_h[0].empty());
+  broken.usage_h[0][0] = broken.cap_h[0] + 1.0;
+  res = check_routing(r.netlist, broken, tch);
+  bool capacity = false;
+  for (const auto& v : res.violations) capacity |= (v.code == "capacity");
+  EXPECT_TRUE(capacity) << res.summary();
+
+  // Truncate a per-sink path table: disconnected net.
+  broken = r.routes;
+  for (circuit::NetId n = 0; n < r.netlist.num_nets(); ++n) {
+    auto& nr = broken.nets[static_cast<size_t>(n)];
+    if (nr.sink_path_wl.size() > 1) {
+      nr.sink_path_wl.pop_back();
+      break;
+    }
+  }
+  res = check_routing(r.netlist, broken, tch);
+  bool disconnected = false;
+  for (const auto& v : res.violations) {
+    disconnected |= (v.code == "disconnected-net");
+  }
+  EXPECT_TRUE(disconnected) << res.summary();
+}
+
+TEST(CheckTiming, FlagsArrivalAfterRequiredAtClosure) {
+  circuit::Netlist nl;
+  nl.name = "chain";
+  const NetId clk = nl.new_net("clk");
+  nl.add_input_port("clk", clk);
+  nl.set_clock(clk);
+  const NetId d = nl.new_net("d");
+  nl.add_input_port("d", d);
+  const NetId q = nl.new_net("q");
+  nl.add_gate(Func::kDff, {d, clk}, {q});
+  NetId cur = q;
+  for (int i = 0; i < 4; ++i) {
+    const NetId out = nl.new_net();
+    nl.add_gate(Func::kInv, {cur}, {out});
+    cur = out;
+  }
+  const NetId q2 = nl.new_net("q2");
+  nl.add_gate(Func::kDff, {cur, clk}, {q2});
+  nl.add_output_port("q_out", q2);
+  nl.bind(lib2d());
+
+  sta::StaOptions opt;
+  opt.clock_ns = 10.0;
+  const extract::Parasitics par(static_cast<size_t>(nl.num_nets()));
+  sta::TimingResult t = sta::run_sta(nl, par, opt);
+  ASSERT_TRUE(t.met());
+  ASSERT_TRUE(check_timing(nl, t).ok());
+
+  // Claiming closure while a node misses its required time is inconsistent.
+  sta::TimingResult broken = t;
+  broken.arrival_ps[static_cast<size_t>(cur)] =
+      broken.required_ps[static_cast<size_t>(cur)] + 100.0;
+  const CheckResult res = check_timing(nl, broken);
+  EXPECT_FALSE(res.ok());
+  bool found = false;
+  for (const auto& v : res.violations) {
+    found |= (v.code == "arrival-after-required");
+  }
+  EXPECT_TRUE(found) << res.summary();
+
+  // Negative slew is physically impossible.
+  broken = t;
+  broken.slew_ps[static_cast<size_t>(q)] = -5.0;
+  EXPECT_FALSE(check_timing(nl, broken).ok());
+}
+
+TEST(CheckPower, FlagsNegativeComponentsAndBrokenSums) {
+  circuit::Netlist nl;
+  power::PowerResult p;
+  p.cell_internal_uw = 10.0;
+  p.net_switching_uw = 5.0;
+  p.leakage_uw = 1.0;
+  p.wire_uw = 3.0;
+  p.pin_uw = 2.0;
+  p.total_uw = 16.0;
+  EXPECT_TRUE(check_power(nl, p).ok());
+
+  power::PowerResult broken = p;
+  broken.total_uw = 20.0;
+  CheckResult res = check_power(nl, broken);
+  bool mismatch = false;
+  for (const auto& v : res.violations) mismatch |= (v.code == "total-mismatch");
+  EXPECT_TRUE(mismatch) << res.summary();
+
+  broken = p;
+  broken.leakage_uw = -1.0;
+  broken.total_uw = 14.0;
+  res = check_power(nl, broken);
+  bool negative = false;
+  for (const auto& v : res.violations) {
+    negative |= (v.code == "negative-component");
+  }
+  EXPECT_TRUE(negative) << res.summary();
+
+  broken = p;
+  broken.wire_uw = 4.5;  // wire + pin no longer equals net switching
+  res = check_power(nl, broken);
+  bool split = false;
+  for (const auto& v : res.violations) split |= (v.code == "switching-split");
+  EXPECT_TRUE(split) << res.summary();
+}
+
+TEST(CheckLibrary, PassesTestLibraryAndFlagsNonMonotoneSlew) {
+  EXPECT_TRUE(check_library(lib2d()).ok());
+  EXPECT_TRUE(check_library(lib3d()).ok());
+
+  liberty::Library broken = test::make_test_library();
+  // Break monotonicity in the first arc's rise out-slew table: a gross drop
+  // with rising load, far beyond characterization noise.
+  liberty::LibCell cell = *broken.cells().begin();
+  ASSERT_FALSE(cell.arcs.empty());
+  liberty::NldmTable& t = cell.arcs[0].out_slew[0];
+  t.cell(0, t.load_ff.size() - 1) = 0.1 * t.cell(0, 0);
+  cell.name += "_broken";
+  broken.add(cell);
+  const CheckResult res = check_library(broken);
+  EXPECT_FALSE(res.ok());
+  bool found = false;
+  for (const auto& v : res.violations) {
+    found |= (v.code == "non-monotone-load");
+  }
+  EXPECT_TRUE(found) << res.summary();
+}
+
+TEST(NetlistHash, StableForSameSeedSensitiveToStructure) {
+  gen::RandomLogicOptions opt;
+  opt.num_gates = 400;
+  opt.seed = 42;
+  const circuit::Netlist a = gen::make_random_logic(opt);
+  const circuit::Netlist b = gen::make_random_logic(opt);
+  EXPECT_EQ(netlist_hash(a), netlist_hash(b));
+
+  opt.seed = 43;
+  const circuit::Netlist c = gen::make_random_logic(opt);
+  EXPECT_NE(netlist_hash(a), netlist_hash(c));
+
+  // Any structural edit must move the hash.
+  circuit::Netlist d = a;
+  const NetId extra = d.new_net();
+  d.add_gate(Func::kInv, {d.inst(0).out_nets[0]}, {extra});
+  EXPECT_NE(netlist_hash(a), netlist_hash(d));
+}
+
+}  // namespace
+}  // namespace m3d::check

@@ -1,0 +1,243 @@
+// Seeded circuit fuzzer (the m3d_fuzz target). Pushes a deterministic sweep
+// of random Rent's-rule circuits (gen/random_logic) through the complete
+// flow in both styles with the full invariant battery (src/check) enabled,
+// plus three differential oracles:
+//
+//   * serial vs M3D_THREADS=4 — canonical run reports must be byte-identical
+//     (the exec subsystem's bit-identity contract, exercised end to end);
+//   * 2D vs folded T-MI — same logical structure must survive both styles
+//     (same live logic-cell count, same sequential count, smaller footprint,
+//     wirelength within tolerance of 2D);
+//   * cross-process — gen/random_logic must hash identically in two fresh
+//     processes (guards against unordered-container or ASLR-dependent
+//     iteration sneaking into the generators).
+//
+// Every failure prints the circuit seed; replay a single case with
+//   ./m3d_fuzz --netlist-hash=<seed>   (prints the structural hash)
+// or by pasting the seed into a RandomLogicOptions in a debugger.
+//
+// The SlowPaperBench suite (label "slow") runs the five paper benchmarks at
+// their default (largest tractable) scale with full checking — too slow for
+// tier-1 but a nightly-strength sign-off.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "exec/exec.hpp"
+#include "flow/flow.hpp"
+#include "flow/report.hpp"
+#include "gen/gen.hpp"
+#include "test_fixtures.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/strf.hpp"
+
+namespace m3d {
+namespace {
+
+// One fuzz case: the generator options for a random circuit. Everything is
+// derived from kSweepSeed via util::Rng, so the sweep is identical on every
+// machine and every run; bump kSweepSeed to refresh the corpus.
+constexpr uint64_t kSweepSeed = 0xDAC13F022u;
+constexpr int kSweepSize = 24;
+
+std::vector<gen::RandomLogicOptions> sweep_cases() {
+  util::Rng rng(kSweepSeed);
+  std::vector<gen::RandomLogicOptions> cases;
+  cases.reserve(kSweepSize);
+  for (int i = 0; i < kSweepSize; ++i) {
+    gen::RandomLogicOptions o;
+    o.num_gates = 150 + static_cast<int>(rng.below(750));
+    o.num_inputs = 8 + static_cast<int>(rng.below(56));
+    o.gates_per_flop = 4 + static_cast<int>(rng.below(16));
+    o.long_wire_frac = 0.25 * rng.uniform();
+    o.seed = rng.next_u64();
+    cases.push_back(o);
+  }
+  return cases;
+}
+
+const liberty::Library& lib_for(tech::Style style) {
+  static const liberty::Library flat = test::make_test_library(tech::Style::k2D);
+  static const liberty::Library tmi = test::make_test_library(tech::Style::kTMI);
+  return style == tech::Style::k2D ? flat : tmi;
+}
+
+flow::FlowResult run_fuzz_flow(const circuit::Netlist& nl, tech::Style style,
+                               uint64_t seed) {
+  flow::FlowOptions o;
+  o.style = style;
+  o.lib = &lib_for(style);
+  o.custom_netlist = &nl;
+  o.clock_ns = 5.0;  // closure is not required; the checkers are the oracle
+  // Random circuits upsize hard (deep unbalanced paths, huge fanouts); a
+  // die at the paper's 0.8 utilization can end up over-full after
+  // optimization, which the legality checkers rightly reject. Give the
+  // adversarial corpus the same headroom the paper gives LDPC/M256.
+  o.target_util = 0.6;
+  o.seed = seed;
+  o.check_level = check::Level::kFull;
+  return flow::run_flow(o);
+}
+
+int live_logic_cells(const circuit::Netlist& nl) {
+  int n = 0;
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const circuit::Instance& inst = nl.inst(i);
+    if (!inst.dead && !inst.from_optimizer) ++n;
+  }
+  return n;
+}
+
+// --- the sweep: every random circuit, both styles, zero violations --------
+
+TEST(FuzzFlow, SweepBothStylesZeroViolationsAndStructuralDifferential) {
+  int case_idx = 0;
+  for (const gen::RandomLogicOptions& opt : sweep_cases()) {
+    SCOPED_TRACE(testing::Message()
+                 << "case " << case_idx++ << " seed=" << opt.seed
+                 << " gates=" << opt.num_gates << " inputs=" << opt.num_inputs
+                 << " gates_per_flop=" << opt.gates_per_flop);
+    util::info(util::strf("fuzz: seed=%llu gates=%d inputs=%d",
+                          static_cast<unsigned long long>(opt.seed),
+                          opt.num_gates, opt.num_inputs));
+    const circuit::Netlist nl = gen::make_random_logic(opt);
+    ASSERT_TRUE(nl.validate());
+
+    const flow::FlowResult flat = run_fuzz_flow(nl, tech::Style::k2D, opt.seed);
+    EXPECT_TRUE(flat.checks.ok()) << "2D:\n" << flat.checks.summary();
+
+    const flow::FlowResult tmi = run_fuzz_flow(nl, tech::Style::kTMI, opt.seed);
+    EXPECT_TRUE(tmi.checks.ok()) << "T-MI:\n" << tmi.checks.summary();
+
+    // Structural differential: buffering/CTS may differ between styles, but
+    // the logic the user asked for must be untouched in both.
+    EXPECT_EQ(live_logic_cells(flat.netlist), live_logic_cells(tmi.netlist));
+    EXPECT_EQ(flat.netlist.count_sequential(), tmi.netlist.count_sequential());
+    // Folded cells shrink the die; routed wirelength must not blow up
+    // relative to 2D (the paper's central claim, as a coarse invariant).
+    EXPECT_LT(tmi.footprint_um2, flat.footprint_um2);
+    EXPECT_LE(tmi.total_wl_um, flat.total_wl_um * 1.15)
+        << "T-MI wirelength " << tmi.total_wl_um << " vs 2D "
+        << flat.total_wl_um;
+  }
+}
+
+// --- differential oracle: serial vs 4-thread byte identity ----------------
+
+TEST(FuzzFlow, SerialVsFourThreadsCanonicalReportsByteIdentical) {
+  const std::vector<gen::RandomLogicOptions> cases = sweep_cases();
+  for (int i = 0; i < 4; ++i) {
+    const gen::RandomLogicOptions& opt = cases[static_cast<size_t>(i * 5)];
+    SCOPED_TRACE(testing::Message() << "seed=" << opt.seed);
+    const circuit::Netlist nl = gen::make_random_logic(opt);
+
+    exec::set_default_threads(1);
+    const std::string serial = report::to_canonical_json_string(
+        run_fuzz_flow(nl, tech::Style::kTMI, opt.seed));
+    exec::set_default_threads(4);
+    const std::string parallel = report::to_canonical_json_string(
+        run_fuzz_flow(nl, tech::Style::kTMI, opt.seed));
+    exec::set_default_threads(0);  // restore the environment-resolved pool
+
+    EXPECT_EQ(serial, parallel);
+  }
+}
+
+// --- differential oracle: cross-process generator determinism -------------
+
+std::string self_hash_output(uint64_t seed) {
+  // popen goes through /bin/sh, where /proc/self/exe would resolve to the
+  // shell itself — resolve our own binary path first.
+  char self[1024] = {0};
+  const ssize_t len = readlink("/proc/self/exe", self, sizeof self - 1);
+  if (len <= 0) return {};
+  char cmd[1280];
+  std::snprintf(cmd, sizeof cmd, "'%s' --netlist-hash=%llu", self,
+                static_cast<unsigned long long>(seed));
+  FILE* pipe = popen(cmd, "r");
+  if (pipe == nullptr) return {};
+  char buf[128] = {0};
+  std::string out;
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+  const int rc = pclose(pipe);
+  EXPECT_EQ(rc, 0);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+    out.pop_back();
+  return out;
+}
+
+uint64_t in_process_hash(uint64_t seed) {
+  gen::RandomLogicOptions opt;
+  opt.seed = seed;
+  return check::netlist_hash(gen::make_random_logic(opt));
+}
+
+TEST(FuzzFlow, NetlistHashIdenticalAcrossProcesses) {
+  const uint64_t seed = sweep_cases()[0].seed;
+  const std::string a = self_hash_output(seed);
+  const std::string b = self_hash_output(seed);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  char expect[32];
+  std::snprintf(expect, sizeof expect, "%016llx",
+                static_cast<unsigned long long>(in_process_hash(seed)));
+  EXPECT_EQ(a, expect) << "child process hash differs from in-process hash";
+}
+
+// --- slow sign-off: paper benchmarks at default scale, full battery -------
+
+class SlowPaperBench : public ::testing::TestWithParam<gen::Bench> {};
+
+TEST_P(SlowPaperBench, FullCheckBothStylesAtDefaultScale) {
+  const gen::Bench bench = GetParam();
+  for (const tech::Style style : {tech::Style::k2D, tech::Style::kTMI}) {
+    SCOPED_TRACE(tech::to_string(style));
+    flow::FlowOptions o;
+    o.bench = bench;
+    o.scale_shift = flow::default_scale_shift(bench);
+    o.target_util = flow::default_utilization(bench);
+    o.style = style;
+    o.lib = &lib_for(style);
+    o.check_level = check::Level::kFull;
+    const flow::FlowResult r = flow::run_flow(o);
+    // Zero violations is the gate; routability is not (LDPC's random
+    // bipartite connectivity overflows the grid at full scale by design —
+    // the checkers verify the overflow is *reported* consistently).
+    EXPECT_TRUE(r.checks.ok()) << r.checks.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperBenches, SlowPaperBench,
+                         ::testing::ValuesIn(gen::all_benches()),
+                         [](const auto& info) {
+                           return std::string(gen::to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace m3d
+
+// Custom main: `--netlist-hash=<seed>` prints the structural hash of the
+// random circuit for that seed and exits — the cross-process determinism
+// test execs itself through this path.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* prefix = "--netlist-hash=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      const uint64_t seed =
+          std::strtoull(argv[i] + std::strlen(prefix), nullptr, 10);
+      std::printf("%016llx\n", static_cast<unsigned long long>(
+                                   m3d::in_process_hash(seed)));
+      return 0;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

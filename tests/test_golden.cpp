@@ -1,0 +1,224 @@
+// Golden regression harness: the five paper benchmarks run through the
+// full flow (both styles, full checking) and their canonical run reports
+// must stay inside per-field tolerance bands of the snapshots stored under
+// tests/golden/. Regenerate snapshots with M3D_UPDATE_GOLDEN=1 after an
+// intentional behaviour change — the negative tests below prove the
+// comparison actually bites when a field drifts out of band.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/golden.hpp"
+#include "flow/flow.hpp"
+#include "flow/report.hpp"
+#include "test_fixtures.hpp"
+
+namespace m3d::check {
+namespace {
+
+#ifndef M3D_GOLDEN_DIR
+#error "M3D_GOLDEN_DIR must point at tests/golden"
+#endif
+
+struct GoldenCase {
+  gen::Bench bench;
+  int scale_shift;  // default + 3: small enough for tier-1, same structure
+  double clock_ns;
+};
+
+// Fixed seeds/clocks: the snapshot must be a function of the code alone.
+const GoldenCase kCases[] = {
+    {gen::Bench::kFpu, 3, 4.0},  {gen::Bench::kAes, 4, 3.0},
+    {gen::Bench::kLdpc, 5, 5.0}, {gen::Bench::kDes, 4, 2.0},
+    {gen::Bench::kM256, 4, 4.0},
+};
+
+const liberty::Library& lib_for(tech::Style style) {
+  static const liberty::Library flat = test::make_test_library(tech::Style::k2D);
+  static const liberty::Library tmi = test::make_test_library(tech::Style::kTMI);
+  return style == tech::Style::k2D ? flat : tmi;
+}
+
+flow::FlowResult run_case(const GoldenCase& c, tech::Style style) {
+  flow::FlowOptions o;
+  o.bench = c.bench;
+  o.scale_shift = c.scale_shift;
+  o.clock_ns = c.clock_ns;
+  o.style = style;
+  o.lib = &lib_for(style);
+  o.check_level = Level::kFull;
+  return flow::run_flow(o);
+}
+
+std::string golden_path(const flow::FlowResult& r) {
+  std::string name =
+      report::report_filename(r.bench_name, tech::to_string(r.style));
+  name.replace(name.rfind(".json"), 5, ".golden.json");
+  return std::string(M3D_GOLDEN_DIR) + "/" + name;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool update_mode() { return std::getenv("M3D_UPDATE_GOLDEN") != nullptr; }
+
+class GoldenReports : public ::testing::TestWithParam<tech::Style> {};
+
+TEST_P(GoldenReports, PaperBenchmarksStayInsideToleranceBands) {
+  const tech::Style style = GetParam();
+  for (const GoldenCase& c : kCases) {
+    const flow::FlowResult r = run_case(c, style);
+    SCOPED_TRACE(std::string(gen::to_string(c.bench)) + "/" +
+                 tech::to_string(style));
+    // The acceptance gate: every paper benchmark passes the full invariant
+    // battery in both styles with zero violations.
+    EXPECT_TRUE(r.checks.ok()) << r.checks.summary();
+    EXPECT_EQ(r.checks.violations.size(), 0u) << r.checks.summary();
+
+    const util::json::Value report = report::to_canonical_json(r);
+    const std::string path = golden_path(r);
+    if (update_mode()) {
+      std::ofstream os(path);
+      ASSERT_TRUE(os) << "cannot write " << path;
+      os << report.dump() << "\n";
+      continue;
+    }
+    std::string text;
+    ASSERT_TRUE(read_file(path, &text))
+        << "missing golden " << path
+        << " — run with M3D_UPDATE_GOLDEN=1 to create it";
+    util::json::Value golden;
+    std::string err;
+    ASSERT_TRUE(util::json::parse(text, &golden, &err)) << path << ": " << err;
+    const CheckResult diff = compare_to_golden(report, golden);
+    EXPECT_TRUE(diff.ok()) << path << "\n"
+                           << diff.summary(0)
+                           << "regenerate with M3D_UPDATE_GOLDEN=1 if the "
+                              "drift is intentional";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, GoldenReports,
+                         ::testing::Values(tech::Style::k2D,
+                                           tech::Style::kTMI),
+                         [](const auto& info) {
+                           return info.param == tech::Style::k2D ? "flat"
+                                                                 : "tmi";
+                         });
+
+// ---- negative tests: the comparison must bite ------------------------------
+
+util::json::Value load_any_golden() {
+  const flow::FlowResult r = run_case(kCases[3], tech::Style::k2D);  // DES
+  return report::to_canonical_json(r);
+}
+
+/// Returns `doc` with metrics[field] replaced by `mutate(old)`.
+template <typename Fn>
+util::json::Value with_metric(const util::json::Value& doc,
+                              const std::string& field, Fn mutate) {
+  util::json::Value out = util::json::Value::object();
+  for (const auto& [key, value] : doc.members()) {
+    if (key != "metrics") {
+      out.set(key, value);
+      continue;
+    }
+    util::json::Value metrics = util::json::Value::object();
+    for (const auto& [mkey, mvalue] : value.members()) {
+      if (mkey == field) {
+        metrics.set(mkey, mutate(mvalue));
+      } else {
+        metrics.set(mkey, mvalue);
+      }
+    }
+    out.set(key, std::move(metrics));
+  }
+  return out;
+}
+
+TEST(GoldenCompare, IdenticalReportsPass) {
+  const util::json::Value doc = load_any_golden();
+  EXPECT_TRUE(compare_to_golden(doc, doc).ok());
+}
+
+TEST(GoldenCompare, PowerDriftBeyondBandFails) {
+  const util::json::Value doc = load_any_golden();
+  const util::json::Value drifted =
+      with_metric(doc, "total_uw", [](const util::json::Value& v) {
+        return util::json::Value::number(v.as_number() * 1.10);  // +10% >> 2%
+      });
+  const CheckResult diff = compare_to_golden(drifted, doc);
+  EXPECT_FALSE(diff.ok());
+  bool found = false;
+  for (const auto& v : diff.violations) found |= (v.code == "out-of-band");
+  EXPECT_TRUE(found) << diff.summary();
+}
+
+TEST(GoldenCompare, DriftWithinBandPasses) {
+  const util::json::Value doc = load_any_golden();
+  const util::json::Value nudged =
+      with_metric(doc, "total_uw", [](const util::json::Value& v) {
+        return util::json::Value::number(v.as_number() * 1.001);  // 0.1% < 2%
+      });
+  EXPECT_TRUE(compare_to_golden(nudged, doc).ok());
+}
+
+TEST(GoldenCompare, CellCountIsExact) {
+  const util::json::Value doc = load_any_golden();
+  const util::json::Value drifted =
+      with_metric(doc, "cells", [](const util::json::Value& v) {
+        return util::json::Value::number(v.as_number() + 1.0);
+      });
+  const CheckResult diff = compare_to_golden(drifted, doc);
+  EXPECT_FALSE(diff.ok());
+  bool found = false;
+  for (const auto& v : diff.violations) found |= (v.code == "exact-field");
+  EXPECT_TRUE(found) << diff.summary();
+}
+
+TEST(GoldenCompare, TimingFlipFails) {
+  const util::json::Value doc = load_any_golden();
+  const util::json::Value drifted =
+      with_metric(doc, "timing_met", [](const util::json::Value& v) {
+        return util::json::Value::boolean(!v.as_bool());
+      });
+  const CheckResult diff = compare_to_golden(drifted, doc);
+  EXPECT_FALSE(diff.ok());
+  bool found = false;
+  for (const auto& v : diff.violations) found |= (v.code == "bool-flip");
+  EXPECT_TRUE(found) << diff.summary();
+}
+
+TEST(GoldenCompare, MissingMetricFieldFails) {
+  const util::json::Value doc = load_any_golden();
+  // Rebuild the report without wns_ps: schema drift must be loud.
+  util::json::Value stripped = util::json::Value::object();
+  for (const auto& [key, value] : doc.members()) {
+    if (key != "metrics") {
+      stripped.set(key, value);
+      continue;
+    }
+    util::json::Value metrics = util::json::Value::object();
+    for (const auto& [mkey, mvalue] : value.members()) {
+      if (mkey != "wns_ps") metrics.set(mkey, mvalue);
+    }
+    stripped.set(key, std::move(metrics));
+  }
+  const CheckResult diff = compare_to_golden(stripped, doc);
+  EXPECT_FALSE(diff.ok());
+  bool found = false;
+  for (const auto& v : diff.violations) found |= (v.code == "missing-field");
+  EXPECT_TRUE(found) << diff.summary();
+}
+
+}  // namespace
+}  // namespace m3d::check

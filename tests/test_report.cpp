@@ -1,0 +1,105 @@
+// Round-trip coverage for the canonical run-report JSON: parse the emitted
+// document back through util/json, confirm every volatile (wall-time) field
+// is actually zeroed in canonical form, and confirm the seed and check
+// record survive serialization — the golden harness and the CI-log
+// reproducibility story both depend on exactly this.
+#include <gtest/gtest.h>
+
+#include "flow/flow.hpp"
+#include "flow/report.hpp"
+#include "test_fixtures.hpp"
+#include "util/json.hpp"
+
+namespace m3d::report {
+namespace {
+
+const flow::FlowResult& small_result() {
+  static const flow::FlowResult r = [] {
+    static const liberty::Library lib = test::make_test_library();
+    flow::FlowOptions o;
+    o.bench = gen::Bench::kDes;
+    o.scale_shift = 4;
+    o.clock_ns = 2.0;
+    o.lib = &lib;
+    o.check_level = check::Level::kFull;
+    o.seed = 987654321098765ULL;  // larger than 2^53 would break a double
+    return flow::run_flow(o);
+  }();
+  return r;
+}
+
+TEST(Report, CanonicalJsonParsesBackAndZeroesWallTimes) {
+  const std::string text = to_canonical_json_string(small_result());
+  util::json::Value doc;
+  std::string err;
+  ASSERT_TRUE(util::json::parse(text, &doc, &err)) << err;
+
+  EXPECT_EQ(doc.string_or("schema", ""), "m3d.run_report/v2");
+  EXPECT_EQ(doc.number_or("total_wall_ms", -1.0), 0.0);
+  const util::json::Value* stages = doc.find("stages");
+  ASSERT_NE(stages, nullptr);
+  ASSERT_TRUE(stages->is_array());
+  ASSERT_FALSE(stages->items().empty());
+  for (const util::json::Value& stage : stages->items()) {
+    EXPECT_EQ(stage.number_or("wall_ms", -1.0), 0.0)
+        << stage.string_or("name", "?") << " kept its wall time";
+  }
+}
+
+TEST(Report, NonCanonicalJsonKeepsWallTimes) {
+  const std::string text = to_json_string(small_result());
+  util::json::Value doc;
+  ASSERT_TRUE(util::json::parse(text, &doc, nullptr));
+  // Wall times are machine-dependent but the total must re-sum the stages.
+  double sum = 0.0;
+  for (const util::json::Value& stage : doc.find("stages")->items()) {
+    const double ms = stage.number_or("wall_ms", -1.0);
+    EXPECT_GE(ms, 0.0);
+    sum += ms;
+  }
+  EXPECT_NEAR(doc.number_or("total_wall_ms", -1.0), sum, 1e-9);
+}
+
+TEST(Report, SeedSurvivesAsLosslessDecimalString) {
+  util::json::Value doc;
+  ASSERT_TRUE(
+      util::json::parse(to_canonical_json_string(small_result()), &doc));
+  EXPECT_EQ(doc.string_or("seed", ""), "987654321098765");
+}
+
+TEST(Report, ChecksBlockRecordsLevelAndCleanRun) {
+  util::json::Value doc;
+  ASSERT_TRUE(
+      util::json::parse(to_canonical_json_string(small_result()), &doc));
+  const util::json::Value* checks = doc.find("checks");
+  ASSERT_NE(checks, nullptr);
+  EXPECT_EQ(checks->string_or("level", ""), "full");
+  EXPECT_EQ(checks->number_or("errors", -1.0), 0.0);
+  EXPECT_EQ(checks->number_or("warnings", -1.0), 0.0);
+  ASSERT_NE(checks->find("violations"), nullptr);
+  EXPECT_TRUE(checks->find("violations")->items().empty());
+}
+
+TEST(Report, ParseStagesRoundTripsStageCounters) {
+  const flow::FlowResult& r = small_result();
+  std::vector<flow::StageReport> parsed;
+  std::string err;
+  ASSERT_TRUE(parse_stages(to_canonical_json_string(r), &parsed, &err)) << err;
+  ASSERT_EQ(parsed.size(), r.stages.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, r.stages[i].name);
+    EXPECT_EQ(parsed[i].wall_ms, 0.0);  // canonical form zeroes them
+    ASSERT_EQ(parsed[i].counters.size(), r.stages[i].counters.size());
+    for (const auto& [key, value] : r.stages[i].counters) {
+      EXPECT_DOUBLE_EQ(parsed[i].counter(key), value) << key;
+    }
+  }
+}
+
+TEST(Report, CanonicalJsonIsByteStableAcrossCalls) {
+  EXPECT_EQ(to_canonical_json_string(small_result()),
+            to_canonical_json_string(small_result()));
+}
+
+}  // namespace
+}  // namespace m3d::report

@@ -158,7 +158,7 @@ TEST(Report, FlowResultJsonRoundTrip) {
   util::json::Value doc;
   std::string err;
   ASSERT_TRUE(util::json::parse(text, &doc, &err)) << err;
-  EXPECT_EQ(doc.string_or("schema", ""), "m3d.run_report/v1");
+  EXPECT_EQ(doc.string_or("schema", ""), "m3d.run_report/v2");
   EXPECT_EQ(doc.string_or("bench", ""), "AES");
   EXPECT_EQ(doc.string_or("style", ""), "T-MI");
   EXPECT_DOUBLE_EQ(doc.number_or("clock_ns", 0.0), 1.25);
