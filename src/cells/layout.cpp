@@ -198,13 +198,11 @@ CellLayout layout_2d(const CellSpec& spec, const tech::Tech& tech,
 
     // Gate routing: vertical poly column joins P and N gates; horizontal
     // gate-to-gate connections also run in poly.
-    bool gate_both_rows = false;
     if (has_gate) {
       int gp = 0, gn = 0;
       for (const auto& t : info.terminals) {
         if (t.gate) ++(t.pmos ? gp : gn);
       }
-      gate_both_rows = gp > 0 && gn > 0;
       // Each aligned P/N gate pair is one continuous vertical poly column.
       const int pairs = std::min(gp, gn);
       acc.wire(pairs * v_span, rules.poly_r_kohm_um, rules.poly_c_ff_um);

@@ -6,6 +6,8 @@
 // loudly (paper metrics moving, cell counts changing, timing flipping).
 #pragma once
 
+#include <string>
+
 #include "check/check.hpp"
 #include "util/json.hpp"
 

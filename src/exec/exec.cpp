@@ -225,7 +225,8 @@ void TaskGroup::wait() {
 
 namespace {
 std::mutex g_default_mu;
-std::unique_ptr<ThreadPool> g_default_pool;  // guarded by g_default_mu
+// m3d-lint: allow(L005) every access below takes g_default_mu first
+std::unique_ptr<ThreadPool> g_default_pool;
 }  // namespace
 
 ThreadPool& default_pool() {

@@ -24,6 +24,7 @@
 // `exec.<name>.queue_depth` gauge.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -33,6 +34,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace m3d::exec {

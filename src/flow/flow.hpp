@@ -6,9 +6,12 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <optional>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "check/check.hpp"
 #include "circuit/netlist.hpp"

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "flow/flow.hpp"
 #include "util/json.hpp"

@@ -6,7 +6,10 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
+#include <tuple>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "circuit/netlist.hpp"

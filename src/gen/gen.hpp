@@ -20,6 +20,9 @@
 // stay fast; the generators' structure is scale-invariant.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "circuit/netlist.hpp"
 
 namespace m3d::gen {

@@ -5,6 +5,7 @@
 // connect them using MIVs").
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "circuit/netlist.hpp"

@@ -4,6 +4,9 @@
 // Library Characterizer + SPICE (paper Section 3.2).
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "cells/layout.hpp"
 #include "cells/spec.hpp"
 #include "liberty/library.hpp"

@@ -4,6 +4,7 @@
 // Characterizer.
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>

@@ -1,0 +1,1071 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/strf.hpp"
+
+namespace m3d::lint {
+namespace {
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when text[pos..pos+word.size()) is `word` bounded by non-identifier
+/// characters on both sides.
+bool word_at(std::string_view text, size_t pos, std::string_view word) {
+  if (pos + word.size() > text.size()) return false;
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && is_ident(text[pos - 1])) return false;
+  if (pos + word.size() < text.size() && is_ident(text[pos + word.size()])) {
+    return false;
+  }
+  return true;
+}
+
+/// First word-bounded occurrence of `word` at or after `from`; npos if none.
+size_t find_word(std::string_view text, std::string_view word,
+                 size_t from = 0) {
+  for (size_t pos = text.find(word, from); pos != std::string_view::npos;
+       pos = text.find(word, pos + 1)) {
+    if (word_at(text, pos, word)) return pos;
+  }
+  return std::string_view::npos;
+}
+
+bool contains_word(std::string_view text, std::string_view word) {
+  return find_word(text, word) != std::string_view::npos;
+}
+
+/// Substring match against the '/'-normalized path (so the same Options
+/// work for relative and absolute spellings).
+bool path_matches(std::string_view path, const std::vector<std::string>& frags) {
+  for (const auto& frag : frags) {
+    if (path.find(frag) != std::string_view::npos) return true;
+  }
+  return false;
+}
+
+bool rule_enabled(const Options& opts, std::string_view rule) {
+  if (opts.only_rules.empty()) return true;
+  for (const auto& r : opts.only_rules) {
+    if (r == rule) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Scrubbing: blank comments, string literals and char literals (preserving
+// line structure) so rules never fire on prose, and collect `m3d-lint:`
+// suppression directives from the comment text as we go.
+
+struct Suppression {
+  int line = 0;  // 1-based line the directive sits on
+  std::vector<std::string> rules;
+  bool file_wide = false;
+  bool has_reason = false;
+};
+
+struct Scrubbed {
+  std::string clean;  // same length/line structure as the input
+  std::vector<Suppression> suppressions;
+  std::vector<Diagnostic> directive_errors;  // malformed directives (L000)
+};
+
+/// Parses one comment's text for "m3d-lint: allow(L001,L002) reason" or
+/// "m3d-lint: allow-file(L00x) reason".
+void parse_directive(std::string_view comment, int line, std::string_view file,
+                     Scrubbed& out) {
+  // The tag must START the comment text (`// m3d-lint: ...`); prose that
+  // merely mentions the directive syntax mid-sentence is not a directive.
+  const size_t first = comment.find_first_not_of("/* \t");
+  if (first == std::string_view::npos ||
+      comment.compare(first, 9, "m3d-lint:") != 0) {
+    return;
+  }
+  std::string_view rest = comment.substr(first + 9);
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+
+  Suppression sup;
+  sup.line = line;
+  if (rest.rfind("allow-file(", 0) == 0) {
+    sup.file_wide = true;
+    rest.remove_prefix(11);
+  } else if (rest.rfind("allow(", 0) == 0) {
+    rest.remove_prefix(6);
+  } else {
+    out.directive_errors.push_back(
+        {std::string(file), line, "L000", Severity::kError,
+         "malformed m3d-lint directive (expected allow(...) or "
+         "allow-file(...))"});
+    return;
+  }
+  const size_t close = rest.find(')');
+  if (close == std::string_view::npos) {
+    out.directive_errors.push_back({std::string(file), line, "L000",
+                                    Severity::kError,
+                                    "unterminated rule list in m3d-lint "
+                                    "directive"});
+    return;
+  }
+  std::string rule;
+  for (char c : rest.substr(0, close)) {
+    if (c == ',' || c == ' ') {
+      if (!rule.empty()) sup.rules.push_back(rule);
+      rule.clear();
+    } else {
+      rule += c;
+    }
+  }
+  if (!rule.empty()) sup.rules.push_back(rule);
+
+  std::string_view reason = rest.substr(close + 1);
+  sup.has_reason =
+      reason.find_first_not_of(" \t*/") != std::string_view::npos;
+  if (sup.rules.empty()) {
+    out.directive_errors.push_back({std::string(file), line, "L000",
+                                    Severity::kError,
+                                    "m3d-lint directive names no rules"});
+    return;
+  }
+  if (!sup.has_reason) {
+    out.directive_errors.push_back(
+        {std::string(file), line, "L000", Severity::kError,
+         "m3d-lint suppression must carry a reason after the rule list"});
+  }
+  out.suppressions.push_back(std::move(sup));
+}
+
+Scrubbed scrub(std::string_view text, std::string_view file) {
+  Scrubbed out;
+  out.clean.assign(text.size(), ' ');
+  int line = 1;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto copy = [&](size_t pos) { out.clean[pos] = text[pos]; };
+
+  bool line_start = true;
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      out.clean[i] = '\n';
+      ++line;
+      ++i;
+      line_start = true;
+      continue;
+    }
+    // Preprocessor directive: blank the whole logical line (honoring
+    // backslash continuations) so macro bodies never trip token rules.
+    // L006 reads #include and #pragma once from the raw text.
+    if (line_start && c == '#') {
+      while (i < n) {
+        if (text[i] == '\n') {
+          if (i > 0 && text[i - 1] == '\\') {
+            out.clean[i] = '\n';
+            ++line;
+            ++i;
+            continue;
+          }
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) line_start = false;
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const size_t start = i;
+      while (i < n && text[i] != '\n') ++i;
+      parse_directive(text.substr(start, i - start), line, file, out);
+      continue;
+    }
+    // Block comment (may span lines; directive applies to its first line).
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const size_t start = i;
+      const int start_line = line;
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') {
+          out.clean[i] = '\n';
+          ++line;
+        }
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      parse_directive(text.substr(start, i - start), start_line, file, out);
+      continue;
+    }
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+        (i == 0 || !is_ident(text[i - 1]))) {
+      size_t d = i + 2;
+      while (d < n && text[d] != '(') ++d;
+      const std::string terminator =
+          ")" + std::string(text.substr(i + 2, d - (i + 2))) + "\"";
+      size_t end = text.find(terminator, d);
+      end = end == std::string_view::npos ? n : end + terminator.size();
+      for (size_t k = i; k < end; ++k) {
+        if (text[k] == '\n') {
+          out.clean[k] = '\n';
+          ++line;
+        }
+      }
+      i = end;
+      continue;
+    }
+    // Digit separator (1'000'000) — not a char literal.
+    if (c == '\'' && i > 0 &&
+        std::isdigit(static_cast<unsigned char>(text[i - 1])) != 0 &&
+        i + 1 < n && std::isalnum(static_cast<unsigned char>(text[i + 1]))) {
+      ++i;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\') ++i;
+        if (i < n && text[i] == '\n') {
+          out.clean[i] = '\n';
+          ++line;
+        }
+        ++i;
+      }
+      ++i;  // closing quote
+      continue;
+    }
+    copy(i);
+    ++i;
+  }
+  return out;
+}
+
+/// 1-based line number of a character offset (clean preserves newlines).
+struct LineIndex {
+  std::vector<size_t> starts;  // starts[k] = offset of line k+1
+  explicit LineIndex(std::string_view text) {
+    starts.push_back(0);
+    for (size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '\n') starts.push_back(i + 1);
+    }
+  }
+  int line_of(size_t pos) const {
+    const auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+    return static_cast<int>(it - starts.begin());
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Scope tracking (for L005): classify each `{` by the statement preceding it
+// so we can tell namespace scope from type bodies and function bodies.
+
+enum class ScopeKind { kNamespace, kType, kFunction, kBlock, kInit };
+
+struct FunctionBody {
+  size_t begin = 0;  // offset just after the opening '{'
+  size_t end = 0;    // offset of the closing '}'
+  std::string name;  // identifier before the parameter list ("" if unknown)
+  bool is_special = false;  // constructor/destructor/operator
+  bool locked = false;      // body mentions a lock primitive
+};
+
+struct GlobalDecl {
+  size_t pos = 0;  // statement start
+  std::string text;
+};
+
+struct ScopeScan {
+  std::vector<FunctionBody> functions;
+  std::vector<GlobalDecl> namespace_statements;  // ';'-terminated, ns scope
+};
+
+/// Last identifier in `text` (e.g. the declared name in "struct Foo").
+std::string last_identifier(std::string_view text) {
+  size_t end = text.size();
+  while (end > 0 && !is_ident(text[end - 1])) --end;
+  size_t begin = end;
+  while (begin > 0 && is_ident(text[begin - 1])) --begin;
+  return std::string(text.substr(begin, end - begin));
+}
+
+/// Identifier immediately before the first '(' (the function name).
+std::string name_before_paren(std::string_view stmt) {
+  const size_t paren = stmt.find('(');
+  if (paren == std::string_view::npos) return "";
+  return last_identifier(stmt.substr(0, paren));
+}
+
+ScopeScan scan_scopes(std::string_view clean) {
+  ScopeScan out;
+  struct Frame {
+    ScopeKind kind;
+    std::string type_name;  // for kType
+    size_t func_index = 0;  // for kFunction
+  };
+  std::vector<Frame> stack;
+  std::string stmt;  // statement text since last ; { }
+  size_t stmt_start = 0;
+
+  auto at_namespace_scope = [&] {
+    for (const auto& f : stack) {
+      if (f.kind != ScopeKind::kNamespace) return false;
+    }
+    return true;
+  };
+  for (size_t i = 0; i < clean.size(); ++i) {
+    const char c = clean[i];
+    if (c == '{') {
+      Frame frame;
+      // Find the last non-space char of the statement.
+      std::string_view s = stmt;
+      while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+        s.remove_suffix(1);
+      }
+      if (contains_word(s, "namespace")) {
+        frame.kind = ScopeKind::kNamespace;
+      } else if (contains_word(s, "class") || contains_word(s, "struct") ||
+                 contains_word(s, "union") || contains_word(s, "enum")) {
+        frame.kind = ScopeKind::kType;
+        frame.type_name = last_identifier(s);
+      } else if (s.find('(') != std::string_view::npos &&
+                 (at_namespace_scope() ||
+                  (!stack.empty() && stack.back().kind == ScopeKind::kType))) {
+        // At namespace or class scope, a braced body after a parameter list
+        // is a function definition (control statements cannot appear here).
+        frame.kind = ScopeKind::kFunction;
+        FunctionBody fb;
+        fb.begin = i + 1;
+        fb.name = name_before_paren(s);
+        const std::string enclosing_type =
+            (!stack.empty() && stack.back().kind == ScopeKind::kType)
+                ? stack.back().type_name
+                : std::string();
+        const bool qualified_ctor =
+            !fb.name.empty() &&
+            s.find(fb.name + "::" + fb.name) != std::string_view::npos;
+        fb.is_special = qualified_ctor || fb.name == enclosing_type ||
+                        s.find('~') != std::string_view::npos ||
+                        contains_word(s, "operator");
+        frame.func_index = out.functions.size();
+        out.functions.push_back(std::move(fb));
+      } else if (at_namespace_scope() && !s.empty()) {
+        // At namespace scope, anything else opening a brace is an
+        // initializer: `int x{1}` or `std::vector<int> v = {...}`. Record
+        // the declaration head so L005a sees brace-initialized globals.
+        frame.kind = ScopeKind::kInit;
+        std::string_view head = s;
+        if (const size_t eq = head.find('='); eq != std::string_view::npos) {
+          head = head.substr(0, eq);
+        }
+        const size_t first = head.find_first_not_of(" \t\n");
+        if (first != std::string_view::npos) {
+          out.namespace_statements.push_back(
+              {stmt_start + first, std::string(head.substr(first))});
+        }
+      } else if (!s.empty() && s.back() == '=') {
+        frame.kind = ScopeKind::kInit;
+      } else {
+        frame.kind = ScopeKind::kBlock;
+      }
+      stack.push_back(std::move(frame));
+      stmt.clear();
+      stmt_start = i + 1;
+    } else if (c == '}') {
+      if (!stack.empty()) {
+        if (stack.back().kind == ScopeKind::kFunction) {
+          out.functions[stack.back().func_index].end = i;
+        }
+        stack.pop_back();
+      }
+      stmt.clear();
+      stmt_start = i + 1;
+    } else if (c == ';') {
+      if (at_namespace_scope()) {
+        std::string_view s = stmt;
+        const size_t first =
+            s.find_first_not_of(" \t\n");
+        if (first != std::string_view::npos) {
+          out.namespace_statements.push_back(
+              {stmt_start + first, std::string(s.substr(first))});
+        }
+      }
+      stmt.clear();
+      stmt_start = i + 1;
+    } else {
+      if (stmt.empty()) stmt_start = i;
+      stmt += c;
+    }
+  }
+  // Close any function left open by unbalanced braces.
+  for (auto& f : out.functions) {
+    if (f.end == 0) f.end = clean.size();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule L001: forbidden randomness primitives outside util/rng.hpp.
+
+void rule_l001(std::string_view file, std::string_view clean,
+               const LineIndex& lines, const Options& opts,
+               std::vector<Diagnostic>& out) {
+  if (path_matches(file, opts.l001_allowed)) return;
+  static const char* kTypes[] = {"random_device", "mt19937", "mt19937_64",
+                                 "default_random_engine", "minstd_rand",
+                                 "minstd_rand0"};
+  for (const char* type : kTypes) {
+    for (size_t pos = find_word(clean, type); pos != std::string_view::npos;
+         pos = find_word(clean, type, pos + 1)) {
+      out.push_back({std::string(file), lines.line_of(pos), "L001",
+                     Severity::kError,
+                     util::strf("std::%s is banned outside util/rng.hpp; "
+                                "draw from an explicitly seeded util::Rng",
+                                type)});
+    }
+  }
+  static const char* kCalls[] = {"rand", "srand"};
+  for (const char* call : kCalls) {
+    for (size_t pos = find_word(clean, call); pos != std::string_view::npos;
+         pos = find_word(clean, call, pos + 1)) {
+      size_t after = pos + std::string_view(call).size();
+      while (after < clean.size() && clean[after] == ' ') ++after;
+      if (after < clean.size() && clean[after] == '(') {
+        out.push_back({std::string(file), lines.line_of(pos), "L001",
+                       Severity::kError,
+                       util::strf("%s() is banned; draw from an explicitly "
+                                  "seeded util::Rng",
+                                  call)});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule L002: iteration over unordered containers in canonical-output files.
+
+void rule_l002(std::string_view file, std::string_view clean,
+               const LineIndex& lines, const Options& opts,
+               std::vector<Diagnostic>& out) {
+  if (!path_matches(file, opts.l002_scope)) return;
+
+  // Pass 1: names declared with an unordered container type in this file.
+  std::set<std::string> unordered_names;
+  static const char* kContainers[] = {"unordered_map", "unordered_set",
+                                      "unordered_multimap",
+                                      "unordered_multiset"};
+  for (const char* container : kContainers) {
+    for (size_t pos = find_word(clean, container);
+         pos != std::string_view::npos;
+         pos = find_word(clean, container, pos + 1)) {
+      size_t i = pos + std::string_view(container).size();
+      while (i < clean.size() && clean[i] == ' ') ++i;
+      if (i >= clean.size() || clean[i] != '<') continue;  // e.g. #include
+      int depth = 0;
+      for (; i < clean.size(); ++i) {
+        if (clean[i] == '<') ++depth;
+        if (clean[i] == '>' && --depth == 0) {
+          ++i;
+          break;
+        }
+      }
+      while (i < clean.size() &&
+             (std::isspace(static_cast<unsigned char>(clean[i])) != 0 ||
+              clean[i] == '&' || clean[i] == '*')) {
+        ++i;
+      }
+      size_t name_end = i;
+      while (name_end < clean.size() && is_ident(clean[name_end])) ++name_end;
+      if (name_end == i) continue;
+      size_t next = name_end;
+      while (next < clean.size() && clean[next] == ' ') ++next;
+      if (next < clean.size() && clean[next] == '(') continue;  // function
+      unordered_names.insert(std::string(clean.substr(i, name_end - i)));
+    }
+  }
+
+  // Pass 2: for-loops whose range / iterator source is one of those names.
+  for (size_t pos = find_word(clean, "for"); pos != std::string_view::npos;
+       pos = find_word(clean, "for", pos + 1)) {
+    size_t i = pos + 3;
+    while (i < clean.size() &&
+           std::isspace(static_cast<unsigned char>(clean[i])) != 0) {
+      ++i;
+    }
+    if (i >= clean.size() || clean[i] != '(') continue;
+    const size_t open = i;
+    int depth = 0;
+    for (; i < clean.size(); ++i) {
+      if (clean[i] == '(') ++depth;
+      if (clean[i] == ')' && --depth == 0) break;
+    }
+    const std::string_view head = clean.substr(open + 1, i - open - 1);
+
+    // Range-for: text after the top-level ':' (skipping '::').
+    std::string_view range;
+    for (size_t k = 0; k < head.size(); ++k) {
+      if (head[k] == ':') {
+        if (k + 1 < head.size() && head[k + 1] == ':') {
+          ++k;
+          continue;
+        }
+        if (k > 0 && head[k - 1] == ':') continue;
+        range = head.substr(k + 1);
+        break;
+      }
+    }
+    bool hit = false;
+    if (!range.empty()) {
+      if (range.find("unordered_") != std::string_view::npos) hit = true;
+      for (const auto& name : unordered_names) {
+        if (contains_word(range, name)) hit = true;
+      }
+    } else {
+      // Iterator form: `for (auto it = name.begin(); ...)`.
+      for (const auto& name : unordered_names) {
+        const size_t at = head.find(name + ".");
+        if (at != std::string_view::npos &&
+            (at == 0 || !is_ident(head[at - 1])) &&
+            (head.compare(at + name.size() + 1, 5, "begin") == 0 ||
+             head.compare(at + name.size() + 1, 6, "cbegin") == 0)) {
+          hit = true;
+        }
+      }
+    }
+    if (hit) {
+      out.push_back(
+          {std::string(file), lines.line_of(pos), "L002", Severity::kError,
+           "iteration over an unordered container in a canonical-output "
+           "file; bucket order is implementation-defined — copy into a "
+           "sorted container (or std::map) before folding"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule L003: wall-clock reads outside util/trace + util/log.
+
+void rule_l003(std::string_view file, std::string_view clean,
+               const LineIndex& lines, const Options& opts,
+               std::vector<Diagnostic>& out) {
+  if (path_matches(file, opts.l003_allowed)) return;
+  static const char* kTokens[] = {"system_clock",  "high_resolution_clock",
+                                  "localtime",     "gmtime",
+                                  "strftime",      "mktime",
+                                  "asctime"};
+  for (const char* token : kTokens) {
+    for (size_t pos = find_word(clean, token); pos != std::string_view::npos;
+         pos = find_word(clean, token, pos + 1)) {
+      out.push_back({std::string(file), lines.line_of(pos), "L003",
+                     Severity::kError,
+                     util::strf("wall-clock read (%s) outside util/trace + "
+                                "util/log; timestamps in result paths break "
+                                "byte-identical canonical reports",
+                                token)});
+    }
+  }
+  // std::time(...) / ::time(...) — bare `time` is too common to flag.
+  for (size_t pos = clean.find("::time"); pos != std::string_view::npos;
+       pos = clean.find("::time", pos + 6)) {
+    size_t after = pos + 6;
+    if (after < clean.size() && is_ident(clean[after])) continue;
+    while (after < clean.size() && clean[after] == ' ') ++after;
+    if (after < clean.size() && clean[after] == '(') {
+      out.push_back({std::string(file), lines.line_of(pos), "L003",
+                     Severity::kError,
+                     "wall-clock read (std::time) outside util/trace + "
+                     "util/log"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule L004: float equality in sign-off arithmetic.
+
+/// True when the token ending at `end` (exclusive, walking back over
+/// identifier/number characters) is a floating-point literal.
+bool float_literal_before(std::string_view text, size_t end) {
+  while (end > 0 && text[end - 1] == ' ') --end;
+  size_t begin = end;
+  while (begin > 0 && (is_ident(text[begin - 1]) || text[begin - 1] == '.' ||
+                       ((text[begin - 1] == '+' || text[begin - 1] == '-') &&
+                        begin >= 2 &&
+                        (text[begin - 2] == 'e' || text[begin - 2] == 'E')))) {
+    --begin;
+  }
+  const std::string_view tok = text.substr(begin, end - begin);
+  if (tok.empty() ||
+      std::isdigit(static_cast<unsigned char>(tok.front())) == 0) {
+    return false;
+  }
+  if (tok.size() > 1 && (tok[1] == 'x' || tok[1] == 'X')) return false;
+  return tok.find('.') != std::string_view::npos ||
+         tok.find('e') != std::string_view::npos ||
+         tok.find('E') != std::string_view::npos ||
+         tok.back() == 'f' || tok.back() == 'F';
+}
+
+/// True when the token starting at `begin` (skipping spaces and sign) is a
+/// floating-point literal.
+bool float_literal_after(std::string_view text, size_t begin) {
+  while (begin < text.size() && text[begin] == ' ') ++begin;
+  if (begin < text.size() && (text[begin] == '-' || text[begin] == '+')) {
+    ++begin;
+  }
+  size_t end = begin;
+  while (end < text.size() &&
+         (is_ident(text[end]) || text[end] == '.' ||
+          ((text[end] == '+' || text[end] == '-') && end >= 1 &&
+           (text[end - 1] == 'e' || text[end - 1] == 'E')))) {
+    ++end;
+  }
+  const std::string_view tok = text.substr(begin, end - begin);
+  if (tok.empty() ||
+      std::isdigit(static_cast<unsigned char>(tok.front())) == 0) {
+    return false;
+  }
+  if (tok.size() > 1 && (tok[1] == 'x' || tok[1] == 'X')) return false;
+  return tok.find('.') != std::string_view::npos ||
+         tok.find('e') != std::string_view::npos ||
+         tok.find('E') != std::string_view::npos ||
+         tok.back() == 'f' || tok.back() == 'F';
+}
+
+void rule_l004(std::string_view file, std::string_view clean,
+               const LineIndex& lines, const Options& opts,
+               std::vector<Diagnostic>& out) {
+  if (!path_matches(file, opts.l004_scope)) return;
+  for (size_t pos = 0; pos + 1 < clean.size(); ++pos) {
+    const bool eq = clean[pos] == '=' && clean[pos + 1] == '=';
+    const bool ne = clean[pos] == '!' && clean[pos + 1] == '=';
+    if (!eq && !ne) continue;
+    // Skip <=, >=, ===-like runs and compound operators.
+    if (pos > 0 && (clean[pos - 1] == '=' || clean[pos - 1] == '<' ||
+                    clean[pos - 1] == '>' || clean[pos - 1] == '!')) {
+      continue;
+    }
+    if (pos + 2 < clean.size() && clean[pos + 2] == '=') continue;
+    if (float_literal_before(clean, pos) ||
+        float_literal_after(clean, pos + 2)) {
+      out.push_back(
+          {std::string(file), lines.line_of(pos), "L004", Severity::kError,
+           util::strf("floating-point %s comparison in sign-off code; use a "
+                      "tolerance band (or an explicit >/< bound)",
+                      eq ? "==" : "!=")});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule L005: shared-state hazards in exec-reachable code.
+
+void rule_l005(std::string_view file, std::string_view clean,
+               const LineIndex& lines, const ScopeScan& scopes,
+               const Options& opts, std::vector<Diagnostic>& out) {
+  if (!path_matches(file, opts.l005_scope)) return;
+
+  // (a) Mutable namespace-scope globals.
+  for (const auto& decl : scopes.namespace_statements) {
+    const std::string& s = decl.text;
+    if (s.empty() || s[0] == '#') continue;
+    static const char* kExempt[] = {
+        "const",    "constexpr", "constinit", "using",
+        "typedef",  "extern",    "template",  "static_assert",
+        "namespace", "class",    "struct",    "union",
+        "enum",      "friend",   "thread_local", "atomic",
+        "mutex",     "once_flag", "condition_variable", "operator",
+        "return",    "include",
+    };
+    bool exempt = false;
+    for (const char* word : kExempt) {
+      if (contains_word(s, word) || s.find(word) == 0) exempt = true;
+    }
+    if (exempt) continue;
+    // A parameter list means a function declaration, not a variable. An
+    // initializer after '=' may contain calls, so only look before '='.
+    const size_t assign = s.find('=');
+    const std::string_view head =
+        assign == std::string::npos ? std::string_view(s)
+                                    : std::string_view(s).substr(0, assign);
+    if (head.find('(') != std::string_view::npos) continue;
+    // Need at least a type token and a name token.
+    std::istringstream iss{std::string(head)};
+    std::string tok;
+    int idents = 0;
+    while (iss >> tok) ++idents;
+    if (idents < 2) continue;
+    out.push_back(
+        {std::string(file), lines.line_of(decl.pos), "L005", Severity::kError,
+         util::strf("mutable namespace-scope state `%s` in exec-reachable "
+                    "code; make it const/constexpr, thread_local, atomic, or "
+                    "guard it behind a mutex-owning accessor",
+                    last_identifier(head).c_str())});
+  }
+
+  // (b) Members written in both locked and unlocked functions. Convention:
+  // members end in '_'; constructors/destructors/operators are exempt
+  // (initialization happens before sharing).
+  struct Write {
+    std::string name;
+    size_t pos;
+    bool locked;
+  };
+  std::vector<Write> writes;
+  std::set<std::string> locked_names;
+  std::set<std::string> unlocked_names;
+  for (const auto& fn : scopes.functions) {
+    if (fn.is_special || fn.end <= fn.begin) continue;
+    const std::string_view body = clean.substr(fn.begin, fn.end - fn.begin);
+    const bool locked = body.find("lock_guard") != std::string_view::npos ||
+                        body.find("scoped_lock") != std::string_view::npos ||
+                        body.find("unique_lock") != std::string_view::npos ||
+                        body.find("shared_lock") != std::string_view::npos ||
+                        body.find(".lock()") != std::string_view::npos;
+    for (size_t i = 0; i + 1 < body.size(); ++i) {
+      if (body[i] != '_' || !(i + 1 == body.size() || !is_ident(body[i + 1]))) {
+        continue;
+      }
+      // Identifier ending in '_' at position i; extract it.
+      size_t begin = i;
+      while (begin > 0 && is_ident(body[begin - 1])) --begin;
+      if (begin == i) continue;  // bare underscore
+      if (begin > 0 && (body[begin - 1] == '.' || body[begin - 1] == ':')) {
+        continue;  // other.member_ / Class::member_ — qualified, skip
+      }
+      const std::string name(body.substr(begin, i - begin + 1));
+      // A write is `name_ =`, `name_ +=` ... or a mutating member call.
+      size_t after = i + 1;
+      while (after < body.size() && body[after] == ' ') ++after;
+      bool write = false;
+      if (after < body.size()) {
+        if (body[after] == '=' &&
+            (after + 1 >= body.size() || body[after + 1] != '=')) {
+          write = true;
+        } else if (after + 1 < body.size() && body[after + 1] == '=' &&
+                   (body[after] == '+' || body[after] == '-' ||
+                    body[after] == '*' || body[after] == '/' ||
+                    body[after] == '|' || body[after] == '&' ||
+                    body[after] == '^')) {
+          write = true;
+        } else if (body.compare(after, 11, ".push_back(") == 0 ||
+                   body.compare(after, 7, ".clear(") == 0 ||
+                   body.compare(after, 8, ".insert(") == 0 ||
+                   body.compare(after, 7, ".erase(") == 0 ||
+                   body.compare(after, 8, ".emplace") == 0 ||
+                   body.compare(after, 8, ".resize(") == 0) {
+          write = true;
+        }
+      }
+      if (begin >= 2 && body.compare(begin - 2, 2, "++") == 0) write = true;
+      if (!write) continue;
+      writes.push_back({name, fn.begin + begin, locked});
+      (locked ? locked_names : unlocked_names).insert(name);
+    }
+  }
+  for (const auto& w : writes) {
+    if (!w.locked && locked_names.count(w.name) != 0) {
+      out.push_back(
+          {std::string(file), lines.line_of(w.pos), "L005", Severity::kError,
+           util::strf("`%s` is written under a lock elsewhere in this file "
+                      "but without one here; either take the lock or move "
+                      "the write out of exec-reachable code",
+                      w.name.c_str())});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule L006: header self-sufficiency.
+
+struct SymbolRule {
+  const char* symbol;
+  const char* header;
+  bool needs_std;  // must appear as std::symbol
+};
+
+const SymbolRule kSymbolRules[] = {
+    {"string", "string", true},
+    {"string_view", "string_view", true},
+    {"vector", "vector", true},
+    {"array", "array", true},
+    {"deque", "deque", true},
+    {"map", "map", true},
+    {"set", "set", true},
+    {"unordered_map", "unordered_map", true},
+    {"unordered_set", "unordered_set", true},
+    {"optional", "optional", true},
+    {"variant", "variant", true},
+    {"function", "functional", true},
+    {"unique_ptr", "memory", true},
+    {"shared_ptr", "memory", true},
+    {"make_unique", "memory", true},
+    {"make_shared", "memory", true},
+    {"mutex", "mutex", true},
+    {"lock_guard", "mutex", true},
+    {"scoped_lock", "mutex", true},
+    {"unique_lock", "mutex", true},
+    {"atomic", "atomic", true},
+    {"thread", "thread", true},
+    {"condition_variable", "condition_variable", true},
+    {"pair", "utility", true},
+    {"move", "utility", true},
+    {"swap", "utility", true},
+    {"exchange", "utility", true},
+    {"sort", "algorithm", true},
+    {"stable_sort", "algorithm", true},
+    {"min", "algorithm", true},
+    {"max", "algorithm", true},
+    {"clamp", "algorithm", true},
+    {"find_if", "algorithm", true},
+    {"lower_bound", "algorithm", true},
+    {"upper_bound", "algorithm", true},
+    {"accumulate", "numeric", true},
+    {"iota", "numeric", true},
+    {"numeric_limits", "limits", true},
+    {"ostringstream", "sstream", true},
+    {"istringstream", "sstream", true},
+    {"stringstream", "sstream", true},
+    {"ofstream", "fstream", true},
+    {"ifstream", "fstream", true},
+    {"tuple", "tuple", true},
+    {"queue", "queue", true},
+    {"priority_queue", "queue", true},
+    {"uint8_t", "cstdint", false},
+    {"uint16_t", "cstdint", false},
+    {"uint32_t", "cstdint", false},
+    {"uint64_t", "cstdint", false},
+    {"int8_t", "cstdint", false},
+    {"int16_t", "cstdint", false},
+    {"int32_t", "cstdint", false},
+    {"int64_t", "cstdint", false},
+};
+
+void rule_l006(std::string_view file, std::string_view raw,
+               std::string_view clean, const LineIndex& lines,
+               std::vector<Diagnostic>& out) {
+  if (file.size() < 4 || file.substr(file.size() - 4) != ".hpp") return;
+
+  // Line-anchored so prose that merely mentions the directive doesn't count.
+  bool has_pragma_once = false;
+  for (size_t pos = raw.find("#pragma"); pos != std::string_view::npos;
+       pos = raw.find("#pragma", pos + 7)) {
+    const size_t bol = raw.rfind('\n', pos) + 1;  // npos+1 == 0 at line 1
+    if (raw.find_first_not_of(" \t", bol) != pos) continue;
+    const size_t eol = std::min(raw.find('\n', pos), raw.size());
+    if (raw.substr(pos, eol - pos).find("once") != std::string_view::npos) {
+      has_pragma_once = true;
+      break;
+    }
+  }
+  if (!has_pragma_once) {
+    out.push_back({std::string(file), 1, "L006", Severity::kError,
+                   "header is missing #pragma once"});
+  }
+
+  // Direct includes, from the raw text (the scrubber blanks "quoted" paths).
+  std::set<std::string> includes;
+  size_t line_start = 0;
+  while (line_start < raw.size()) {
+    size_t line_end = raw.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = raw.size();
+    std::string_view line = raw.substr(line_start, line_end - line_start);
+    const size_t hash = line.find("#include");
+    if (hash != std::string_view::npos) {
+      const size_t open = line.find_first_of("<\"", hash);
+      if (open != std::string_view::npos) {
+        const char close = line[open] == '<' ? '>' : '"';
+        const size_t end = line.find(close, open + 1);
+        if (end != std::string_view::npos) {
+          includes.insert(std::string(line.substr(open + 1, end - open - 1)));
+        }
+      }
+    }
+    line_start = line_end + 1;
+  }
+
+  std::map<std::string, std::pair<std::string, int>> missing;  // header -> use
+  for (const auto& rule : kSymbolRules) {
+    if (includes.count(rule.header) != 0) continue;
+    for (size_t pos = find_word(clean, rule.symbol);
+         pos != std::string_view::npos;
+         pos = find_word(clean, rule.symbol, pos + 1)) {
+      if (rule.needs_std) {
+        if (pos < 5 || clean.compare(pos - 5, 5, "std::") != 0) continue;
+      }
+      const auto it = missing.find(rule.header);
+      const int line = lines.line_of(pos);
+      if (it == missing.end() || line < it->second.second) {
+        missing[rule.header] = {rule.symbol, line};
+      }
+      break;
+    }
+  }
+  for (const auto& [header, use] : missing) {
+    const bool bare = use.first.size() > 2 &&
+                      use.first.compare(use.first.size() - 2, 2, "_t") == 0;
+    out.push_back({std::string(file), use.second, "L006", Severity::kError,
+                   util::strf("header uses %s%s but does not include <%s> "
+                              "directly",
+                              bare ? "" : "std::", use.first.c_str(),
+                              header.c_str())});
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+std::string normalize(std::string_view path) {
+  std::string out(path);
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+const std::vector<RuleInfo>& rule_table() {
+  static const std::vector<RuleInfo> kRules = {
+      {"L001", "forbidden-randomness",
+       "all stochastic steps must draw from an explicitly seeded util::Rng "
+       "so every run replays from a logged seed"},
+      {"L002", "unordered-iteration",
+       "bucket order of std::unordered_* is implementation-defined; folding "
+       "over it in canonical-output files silently varies across stdlibs"},
+      {"L003", "wall-clock",
+       "timestamps in result paths break byte-identical canonical reports; "
+       "only util/trace (span timing) and util/log (stamps) may read clocks"},
+      {"L004", "float-equality",
+       "sign-off comparisons must use tolerance bands; exact FP equality "
+       "flips with -O flags, FMA contraction and parallel reduction order"},
+      {"L005", "shared-state",
+       "the work-stealing pool makes mutable globals and half-locked "
+       "members data-race candidates that corrupt 2D-vs-T-MI comparisons"},
+      {"L006", "header-hygiene",
+       "headers must be self-sufficient: #pragma once plus direct includes "
+       "for every std symbol used, so include order can never change "
+       "behavior"},
+  };
+  return kRules;
+}
+
+std::vector<Diagnostic> lint_source(std::string_view path,
+                                    std::string_view text,
+                                    const Options& opts) {
+  const std::string file = normalize(path);
+  Scrubbed scrubbed = scrub(text, file);
+  const LineIndex lines(scrubbed.clean);
+
+  std::vector<Diagnostic> diags;
+  if (rule_enabled(opts, "L001")) {
+    rule_l001(file, scrubbed.clean, lines, opts, diags);
+  }
+  if (rule_enabled(opts, "L002")) {
+    rule_l002(file, scrubbed.clean, lines, opts, diags);
+  }
+  if (rule_enabled(opts, "L003")) {
+    rule_l003(file, scrubbed.clean, lines, opts, diags);
+  }
+  if (rule_enabled(opts, "L004")) {
+    rule_l004(file, scrubbed.clean, lines, opts, diags);
+  }
+  if (rule_enabled(opts, "L005")) {
+    const ScopeScan scopes = scan_scopes(scrubbed.clean);
+    rule_l005(file, scrubbed.clean, lines, scopes, opts, diags);
+  }
+  if (rule_enabled(opts, "L006")) {
+    rule_l006(file, text, scrubbed.clean, lines, diags);
+  }
+
+  // Apply suppressions: a directive covers its own line and the next one;
+  // allow-file covers the whole file.
+  std::vector<Diagnostic> kept;
+  for (auto& d : diags) {
+    bool suppressed = false;
+    for (const auto& sup : scrubbed.suppressions) {
+      if (!sup.has_reason) continue;
+      const bool names_rule =
+          std::find(sup.rules.begin(), sup.rules.end(), d.rule) !=
+          sup.rules.end();
+      if (!names_rule) continue;
+      if (sup.file_wide || sup.line == d.line || sup.line == d.line - 1) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(d));
+  }
+  for (auto& d : scrubbed.directive_errors) kept.push_back(std::move(d));
+  std::sort(kept.begin(), kept.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return kept;
+}
+
+std::vector<Diagnostic> lint_file(const std::string& path,
+                                  const Options& opts) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {{normalize(path), 0, "L000", Severity::kError,
+             "cannot read file"}};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_source(path, buf.str(), opts);
+}
+
+std::vector<Diagnostic> lint_tree(const std::vector<std::string>& roots,
+                                  const Options& opts, size_t* files_seen) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const auto& root : roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+      continue;
+    }
+    for (auto it = fs::recursive_directory_iterator(root, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+      const fs::path& p = it->path();
+      if (it->is_directory()) {
+        const std::string dir = p.filename().string();
+        if (std::find(opts.skip_dirs.begin(), opts.skip_dirs.end(), dir) !=
+            opts.skip_dirs.end()) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      const std::string ext = p.extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+        files.push_back(p.string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files_seen != nullptr) *files_seen = files.size();
+
+  std::vector<Diagnostic> diags;
+  for (const auto& file : files) {
+    auto file_diags = lint_file(file, opts);
+    diags.insert(diags.end(), std::make_move_iterator(file_diags.begin()),
+                 std::make_move_iterator(file_diags.end()));
+  }
+  return diags;
+}
+
+std::string format(const Diagnostic& d) {
+  return util::strf("%s:%d: %s: [%s] %s", d.file.c_str(), d.line,
+                    to_string(d.severity), d.rule.c_str(), d.message.c_str());
+}
+
+}  // namespace m3d::lint

@@ -1,0 +1,133 @@
+// m3d_lint: a token-level static analyzer that enforces the project's flow
+// determinism and concurrency invariants at build time. The paper's power
+// numbers (up to 32%/37% at iso-performance) rest on bit-reproducible
+// 2D-vs-T-MI comparisons; PR 2/3 enforce reproducibility at runtime with
+// differential fuzz oracles, and this analyzer catches the same bug classes
+// statically, before a single flow run:
+//
+//   L001 forbidden-randomness    rand()/std::random_device/std::mt19937
+//                                outside util/rng.hpp — all stochastic steps
+//                                must draw from an explicitly seeded
+//                                util::Rng so runs replay from a logged seed.
+//   L002 unordered-iteration     range-for over std::unordered_map/set in
+//                                files feeding canonical reports, golden
+//                                hashes or netlist_hash — bucket order is
+//                                implementation-defined, so any fold over it
+//                                silently varies across libstdc++ versions.
+//   L003 wall-clock              std::chrono::system_clock and C time
+//                                functions outside util/trace + util/log —
+//                                timestamps in result paths break
+//                                byte-identical canonical reports.
+//   L004 float-equality          ==/!= against floating-point literals in
+//                                src/check, src/sta, src/power — sign-off
+//                                comparisons must use tolerance bands.
+//   L005 shared-state            mutable namespace-scope globals in
+//                                exec-reachable code, and members written in
+//                                both locked and unlocked contexts — the
+//                                work-stealing pool makes any such state a
+//                                data race candidate.
+//   L006 header-hygiene          headers missing #pragma once or using std
+//                                symbols without directly including the
+//                                defining header — include-order luck is how
+//                                ODR/alias surprises sneak into the build.
+//
+// The analyzer is deliberately AST-lite: it scrubs comments and string
+// literals, tracks namespace/class/function scope by brace classification,
+// and pattern-matches tokens. It trades exhaustiveness for zero build-time
+// dependencies and <100ms over the whole tree; the escape hatch for a
+// heuristic false positive is an inline suppression that names the rule and
+// a reason:
+//
+//   foo();  // m3d-lint: allow(L003) logging only, never enters a report
+//
+// A suppression covers its own line and the following line, must carry a
+// non-empty reason, and `allow-file(L00x)` at the top of a file covers the
+// whole file. Suppressions without a reason are themselves diagnosed (L000).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace m3d::lint {
+
+enum class Severity { kWarning, kError };
+
+const char* to_string(Severity severity);
+
+/// One rule violation, pinned to file:line. `rule` is the stable ID
+/// ("L001".."L006", "L000" for malformed suppressions).
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+/// Static metadata for one rule (for --list-rules and the README table).
+struct RuleInfo {
+  const char* id;
+  const char* title;
+  const char* rationale;
+};
+
+const std::vector<RuleInfo>& rule_table();
+
+/// Scoping knobs. Path lists are matched as substrings of the
+/// '/'-normalized path, so "src/util/rng.hpp" matches both relative and
+/// absolute spellings of that file.
+struct Options {
+  /// Empty = all rules; otherwise only the listed IDs run.
+  std::vector<std::string> only_rules;
+
+  /// L001: the one place allowed to own raw randomness primitives.
+  std::vector<std::string> l001_allowed = {"src/util/rng.hpp"};
+
+  /// L002: files whose outputs feed canonical reports, golden files or
+  /// netlist_hash — iteration order there is result-affecting.
+  std::vector<std::string> l002_scope = {
+      "src/check/", "src/flow/", "src/sta/", "src/power/",
+      "src/liberty/liberty_writer", "src/circuit/verilog",
+  };
+
+  /// L003: the only homes for clock reads (span timing and log stamps).
+  std::vector<std::string> l003_allowed = {"src/util/trace", "src/util/log"};
+
+  /// L004: sign-off arithmetic that must compare with tolerance bands.
+  std::vector<std::string> l004_scope = {"src/check/", "src/sta/",
+                                         "src/power/"};
+
+  /// L005: code reachable from exec::ThreadPool workers.
+  std::vector<std::string> l005_scope = {
+      "src/exec/", "src/flow/", "src/sta/",  "src/route/",
+      "src/place/", "src/util/", "src/check/",
+  };
+
+  /// Directory-name fragments lint_tree skips entirely.
+  std::vector<std::string> skip_dirs = {"build", ".git", ".libcache",
+                                        "lint_fixtures", "out_figs"};
+};
+
+/// Lints one in-memory translation unit. `path` is used only for rule
+/// scoping and for the `file` field of diagnostics — fixture tests feed
+/// synthetic paths to steer scoping.
+std::vector<Diagnostic> lint_source(std::string_view path,
+                                    std::string_view text,
+                                    const Options& opts = {});
+
+/// Reads and lints one file; a read failure is reported as a diagnostic.
+std::vector<Diagnostic> lint_file(const std::string& path,
+                                  const Options& opts = {});
+
+/// Recursively lints every .hpp/.cpp under each root (deterministic
+/// lexicographic order), honoring Options::skip_dirs. `files_seen`, when
+/// non-null, receives the number of files visited.
+std::vector<Diagnostic> lint_tree(const std::vector<std::string>& roots,
+                                  const Options& opts = {},
+                                  size_t* files_seen = nullptr);
+
+/// "file:line: error: [L001] message" — the grep/IDE-clickable form.
+std::string format(const Diagnostic& d);
+
+}  // namespace m3d::lint

@@ -1,0 +1,104 @@
+// m3d_lint CLI: lints the given files/directories against the project's
+// determinism/concurrency rules (see lint/lint.hpp for the rule set).
+//
+//   m3d_lint [--rules=L001,L004] [--json] [--list-rules] paths...
+//
+// Exit codes: 0 clean, 1 unsuppressed diagnostics, 2 usage error. This is
+// what the `lint.tree` tier-1 ctest runs over src/ and tests/.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: m3d_lint [--rules=L001,L002,...] [--json] "
+               "[--list-rules] <path>...\n");
+}
+
+void list_rules() {
+  for (const auto& rule : m3d::lint::rule_table()) {
+    std::printf("%s  %-22s %s\n", rule.id, rule.title, rule.rationale);
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  m3d::lint::Options opts;
+  std::vector<std::string> roots;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      list_rules();
+      return 0;
+    }
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      std::string rule;
+      for (char c : arg.substr(8)) {
+        if (c == ',') {
+          if (!rule.empty()) opts.only_rules.push_back(rule);
+          rule.clear();
+        } else {
+          rule += c;
+        }
+      }
+      if (!rule.empty()) opts.only_rules.push_back(rule);
+    } else if (arg.rfind("--", 0) == 0) {
+      print_usage();
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  size_t files_seen = 0;
+  const auto diags = m3d::lint::lint_tree(roots, opts, &files_seen);
+
+  if (json) {
+    std::printf("[");
+    for (size_t i = 0; i < diags.size(); ++i) {
+      const auto& d = diags[i];
+      std::printf(
+          "%s\n  {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", "
+          "\"severity\": \"%s\", \"message\": \"%s\"}",
+          i == 0 ? "" : ",", json_escape(d.file).c_str(), d.line,
+          d.rule.c_str(), m3d::lint::to_string(d.severity),
+          json_escape(d.message).c_str());
+    }
+    std::printf("%s]\n", diags.empty() ? "" : "\n");
+  } else {
+    for (const auto& d : diags) {
+      std::printf("%s\n", m3d::lint::format(d).c_str());
+    }
+    std::printf("m3d_lint: %zu file(s), %zu diagnostic(s)\n", files_seen,
+                diags.size());
+  }
+  return diags.empty() ? 0 : 1;
+}

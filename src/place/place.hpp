@@ -5,6 +5,8 @@
 // is the paper's point: 2D EDA algorithms carry over to T-MI unchanged.
 #pragma once
 
+#include <cstdint>
+
 #include "circuit/netlist.hpp"
 #include "geom/rect.hpp"
 #include "liberty/library.hpp"

@@ -7,6 +7,8 @@
 // net switching splits into wire and pin parts (paper supplement S8).
 #pragma once
 
+#include <vector>
+
 #include "circuit/netlist.hpp"
 #include "extract/parasitics.hpp"
 #include "sta/sta.hpp"

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <vector>
 
 #include "circuit/netlist.hpp"
 #include "place/place.hpp"

@@ -5,6 +5,8 @@
 // (supplement S7).
 #pragma once
 
+#include <vector>
+
 #include "circuit/netlist.hpp"
 #include "extract/parasitics.hpp"
 #include "tech/tech.hpp"

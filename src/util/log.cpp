@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <chrono>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -11,7 +12,7 @@ namespace {
 
 std::mutex g_mu;
 
-bool env_level_set = false;
+std::atomic<bool> env_level_set{false};
 
 LogLevel initial_level() {
   const char* env = std::getenv("M3D_LOG_LEVEL");

@@ -17,6 +17,7 @@
 #include <cmath>
 #include <cstdint>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace m3d::util {

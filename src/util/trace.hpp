@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <string>
+#include <utility>
 
 #include "util/log.hpp"
 

@@ -1,0 +1,14 @@
+// L001 negatives: the blessed path plus lookalike identifiers that a naive
+// substring match would wrongly flag.
+#include <string>
+
+#include "util/rng.hpp"
+
+int no_violations(unsigned seed) {
+  m3d::util::Rng rng(seed);         // explicit-seed Rng is the blessed path
+  int operand = 3;                  // "rand" inside an identifier
+  int brand(int);                   // identifier ending in "rand"
+  const std::string msg = "call rand() and std::mt19937";  // string literal
+  return operand + static_cast<int>(rng.next_u64() % 7) +
+         static_cast<int>(msg.size());
+}

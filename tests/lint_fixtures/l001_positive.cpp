@@ -1,0 +1,13 @@
+// L001 positives: every raw randomness primitive the project bans.
+// This file is fixture DATA for test_lint.cpp — it is never compiled, and
+// lint_tree skips the lint_fixtures/ directory.
+#include <cstdlib>
+#include <random>
+
+int three_violations() {
+  std::random_device rd;            // L001: nondeterministic seed source
+  std::mt19937 gen;                 // L001: default-constructed engine
+  int x = rand() % 6;               // L001: C rand()
+  srand(42);                        // L001: seeding the C generator
+  return x + static_cast<int>(gen()) + static_cast<int>(rd());
+}

@@ -1,0 +1,24 @@
+// L002 negatives: ordered traversal and order-free uses of unordered
+// containers, linted under the same synthetic src/check/ path.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+double fold_sorted(const std::unordered_map<std::string, double>& weights) {
+  // Lookup without iteration is order-free and fine.
+  const auto it = weights.find("clk");
+  double total = it == weights.end() ? 0.0 : it->second;
+
+  // Copy into a sorted container before folding — the blessed pattern.
+  std::map<std::string, double> ordered(weights.begin(), weights.end());
+  for (const auto& [name, w] : ordered) {
+    total += w * static_cast<double>(name.size());
+  }
+
+  std::vector<int> ids = {3, 1, 2};
+  std::sort(ids.begin(), ids.end());
+  for (int id : ids) total += id;  // ordinary vector iteration
+  return total;
+}

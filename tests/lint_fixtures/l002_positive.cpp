@@ -1,0 +1,18 @@
+// L002 positives: iteration-order-dependent folds over unordered
+// containers. test_lint.cpp lints this under a synthetic src/check/ path so
+// the canonical-output scope applies.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double fold(const std::unordered_map<std::string, double>& weights) {
+  std::unordered_set<int> seen_;
+  double total = 0.0;
+  for (const auto& [name, w] : weights) {  // L002: range-for over unordered
+    total += w * static_cast<double>(name.size());
+  }
+  for (auto it = seen_.begin(); it != seen_.end(); ++it) {  // L002: iterator
+    total += static_cast<double>(*it);
+  }
+  return total;
+}

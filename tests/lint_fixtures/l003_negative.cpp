@@ -1,0 +1,13 @@
+// L003 negatives: the monotonic clock (allowed for span timing) and
+// identifiers that merely contain "time".
+#include <chrono>
+
+double durations(double runtime) {
+  const auto t0 = std::chrono::steady_clock::now();  // monotonic: allowed
+  struct Sim {
+    double time(int step) { return step * 0.5; }     // member named time
+  } sim;
+  const double uptime = runtime + sim.time(3);       // "time" in identifiers
+  const auto t1 = std::chrono::steady_clock::now();
+  return uptime + std::chrono::duration<double>(t1 - t0).count();
+}

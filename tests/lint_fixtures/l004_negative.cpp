@@ -1,0 +1,12 @@
+// L004 negatives: tolerance bands, ordering comparisons and integer
+// equality are all fine.
+#include <cmath>
+
+bool banded(double slack_ps, int cells) {
+  bool ok = std::abs(slack_ps - 1.0) < 1e-9;  // tolerance band
+  ok &= slack_ps >= 0.0;                      // ordering against literal
+  ok &= slack_ps <= 10.5;
+  ok &= cells == 0;                           // integer equality
+  ok &= cells != 12;
+  return ok;
+}

@@ -1,0 +1,8 @@
+// L004 positives: exact floating-point equality in sign-off code (linted
+// under a synthetic src/sta/ path).
+bool exact(double slack_ps, float util) {
+  bool met = slack_ps == 0.0;        // L004: == against FP literal
+  met |= util != 1.5f;               // L004: != against f-suffixed literal
+  met |= 1e-9 == slack_ps;           // L004: literal on the left
+  return met;
+}

@@ -1,0 +1,33 @@
+// L005 negatives: every blessed form of namespace-scope state, plus
+// member writes that are consistently locked (constructors exempt).
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace demo {
+
+constexpr int kMaxIter = 64;                    // constexpr: immutable
+const double kEps = 1e-9;                       // const: immutable
+std::atomic<int> g_progress{0};                 // atomic: race-free
+thread_local int t_depth = 0;                   // thread-local: unshared
+std::mutex g_mu;                                // sync primitive
+
+class Registry {
+ public:
+  Registry() { names_.push_back("root"); }      // ctor init: pre-sharing
+  void add(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    names_.push_back(name);                     // locked write
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    names_.clear();                             // locked write
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace demo

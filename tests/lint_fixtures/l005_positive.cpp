@@ -1,0 +1,28 @@
+// L005 positives: a mutable namespace-scope global, and a member written
+// both under a lock and without one (linted under a synthetic src/exec/
+// path so the exec-reachable scope applies).
+#include <mutex>
+#include <vector>
+
+namespace demo {
+
+int g_call_count = 0;                    // L005: mutable global
+std::vector<int> g_scratch = {1, 2, 3};  // L005: brace-initialized global
+
+class Queue {
+ public:
+  void push(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    items_.push_back(v);                 // locked write
+    ++g_call_count;
+  }
+  void drop_unlocked() {
+    items_.clear();                      // L005: unlocked write to items_
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<int> items_;
+};
+
+}  // namespace demo

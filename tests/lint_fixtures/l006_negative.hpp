@@ -1,0 +1,22 @@
+// L006 negative: a self-sufficient header — #pragma once plus a direct
+// include for every std symbol used.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace demo {
+
+struct Record {
+  std::string name;
+  std::vector<double> samples;
+  uint64_t seed = 0;
+};
+
+inline void order(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());
+}
+
+}  // namespace demo

@@ -1,0 +1,16 @@
+// L006 positives: no #pragma once, and std symbols used without their
+// defining headers (std::string, std::vector, uint64_t, std::sort).
+
+namespace demo {
+
+struct Record {
+  std::string name;               // L006: <string> not included
+  std::vector<double> samples;    // L006: <vector> not included
+  uint64_t seed = 0;              // L006: <cstdint> not included
+};
+
+inline void order(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());  // L006: <algorithm> not included
+}
+
+}  // namespace demo

@@ -1,0 +1,19 @@
+// Suppression syntax fixture: reasoned suppressions silence a diagnostic
+// on their own line or the next; a reason-less suppression is itself an
+// L000 error and silences nothing.
+#include <chrono>
+#include <cstdlib>
+
+long suppressed_and_not() {
+  // m3d-lint: allow(L003) build stamp for the banner, never in a report
+  const auto wall = std::chrono::system_clock::now();
+
+  const int a = rand();  // m3d-lint: allow(L001) fixture of same-line form
+
+  // m3d-lint: allow(L001)
+  const int b = rand();  // NOT suppressed: the directive above has no reason
+
+  const auto late = std::chrono::system_clock::now();  // NOT suppressed
+  return a + b + wall.time_since_epoch().count() +
+         late.time_since_epoch().count();
+}

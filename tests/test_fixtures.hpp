@@ -3,7 +3,10 @@
 // power/opt/flow are quick and deterministic.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "circuit/netlist.hpp"

@@ -1,0 +1,225 @@
+// Tests for the m3d_lint static analyzer (lint/lint.hpp): each rule's
+// positive and negative fixtures, scoping, the suppression syntax, and the
+// tree walker. Fixture files live in tests/lint_fixtures/ and are linted
+// as DATA under synthetic paths, so scoped rules (L002/L004/L005) can be
+// steered into or out of scope per test.
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.hpp"
+
+namespace m3d {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(M3D_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::set<std::string> rules_of(const std::vector<lint::Diagnostic>& diags) {
+  std::set<std::string> out;
+  for (const auto& d : diags) out.insert(d.rule);
+  return out;
+}
+
+int count_rule(const std::vector<lint::Diagnostic>& diags,
+               const std::string& rule) {
+  int n = 0;
+  for (const auto& d : diags) n += d.rule == rule ? 1 : 0;
+  return n;
+}
+
+TEST(Lint, RuleTableListsAllSixRules) {
+  const auto& rules = lint::rule_table();
+  ASSERT_EQ(rules.size(), 6u);
+  EXPECT_STREQ(rules.front().id, "L001");
+  EXPECT_STREQ(rules.back().id, "L006");
+}
+
+TEST(Lint, L001FlagsRawRandomness) {
+  const auto diags =
+      lint::lint_source("src/gen/fixture.cpp", read_fixture("l001_positive.cpp"));
+  EXPECT_EQ(count_rule(diags, "L001"), 4) << "rd, mt19937, rand, srand";
+}
+
+TEST(Lint, L001IgnoresBlessedRngAndLookalikes) {
+  const auto diags =
+      lint::lint_source("src/gen/fixture.cpp", read_fixture("l001_negative.cpp"));
+  EXPECT_EQ(rules_of(diags).count("L001"), 0u);
+}
+
+TEST(Lint, L001AllowedInsideRngHeader) {
+  const auto diags =
+      lint::lint_source("src/util/rng.hpp", read_fixture("l001_positive.cpp"));
+  EXPECT_EQ(rules_of(diags).count("L001"), 0u);
+}
+
+TEST(Lint, L002FlagsUnorderedIterationInCanonicalFiles) {
+  const auto diags = lint::lint_source("src/check/fixture.cpp",
+                                       read_fixture("l002_positive.cpp"));
+  EXPECT_EQ(count_rule(diags, "L002"), 2) << "range-for and iterator form";
+}
+
+TEST(Lint, L002IgnoresOrderedTraversalAndLookups) {
+  const auto diags = lint::lint_source("src/check/fixture.cpp",
+                                       read_fixture("l002_negative.cpp"));
+  EXPECT_EQ(rules_of(diags).count("L002"), 0u);
+}
+
+TEST(Lint, L002OnlyAppliesToCanonicalOutputScope) {
+  const auto diags = lint::lint_source("src/place/fixture.cpp",
+                                       read_fixture("l002_positive.cpp"));
+  EXPECT_EQ(rules_of(diags).count("L002"), 0u);
+}
+
+TEST(Lint, L003FlagsWallClockReads) {
+  const auto diags =
+      lint::lint_source("src/gen/fixture.cpp", read_fixture("l003_positive.cpp"));
+  EXPECT_EQ(count_rule(diags, "L003"), 4)
+      << "system_clock, high_resolution_clock, std::time, localtime";
+}
+
+TEST(Lint, L003IgnoresMonotonicClockAndLookalikes) {
+  const auto diags =
+      lint::lint_source("src/gen/fixture.cpp", read_fixture("l003_negative.cpp"));
+  EXPECT_EQ(rules_of(diags).count("L003"), 0u);
+}
+
+TEST(Lint, L003AllowedInTraceAndLog) {
+  const auto diags = lint::lint_source("src/util/trace.cpp",
+                                       read_fixture("l003_positive.cpp"));
+  EXPECT_EQ(rules_of(diags).count("L003"), 0u);
+}
+
+TEST(Lint, L004FlagsFloatEqualityInSignoffCode) {
+  const auto diags =
+      lint::lint_source("src/sta/fixture.cpp", read_fixture("l004_positive.cpp"));
+  EXPECT_EQ(count_rule(diags, "L004"), 3);
+}
+
+TEST(Lint, L004IgnoresToleranceBandsAndIntegers) {
+  const auto diags =
+      lint::lint_source("src/sta/fixture.cpp", read_fixture("l004_negative.cpp"));
+  EXPECT_EQ(rules_of(diags).count("L004"), 0u);
+}
+
+TEST(Lint, L004OnlyAppliesToSignoffScope) {
+  const auto diags =
+      lint::lint_source("src/gen/fixture.cpp", read_fixture("l004_positive.cpp"));
+  EXPECT_EQ(rules_of(diags).count("L004"), 0u);
+}
+
+TEST(Lint, L005FlagsMutableGlobalsAndHalfLockedWrites) {
+  const auto diags = lint::lint_source("src/exec/fixture.cpp",
+                                       read_fixture("l005_positive.cpp"));
+  EXPECT_EQ(count_rule(diags, "L005"), 3)
+      << "two mutable globals plus one unlocked items_ write";
+}
+
+TEST(Lint, L005IgnoresBlessedStateAndConsistentLocking) {
+  const auto diags = lint::lint_source("src/exec/fixture.cpp",
+                                       read_fixture("l005_negative.cpp"));
+  EXPECT_EQ(rules_of(diags).count("L005"), 0u);
+}
+
+TEST(Lint, L006FlagsMissingPragmaOnceAndIncludes) {
+  const auto diags = lint::lint_source("src/geom/fixture.hpp",
+                                       read_fixture("l006_positive.hpp"));
+  // Missing #pragma once + <string>, <vector>, <cstdint>, <algorithm>.
+  EXPECT_EQ(count_rule(diags, "L006"), 5);
+}
+
+TEST(Lint, L006AcceptsSelfSufficientHeader) {
+  const auto diags = lint::lint_source("src/geom/fixture.hpp",
+                                       read_fixture("l006_negative.hpp"));
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Lint, L006OnlyAppliesToHeaders) {
+  const auto diags = lint::lint_source("src/geom/fixture.cpp",
+                                       read_fixture("l006_positive.hpp"));
+  EXPECT_EQ(rules_of(diags).count("L006"), 0u);
+}
+
+TEST(Lint, SuppressionSilencesSameAndNextLineButRequiresReason) {
+  const auto diags = lint::lint_source("src/gen/fixture.cpp",
+                                       read_fixture("suppression.cpp"));
+  // The two reasoned directives silence their targets; the reason-less one
+  // is an L000 and its rand() plus the trailing system_clock still fire.
+  EXPECT_EQ(count_rule(diags, "L000"), 1);
+  EXPECT_EQ(count_rule(diags, "L001"), 1);
+  EXPECT_EQ(count_rule(diags, "L003"), 1);
+  for (const auto& d : diags) {
+    if (d.rule == "L001") {
+      EXPECT_EQ(d.line, 14);
+    } else if (d.rule == "L003") {
+      EXPECT_EQ(d.line, 16);
+    }
+  }
+}
+
+TEST(Lint, FileWideSuppression) {
+  const std::string src =
+      "// m3d-lint: allow-file(L003) synthetic fixture exercising stamps\n"
+      "#include <chrono>\n"
+      "auto a = std::chrono::system_clock::now();\n"
+      "auto b = std::chrono::system_clock::now();\n";
+  const auto diags = lint::lint_source("src/gen/fixture.cpp", src);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Lint, ViolationsInsideStringsAndCommentsAreIgnored) {
+  const std::string src =
+      "// prose about rand() and std::chrono::system_clock\n"
+      "const char* kDoc = \"rand() seeds std::mt19937\";\n"
+      "/* block comment: srand(42) */\n";
+  const auto diags = lint::lint_source("src/gen/fixture.cpp", src);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Lint, OnlyRulesFilter) {
+  lint::Options opts;
+  opts.only_rules = {"L003"};
+  const auto diags = lint::lint_source(
+      "src/gen/fixture.cpp", read_fixture("l001_positive.cpp"), opts);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Lint, FormatIsGrepClickable) {
+  lint::Diagnostic d{"src/sta/sta.cpp", 42, "L004", lint::Severity::kError,
+                     "exact FP compare"};
+  EXPECT_EQ(lint::format(d),
+            "src/sta/sta.cpp:42: error: [L004] exact FP compare");
+}
+
+TEST(Lint, TreeWalkIsDeterministicAndFindsFixtureViolations) {
+  lint::Options opts;
+  // The fixtures dir is normally skipped; lint it directly as the root.
+  size_t files_a = 0;
+  size_t files_b = 0;
+  const auto a = lint::lint_tree({M3D_LINT_FIXTURE_DIR}, opts, &files_a);
+  const auto b = lint::lint_tree({M3D_LINT_FIXTURE_DIR}, opts, &files_b);
+  EXPECT_EQ(files_a, 13u);
+  EXPECT_EQ(files_a, files_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(lint::format(a[i]), lint::format(b[i]));
+  }
+  // Unscoped rules fire even under the fixtures' real paths.
+  const auto seen = rules_of(a);
+  EXPECT_EQ(seen.count("L001"), 1u);
+  EXPECT_EQ(seen.count("L003"), 1u);
+  EXPECT_EQ(seen.count("L006"), 1u);
+}
+
+}  // namespace
+}  // namespace m3d

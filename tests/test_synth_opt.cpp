@@ -58,7 +58,9 @@ TEST(Synth, BindsEveryInstance) {
   const auto rep = synth::synthesize(&nl, lib, synth::make_statistical_wlm(5e3, tch), so);
   EXPECT_GT(rep.cells, 0);
   for (int i = 0; i < nl.num_instances(); ++i) {
-    if (!nl.inst(i).dead) EXPECT_NE(nl.inst(i).libcell, nullptr);
+    if (!nl.inst(i).dead) {
+      EXPECT_NE(nl.inst(i).libcell, nullptr);
+    }
   }
 }
 
