@@ -7,9 +7,13 @@
 #include <benchmark/benchmark.h>
 #include <sys/stat.h>
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
+#include <vector>
 
 #include "cells/layout.hpp"
+#include "geom/rect.hpp"
 #include "exec/exec.hpp"
 #include "extract/extract.hpp"
 #include "gen/gen.hpp"
@@ -132,6 +136,184 @@ void BM_ParasiticExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParasiticExtraction)->Unit(benchmark::kMillisecond);
+
+// --- Incremental place/route cost kernels vs their pre-index baselines. ---
+//
+// The fixture runs M256 at the default paper-bench scale (scale_shift 1,
+// the size the flow actually uses) — the largest benchmark, and with ~770
+// ports the one where the old rescan-every-port HPWL loop hurt most. The
+// *Baseline benchmarks keep verbatim copies of the replaced loops so the
+// speedup stays measurable PR over PR.
+
+struct DetailFixture {
+  liberty::Library lib = test::make_test_library();
+  circuit::Netlist nl;
+  place::Die die;
+  place::SpreadPlacement spread;
+
+  DetailFixture() {
+    gen::GenOptions o;
+    o.scale_shift = 1;  // flow::default_scale_shift(kM256)
+    nl = gen::make_m256(o);
+    nl.bind(lib);
+    die = place::make_die(&nl, 0.68, 1.4);  // paper: M256 at 68% util
+    spread = place::global_spread(&nl, die, {});
+    place::legalize(&nl, die, spread);
+  }
+};
+
+DetailFixture& detail_fixture() {
+  static DetailFixture f;
+  return f;
+}
+
+/// The pre-kernel detailed placer: per-instance net vectors rebuilt from
+/// scratch and a per-net HPWL that rescans every chip port. Kept verbatim
+/// as the baseline BM_PlaceDetail is measured against.
+void detail_place_baseline(circuit::Netlist* nl, const place::Die& die,
+                           int passes) {
+  std::vector<circuit::InstId> movable;
+  for (circuit::InstId i = 0; i < nl->num_instances(); ++i) {
+    if (!nl->inst(i).dead) movable.push_back(i);
+  }
+  std::vector<std::vector<circuit::NetId>> nets_of(
+      static_cast<size_t>(nl->num_instances()));
+  for (circuit::NetId ni = 0; ni < nl->num_nets(); ++ni) {
+    const circuit::Net& net = nl->net(ni);
+    if (net.is_clock || net.sinks.empty()) continue;
+    if (net.driver.inst != circuit::kInvalid) {
+      nets_of[static_cast<size_t>(net.driver.inst)].push_back(ni);
+    }
+    for (const auto& s : net.sinks) {
+      if (s.inst != circuit::kInvalid) {
+        nets_of[static_cast<size_t>(s.inst)].push_back(ni);
+      }
+    }
+  }
+  auto net_hpwl = [&](circuit::NetId ni) {
+    const circuit::Net& net = nl->net(ni);
+    geom::Rect box;
+    if (net.driver.inst != circuit::kInvalid) {
+      box.expand(nl->inst(net.driver.inst).pos);
+    }
+    for (const auto& s : net.sinks) {
+      if (s.inst != circuit::kInvalid) box.expand(nl->inst(s.inst).pos);
+    }
+    for (const auto& port : nl->ports()) {
+      if (port.net == ni) box.expand(port.pos);
+    }
+    return box.empty() ? 0.0 : box.half_perimeter();
+  };
+  auto inst_width = [](const circuit::Instance& inst) {
+    return inst.libcell != nullptr ? inst.libcell->width_um : 0.5;
+  };
+  for (int pass = 0; pass < passes; ++pass) {
+    std::vector<std::vector<std::pair<double, circuit::InstId>>> rows(
+        static_cast<size_t>(die.num_rows));
+    for (circuit::InstId i : movable) {
+      const auto& inst = nl->inst(i);
+      const int row = std::clamp(
+          static_cast<int>((inst.pos.y - die.core.ylo) / die.row_height_um),
+          0, die.num_rows - 1);
+      rows[static_cast<size_t>(row)].push_back({inst.pos.x, i});
+    }
+    for (auto& row : rows) std::sort(row.begin(), row.end());
+    for (circuit::InstId i : movable) {
+      auto& inst = nl->inst(i);
+      if (nets_of[static_cast<size_t>(i)].empty()) continue;
+      std::vector<double> xs, ys;
+      for (circuit::NetId ni : nets_of[static_cast<size_t>(i)]) {
+        const circuit::Net& net = nl->net(ni);
+        if (net.driver.inst != circuit::kInvalid && net.driver.inst != i) {
+          xs.push_back(nl->inst(net.driver.inst).pos.x);
+          ys.push_back(nl->inst(net.driver.inst).pos.y);
+        }
+        for (const auto& s : net.sinks) {
+          if (s.inst != circuit::kInvalid && s.inst != i) {
+            xs.push_back(nl->inst(s.inst).pos.x);
+            ys.push_back(nl->inst(s.inst).pos.y);
+          }
+        }
+      }
+      if (xs.empty()) continue;
+      std::nth_element(xs.begin(), xs.begin() + static_cast<long>(xs.size() / 2),
+                       xs.end());
+      std::nth_element(ys.begin(), ys.begin() + static_cast<long>(ys.size() / 2),
+                       ys.end());
+      const geom::Pt target{xs[xs.size() / 2], ys[ys.size() / 2]};
+      if (geom::manhattan(target, inst.pos) < die.row_height_um) continue;
+      const int trow = std::clamp(
+          static_cast<int>((target.y - die.core.ylo) / die.row_height_um), 0,
+          die.num_rows - 1);
+      auto& row = rows[static_cast<size_t>(trow)];
+      if (row.empty()) continue;
+      auto it = std::lower_bound(row.begin(), row.end(),
+                                 std::make_pair(target.x, circuit::InstId{0}));
+      if (it == row.end()) --it;
+      const circuit::InstId j = it->second;
+      if (j == i) continue;
+      auto& jnst = nl->inst(j);
+      if (std::abs(inst_width(jnst) - inst_width(inst)) > 1e-9) continue;
+      std::vector<circuit::NetId> affected = nets_of[static_cast<size_t>(i)];
+      affected.insert(affected.end(), nets_of[static_cast<size_t>(j)].begin(),
+                      nets_of[static_cast<size_t>(j)].end());
+      std::sort(affected.begin(), affected.end());
+      affected.erase(std::unique(affected.begin(), affected.end()),
+                     affected.end());
+      double before = 0.0;
+      for (circuit::NetId ni : affected) before += net_hpwl(ni);
+      std::swap(inst.pos, jnst.pos);
+      double after = 0.0;
+      for (circuit::NetId ni : affected) after += net_hpwl(ni);
+      if (after >= before) std::swap(inst.pos, jnst.pos);
+    }
+  }
+}
+
+void BM_PlaceDetail(benchmark::State& state) {
+  auto& f = detail_fixture();
+  for (auto _ : state) {
+    state.PauseTiming();  // the netlist copy is setup, not the kernel
+    auto nl = f.nl;
+    state.ResumeTiming();
+    place::detail_place(&nl, f.die, 2);
+    benchmark::DoNotOptimize(nl);
+  }
+}
+BENCHMARK(BM_PlaceDetail)->Unit(benchmark::kMillisecond);
+
+void BM_PlaceDetailBaseline(benchmark::State& state) {
+  auto& f = detail_fixture();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto nl = f.nl;
+    state.ResumeTiming();
+    detail_place_baseline(&nl, f.die, 2);
+    benchmark::DoNotOptimize(nl);
+  }
+}
+BENCHMARK(BM_PlaceDetailBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_PlaceLegalize(benchmark::State& state) {
+  auto& f = detail_fixture();
+  for (auto _ : state) {
+    auto nl = f.nl;
+    place::legalize(&nl, f.die, f.spread);
+    benchmark::DoNotOptimize(nl);
+  }
+}
+BENCHMARK(BM_PlaceLegalize)->Unit(benchmark::kMillisecond);
+
+void BM_RouteMazeCongested(benchmark::State& state) {
+  auto& f = fixture();
+  route::RouteOptions ro;
+  ro.local_blockage_frac = 0.6;  // starve local tracks so RRR mazes run
+  ro.rrr_iters = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route::global_route(f.nl, f.die, f.tch, ro));
+  }
+}
+BENCHMARK(BM_RouteMazeCongested)->Unit(benchmark::kMillisecond);
 
 // --- Parallel kernel variants (Arg = exec pool thread count). ------------
 //

@@ -1,0 +1,52 @@
+#include "circuit/index.hpp"
+
+namespace m3d::circuit {
+
+void NetlistIndex::build(const Netlist& nl) {
+  const int nn = nl.num_nets();
+  const int ni = nl.num_instances();
+
+  // --- ports_of_net: count, prefix-sum, fill in port order. -----------------
+  port_off_.assign(static_cast<size_t>(nn) + 1, 0);
+  const auto& ports = nl.ports();
+  for (const Port& p : ports) {
+    if (p.net != kInvalid) ++port_off_[static_cast<size_t>(p.net) + 1];
+  }
+  for (int n = 0; n < nn; ++n) {
+    port_off_[static_cast<size_t>(n) + 1] += port_off_[static_cast<size_t>(n)];
+  }
+  port_ids_.resize(static_cast<size_t>(port_off_[static_cast<size_t>(nn)]));
+  std::vector<int> cursor(port_off_.begin(), port_off_.end() - 1);
+  for (size_t pi = 0; pi < ports.size(); ++pi) {
+    const NetId n = ports[pi].net;
+    if (n == kInvalid) continue;
+    port_ids_[static_cast<size_t>(cursor[static_cast<size_t>(n)]++)] =
+        static_cast<int>(pi);
+  }
+
+  // --- nets_of_inst: same two-pass CSR build, visiting nets in id order and
+  // each net's pins driver-first — reproducing the push order (and duplicate
+  // multiplicity) of the per-instance vectors it replaces.
+  net_off_.assign(static_cast<size_t>(ni) + 1, 0);
+  auto for_each_pin = [&](auto&& fn) {
+    for (NetId n = 0; n < nn; ++n) {
+      const Net& net = nl.net(n);
+      if (net.is_clock || net.sinks.empty()) continue;
+      if (net.driver.inst != kInvalid) fn(net.driver.inst, n);
+      for (const PinRef& s : net.sinks) {
+        if (s.inst != kInvalid) fn(s.inst, n);
+      }
+    }
+  };
+  for_each_pin([&](InstId i, NetId) { ++net_off_[static_cast<size_t>(i) + 1]; });
+  for (int i = 0; i < ni; ++i) {
+    net_off_[static_cast<size_t>(i) + 1] += net_off_[static_cast<size_t>(i)];
+  }
+  net_ids_.resize(static_cast<size_t>(net_off_[static_cast<size_t>(ni)]));
+  cursor.assign(net_off_.begin(), net_off_.end() - 1);
+  for_each_pin([&](InstId i, NetId n) {
+    net_ids_[static_cast<size_t>(cursor[static_cast<size_t>(i)]++)] = n;
+  });
+}
+
+}  // namespace m3d::circuit

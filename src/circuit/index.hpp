@@ -1,0 +1,72 @@
+// Flat CSR-style adjacency over a Netlist snapshot: which ports sit on a
+// net (`ports_of_net`) and which signal nets touch an instance
+// (`nets_of_inst`). Both used to be answered by linear rescans in the
+// placer/router inner loops — O(#ports) per net evaluation in detailed
+// placement, O(#ports) per primary-I/O net in the quadratic build — turning
+// nominally linear passes quadratic. The index is built once in O(pins) and
+// hands out contiguous spans, so a lookup is a pointer pair, not a scan.
+//
+// The index is a *snapshot*: it stores ids, not pointers, and stays valid
+// while the netlist's net/port/instance structure is unchanged (positions
+// may move freely — the index never looks at coordinates). Rebuild after
+// structural edits (buffer insertion/removal, move_sink).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace m3d::circuit {
+
+/// Contiguous id range handed out by NetlistIndex lookups.
+struct IdSpan {
+  const int* from = nullptr;
+  const int* to = nullptr;
+
+  const int* begin() const { return from; }
+  const int* end() const { return to; }
+  size_t size() const { return static_cast<size_t>(to - from); }
+  bool empty() const { return from == to; }
+  int operator[](size_t k) const { return from[k]; }
+};
+
+class NetlistIndex {
+ public:
+  NetlistIndex() = default;
+  explicit NetlistIndex(const Netlist& nl) { build(nl); }
+
+  /// Rebuilds both CSR tables from scratch (O(pins + ports)).
+  void build(const Netlist& nl);
+
+  /// Indices into nl.ports() of every port attached to `net`, in port
+  /// order — the same order the old linear scans visited them.
+  IdSpan ports_of_net(NetId net) const {
+    return span(port_off_, port_ids_, net);
+  }
+
+  /// Signal nets (clock and sink-less nets excluded) touching instance
+  /// `inst`, in net-id order. An instance driving and sinking the same net,
+  /// or sinking it on several pins, appears once per pin — exactly the
+  /// multiset the detailed placer's per-instance net lists used to build.
+  IdSpan nets_of_inst(InstId inst) const {
+    return span(net_off_, net_ids_, inst);
+  }
+
+  int num_nets() const { return static_cast<int>(port_off_.size()) - 1; }
+  int num_instances() const { return static_cast<int>(net_off_.size()) - 1; }
+
+ private:
+  static IdSpan span(const std::vector<int>& off, const std::vector<int>& ids,
+                     int key) {
+    const size_t k = static_cast<size_t>(key);
+    const int* base = ids.data();
+    return IdSpan{base + off[k], base + off[k + 1]};
+  }
+
+  // CSR pair per table: off_[k] .. off_[k+1] indexes ids_.
+  std::vector<int> port_off_, port_ids_;
+  std::vector<int> net_off_, net_ids_;
+};
+
+}  // namespace m3d::circuit

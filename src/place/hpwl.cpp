@@ -1,0 +1,220 @@
+#include "place/hpwl.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "geom/rect.hpp"
+#include "util/metrics.hpp"
+
+namespace m3d::place {
+
+double select_kth(double* a, size_t n, size_t k) {
+  size_t lo = 0;
+  size_t hi = n;
+  while (hi - lo > 8) {
+    // Median-of-3 pivot *value* — guaranteed present in the range.
+    const double x = a[lo];
+    const double y = a[lo + (hi - lo) / 2];
+    const double z = a[hi - 1];
+    const double pivot =
+        std::max(std::min(x, y), std::min(std::max(x, y), z));
+    // Branchless Lomuto partition on `< pivot`: swap unconditionally and
+    // advance the boundary by the comparison result, so the hot loop has no
+    // data-dependent branch (which mispredicts ~50% on shuffled pin
+    // coordinates and is what makes textbook scans slow here).
+    size_t j = lo;
+    for (size_t i = lo; i < hi; ++i) {
+      const double v = a[i];
+      a[i] = a[j];
+      a[j] = v;
+      j += static_cast<size_t>(v < pivot);
+    }
+    // [lo, j) < pivot <= [j, hi): keep only the side holding index k.
+    if (k < j) {
+      hi = j;
+    } else if (j > lo) {
+      lo = j;
+    } else {
+      // Nothing below the pivot, so pivot is the window minimum. Sweep its
+      // duplicates to the front; k either lands on one of them or the
+      // window shrinks past them (guaranteed progress: pivot is present).
+      size_t e = lo;
+      for (size_t i = lo; i < hi; ++i) {
+        const double v = a[i];
+        a[i] = a[e];
+        a[e] = v;
+        e += static_cast<size_t>(v == pivot);
+      }
+      if (k < e) return pivot;
+      lo = e;
+    }
+  }
+  // Insertion sort the remaining small window, then read off index k.
+  for (size_t i = lo + 1; i < hi; ++i) {
+    const double v = a[i];
+    size_t j = i;
+    while (j > lo && v < a[j - 1]) {
+      a[j] = a[j - 1];
+      --j;
+    }
+    a[j] = v;
+  }
+  return a[k];
+}
+
+double net_hpwl_um(const circuit::Netlist& nl,
+                   const circuit::NetlistIndex& idx, circuit::NetId net_id) {
+  const circuit::Net& net = nl.net(net_id);
+  geom::Rect box;
+  if (net.driver.inst != circuit::kInvalid) {
+    box.expand(nl.inst(net.driver.inst).pos);
+  }
+  for (const auto& s : net.sinks) {
+    if (s.inst != circuit::kInvalid) box.expand(nl.inst(s.inst).pos);
+  }
+  for (int pi : idx.ports_of_net(net_id)) {
+    box.expand(nl.ports()[static_cast<size_t>(pi)].pos);
+  }
+  return box.empty() ? 0.0 : box.half_perimeter();
+}
+
+HpwlCache::HpwlCache(const circuit::Netlist& nl,
+                     const circuit::NetlistIndex& idx)
+    : nl_(nl), idx_(idx) {
+  const size_t nn = static_cast<size_t>(nl.num_nets());
+  const size_t ni = static_cast<size_t>(nl.num_instances());
+
+  // Packed pin mirror: count, prefix-sum, fill — driver first, then sinks,
+  // matching the walk order of net_hpwl_um so the min/max folds agree
+  // bitwise.
+  pin_off_.assign(nn + 1, 0);
+  for (circuit::NetId n = 0; n < nl.num_nets(); ++n) {
+    const circuit::Net& net = nl.net(n);
+    int cnt = net.driver.inst != circuit::kInvalid ? 1 : 0;
+    for (const auto& s : net.sinks) {
+      if (s.inst != circuit::kInvalid) ++cnt;
+    }
+    pin_off_[static_cast<size_t>(n) + 1] = cnt;
+  }
+  for (size_t n = 0; n < nn; ++n) pin_off_[n + 1] += pin_off_[n];
+  const size_t total_pins = static_cast<size_t>(pin_off_[nn]);
+  pin_inst_.resize(total_pins);
+  pin_x_.resize(total_pins);
+  pin_y_.resize(total_pins);
+  size_t slot = 0;
+  for (circuit::NetId n = 0; n < nl.num_nets(); ++n) {
+    const circuit::Net& net = nl.net(n);
+    if (net.driver.inst != circuit::kInvalid) {
+      pin_inst_[slot++] = net.driver.inst;
+    }
+    for (const auto& s : net.sinks) {
+      if (s.inst != circuit::kInvalid) pin_inst_[slot++] = s.inst;
+    }
+  }
+
+  // Chip ports never move: fold each net's port pins once. Expanding this
+  // rect later is bitwise equal to expanding the individual port points
+  // (the rect's edges *are* port coordinates).
+  port_box_.assign(nn, geom::Rect{});
+  for (circuit::NetId n = 0; n < nl.num_nets(); ++n) {
+    for (int pi : idx.ports_of_net(n)) {
+      port_box_[static_cast<size_t>(n)].expand(
+          nl.ports()[static_cast<size_t>(pi)].pos);
+    }
+  }
+
+  // Reverse map for update_inst: which packed slots does each instance own.
+  slot_off_.assign(ni + 1, 0);
+  for (circuit::InstId i : pin_inst_) ++slot_off_[static_cast<size_t>(i) + 1];
+  for (size_t i = 0; i < ni; ++i) slot_off_[i + 1] += slot_off_[i];
+  slot_ids_.resize(total_pins);
+  std::vector<int> cursor(slot_off_.begin(), slot_off_.end() - 1);
+  for (size_t s = 0; s < total_pins; ++s) {
+    const size_t i = static_cast<size_t>(pin_inst_[s]);
+    slot_ids_[static_cast<size_t>(cursor[i]++)] = static_cast<int>(s);
+  }
+
+  rebuild();
+}
+
+void HpwlCache::rebuild() {
+  for (size_t s = 0; s < pin_inst_.size(); ++s) {
+    const geom::Pt p = nl_.inst(pin_inst_[s]).pos;
+    pin_x_[s] = p.x;
+    pin_y_[s] = p.y;
+  }
+  hpwl_.assign(static_cast<size_t>(nl_.num_nets()), 0.0);
+  for (circuit::NetId n = 0; n < nl_.num_nets(); ++n) {
+    const circuit::Net& net = nl_.net(n);
+    if (net.is_clock || net.sinks.empty()) continue;
+    hpwl_[static_cast<size_t>(n)] = eval_mirror(n);
+  }
+}
+
+double HpwlCache::eval_mirror(circuit::NetId net) const {
+  const size_t b = static_cast<size_t>(pin_off_[static_cast<size_t>(net)]);
+  const size_t e = static_cast<size_t>(pin_off_[static_cast<size_t>(net) + 1]);
+  // Two-way unrolled min/max fold: partial accumulators combine to the same
+  // bitwise bbox as a sequential walk (the fold result is the multiset
+  // min/max, and coordinates are positive so no -0.0/+0.0 tie exists), and
+  // the independent chains hide the min/max instruction latency on
+  // high-fanout nets.
+  geom::Rect r0 = port_box_[static_cast<size_t>(net)];
+  geom::Rect r1;
+  size_t s = b;
+  for (; s + 1 < e; s += 2) {
+    r0.expand({pin_x_[s], pin_y_[s]});
+    r1.expand({pin_x_[s + 1], pin_y_[s + 1]});
+  }
+  if (s < e) r0.expand({pin_x_[s], pin_y_[s]});
+  r0.expand(r1);
+  return r0.empty() ? 0.0 : r0.half_perimeter();
+}
+
+HpwlCache::~HpwlCache() {
+  if (cache_hits_ > 0) {
+    util::count("place.hpwl_cache_hits", static_cast<double>(cache_hits_));
+  }
+  if (delta_evals_ > 0) {
+    util::count("place.hpwl_delta_evals", static_cast<double>(delta_evals_));
+  }
+}
+
+double HpwlCache::net_hpwl(circuit::NetId net) const {
+  ++cache_hits_;
+  return hpwl_[static_cast<size_t>(net)];
+}
+
+double HpwlCache::evaluate(circuit::NetId net) const {
+  ++delta_evals_;
+  return eval_mirror(net);
+}
+
+void HpwlCache::store(circuit::NetId net, double value) {
+  hpwl_[static_cast<size_t>(net)] = value;
+}
+
+void HpwlCache::update_inst(circuit::InstId inst, geom::Pt pos) {
+  const size_t b = static_cast<size_t>(slot_off_[static_cast<size_t>(inst)]);
+  const size_t e =
+      static_cast<size_t>(slot_off_[static_cast<size_t>(inst) + 1]);
+  for (size_t k = b; k < e; ++k) {
+    const size_t s = static_cast<size_t>(slot_ids_[k]);
+    pin_x_[s] = pos.x;
+    pin_y_[s] = pos.y;
+  }
+}
+
+HpwlCache::PinSpan HpwlCache::pins(circuit::NetId net) const {
+  const size_t b = static_cast<size_t>(pin_off_[static_cast<size_t>(net)]);
+  const size_t e = static_cast<size_t>(pin_off_[static_cast<size_t>(net) + 1]);
+  return {pin_inst_.data() + b, pin_x_.data() + b, pin_y_.data() + b, e - b};
+}
+
+double HpwlCache::total() const {
+  double total = 0.0;
+  for (double v : hpwl_) total += v;
+  return total;
+}
+
+}  // namespace m3d::place

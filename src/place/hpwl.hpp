@@ -1,0 +1,125 @@
+// Cached per-net bounding-box HPWL engine for the detailed placer.
+//
+// Each signal net's bbox half-perimeter is computed once from the current
+// instance/port positions and then served from the cache; candidate moves
+// are priced by re-evaluating only the touched nets (delta evaluation)
+// through the NetlistIndex — O(net degree) instead of the old
+// O(#ports)-per-net rescan. Every number the cache hands out is produced by
+// the exact expand-driver/sinks/ports procedure the from-scratch
+// `total_hpwl_um` uses, so cached totals match a full recomputation to
+// 0 ULP and swap-accept decisions are bit-identical to the uncached code
+// they replaced (verified at pass boundaries by place::detail_place and by
+// tests/test_hpwl.cpp's randomized move/swap sequences).
+//
+// The cache also keeps a *packed pin mirror*: per net, a contiguous array of
+// the instance-attached pin coordinates (driver first, then sinks in netlist
+// order) plus the fixed bbox of the net's chip ports. Movers publish position
+// changes through update_inst(), after which evaluate() and pins() are pure
+// streams over flat double arrays — no pointer-chasing through Instance
+// records on the hot path. The mirror is an optimization only: every value it
+// produces is bitwise equal to walking the netlist (same pins, same
+// min/max fold order).
+//
+// Observability: `place.hpwl_cache_hits` counts nets priced from the cache,
+// `place.hpwl_delta_evals` counts fresh per-net evaluations (util/metrics).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/index.hpp"
+#include "circuit/netlist.hpp"
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace m3d::place {
+
+class HpwlCache {
+ public:
+  /// Builds the cache for every signal net (clock and sink-less nets hold
+  /// 0). `nl` and `idx` must outlive the cache; `idx` must index `nl`.
+  HpwlCache(const circuit::Netlist& nl, const circuit::NetlistIndex& idx);
+
+  /// Flushes the batched hit/eval counters (mutex-guarded registry writes
+  /// are far too slow for the swap loop, so they accumulate locally and
+  /// post once — same totals, same stage snapshot).
+  ~HpwlCache();
+
+  HpwlCache(const HpwlCache&) = delete;
+  HpwlCache& operator=(const HpwlCache&) = delete;
+
+  /// Cached half-perimeter of `net` (counts a cache hit).
+  double net_hpwl(circuit::NetId net) const;
+
+  /// Fresh evaluation of `net` at the mirrored pin positions, without
+  /// touching the cache (counts a delta eval). Bitwise identical to what
+  /// rebuilding the cache entry would store — provided every position
+  /// change since construction/rebuild() was published via update_inst().
+  double evaluate(circuit::NetId net) const;
+
+  /// Overwrites the cache entry for `net` with `value` (the caller just
+  /// computed it via evaluate() after committing a move).
+  void store(circuit::NetId net, double value);
+
+  /// Mirrors a moved instance's position into the packed pin arrays. Must be
+  /// called after every `Instance::pos` change (including reverts), before
+  /// the next evaluate()/pins() on any net the instance touches.
+  void update_inst(circuit::InstId inst, geom::Pt pos);
+
+  /// Contiguous view of `net`'s instance-attached pins, driver first then
+  /// sinks in netlist order (duplicates preserved). Coordinates are current
+  /// as of the last update_inst()/rebuild().
+  struct PinSpan {
+    const circuit::InstId* inst;
+    const double* x;
+    const double* y;
+    size_t size;
+  };
+  PinSpan pins(circuit::NetId net) const;
+
+  /// Sum of the cached values in net-id order — the same accumulation order
+  /// as total_hpwl_um, so the two agree bitwise when the cache is fresh.
+  double total() const;
+
+  /// Re-mirrors every pin position from the netlist and recomputes every
+  /// entry from scratch (positions changed wholesale).
+  void rebuild();
+
+ private:
+  double eval_mirror(circuit::NetId net) const;
+
+  const circuit::Netlist& nl_;
+  const circuit::NetlistIndex& idx_;
+  std::vector<double> hpwl_;
+  // Batched observability counters, posted to the metrics sink on
+  // destruction (mutable: net_hpwl/evaluate are logically const).
+  mutable uint64_t cache_hits_ = 0;
+  mutable uint64_t delta_evals_ = 0;
+  // Packed pin mirror, CSR by net id (covers every net, clock included, so
+  // evaluate() answers for any net id).
+  std::vector<int> pin_off_;
+  std::vector<circuit::InstId> pin_inst_;
+  std::vector<double> pin_x_;
+  std::vector<double> pin_y_;
+  std::vector<geom::Rect> port_box_;  // fixed chip-port bbox per net
+  // Reverse map inst -> packed slots, CSR by instance id (for update_inst).
+  std::vector<int> slot_off_;
+  std::vector<int> slot_ids_;
+};
+
+/// Returns the value a sorted copy of [a, a+n) would hold at index k — the
+/// k-th order statistic — via a tuned quickselect (median-of-3 pivot,
+/// branchless partition, insertion sort on small ranges). The returned VALUE is
+/// identical to std::nth_element's for any input order: the k-th smallest
+/// of a multiset is unique, and placement coordinates are positive so no
+/// -0.0/+0.0 tie can surface different bits for "equal" medians. Reorders
+/// the array (like nth_element). Requires n > 0 and k < n.
+double select_kth(double* a, size_t n, size_t k);
+
+/// Half-perimeter of one net's pin bbox (driver + sinks + ports via `idx`).
+/// The single source of truth used by HpwlCache and total_hpwl_um.
+double net_hpwl_um(const circuit::Netlist& nl,
+                   const circuit::NetlistIndex& idx, circuit::NetId net);
+
+}  // namespace m3d::place

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 
+#include "circuit/index.hpp"
+#include "place/hpwl.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -126,18 +129,21 @@ Die make_die(circuit::Netlist* nl, double target_util, double row_height_um) {
   return die;
 }
 
-void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt) {
+SpreadPlacement global_spread(circuit::Netlist* nl, const Die& die,
+                              const PlaceOptions& opt) {
   const int n = nl->num_instances();
+  SpreadPlacement spread;
   std::vector<int> var_of(static_cast<size_t>(n), -1);
-  std::vector<circuit::InstId> movable;
+  std::vector<circuit::InstId>& movable = spread.movable;
   for (int i = 0; i < n; ++i) {
     if (nl->inst(i).dead) continue;
     var_of[static_cast<size_t>(i)] = static_cast<int>(movable.size());
     movable.push_back(i);
   }
   const int nv = static_cast<int>(movable.size());
-  if (nv == 0) return;
+  if (nv == 0) return spread;
   util::count("place.cells", nv);
+  const circuit::NetlistIndex idx(*nl);
 
   // --- Quadratic global placement -------------------------------------------
   util::ScopedTimer quad_span("place.quadratic");
@@ -148,10 +154,13 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
   for (circuit::NetId ni = 0; ni < nl->num_nets(); ++ni) {
     const circuit::Net& net = nl->net(ni);
     if (net.is_clock) continue;
-    // Collect pin list: driver + sinks (+ pad position for port nets).
+    // Collect pin list: driver + sinks (+ every pad position for port
+    // nets). The pad lookup goes through the ports_of_net index — one span,
+    // not a scan of every chip port — and anchors to *all* ports on the
+    // net: the old first-match loop silently dropped the rest on nets with
+    // several pads (e.g. an input fanning straight through to an output).
     std::vector<int> vars;
-    geom::Pt pad;
-    bool has_pad = false;
+    std::vector<geom::Pt> pads;
     if (net.driver.inst != circuit::kInvalid) {
       vars.push_back(pin_var(net.driver));
     }
@@ -159,15 +168,11 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
       if (s.inst != circuit::kInvalid) vars.push_back(pin_var(s));
     }
     if (net.is_primary_input || net.is_primary_output) {
-      for (const auto& port : nl->ports()) {
-        if (port.net == ni) {
-          pad = port.pos;
-          has_pad = true;
-          break;
-        }
+      for (int pi : idx.ports_of_net(ni)) {
+        pads.push_back(nl->ports()[static_cast<size_t>(pi)].pos);
       }
     }
-    const size_t p = vars.size() + (has_pad ? 1 : 0);
+    const size_t p = vars.size() + pads.size();
     if (p < 2) continue;
     const double w = 2.0 / static_cast<double>(p);
     if (p <= 4) {
@@ -175,16 +180,18 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
         for (size_t j = i + 1; j < vars.size(); ++j) {
           mat.connect(vars[i], vars[j], w);
         }
-        if (has_pad) mat.anchor(vars[i], w, pad.x, pad.y);
+        for (const geom::Pt& pad : pads) mat.anchor(vars[i], w, pad.x, pad.y);
       }
     } else {
       // Chain model for large nets (keeps the matrix sparse).
       for (size_t i = 0; i + 1 < vars.size(); ++i) {
         mat.connect(vars[i], vars[i + 1], w);
       }
-      if (has_pad && !vars.empty()) {
-        mat.anchor(vars[0], w, pad.x, pad.y);
-        mat.anchor(vars[vars.size() / 2], w * 0.5, pad.x, pad.y);
+      if (!vars.empty()) {
+        for (const geom::Pt& pad : pads) {
+          mat.anchor(vars[0], w, pad.x, pad.y);
+          mat.anchor(vars[vars.size() / 2], w * 0.5, pad.x, pad.y);
+        }
       }
     }
   }
@@ -193,7 +200,10 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
   for (int v = 0; v < nv; ++v) mat.anchor(v, 1e-4, center.x, center.y);
 
   util::Rng rng(opt.seed);
-  std::vector<double> x(static_cast<size_t>(nv)), y(static_cast<size_t>(nv));
+  std::vector<double>& x = spread.x;
+  std::vector<double>& y = spread.y;
+  x.assign(static_cast<size_t>(nv), 0.0);
+  y.assign(static_cast<size_t>(nv), 0.0);
   for (int v = 0; v < nv; ++v) {
     x[static_cast<size_t>(v)] = center.x + rng.normal(0.0, die.core.width() / 8);
     y[static_cast<size_t>(v)] = center.y + rng.normal(0.0, die.core.height() / 8);
@@ -304,9 +314,17 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
       util::count("place.spread_rounds");
     }
   }
+  return spread;
+}
 
+void legalize(circuit::Netlist* nl, const Die& die,
+              const SpreadPlacement& spread) {
   // --- Tetris legalization ----------------------------------------------------
   util::ScopedTimer legal_span("place.legalize");
+  const std::vector<circuit::InstId>& movable = spread.movable;
+  const std::vector<double>& x = spread.x;
+  const std::vector<double>& y = spread.y;
+  const int nv = static_cast<int>(movable.size());
   std::vector<int> order(static_cast<size_t>(nv));
   for (int v = 0; v < nv; ++v) order[static_cast<size_t>(v)] = v;
   std::sort(order.begin(), order.end(), [&](int a, int b) {
@@ -321,11 +339,31 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
         0, die.num_rows - 1);
     int best_row = -1;
     double best_cost = 1e18;
-    const int span = die.num_rows;  // scan all rows; cost prefers nearby ones
-    for (int dr = 0; dr <= span; ++dr) {
+    // Row-frontier search: expand outward from the target row, visiting
+    // candidates in the same (dr; +1, -1) order — and with the same
+    // strict-improvement tie-break — as the old all-rows scan. A direction
+    // retires once its row-distance term alone (a lower bound on any
+    // further row's cost, monotonically growing with dr) can no longer
+    // strictly beat the best cost, so the loop touches O(1) rows per cell
+    // on a typical die instead of all of them. When nothing has been found
+    // yet (best_cost still huge, e.g. every nearby row is packed) the bound
+    // never fires and the search degrades to the full scan.
+    bool up_active = true, down_active = true;
+    for (int dr = 0; dr < die.num_rows && (up_active || down_active); ++dr) {
       for (int sgn : {1, -1}) {
+        bool& active = sgn > 0 ? up_active : down_active;
+        if (!active || (dr == 0 && sgn < 0)) continue;
         const int row = want_row + sgn * dr;
-        if (row < 0 || row >= die.num_rows || (dr == 0 && sgn < 0)) continue;
+        if (row < 0 || row >= die.num_rows) {
+          active = false;
+          continue;
+        }
+        const double row_dist =
+            std::abs(die.row_y(row) - y[static_cast<size_t>(v)]) * 1.5;
+        if (row_dist >= best_cost) {
+          active = false;  // rows further out in this direction only cost more
+          continue;
+        }
         // Desired position, slid left if the core edge demands it; the row
         // is usable only when that keeps us right of its packed edge (a
         // cell must never land on top of its neighbor).
@@ -333,8 +371,7 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
                                             x[static_cast<size_t>(v)] - w / 2),
                                    die.core.xhi - w);
         if (cx < row_edge[static_cast<size_t>(row)] - 1e-9) continue;
-        const double cost = std::abs(cx - x[static_cast<size_t>(v)]) +
-                            std::abs(die.row_y(row) - y[static_cast<size_t>(v)]) * 1.5;
+        const double cost = std::abs(cx - x[static_cast<size_t>(v)]) + row_dist;
         if (cost < best_cost) {
           best_cost = cost;
           best_row = row;
@@ -359,105 +396,169 @@ void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt)
     minst.placed = true;
     row_edge[static_cast<size_t>(best_row)] = cx + w;
   }
-  legal_span.stop();
+}
+
+void detail_place(circuit::Netlist* nl, const Die& die, int passes) {
   // --- Detailed placement: median-seeking swaps ------------------------------
   // For each cell, find the median of its connected pins and try swapping
-  // with the cell nearest that spot; keep the swap when HPWL drops.
-  {
-    util::ScopedTimer detail_span("place.detail");
-    std::vector<std::vector<circuit::NetId>> nets_of(static_cast<size_t>(n));
-    for (circuit::NetId ni = 0; ni < nl->num_nets(); ++ni) {
-      const circuit::Net& net = nl->net(ni);
-      if (net.is_clock || net.sinks.empty()) continue;
-      if (net.driver.inst != circuit::kInvalid) {
-        nets_of[static_cast<size_t>(net.driver.inst)].push_back(ni);
+  // with the cell nearest that spot; keep the swap when HPWL drops. Swaps
+  // are priced incrementally: the pre-swap cost of each affected net comes
+  // from the HPWL cache, only the post-swap side is evaluated fresh (and
+  // stored back on accept) — O(net degree) per candidate, no port rescans.
+  util::ScopedTimer detail_span("place.detail");
+  const circuit::NetlistIndex idx(*nl);
+  HpwlCache cache(*nl, idx);
+  std::vector<circuit::InstId> movable;
+  for (circuit::InstId i = 0; i < nl->num_instances(); ++i) {
+    if (!nl->inst(i).dead) movable.push_back(i);
+  }
+  std::vector<circuit::NetId> affected;
+  std::vector<double> after_vals;
+  std::vector<double> xs, ys;  // median-gather scratch, reused across cells
+  // Memoized per-cell median targets. A cell's target depends only on the
+  // *other* pins of its nets (self pins are excluded from the gather), so
+  // it stays valid until an accepted swap moves a pin on one of those nets.
+  // `net_stamp` records the accept tick that last touched each net; the
+  // cached target is fresh iff no stamp exceeds the tick it was computed
+  // at. Byte-identity holds because a fresh recomputation of an unchanged
+  // multiset returns the identical median bits.
+  std::vector<geom::Pt> target_of(static_cast<size_t>(nl->num_instances()));
+  std::vector<int64_t> cell_stamp(static_cast<size_t>(nl->num_instances()),
+                                  -1);
+  std::vector<uint8_t> cell_skip(static_cast<size_t>(nl->num_instances()), 0);
+  std::vector<int64_t> net_stamp(static_cast<size_t>(nl->num_nets()), 0);
+  int64_t tick = 0;
+  // Counter batching: one registry post per counter at the end instead of a
+  // mutex-guarded map lookup per candidate swap (totals are identical).
+  int64_t swaps_tried = 0;
+  int64_t swaps_accepted = 0;
+  for (int pass = 0; pass < passes; ++pass) {
+    // Row-sorted instance lists for candidate lookup.
+    std::vector<std::vector<std::pair<double, circuit::InstId>>> rows(
+        static_cast<size_t>(die.num_rows));
+    for (circuit::InstId i : movable) {
+      const auto& inst = nl->inst(i);
+      const int row = std::clamp(
+          static_cast<int>((inst.pos.y - die.core.ylo) / die.row_height_um),
+          0, die.num_rows - 1);
+      rows[static_cast<size_t>(row)].push_back({inst.pos.x, i});
+    }
+    for (auto& row : rows) std::sort(row.begin(), row.end());
+    for (circuit::InstId i : movable) {
+      auto& inst = nl->inst(i);
+      const circuit::IdSpan inets = idx.nets_of_inst(i);
+      if (inets.empty()) continue;
+      bool fresh = cell_stamp[static_cast<size_t>(i)] >= 0;
+      if (fresh) {
+        for (circuit::NetId ni : inets) {
+          if (net_stamp[static_cast<size_t>(ni)] >
+              cell_stamp[static_cast<size_t>(i)]) {
+            fresh = false;
+            break;
+          }
+        }
       }
-      for (const auto& s : net.sinks) {
-        if (s.inst != circuit::kInvalid) nets_of[static_cast<size_t>(s.inst)].push_back(ni);
+      geom::Pt target;
+      if (fresh) {
+        if (cell_skip[static_cast<size_t>(i)] != 0) continue;
+        target = target_of[static_cast<size_t>(i)];
+      } else {
+        // Median of the other pins of this cell's nets, streamed from the
+        // cache's packed pin mirror (same pins in the same order as walking
+        // the netlist, minus the pointer-chasing through Instance records).
+        xs.clear();
+        ys.clear();
+        for (circuit::NetId ni : inets) {
+          const HpwlCache::PinSpan ps = cache.pins(ni);
+          for (size_t k = 0; k < ps.size; ++k) {
+            if (ps.inst[k] == i) continue;
+            xs.push_back(ps.x[k]);
+            ys.push_back(ps.y[k]);
+          }
+        }
+        cell_stamp[static_cast<size_t>(i)] = tick;
+        cell_skip[static_cast<size_t>(i)] = xs.empty() ? 1 : 0;
+        if (xs.empty()) continue;
+        target = {select_kth(xs.data(), xs.size(), xs.size() / 2),
+                  select_kth(ys.data(), ys.size(), ys.size() / 2)};
+        target_of[static_cast<size_t>(i)] = target;
+      }
+      if (geom::manhattan(target, inst.pos) < die.row_height_um) continue;
+      const int trow = std::clamp(
+          static_cast<int>((target.y - die.core.ylo) / die.row_height_um), 0,
+          die.num_rows - 1);
+      auto& row = rows[static_cast<size_t>(trow)];
+      if (row.empty()) continue;
+      auto it = std::lower_bound(row.begin(), row.end(),
+                                 std::make_pair(target.x, circuit::InstId{0}));
+      if (it == row.end()) --it;
+      const circuit::InstId j = it->second;
+      if (j == i) continue;
+      auto& jnst = nl->inst(j);
+      // Only equal-width cells may trade places: a width mismatch would
+      // leave the wider cell overlapping its new neighbor (the old 25%
+      // tolerance silently broke row legality on every such swap).
+      if (std::abs(inst_width(jnst) - inst_width(inst)) > 1e-9) continue;
+      // Evaluate the swap on the union of affected nets.
+      const circuit::IdSpan jnets = idx.nets_of_inst(j);
+      affected.assign(inets.begin(), inets.end());
+      affected.insert(affected.end(), jnets.begin(), jnets.end());
+      std::sort(affected.begin(), affected.end());
+      affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+      double before = 0.0;
+      for (circuit::NetId ni : affected) before += cache.net_hpwl(ni);
+      std::swap(inst.pos, jnst.pos);
+      cache.update_inst(i, inst.pos);
+      cache.update_inst(j, jnst.pos);
+      double after = 0.0;
+      after_vals.clear();
+      for (circuit::NetId ni : affected) {
+        after_vals.push_back(cache.evaluate(ni));
+        after += after_vals.back();
+      }
+      ++swaps_tried;
+      if (after >= before) {
+        std::swap(inst.pos, jnst.pos);  // revert; cache entries still valid
+        cache.update_inst(i, inst.pos);
+        cache.update_inst(j, jnst.pos);
+      } else {
+        ++swaps_accepted;
+        ++tick;
+        for (size_t k = 0; k < affected.size(); ++k) {
+          cache.store(affected[k], after_vals[k]);
+          net_stamp[static_cast<size_t>(affected[k])] = tick;
+        }
       }
     }
-    auto net_hpwl = [&](circuit::NetId ni) {
-      const circuit::Net& net = nl->net(ni);
-      geom::Rect box;
-      if (net.driver.inst != circuit::kInvalid) box.expand(nl->inst(net.driver.inst).pos);
-      for (const auto& s : net.sinks) {
-        if (s.inst != circuit::kInvalid) box.expand(nl->inst(s.inst).pos);
-      }
-      for (const auto& port : nl->ports()) {
-        if (port.net == ni) box.expand(port.pos);
-      }
-      return box.empty() ? 0.0 : box.half_perimeter();
-    };
-    // Row-sorted instance lists for candidate lookup.
-    for (int pass = 0; pass < 2; ++pass) {
-      std::vector<std::vector<std::pair<double, circuit::InstId>>> rows(
-          static_cast<size_t>(die.num_rows));
-      for (circuit::InstId i : movable) {
-        const auto& inst = nl->inst(i);
-        const int row = std::clamp(
-            static_cast<int>((inst.pos.y - die.core.ylo) / die.row_height_um),
-            0, die.num_rows - 1);
-        rows[static_cast<size_t>(row)].push_back({inst.pos.x, i});
-      }
-      for (auto& row : rows) std::sort(row.begin(), row.end());
-      for (circuit::InstId i : movable) {
-        auto& inst = nl->inst(i);
-        if (nets_of[static_cast<size_t>(i)].empty()) continue;
-        // Median of the other pins of the first couple of nets.
-        std::vector<double> xs, ys;
-        for (circuit::NetId ni : nets_of[static_cast<size_t>(i)]) {
-          const circuit::Net& net = nl->net(ni);
-          if (net.driver.inst != circuit::kInvalid && net.driver.inst != i) {
-            xs.push_back(nl->inst(net.driver.inst).pos.x);
-            ys.push_back(nl->inst(net.driver.inst).pos.y);
-          }
-          for (const auto& s : net.sinks) {
-            if (s.inst != circuit::kInvalid && s.inst != i) {
-              xs.push_back(nl->inst(s.inst).pos.x);
-              ys.push_back(nl->inst(s.inst).pos.y);
-            }
-          }
-        }
-        if (xs.empty()) continue;
-        std::nth_element(xs.begin(), xs.begin() + static_cast<long>(xs.size() / 2), xs.end());
-        std::nth_element(ys.begin(), ys.begin() + static_cast<long>(ys.size() / 2), ys.end());
-        const geom::Pt target{xs[xs.size() / 2], ys[ys.size() / 2]};
-        if (geom::manhattan(target, inst.pos) < die.row_height_um) continue;
-        const int trow = std::clamp(
-            static_cast<int>((target.y - die.core.ylo) / die.row_height_um), 0,
-            die.num_rows - 1);
-        auto& row = rows[static_cast<size_t>(trow)];
-        if (row.empty()) continue;
-        auto it = std::lower_bound(row.begin(), row.end(),
-                                   std::make_pair(target.x, circuit::InstId{0}));
-        if (it == row.end()) --it;
-        const circuit::InstId j = it->second;
-        if (j == i) continue;
-        auto& jnst = nl->inst(j);
-        // Only equal-width cells may trade places: a width mismatch would
-        // leave the wider cell overlapping its new neighbor (the old 25%
-        // tolerance silently broke row legality on every such swap).
-        if (std::abs(inst_width(jnst) - inst_width(inst)) > 1e-9) continue;
-        // Evaluate the swap on the union of affected nets.
-        std::vector<circuit::NetId> affected = nets_of[static_cast<size_t>(i)];
-        affected.insert(affected.end(), nets_of[static_cast<size_t>(j)].begin(),
-                        nets_of[static_cast<size_t>(j)].end());
-        std::sort(affected.begin(), affected.end());
-        affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
-        double before = 0.0;
-        for (circuit::NetId ni : affected) before += net_hpwl(ni);
-        std::swap(inst.pos, jnst.pos);
-        double after = 0.0;
-        for (circuit::NetId ni : affected) after += net_hpwl(ni);
-        util::count("place.detail_swaps_tried");
-        if (after >= before) {
-          std::swap(inst.pos, jnst.pos);  // revert
-        } else {
-          util::count("place.detail_swaps_accepted");
-        }
-      }
+    // Pass-boundary verification of the incremental engine: the cached
+    // total must equal a from-scratch recomputation bitwise. A mismatch
+    // means a stale cache entry — a correctness bug, not FP noise.
+    const double cached_total = cache.total();
+    const double fresh_total = total_hpwl_um(*nl);
+    if (cached_total != fresh_total) {
+      util::count("place.hpwl_cache_divergence");
+      util::warn(util::strf(
+          "detail_place pass %d: cached hpwl %.17g != recomputed %.17g",
+          pass, cached_total, fresh_total));
+      assert(false && "HpwlCache diverged from from-scratch recomputation");
+      cache.rebuild();
     }
   }
+  if (swaps_tried > 0) {
+    util::count("place.detail_swaps_tried", static_cast<double>(swaps_tried));
+  }
+  if (swaps_accepted > 0) {
+    util::count("place.detail_swaps_accepted",
+                static_cast<double>(swaps_accepted));
+  }
+}
+
+void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt) {
+  const SpreadPlacement spread = global_spread(nl, die, opt);
+  const int nv = static_cast<int>(spread.movable.size());
+  if (nv == 0) return;
+  legalize(nl, die, spread);
+  detail_place(nl, die, /*passes=*/2);
   // Final legality pass: the greedy row packing can strand a cell past the
   // core edge when every row's packed frontier reached the boundary; the
   // shove (with capacity-based eviction) restores containment and removes
@@ -555,21 +656,18 @@ void relegalize_rows(circuit::Netlist* nl, const Die& die) {
 }
 
 double total_hpwl_um(const circuit::Netlist& nl) {
+  // One pass over the ports to bucket them by net (the old code rescanned
+  // every chip port for every net — O(nets * ports)), then one pass over
+  // the nets. Ports land in each bucket in port order and nets accumulate
+  // in id order, so the sum is bitwise identical to the quadratic version.
+  const circuit::NetlistIndex idx(nl);
   double total = 0.0;
   for (circuit::NetId ni = 0; ni < nl.num_nets(); ++ni) {
     const circuit::Net& net = nl.net(ni);
     if (net.is_clock || net.sinks.empty()) continue;
-    geom::Rect box;
-    if (net.driver.inst != circuit::kInvalid) {
-      box.expand(nl.inst(net.driver.inst).pos);
-    }
-    for (const auto& s : net.sinks) {
-      if (s.inst != circuit::kInvalid) box.expand(nl.inst(s.inst).pos);
-    }
-    for (const auto& port : nl.ports()) {
-      if (port.net == ni) box.expand(port.pos);
-    }
-    if (!box.empty()) total += box.half_perimeter();
+    // Adding a 0.0 half-perimeter (or an empty box's 0.0) to the finite
+    // non-negative total is exact, so no skip-empty branch is needed.
+    total += net_hpwl_um(nl, idx, ni);
   }
   return total;
 }

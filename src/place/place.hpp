@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "circuit/netlist.hpp"
 #include "geom/rect.hpp"
@@ -34,8 +35,37 @@ struct PlaceOptions {
 Die make_die(circuit::Netlist* nl, double target_util, double row_height_um);
 
 /// Global placement + spreading + legalization. All instances end up at
-/// legal row positions inside the die.
+/// legal row positions inside the die. Equivalent to global_spread ->
+/// legalize -> detail_place -> relegalize_rows; the stages are public so the
+/// kernel benchmarks (bench_kernels) can time them in isolation.
 void place_design(circuit::Netlist* nl, const Die& die, const PlaceOptions& opt);
+
+/// Spread (pre-legalization) cell centers: `movable[k]` — the live
+/// instances in id order — sits at (x[k], y[k]).
+struct SpreadPlacement {
+  std::vector<circuit::InstId> movable;
+  std::vector<double> x, y;
+};
+
+/// Stages 1-2 of place_design: quadratic (CG) global placement with pad
+/// anchors, then capacity-balanced bisection spreading. Ports must already
+/// carry pad positions (make_die).
+SpreadPlacement global_spread(circuit::Netlist* nl, const Die& die,
+                              const PlaceOptions& opt);
+
+/// Stage 3: Tetris row legalization of a spread placement. Each cell packs
+/// into the cheapest nearby row, searched outward from its target row with
+/// an expanding frontier that stops as soon as the row-distance term alone
+/// exceeds the best cost found — same result as the old all-rows scan
+/// (identical visit order and tie-break), near-O(1) rows touched per cell.
+void legalize(circuit::Netlist* nl, const Die& die,
+              const SpreadPlacement& spread);
+
+/// Stage 4: detailed placement — median-seeking equal-width swap passes
+/// priced by the incremental HPWL engine (place/hpwl.hpp). Swap decisions
+/// are bit-identical to from-scratch net evaluation; the cached total is
+/// verified against total_hpwl_um at every pass boundary.
+void detail_place(circuit::Netlist* nl, const Die& die, int passes = 2);
 
 /// Snaps a cell center onto the nearest row center line and clamps it (by
 /// half of `width_um`) inside the core. Buffer insertion (opt, cts) runs

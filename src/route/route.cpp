@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <queue>
 
+#include "circuit/index.hpp"
 #include "exec/exec.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
@@ -167,6 +169,41 @@ double path_cost(const Grid& grid, int level, const std::vector<Cell>& path) {
   return cost;
 }
 
+/// Per-thread maze scratch with epoch-stamped lazy reset: the dist/parent
+/// arrays are allocated once per thread and a cell is (re)initialized the
+/// first time an epoch touches it, so repeated maze calls do no allocation
+/// and no O(window) clearing. Each maze call is entirely thread-private —
+/// the scratch never leaks state across calls (every read goes through
+/// touch()), so results are bit-identical to the fresh-vector version.
+struct MazeScratch {
+  std::vector<double> dist;
+  std::vector<int> parent;
+  std::vector<uint64_t> stamp;
+  uint64_t epoch = 0;
+
+  /// Starts a maze over `cells` slots; grows the arrays if needed and
+  /// invalidates every previous entry by bumping the epoch.
+  void begin(size_t cells) {
+    if (stamp.size() < cells) {
+      dist.resize(cells);
+      parent.resize(cells);
+      stamp.resize(cells, 0);
+    } else {
+      util::MetricsRegistry::global().add_counter("route.maze_scratch_reuse");
+    }
+    ++epoch;
+  }
+
+  /// Lazily initializes slot `i` for the current epoch.
+  void touch(size_t i) {
+    if (stamp[i] != epoch) {
+      stamp[i] = epoch;
+      dist[i] = 1e18;
+      parent[i] = -1;
+    }
+  }
+};
+
 /// A* maze route on one level, constrained to the bbox of (a, b) inflated by
 /// `margin` gcells. Returns an empty path on failure.
 std::vector<Cell> maze_route(const Grid& grid, int level, const Cell& a,
@@ -177,10 +214,13 @@ std::vector<Cell> maze_route(const Grid& grid, int level, const Cell& a,
   const int yhi = std::min(grid.ny() - 1, std::max(a.y, b.y) + margin);
   const int w = xhi - xlo + 1, h = yhi - ylo + 1;
   auto idx = [&](int x, int y) { return static_cast<size_t>((y - ylo) * w + (x - xlo)); };
-  std::vector<double> dist(static_cast<size_t>(w * h), 1e18);
-  std::vector<int> parent(static_cast<size_t>(w * h), -1);
+  thread_local MazeScratch scratch;
+  scratch.begin(static_cast<size_t>(w * h));
+  std::vector<double>& dist = scratch.dist;
+  std::vector<int>& parent = scratch.parent;
   using QE = std::pair<double, int>;
   std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+  scratch.touch(idx(a.x, a.y));
   dist[idx(a.x, a.y)] = 0.0;
   pq.push({std::abs(a.x - b.x) + std::abs(a.y - b.y) * 1.0, static_cast<int>(idx(a.x, a.y))});
   const int dx[4] = {1, -1, 0, 0};
@@ -201,6 +241,7 @@ std::vector<Cell> maze_route(const Grid& grid, int level, const Cell& a,
                               : grid.edge_cost(level, false, cx, std::min(cy, ny2));
       const double nd = d + ec;
       const size_t nidx = idx(nx2, ny2);
+      scratch.touch(nidx);
       if (nd < dist[nidx] - 1e-12) {
         dist[nidx] = nd;
         parent[nidx] = ci;
@@ -208,6 +249,7 @@ std::vector<Cell> maze_route(const Grid& grid, int level, const Cell& a,
       }
     }
   }
+  scratch.touch(idx(b.x, b.y));
   if (dist[idx(b.x, b.y)] >= 1e17) return {};
   std::vector<Cell> path;
   int ci = static_cast<int>(idx(b.x, b.y));
@@ -262,6 +304,7 @@ RouteResult global_route(const circuit::Netlist& nl, const place::Die& die,
   const double t_inter = 400.0 * node_scale;
 
   util::ScopedTimer build_span("route.build_topology");
+  const circuit::NetlistIndex net_index(nl);
   result.nets.assign(static_cast<size_t>(nl.num_nets()), NetRoute{});
   std::vector<TwoPin> twopins;
   std::vector<std::vector<int>> net_pin_parent;  // per net: MST parent of pin k
@@ -283,8 +326,11 @@ RouteResult global_route(const circuit::Netlist& nl, const place::Die& die,
     if (net.driver.inst != circuit::kInvalid) {
       drv = nl.inst(net.driver.inst).pos;
     } else {
-      for (const auto& port : nl.ports()) {
-        if (port.net == n && port.is_input) drv = port.pos;
+      // Indexed pad lookup; the span runs in port order, so keeping the
+      // last input-port match reproduces the old full-scan loop exactly.
+      for (int pi : net_index.ports_of_net(n)) {
+        const auto& port = nl.ports()[static_cast<size_t>(pi)];
+        if (port.is_input) drv = port.pos;
       }
     }
     np.pts.push_back(drv);
@@ -296,8 +342,9 @@ RouteResult global_route(const circuit::Netlist& nl, const place::Die& die,
       np.sink_of_pin.push_back(static_cast<int>(k));
     }
     if (net.is_primary_output) {
-      for (const auto& port : nl.ports()) {
-        if (port.net == n && !port.is_input) {
+      for (int pi : net_index.ports_of_net(n)) {
+        const auto& port = nl.ports()[static_cast<size_t>(pi)];
+        if (!port.is_input) {
           np.pts.push_back(port.pos);
           np.sink_of_pin.push_back(-1);
         }
@@ -499,7 +546,23 @@ RouteResult global_route(const circuit::Netlist& nl, const place::Die& die,
     }
     nr.vias += 2 * (tp.level + 1) + bends;
   }
-  // Per-sink path wirelengths via the MST parent chains.
+  // Per-sink path wirelengths via the MST parent chains. The two-pins of a
+  // net are gathered through a CSR index (built in one pass, preserving the
+  // original twopin order per net) instead of the old rescan of the whole
+  // twopin list for every net.
+  std::vector<int> tp_off(static_cast<size_t>(nl.num_nets()) + 1, 0);
+  for (const TwoPin& tp : twopins) {
+    ++tp_off[static_cast<size_t>(tp.net) + 1];
+  }
+  for (size_t n = 1; n < tp_off.size(); ++n) tp_off[n] += tp_off[n - 1];
+  std::vector<int> tp_ids(twopins.size());
+  {
+    std::vector<int> cursor(tp_off.begin(), tp_off.end() - 1);
+    for (size_t t = 0; t < twopins.size(); ++t) {
+      tp_ids[static_cast<size_t>(cursor[static_cast<size_t>(twopins[t].net)]++)] =
+          static_cast<int>(t);
+    }
+  }
   for (circuit::NetId n = 0; n < nl.num_nets(); ++n) {
     const circuit::Net& net = nl.net(n);
     if (net.is_clock || net.sinks.empty()) continue;
@@ -511,8 +574,8 @@ RouteResult global_route(const circuit::Netlist& nl, const place::Die& die,
     // Edge data per child pin.
     std::vector<std::array<double, kNumLevels>> edge_wl(parent.size(),
                                                         std::array<double, kNumLevels>{});
-    for (const TwoPin& tp : twopins) {
-      if (tp.net != n) continue;
+    for (int t = tp_off[static_cast<size_t>(n)]; t < tp_off[static_cast<size_t>(n) + 1]; ++t) {
+      const TwoPin& tp = twopins[static_cast<size_t>(tp_ids[static_cast<size_t>(t)])];
       edge_wl[static_cast<size_t>(tp.child_pin)][static_cast<size_t>(tp.level)] +=
           (static_cast<double>(tp.path.size()) - 1.0) * gc;
     }

@@ -14,6 +14,10 @@
 #include "exec/exec.hpp"
 #include "flow/flow.hpp"
 #include "flow/report.hpp"
+#include "gen/gen.hpp"
+#include "place/place.hpp"
+#include "route/route.hpp"
+#include "tech/tech.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 #include "test_fixtures.hpp"
@@ -186,6 +190,53 @@ TEST(Exec, IsoComparisonBitIdenticalSerialVsParallel) {
   // Sanity: the reports are real documents, not empty strings.
   EXPECT_NE(serial.first.find("\"schema\""), std::string::npos);
   EXPECT_NE(serial.first.find("\"stages\""), std::string::npos);
+}
+
+// The maze router's per-thread epoch-stamped scratch must not leak state
+// between calls or threads: route a deliberately congested design (local
+// capacity derated to force rip-up-and-reroute, so the parallel maze
+// batches really run) serially and on a 4-thread pool, and require the
+// routing results to be bitwise equal.
+TEST(Exec, CongestedRouteBitIdenticalSerialVsParallel) {
+  const liberty::Library lib = test::make_test_library();
+  gen::GenOptions g;
+  g.scale_shift = 4;
+  circuit::Netlist nl = gen::make_des(g);
+  nl.bind(lib);
+  const place::Die die = place::make_die(&nl, 0.8, 1.4);
+  place::place_design(&nl, die, {});
+  const tech::Tech tch(tech::Node::k45nm, tech::Style::k2D);
+  route::RouteOptions ro;
+  ro.local_blockage_frac = 0.6;  // starve local tracks -> overflow -> mazes
+  ro.rrr_iters = 3;
+
+  auto route_with = [&](int nthreads) {
+    set_default_threads(nthreads);
+    return route::global_route(nl, die, tch, ro);
+  };
+  const route::RouteResult serial = route_with(1);
+  const route::RouteResult parallel = route_with(4);
+  set_default_threads(0);  // restore the environment-resolved pool
+
+  // The reroutes must actually have happened for this test to mean much.
+  ASSERT_GT(util::MetricsRegistry::global().counter("route.maze_calls"), 0.0);
+  EXPECT_EQ(serial.total_wl_um, parallel.total_wl_um);
+  EXPECT_EQ(serial.total_vias, parallel.total_vias);
+  EXPECT_EQ(serial.overflow_edges, parallel.overflow_edges);
+  EXPECT_EQ(serial.max_congestion, parallel.max_congestion);
+  for (int l = 0; l < route::kNumLevels; ++l) {
+    EXPECT_EQ(serial.wl_by_level[static_cast<size_t>(l)],
+              parallel.wl_by_level[static_cast<size_t>(l)]);
+    EXPECT_EQ(serial.usage_h[static_cast<size_t>(l)],
+              parallel.usage_h[static_cast<size_t>(l)]);
+    EXPECT_EQ(serial.usage_v[static_cast<size_t>(l)],
+              parallel.usage_v[static_cast<size_t>(l)]);
+  }
+  ASSERT_EQ(serial.nets.size(), parallel.nets.size());
+  for (size_t n = 0; n < serial.nets.size(); ++n) {
+    EXPECT_EQ(serial.nets[n].wl_um, parallel.nets[n].wl_um) << "net " << n;
+    EXPECT_EQ(serial.nets[n].vias, parallel.nets[n].vias) << "net " << n;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,297 @@
+// The incremental cost kernels' contract: every shortcut — the CSR netlist
+// index, the cached/delta HPWL engine, the pruned legalizer row search —
+// must reproduce the from-scratch computation it replaced *bitwise* (0 ULP),
+// not approximately. These tests pit each kernel against a naive reference
+// implementation kept here on purpose: the references are the pre-kernel
+// loops, so a regression in the kernels shows up as an exact-equality
+// failure rather than a silent golden drift.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/index.hpp"
+#include "gen/gen.hpp"
+#include "geom/rect.hpp"
+#include "place/hpwl.hpp"
+#include "place/place.hpp"
+#include "test_fixtures.hpp"
+#include "util/rng.hpp"
+
+namespace m3d {
+namespace {
+
+circuit::Netlist make_design(const liberty::Library& lib, int scale_shift = 4) {
+  gen::GenOptions o;
+  o.scale_shift = scale_shift;
+  circuit::Netlist nl = gen::make_des(o);
+  nl.bind(lib);
+  return nl;
+}
+
+/// The pre-index pad lookup: scan every chip port for every query.
+std::vector<int> naive_ports_of_net(const circuit::Netlist& nl,
+                                    circuit::NetId n) {
+  std::vector<int> out;
+  for (size_t pi = 0; pi < nl.ports().size(); ++pi) {
+    if (nl.ports()[pi].net == n) out.push_back(static_cast<int>(pi));
+  }
+  return out;
+}
+
+/// The pre-index per-instance net lists the detailed placer used to build.
+std::vector<std::vector<circuit::NetId>> naive_nets_of(
+    const circuit::Netlist& nl) {
+  std::vector<std::vector<circuit::NetId>> nets_of(
+      static_cast<size_t>(nl.num_instances()));
+  for (circuit::NetId ni = 0; ni < nl.num_nets(); ++ni) {
+    const circuit::Net& net = nl.net(ni);
+    if (net.is_clock || net.sinks.empty()) continue;
+    if (net.driver.inst != circuit::kInvalid) {
+      nets_of[static_cast<size_t>(net.driver.inst)].push_back(ni);
+    }
+    for (const auto& s : net.sinks) {
+      if (s.inst != circuit::kInvalid) {
+        nets_of[static_cast<size_t>(s.inst)].push_back(ni);
+      }
+    }
+  }
+  return nets_of;
+}
+
+/// The pre-kernel quadratic total: per net, rescan every port.
+double naive_total_hpwl_um(const circuit::Netlist& nl) {
+  double total = 0.0;
+  for (circuit::NetId ni = 0; ni < nl.num_nets(); ++ni) {
+    const circuit::Net& net = nl.net(ni);
+    if (net.is_clock || net.sinks.empty()) continue;
+    geom::Rect box;
+    if (net.driver.inst != circuit::kInvalid) {
+      box.expand(nl.inst(net.driver.inst).pos);
+    }
+    for (const auto& s : net.sinks) {
+      if (s.inst != circuit::kInvalid) box.expand(nl.inst(s.inst).pos);
+    }
+    for (const auto& port : nl.ports()) {
+      if (port.net == ni) box.expand(port.pos);
+    }
+    if (!box.empty()) total += box.half_perimeter();
+  }
+  return total;
+}
+
+TEST(NetlistIndex, PortsOfNetMatchesFullScan) {
+  const auto lib = test::make_test_library();
+  const auto nl = make_design(lib);
+  const circuit::NetlistIndex idx(nl);
+  for (circuit::NetId n = 0; n < nl.num_nets(); ++n) {
+    const std::vector<int> want = naive_ports_of_net(nl, n);
+    const circuit::IdSpan got = idx.ports_of_net(n);
+    ASSERT_EQ(got.size(), want.size()) << "net " << n;
+    for (size_t k = 0; k < want.size(); ++k) {
+      EXPECT_EQ(got[k], want[k]) << "net " << n << " slot " << k;
+    }
+  }
+}
+
+TEST(NetlistIndex, NetsOfInstMatchesPerInstancePushOrder) {
+  const auto lib = test::make_test_library();
+  const auto nl = make_design(lib);
+  const circuit::NetlistIndex idx(nl);
+  const auto want_all = naive_nets_of(nl);
+  for (circuit::InstId i = 0; i < nl.num_instances(); ++i) {
+    const auto& want = want_all[static_cast<size_t>(i)];
+    const circuit::IdSpan got = idx.nets_of_inst(i);
+    ASSERT_EQ(got.size(), want.size()) << "inst " << i;
+    for (size_t k = 0; k < want.size(); ++k) {
+      EXPECT_EQ(got[k], want[k]) << "inst " << i << " slot " << k;
+    }
+  }
+}
+
+// The placer's median selection must return exactly what std::nth_element
+// would — for every k, on arrays with heavy duplicates (row y-coordinates
+// repeat constantly) and in degenerate shapes (sorted, reversed, constant).
+TEST(Hpwl, SelectKthMatchesNthElementForEveryRank) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t n = 1 + rng.below(200);
+    std::vector<double> base(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Few distinct values -> many exact duplicates, like row coordinates.
+      base[i] = static_cast<double>(rng.below(8)) * 1.4 + 0.7;
+    }
+    if (trial % 4 == 1) std::sort(base.begin(), base.end());
+    if (trial % 4 == 2) std::sort(base.rbegin(), base.rend());
+    if (trial % 4 == 3) std::fill(base.begin(), base.end(), 2.5);
+    for (const size_t k : {size_t{0}, n / 2, n - 1}) {
+      std::vector<double> a = base;
+      std::vector<double> b = base;
+      std::nth_element(b.begin(), b.begin() + static_cast<long>(k), b.end());
+      EXPECT_EQ(place::select_kth(a.data(), n, k), b[k])
+          << "trial " << trial << " n " << n << " k " << k;
+    }
+  }
+}
+
+TEST(Hpwl, LinearTotalMatchesQuadraticReferenceBitwise) {
+  const auto lib = test::make_test_library();
+  auto nl = make_design(lib);
+  const place::Die die = place::make_die(&nl, 0.8, 1.4);
+  place::place_design(&nl, die, {});
+  // Exact equality: the rewritten total must be the same accumulation in
+  // the same order, not merely close.
+  EXPECT_EQ(place::total_hpwl_um(nl), naive_total_hpwl_um(nl));
+}
+
+// The core cache invariant under a randomized move/swap workload: price the
+// touched nets fresh, store them, and the cached per-net values and total
+// stay bitwise equal to a from-scratch recomputation — after every single
+// mutation, for hundreds of mutations.
+TEST(Hpwl, CacheTracksRandomMovesAndSwapsToZeroUlp) {
+  const auto lib = test::make_test_library();
+  auto nl = make_design(lib);
+  const place::Die die = place::make_die(&nl, 0.8, 1.4);
+  place::place_design(&nl, die, {});
+  const circuit::NetlistIndex idx(nl);
+  place::HpwlCache cache(nl, idx);
+
+  std::vector<circuit::InstId> movable;
+  for (circuit::InstId i = 0; i < nl.num_instances(); ++i) {
+    if (!nl.inst(i).dead) movable.push_back(i);
+  }
+  ASSERT_GE(movable.size(), 2u);
+
+  util::Rng rng(2026);
+  auto touched_nets = [&](circuit::InstId a, circuit::InstId b) {
+    std::vector<circuit::NetId> nets;
+    const circuit::IdSpan sa = idx.nets_of_inst(a);
+    nets.assign(sa.begin(), sa.end());
+    if (b != circuit::kInvalid) {
+      const circuit::IdSpan sb = idx.nets_of_inst(b);
+      nets.insert(nets.end(), sb.begin(), sb.end());
+    }
+    std::sort(nets.begin(), nets.end());
+    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+    return nets;
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const circuit::InstId a = movable[rng.below(movable.size())];
+    circuit::InstId b = circuit::kInvalid;
+    if (step % 2 == 0) {
+      // Random move inside the core.
+      nl.inst(a).pos = {die.core.xlo + rng.uniform() * die.core.width(),
+                        die.core.ylo + rng.uniform() * die.core.height()};
+    } else {
+      b = movable[rng.below(movable.size())];
+      std::swap(nl.inst(a).pos, nl.inst(b).pos);
+    }
+    // Publish the move into the cache's packed pin mirror — evaluate()
+    // prices from the mirror, and the EXPECT below pits it against a
+    // from-scratch netlist walk, so a stale or mis-mapped mirror slot
+    // shows up as an exact-equality failure.
+    cache.update_inst(a, nl.inst(a).pos);
+    if (b != circuit::kInvalid) cache.update_inst(b, nl.inst(b).pos);
+    for (circuit::NetId n : touched_nets(a, b)) {
+      cache.store(n, cache.evaluate(n));
+    }
+    // Spot-check a handful of per-net values every step, the full total
+    // every 50 steps (it is O(nets) to verify).
+    for (int probe = 0; probe < 4; ++probe) {
+      const auto n = static_cast<circuit::NetId>(
+          rng.below(static_cast<uint64_t>(nl.num_nets())));
+      const circuit::Net& net = nl.net(n);
+      if (net.is_clock || net.sinks.empty()) continue;
+      EXPECT_EQ(cache.net_hpwl(n), place::net_hpwl_um(nl, idx, n))
+          << "step " << step << " net " << n;
+    }
+    if (step % 50 == 0) {
+      EXPECT_EQ(cache.total(), place::total_hpwl_um(nl)) << "step " << step;
+    }
+  }
+  EXPECT_EQ(cache.total(), place::total_hpwl_um(nl));
+}
+
+/// The pre-kernel legalizer: scan *every* row for every cell. Kept as the
+/// reference the pruned frontier search must match decision-for-decision.
+void reference_legalize(circuit::Netlist* nl, const place::Die& die,
+                        const place::SpreadPlacement& spread) {
+  const auto& movable = spread.movable;
+  const auto& x = spread.x;
+  const auto& y = spread.y;
+  const int nv = static_cast<int>(movable.size());
+  std::vector<int> order(static_cast<size_t>(nv));
+  for (int v = 0; v < nv; ++v) order[static_cast<size_t>(v)] = v;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return x[static_cast<size_t>(a)] < x[static_cast<size_t>(b)];
+  });
+  std::vector<double> row_edge(static_cast<size_t>(die.num_rows), die.core.xlo);
+  for (int v : order) {
+    const circuit::Instance& inst = nl->inst(movable[static_cast<size_t>(v)]);
+    const double w =
+        inst.libcell != nullptr ? inst.libcell->width_um : 0.5;
+    const int want_row = std::clamp(
+        static_cast<int>((y[static_cast<size_t>(v)] - die.core.ylo) /
+                         die.row_height_um),
+        0, die.num_rows - 1);
+    int best_row = -1;
+    double best_cost = 1e18;
+    for (int dr = 0; dr <= die.num_rows; ++dr) {
+      for (int sgn : {1, -1}) {
+        const int row = want_row + sgn * dr;
+        if (row < 0 || row >= die.num_rows || (dr == 0 && sgn < 0)) continue;
+        const double cx =
+            std::min(std::max(row_edge[static_cast<size_t>(row)],
+                              x[static_cast<size_t>(v)] - w / 2),
+                     die.core.xhi - w);
+        if (cx < row_edge[static_cast<size_t>(row)] - 1e-9) continue;
+        const double cost =
+            std::abs(cx - x[static_cast<size_t>(v)]) +
+            std::abs(die.row_y(row) - y[static_cast<size_t>(v)]) * 1.5;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_row = row;
+        }
+      }
+    }
+    double cx;
+    if (best_row < 0) {
+      best_row = static_cast<int>(
+          std::min_element(row_edge.begin(), row_edge.end()) -
+          row_edge.begin());
+      cx = row_edge[static_cast<size_t>(best_row)];
+    } else {
+      cx = std::min(std::max(row_edge[static_cast<size_t>(best_row)],
+                             x[static_cast<size_t>(v)] - w / 2),
+                    die.core.xhi - w);
+    }
+    circuit::Instance& minst = nl->inst(movable[static_cast<size_t>(v)]);
+    minst.pos = {cx + w / 2, die.row_y(best_row)};
+    minst.placed = true;
+    row_edge[static_cast<size_t>(best_row)] = cx + w;
+  }
+}
+
+TEST(Legalize, PrunedFrontierMatchesAllRowsScanExactly) {
+  const auto lib = test::make_test_library();
+  auto nl = make_design(lib);
+  const place::Die die = place::make_die(&nl, 0.8, 1.4);
+  const place::SpreadPlacement spread = place::global_spread(&nl, die, {});
+  ASSERT_FALSE(spread.movable.empty());
+
+  auto nl_ref = nl;  // copy shares the same spread coordinates
+  place::legalize(&nl, die, spread);
+  reference_legalize(&nl_ref, die, spread);
+  for (circuit::InstId i = 0; i < nl.num_instances(); ++i) {
+    if (nl.inst(i).dead) continue;
+    EXPECT_EQ(nl.inst(i).pos.x, nl_ref.inst(i).pos.x) << "inst " << i;
+    EXPECT_EQ(nl.inst(i).pos.y, nl_ref.inst(i).pos.y) << "inst " << i;
+    EXPECT_EQ(nl.inst(i).placed, nl_ref.inst(i).placed) << "inst " << i;
+  }
+}
+
+}  // namespace
+}  // namespace m3d
