@@ -7,9 +7,16 @@
 // jitter on a 2 ms stage can't fail CI; only genuine hot-path regressions
 // (the placer/router kernels this file exists to guard) trip the gate.
 //
+// With --trace-dir the gate additionally runs each case with trace
+// collection on (FlowOptions::trace) and drops one Chrome trace JSON per
+// case into the directory — CI uploads them as artifacts, so every perf
+// run leaves an inspectable timeline behind. Tracing never affects the
+// recorded wall times' comparison semantics: the gate measures the same
+// flow either way, and the trace buffers are reset between cases.
+//
 // Usage:
 //   perf_gate [--out BENCH_flow.json] [--baseline path] [--max-ratio 2.5]
-//             [--min-ms 25]
+//             [--min-ms 25] [--trace-dir dir]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +26,8 @@
 #include <vector>
 
 #include "flow/flow.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "tech/tech.hpp"
 #include "util/json.hpp"
 #include "util/strf.hpp"
@@ -49,14 +58,29 @@ const m3d::liberty::Library& lib_for(m3d::tech::Style style) {
   return style == m3d::tech::Style::k2D ? flat : tmi;
 }
 
-Value run_one(const GateCase& c, m3d::tech::Style style) {
+Value run_one(const GateCase& c, m3d::tech::Style style,
+              const std::string& trace_dir) {
   m3d::flow::FlowOptions o;
   o.bench = c.bench;
   o.scale_shift = c.scale_shift;
   o.clock_ns = c.clock_ns;
   o.style = style;
   o.lib = &lib_for(style);
+  if (!trace_dir.empty()) {
+    m3d::obs::reset();  // one clean capture window per case
+    o.trace = true;
+  }
   const m3d::flow::FlowResult r = m3d::flow::run_flow(o);
+  if (!trace_dir.empty()) {
+    const std::string path =
+        trace_dir + "/" +
+        m3d::obs::trace_filename(r.bench_name, m3d::tech::to_string(style));
+    if (m3d::obs::write_chrome_trace(m3d::obs::snapshot(), path)) {
+      std::fprintf(stderr, "perf_gate: wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "perf_gate: cannot write %s\n", path.c_str());
+    }
+  }
 
   Value e = Value::object();
   e.set("bench", Value::str(r.bench_name));
@@ -100,6 +124,7 @@ std::vector<std::pair<std::string, double>> flatten(const Value& doc) {
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_flow.json";
   std::string baseline_path;
+  std::string trace_dir;
   double max_ratio = 2.5;
   double min_ms = 25.0;
   for (int a = 1; a < argc; ++a) {
@@ -119,11 +144,13 @@ int main(int argc, char** argv) {
       max_ratio = std::atof(next());
     } else if (arg == "--min-ms") {
       min_ms = std::atof(next());
+    } else if (arg == "--trace-dir") {
+      trace_dir = next();
     } else {
       std::fprintf(stderr,
                    "perf_gate: unknown arg %s\n"
                    "usage: perf_gate [--out f] [--baseline f] "
-                   "[--max-ratio r] [--min-ms m]\n",
+                   "[--max-ratio r] [--min-ms m] [--trace-dir d]\n",
                    arg.c_str());
       return 2;
     }
@@ -135,7 +162,7 @@ int main(int argc, char** argv) {
   for (const GateCase& c : kCases) {
     for (const m3d::tech::Style style :
          {m3d::tech::Style::k2D, m3d::tech::Style::kTMI}) {
-      Value e = run_one(c, style);
+      Value e = run_one(c, style, trace_dir);
       std::fprintf(stderr, "perf_gate: %s %s total %.1f ms\n",
                    e.string_or("bench", "?").c_str(),
                    e.string_or("style", "?").c_str(),

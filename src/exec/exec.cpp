@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "obs/trace.hpp"
 #include "util/metrics.hpp"
+#include "util/strf.hpp"
 #include "util/trace.hpp"
 
 namespace m3d::exec {
@@ -66,6 +68,7 @@ void ThreadPool::submit(std::function<void()> fn) {
     fn();
     return;
   }
+  if (obs::enabled()) obs::emit_instant("exec.enqueue");
   // Wrap so the task runs under the submitter's span context and metrics
   // sink regardless of which worker picks it up.
   auto task = [ctx = util::capture_span_context(),
@@ -73,6 +76,22 @@ void ThreadPool::submit(std::function<void()> fn) {
                fn = std::move(fn)] {
     util::SpanContextScope span_scope(ctx);
     util::ScopedMetricsSink sink_scope(*sink);
+    if (!obs::enabled()) {
+      fn();
+      return;
+    }
+    // Per-task trace span: parented to the submitter's innermost span (via
+    // ctx), and itself the parent of every span the task body opens — the
+    // link that keeps worker-side timelines attached to the submitting
+    // flow. The guard emits the end even if fn() throws (TaskGroup carries
+    // the exception), keeping the trace balanced.
+    const uint64_t span = obs::next_span_id();
+    obs::emit_begin("exec.task", span, ctx.span_id);
+    util::ScopedSpanParent parent(span);
+    struct EndGuard {
+      uint64_t id;
+      ~EndGuard() { obs::emit_end(id); }
+    } guard{span};
     fn();
   };
   size_t depth = 0;
@@ -125,6 +144,7 @@ bool ThreadPool::pop_task(int worker_index, std::function<void()>* out) {
       *out = std::move(wq.q.front());
       wq.q.pop_front();
       exec_count("exec.steals");
+      if (obs::enabled()) obs::emit_instant("exec.steal");
       return true;
     }
   }
@@ -146,11 +166,22 @@ bool ThreadPool::try_run_one() {
 void ThreadPool::worker_main(int index) {
   t_pool = this;
   t_worker = index;
+  obs::set_thread_name(util::strf("%s/worker%d", opt_.name.c_str(), index));
   for (;;) {
     if (try_run_one()) continue;
-    std::unique_lock<std::mutex> lock(sleep_mu_);
-    sleep_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
-    if (stop_ && queued_ == 0) return;
+    // Idle windows are emitted as complete ("X") events after the wait, not
+    // begin/end pairs around it: a worker parked on the condition variable
+    // at snapshot time must not leave an unbalanced begin in its buffer.
+    const bool traced = obs::enabled();
+    const uint64_t idle_start = traced ? obs::timestamp_ns() : 0;
+    bool exiting;
+    {
+      std::unique_lock<std::mutex> lock(sleep_mu_);
+      sleep_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      exiting = stop_ && queued_ == 0;
+    }
+    if (traced && obs::enabled()) obs::emit_complete("exec.idle", idle_start);
+    if (exiting) return;
   }
 }
 

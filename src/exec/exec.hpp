@@ -21,7 +21,13 @@
 // Observability (always in the *global* registry, never the flow-local
 // sink, so StageReport counter deltas stay identical between serial and
 // parallel runs): `exec.tasks`, `exec.steals`, and a per-pool
-// `exec.<name>.queue_depth` gauge.
+// `exec.<name>.queue_depth` gauge. When trace collection is on
+// (src/obs/trace.hpp) the pool additionally emits timeline events:
+// an `exec.enqueue` instant at submit, one `exec.task` span per executed
+// task (parented to the submitter's span, so flow timelines follow work
+// across threads), an `exec.steal` instant on every cross-worker steal,
+// and an `exec.idle` complete-event per worker sleep window. Workers
+// register named trace tracks ("<pool>/worker<i>").
 #pragma once
 
 #include <algorithm>

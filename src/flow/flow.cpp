@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <optional>
 
 #include "cts/cts.hpp"
 #include "exec/exec.hpp"
 #include "extract/extract.hpp"
+#include "obs/export.hpp"
+#include "obs/mem.hpp"
 #include "opt/opt.hpp"
 #include "sta/sta.hpp"
 #include "synth/synth.hpp"
@@ -21,16 +24,32 @@ namespace {
 /// Runs one flow stage under a span and appends a StageReport to `res`:
 /// wall time plus the delta of every counter the stage touched in the
 /// thread's current sink (run_flow installs a flow-local one, so counter
-/// deltas are exact even when several flows run concurrently).
+/// deltas are exact even when several flows run concurrently). With
+/// `tracing` the report additionally carries the stage's memory profile
+/// (stage-exit RSS/peak-RSS, counting-allocator traffic), which is also
+/// emitted as trace counter samples so the timeline shows memory tracks.
 template <typename Body>
-void run_stage(FlowResult* res, const char* name, Body&& body) {
+void run_stage(FlowResult* res, const char* name, bool tracing, Body&& body) {
   auto& reg = util::MetricsRegistry::current();
   const auto before = reg.counters();
+  const uint64_t alloc_bytes0 = tracing ? obs::allocated_bytes() : 0;
+  const uint64_t alloc_calls0 = tracing ? obs::allocation_calls() : 0;
   util::ScopedTimer timer(util::strf("flow.%s", name));
   body();
   StageReport sr;
   sr.name = name;
   sr.wall_ms = timer.stop();
+  if (tracing) {
+    const obs::MemSample mem = obs::sample_rss();
+    sr.rss_mb = mem.rss_mb;
+    sr.hwm_mb = mem.hwm_mb;
+    sr.alloc_mb = static_cast<double>(obs::allocated_bytes() - alloc_bytes0) /
+                  (1024.0 * 1024.0);
+    sr.allocs = static_cast<int64_t>(obs::allocation_calls() - alloc_calls0);
+    obs::emit_counter("mem.rss_mb", mem.rss_mb);
+    obs::emit_counter("mem.hwm_mb", mem.hwm_mb);
+    obs::emit_counter("mem.stage_alloc_mb", sr.alloc_mb);
+  }
   for (const auto& [key, value] : reg.counters()) {
     const auto it = before.find(key);
     const double delta = value - (it == before.end() ? 0.0 : it->second);
@@ -104,6 +123,23 @@ FlowResult run_flow(const FlowOptions& opt_in) {
   res.clock_ns = opt.clock_ns;
   res.seed = opt.seed;
   res.check_level = opt.check_level;
+
+  // Trace collection window: opened before the flow span so the root span
+  // lands in the timeline, attributed to this run's own trace flow (its
+  // Chrome-trace pid). The real benchmark name replaces the placeholder
+  // once gen has run.
+  const bool tracing = opt.trace || obs::env_enabled();
+  std::optional<obs::ScopedTraceEnable> trace_window;
+  std::optional<obs::ScopedFlow> flow_attribution;
+  uint32_t flow_id = 0;
+  if (tracing) {
+    trace_window.emplace();
+    flow_id = obs::register_flow(util::strf("flow %s/%s",
+                                            tech::to_string(opt.node),
+                                            tech::to_string(opt.style)));
+    flow_attribution.emplace(flow_id);
+    res.trace_enabled = true;
+  }
   util::ScopedTimer flow_span(
       util::strf("flow.run %s/%s", tech::to_string(opt.node),
                  tech::to_string(opt.style)));
@@ -121,7 +157,7 @@ FlowResult run_flow(const FlowOptions& opt_in) {
 
   // 1. Benchmark netlist.
   circuit::Netlist& nl = res.netlist;
-  run_stage(&res, "gen", [&] {
+  run_stage(&res, "gen", tracing, [&] {
     if (opt.custom_netlist != nullptr) {
       res.netlist = *opt.custom_netlist;
     } else {
@@ -132,9 +168,14 @@ FlowResult run_flow(const FlowOptions& opt_in) {
     }
     res.bench_name = nl.name;
   });
+  if (tracing) {
+    obs::set_flow_name(flow_id, util::strf("%s %s/%s", res.bench_name.c_str(),
+                                           tech::to_string(opt.node),
+                                           tech::to_string(opt.style)));
+  }
 
   // 2. Synthesis with the style's WLM.
-  run_stage(&res, "synth", [&] {
+  run_stage(&res, "synth", tracing, [&] {
     const synth::Wlm wlm =
         opt.wlm.has_value() ? *opt.wlm : default_wlm(opt, nl, tch);
     synth::SynthOptions sopt;
@@ -144,7 +185,7 @@ FlowResult run_flow(const FlowOptions& opt_in) {
 
   // 3. Placement, plus clock tree synthesis (the tree's buffers/nets are
   // ordinary objects: routed, extracted and powered like everything else).
-  run_stage(&res, "place", [&] {
+  run_stage(&res, "place", tracing, [&] {
     res.die = place::make_die(&nl, opt.target_util, tch.row_height_um());
     place::PlaceOptions popt;
     popt.target_util = opt.target_util;
@@ -159,7 +200,7 @@ FlowResult run_flow(const FlowOptions& opt_in) {
 
   // 4. Pre-route optimization on placement estimates.
   opt::OptOptions oopt;
-  run_stage(&res, "opt_preroute", [&] {
+  run_stage(&res, "opt_preroute", tracing, [&] {
     oopt.clock_ns = opt.clock_ns;
     oopt.die = &res.die;  // keep inserted buffers row-legal
     oopt.allow_buffering = true;
@@ -173,7 +214,7 @@ FlowResult run_flow(const FlowOptions& opt_in) {
   });
 
   // 5. Global routing.
-  run_stage(&res, "route", [&] {
+  run_stage(&res, "route", tracing, [&] {
     route::RouteOptions ropt;
     ropt.seed = opt.seed;
     ropt.local_blockage_frac =
@@ -183,7 +224,7 @@ FlowResult run_flow(const FlowOptions& opt_in) {
   });
 
   // 6. Post-route optimization: sizing only, routes preserved (paper S5).
-  run_stage(&res, "opt_postroute", [&] {
+  run_stage(&res, "opt_postroute", tracing, [&] {
     opt::OptOptions oopt2 = oopt;
     oopt2.allow_buffering = false;
     opt::optimize(&nl, *opt.lib,
@@ -194,7 +235,7 @@ FlowResult run_flow(const FlowOptions& opt_in) {
   });
 
   // 7. Sign-off timing and power.
-  run_stage(&res, "sta_power", [&] {
+  run_stage(&res, "sta_power", tracing, [&] {
     const auto par = extract::extract_from_routes(nl, tch, res.routes);
     sta::StaOptions sta_opt;
     sta_opt.clock_ns = opt.clock_ns;
@@ -211,7 +252,7 @@ FlowResult run_flow(const FlowOptions& opt_in) {
   // are recorded, counted and logged — never fatal — so sweeps and fuzz
   // runs see the complete picture instead of dying on the first breach.
   if (opt.check_level != check::Level::kNone) {
-    run_stage(&res, "check", [&] {
+    run_stage(&res, "check", tracing, [&] {
       check::CheckResult cr = check::check_netlist(nl);
       cr.merge(check::check_timing(nl, timing));
       cr.merge(check::check_power(nl, power));
@@ -240,6 +281,14 @@ FlowResult run_flow(const FlowOptions& opt_in) {
   }
   }  // flow-local sink scope
   parent.merge_from(local);
+
+  if (tracing) {
+    // Close the root span before snapshotting so the summary sees every
+    // span of this flow completed, then reduce this flow's events to the
+    // deterministic per-name summary for the v3 report block.
+    flow_span.stop();
+    res.trace_spans = obs::summarize_spans(obs::snapshot(), flow_id);
+  }
 
   const circuit::Netlist& nl = res.netlist;
   res.footprint_um2 = res.die.core.area();

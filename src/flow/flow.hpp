@@ -17,6 +17,7 @@
 #include "circuit/netlist.hpp"
 #include "gen/gen.hpp"
 #include "liberty/library.hpp"
+#include "obs/trace.hpp"
 #include "place/place.hpp"
 #include "power/power.hpp"
 #include "route/route.hpp"
@@ -53,6 +54,13 @@ struct FlowOptions {
   /// `bench` (the fuzz driver pushes random circuits through the flow this
   /// way). Must outlive the call; `seed` still controls place/route.
   const circuit::Netlist* custom_netlist = nullptr;
+  /// Structured trace collection (src/obs) for this run: span timeline
+  /// events, exec pool activity, stage-boundary memory samples, and a span
+  /// summary + per-stage "mem" block in the run report (schema becomes
+  /// m3d.run_report/v3). Also enabled by M3D_TRACE=1 in the environment.
+  /// Off (the default): canonical outputs are byte-identical to a build
+  /// without the trace subsystem.
+  bool trace = false;
 };
 
 /// Per-stage observability record: wall time plus the counters the stage's
@@ -63,6 +71,13 @@ struct StageReport {
   std::string name;
   double wall_ms = 0.0;
   std::vector<std::pair<std::string, double>> counters;
+  // Memory profile of the stage, populated only when FlowOptions::trace /
+  // M3D_TRACE is on (all zero otherwise): process RSS and peak RSS at stage
+  // exit, and the CountingAllocator traffic (obs/mem.hpp) during the stage.
+  double rss_mb = 0.0;
+  double hwm_mb = 0.0;
+  double alloc_mb = 0.0;
+  int64_t allocs = 0;
 
   double counter(const std::string& key) const {
     for (const auto& [k, v] : counters) {
@@ -108,6 +123,11 @@ struct FlowResult {
   uint64_t seed = 0;
   check::Level check_level = check::Level::kNone;
   check::CheckResult checks;
+  // Trace collection record (FlowOptions::trace / M3D_TRACE): whether this
+  // run was traced, and the deterministic per-span-name summary (sorted by
+  // name) that report::to_json serializes into the v3 "trace" block.
+  bool trace_enabled = false;
+  std::vector<obs::SpanSummary> trace_spans;
 
   const StageReport* stage(const std::string& name) const {
     for (const auto& s : stages) {

@@ -42,7 +42,37 @@ Value stage_to_json(const flow::StageReport& s, bool canonical) {
     counters.set(key, Value::number(value));
   }
   v.set("counters", std::move(counters));
+  // The memory profile exists only on traced runs (all-zero otherwise), so
+  // untraced reports serialize without a "mem" key — byte-identical to a
+  // build that predates the trace subsystem. Canonical form zeroes the
+  // machine-dependent values but keeps the key: presence is deterministic
+  // for a given FlowOptions, the numbers are not.
+  if (s.rss_mb != 0.0 || s.hwm_mb != 0.0 || s.alloc_mb != 0.0 ||
+      s.allocs != 0) {
+    Value mem = Value::object();
+    mem.set("rss_mb", Value::number(canonical ? 0.0 : s.rss_mb));
+    mem.set("hwm_mb", Value::number(canonical ? 0.0 : s.hwm_mb));
+    mem.set("alloc_mb", Value::number(canonical ? 0.0 : s.alloc_mb));
+    mem.set("allocs",
+            Value::number(canonical ? 0.0 : static_cast<double>(s.allocs)));
+    v.set("mem", std::move(mem));
+  }
   return v;
+}
+
+Value trace_block(const flow::FlowResult& r, bool canonical) {
+  Value t = Value::object();
+  Value spans = Value::array();
+  for (const obs::SpanSummary& s : r.trace_spans) {
+    Value sp = Value::object();
+    sp.set("name", Value::str(s.name));
+    sp.set("count", Value::number(static_cast<double>(s.count)));
+    sp.set("total_ms", Value::number(canonical ? 0.0 : s.total_ms));
+    sp.set("self_ms", Value::number(canonical ? 0.0 : s.self_ms));
+    spans.push(std::move(sp));
+  }
+  t.set("spans", std::move(spans));
+  return t;
 }
 
 Value checks_block(const flow::FlowResult& r) {
@@ -75,7 +105,11 @@ Value checks_block(const flow::FlowResult& r) {
 
 Value build_json(const flow::FlowResult& r, bool canonical) {
   Value doc = Value::object();
-  doc.set("schema", Value::str("m3d.run_report/v2"));
+  // Untraced runs keep serializing the v2 document byte-for-byte (golden
+  // snapshots and determinism tests compare against it); a traced run is a
+  // v3 document: v2 plus the per-stage "mem" objects and the "trace" block.
+  doc.set("schema", Value::str(r.trace_enabled ? "m3d.run_report/v3"
+                                               : "m3d.run_report/v2"));
   doc.set("bench", Value::str(r.bench_name));
   doc.set("style", Value::str(tech::to_string(r.style)));
   doc.set("clock_ns", Value::number(r.clock_ns));
@@ -92,6 +126,7 @@ Value build_json(const flow::FlowResult& r, bool canonical) {
   }
   doc.set("stages", std::move(stages));
   doc.set("total_wall_ms", Value::number(canonical ? 0.0 : total_ms));
+  if (r.trace_enabled) doc.set("trace", trace_block(r, canonical));
   return doc;
 }
 
@@ -144,6 +179,13 @@ bool parse_stages(const std::string& json_text,
         sr.counters.emplace_back(key, value.as_number());
       }
     }
+    if (const Value* mem = item.find("mem");
+        mem != nullptr && mem->is_object()) {
+      sr.rss_mb = mem->number_or("rss_mb", 0.0);
+      sr.hwm_mb = mem->number_or("hwm_mb", 0.0);
+      sr.alloc_mb = mem->number_or("alloc_mb", 0.0);
+      sr.allocs = static_cast<int64_t>(mem->number_or("allocs", 0.0));
+    }
     out->push_back(std::move(sr));
   }
   return true;
@@ -172,6 +214,7 @@ Value metrics_to_json() {
     stats.set("max", Value::number(h.max));
     stats.set("p95", Value::number(h.p95));
     stats.set("total", Value::number(h.total));
+    if (h.approximate) stats.set("approximate", Value::boolean(true));
     hists.set(name, std::move(stats));
   }
   doc.set("histograms", std::move(hists));

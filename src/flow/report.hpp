@@ -7,6 +7,13 @@
 // drop one per run under out_figs/run_<bench>_<style>.json so later perf
 // PRs can diff where the time goes; tests/golden snapshots the canonical
 // form for regression.
+//
+// A run traced via FlowOptions::trace / M3D_TRACE serializes as schema
+// "m3d.run_report/v3": the v2 document plus a per-stage "mem" object
+// (stage-exit RSS, peak RSS, counting-allocator traffic) and a top-level
+// "trace" block with the deterministic span-tree summary (per span name:
+// count, total ms, self ms; sorted by name). Untraced runs keep producing
+// v2 byte-for-byte, so goldens never see the new fields.
 #pragma once
 
 #include <string>

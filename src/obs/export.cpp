@@ -1,0 +1,316 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <ctime>
+#include <fstream>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "util/strf.hpp"
+
+namespace m3d::obs {
+namespace {
+
+/// JSON string escaping for event/thread names (always quoted).
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::strf("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string ts_us(uint64_t ns) { return util::strf("%.3f", ns / 1000.0); }
+
+int pid_of(uint32_t flow) { return static_cast<int>(flow) + 1; }
+
+/// The export carries one human-readable wall-clock stamp so a trace file
+/// can be correlated with CI logs; it never feeds a canonical output.
+std::string wall_clock_stamp() {
+  // m3d-lint: allow(L003) capture-time metadata stamp, not a canonical path
+  const std::time_t t = std::time(nullptr);
+  char buf[64];
+  std::tm tm_utc;
+  gmtime_r(&t, &tm_utc);
+  // m3d-lint: allow(L003) same capture-time metadata stamp as above
+  if (std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc) == 0) {
+    return "unknown";
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_string(const Snapshot& snap) {
+  // First pass: which pids appear, and which (pid, tid) pairs emit events,
+  // so the metadata block names every track the viewer will show.
+  std::set<int> pids;
+  std::set<std::pair<int, int>> tracks;
+  for (const auto& th : snap.threads) {
+    for (const auto& ev : th.events) {
+      pids.insert(pid_of(ev.flow));
+      tracks.insert({pid_of(ev.flow), th.tid});
+    }
+  }
+
+  std::string out = "{\n\"traceEvents\": [\n";
+  bool first = true;
+  auto line = [&](std::string s) {
+    if (!first) out += ",\n";
+    first = false;
+    out += s;
+  };
+
+  for (int pid : pids) {
+    std::string name = "process";
+    for (const auto& [id, fname] : snap.flows) {
+      if (pid_of(id) == pid) name = fname;
+    }
+    line(util::strf("{\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+                    "\"name\":\"process_name\",\"args\":{\"name\":%s}}",
+                    pid, quoted(name).c_str()));
+  }
+  for (const auto& [pid, tid] : tracks) {
+    std::string tname = util::strf("thread%d", tid);
+    for (const auto& th : snap.threads) {
+      if (th.tid == tid) tname = th.name;
+    }
+    line(util::strf("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                    "\"name\":\"thread_name\",\"args\":{\"name\":%s}}",
+                    pid, tid, quoted(tname).c_str()));
+  }
+
+  for (const auto& th : snap.threads) {
+    for (const auto& ev : th.events) {
+      const int pid = pid_of(ev.flow);
+      switch (ev.type) {
+        case EventType::kBegin:
+          line(util::strf(
+              "{\"ph\":\"B\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"name\":%s,"
+              "\"args\":{\"span\":\"%llu\",\"parent\":\"%llu\"}}",
+              pid, th.tid, ts_us(ev.ts_ns).c_str(), quoted(ev.name).c_str(),
+              static_cast<unsigned long long>(ev.span_id),
+              static_cast<unsigned long long>(ev.parent_id)));
+          break;
+        case EventType::kEnd:
+          line(util::strf("{\"ph\":\"E\",\"pid\":%d,\"tid\":%d,\"ts\":%s}",
+                          pid, th.tid, ts_us(ev.ts_ns).c_str()));
+          break;
+        case EventType::kComplete:
+          line(util::strf("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,"
+                          "\"dur\":%s,\"name\":%s}",
+                          pid, th.tid, ts_us(ev.ts_ns).c_str(),
+                          ts_us(ev.dur_ns).c_str(), quoted(ev.name).c_str()));
+          break;
+        case EventType::kInstant:
+          line(util::strf("{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,"
+                          "\"ts\":%s,\"name\":%s}",
+                          pid, th.tid, ts_us(ev.ts_ns).c_str(),
+                          quoted(ev.name).c_str()));
+          break;
+        case EventType::kCounter:
+          line(util::strf("{\"ph\":\"C\",\"pid\":%d,\"tid\":%d,\"ts\":%s,"
+                          "\"name\":%s,\"args\":{\"value\":%.6g}}",
+                          pid, th.tid, ts_us(ev.ts_ns).c_str(),
+                          quoted(ev.name).c_str(), ev.value));
+          break;
+      }
+    }
+  }
+
+  out += util::strf(
+      "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": "
+      "{\"captured_at\": %s, \"events_recorded\": \"%llu\", "
+      "\"events_dropped\": \"%llu\"}\n}\n",
+      quoted(wall_clock_stamp()).c_str(),
+      static_cast<unsigned long long>(snap.events_recorded),
+      static_cast<unsigned long long>(snap.events_dropped));
+  return out;
+}
+
+bool write_chrome_trace(const Snapshot& snap, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << chrome_trace_string(snap);
+  return static_cast<bool>(os);
+}
+
+bool validate_chrome_trace(const util::json::Value& doc, std::string* err) {
+  auto fail = [&](std::string msg) {
+    if (err != nullptr) *err = std::move(msg);
+    return false;
+  };
+  const util::json::Value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return fail("no traceEvents array");
+  }
+
+  std::map<std::pair<int, int>, int> stack_depth;   // (pid, tid) -> open B's
+  std::map<int, double> last_ts;                    // tid -> last ts seen
+  std::set<std::pair<int, int>> named_tracks;       // thread_name metadata
+  std::set<int> named_pids;                         // process_name metadata
+  std::set<std::pair<int, int>> used_tracks;
+  std::set<int> used_pids;
+
+  size_t index = 0;
+  for (const util::json::Value& ev : events->items()) {
+    ++index;
+    if (!ev.is_object()) return fail(util::strf("event %zu not an object", index));
+    const std::string ph = ev.string_or("ph", "");
+    const int pid = static_cast<int>(ev.number_or("pid", -1));
+    const int tid = static_cast<int>(ev.number_or("tid", -1));
+    if (pid < 0 || tid < 0) {
+      return fail(util::strf("event %zu missing pid/tid", index));
+    }
+    if (ph == "M") {
+      const std::string what = ev.string_or("name", "");
+      if (what == "thread_name") named_tracks.insert({pid, tid});
+      if (what == "process_name") named_pids.insert(pid);
+      continue;
+    }
+    if (ph != "B" && ph != "E" && ph != "X" && ph != "i" && ph != "C") {
+      return fail(util::strf("event %zu has unknown phase '%s'", index,
+                             ph.c_str()));
+    }
+    used_pids.insert(pid);
+    used_tracks.insert({pid, tid});
+    const double ts = ev.number_or("ts", -1.0);
+    if (ts < 0.0) return fail(util::strf("event %zu missing ts", index));
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end() && ts < it->second) {
+      return fail(util::strf(
+          "event %zu: ts %.3f precedes %.3f on tid %d (non-monotonic)", index,
+          ts, it->second, tid));
+    }
+    last_ts[tid] = ts;
+    if (ph == "B") {
+      ++stack_depth[{pid, tid}];
+    } else if (ph == "E") {
+      int& depth = stack_depth[{pid, tid}];
+      if (depth == 0) {
+        return fail(util::strf(
+            "event %zu: E without matching B on pid %d tid %d", index, pid,
+            tid));
+      }
+      --depth;
+    }
+  }
+  for (const auto& [track, depth] : stack_depth) {
+    if (depth != 0) {
+      return fail(util::strf("pid %d tid %d: %d unclosed B event(s)",
+                             track.first, track.second, depth));
+    }
+  }
+  for (int pid : used_pids) {
+    if (named_pids.count(pid) == 0) {
+      return fail(util::strf("pid %d has events but no process_name", pid));
+    }
+  }
+  for (const auto& track : used_tracks) {
+    if (named_tracks.count(track) == 0) {
+      return fail(util::strf("pid %d tid %d has events but no thread_name",
+                             track.first, track.second));
+    }
+  }
+  return true;
+}
+
+std::vector<SpanSummary> summarize_spans(const Snapshot& snap, uint32_t flow) {
+  struct Agg {
+    int64_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t self_ns = 0;
+  };
+  std::map<std::string, Agg> agg;
+
+  struct Open {
+    uint64_t span_id;
+    uint64_t ts_ns;
+    uint64_t child_ns = 0;
+    uint32_t flow;
+    const std::string* name;
+  };
+  for (const auto& th : snap.threads) {
+    std::vector<Open> stack;
+    auto credit = [&](const std::string& name, uint32_t ev_flow, uint64_t dur,
+                      uint64_t child) {
+      if (!stack.empty()) stack.back().child_ns += dur;
+      if (flow != kAllFlows && ev_flow != flow) return;
+      Agg& a = agg[name];
+      ++a.count;
+      a.total_ns += dur;
+      a.self_ns += dur > child ? dur - child : 0;
+    };
+    for (const auto& ev : th.events) {
+      switch (ev.type) {
+        case EventType::kBegin:
+          stack.push_back({ev.span_id, ev.ts_ns, 0, ev.flow, &ev.name});
+          break;
+        case EventType::kEnd: {
+          // Pop to the matching begin; unmatched intervening opens (a span
+          // truncated by buffer overflow) are discarded.
+          while (!stack.empty() && stack.back().span_id != ev.span_id) {
+            stack.pop_back();
+          }
+          if (stack.empty()) break;
+          const Open open = stack.back();
+          stack.pop_back();
+          const uint64_t dur =
+              ev.ts_ns > open.ts_ns ? ev.ts_ns - open.ts_ns : 0;
+          credit(*open.name, open.flow, dur, open.child_ns);
+          break;
+        }
+        case EventType::kComplete:
+          credit(ev.name, ev.flow, ev.dur_ns, 0);
+          break;
+        case EventType::kInstant:
+        case EventType::kCounter:
+          break;
+      }
+    }
+  }
+
+  std::vector<SpanSummary> out;
+  out.reserve(agg.size());
+  for (const auto& [name, a] : agg) {
+    SpanSummary s;
+    s.name = name;
+    s.count = a.count;
+    s.total_ms = a.total_ns / 1e6;
+    s.self_ms = a.self_ns / 1e6;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string trace_filename(const std::string& bench,
+                           const std::string& style) {
+  auto sanitize = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                      c == '.' || c == '_' || c == '-';
+      out.push_back(ok ? c : '_');
+    }
+    return out;
+  };
+  return "trace_" + sanitize(bench) + "_" + sanitize(style) + ".json";
+}
+
+}  // namespace m3d::obs

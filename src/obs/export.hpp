@@ -1,0 +1,52 @@
+// Trace artifacts from an obs::Snapshot: Chrome trace-event JSON (loads in
+// chrome://tracing and the Perfetto UI), a validator for that JSON (the
+// tier-1 schema test and m3d_prof both run it), and the deterministic span
+// summary embedded in v3 run reports.
+//
+// Export mapping: one Chrome *pid* per registered flow (pid = flow id + 1;
+// pid 1 is the process-level timeline for exec pool events recorded outside
+// any flow), one *tid* per recorded thread. Span begin/end pairs become
+// "B"/"E" duration events carrying the stable span id and parent id in
+// args; instants become "i" (thread-scoped); counter samples become "C"
+// tracks. Timestamps are microseconds from the collector epoch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace m3d::obs {
+
+/// Serializes `snap` as Chrome trace-event JSON ("traceEvents" array plus
+/// process/thread metadata). Returns false when the file cannot be written.
+bool write_chrome_trace(const Snapshot& snap, const std::string& path);
+
+/// The same document as an in-memory string (tests).
+std::string chrome_trace_string(const Snapshot& snap);
+
+/// Structural validation of an exported (or foreign) Chrome trace document:
+///  * "traceEvents" is an array and every entry has a known phase;
+///  * per (pid, tid), "B"/"E" events balance like a stack;
+///  * per tid, timestamps are monotonically non-decreasing in file order;
+///  * every (pid, tid) that emits events has thread_name metadata, and
+///    every pid has process_name metadata.
+/// On failure returns false and describes the first problem in *err.
+bool validate_chrome_trace(const util::json::Value& doc,
+                           std::string* err = nullptr);
+
+/// Aggregates completed spans into per-name count/total/self statistics,
+/// sorted by name (canonical order). `flow` filters to one flow's spans;
+/// kAllFlows aggregates everything. Spans still open at snapshot time are
+/// skipped (their children still attribute self-time correctly).
+inline constexpr uint32_t kAllFlows = 0xffffffffu;
+std::vector<SpanSummary> summarize_spans(const Snapshot& snap,
+                                         uint32_t flow = kAllFlows);
+
+/// "FPU" + "T-MI" -> "trace_FPU_T-MI.json" (same sanitization as
+/// report::report_filename).
+std::string trace_filename(const std::string& bench, const std::string& style);
+
+}  // namespace m3d::obs

@@ -1,0 +1,56 @@
+#include "obs/mem.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace m3d::obs {
+namespace {
+
+std::atomic<uint64_t> g_alloc_bytes{0};
+std::atomic<uint64_t> g_alloc_calls{0};
+
+/// Parses a "VmRSS:   123456 kB" line; returns -1 when the key is absent.
+double parse_kb_line(const char* line, const char* key) {
+  const size_t klen = std::strlen(key);
+  if (std::strncmp(line, key, klen) != 0) return -1.0;
+  long long kb = 0;
+  if (std::sscanf(line + klen, " %lld", &kb) != 1) return -1.0;
+  return static_cast<double>(kb);
+}
+
+}  // namespace
+
+MemSample sample_rss() {
+  MemSample s;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return s;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    double kb = parse_kb_line(line, "VmRSS:");
+    if (kb >= 0.0) s.rss_mb = kb / 1024.0;
+    kb = parse_kb_line(line, "VmHWM:");
+    if (kb >= 0.0) s.hwm_mb = kb / 1024.0;
+  }
+  std::fclose(f);
+  return s;
+}
+
+uint64_t allocated_bytes() {
+  return g_alloc_bytes.load(std::memory_order_relaxed);
+}
+
+uint64_t allocation_calls() {
+  return g_alloc_calls.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void count_allocation(size_t bytes) {
+  g_alloc_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+}  // namespace m3d::obs

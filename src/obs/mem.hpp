@@ -1,0 +1,65 @@
+// Memory profiling hooks: stage-boundary RSS sampling and an opt-in
+// counting allocator for the big flow containers.
+//
+// `sample_rss()` reads VmRSS/VmHWM from /proc/self/status — a handful of
+// microseconds, called only at flow stage boundaries (and only when tracing
+// is on), never in kernels. On platforms without procfs it returns zeros.
+//
+// `CountingAllocator<T>` wraps std::allocator<T> and counts every
+// allocate() into process-wide relaxed atomics (bytes + calls). A container
+// opts in by using the `obs::vector<T>` alias; the flow snapshots the
+// counters around each stage to attribute allocation traffic per stage.
+// The count is two relaxed fetch_adds per allocation — noise next to the
+// allocation itself — and does not depend on tracing being enabled, so the
+// deltas are meaningful to callers (m3d_shell, tests) outside traced flows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace m3d::obs {
+
+/// Point-in-time process memory footprint, in MiB. Zeros when unavailable.
+struct MemSample {
+  double rss_mb = 0.0;  // VmRSS: current resident set
+  double hwm_mb = 0.0;  // VmHWM: peak resident set since process start
+};
+
+MemSample sample_rss();
+
+/// Allocation counters accumulated by every CountingAllocator in the
+/// process since start. Monotonic; callers diff snapshots around a window.
+uint64_t allocated_bytes();
+uint64_t allocation_calls();
+
+namespace detail {
+void count_allocation(size_t bytes);
+}  // namespace detail
+
+template <typename T>
+struct CountingAllocator {
+  using value_type = T;
+
+  CountingAllocator() = default;
+  template <typename U>
+  CountingAllocator(const CountingAllocator<U>&) {}  // NOLINT(runtime/explicit)
+
+  T* allocate(size_t n) {
+    detail::count_allocation(n * sizeof(T));
+    return std::allocator<T>().allocate(n);
+  }
+  void deallocate(T* p, size_t n) { std::allocator<T>().deallocate(p, n); }
+
+  bool operator==(const CountingAllocator&) const { return true; }
+  bool operator!=(const CountingAllocator&) const { return false; }
+};
+
+/// The opt-in: big flow containers declare obs::vector<T> instead of
+/// std::vector<T> and their allocation traffic shows up in the per-stage
+/// memory profile.
+template <typename T>
+using vector = std::vector<T, CountingAllocator<T>>;
+
+}  // namespace m3d::obs

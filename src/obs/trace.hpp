@@ -1,0 +1,164 @@
+// Structured trace-event collection: the observability seam under the span
+// timers (util/trace.hpp), the exec pool hooks (src/exec) and the memory
+// profiler (obs/mem.hpp). Each thread records TraceEvents (span begin/end,
+// instant markers, counter samples) into its own fixed-capacity buffer —
+// no cross-thread contention on the hot path beyond one uncontended mutex —
+// and a snapshot copies everything out for export (obs/export.hpp: Chrome
+// trace JSON + deterministic span summaries).
+//
+// Collection is off by default and costs one relaxed atomic load per
+// call site when off, so canonical outputs, goldens and the serial-vs-
+// parallel byte-identity guarantee are untouched unless a caller opts in
+// (FlowOptions::trace, M3D_TRACE=1, or a ScopedTraceEnable).
+//
+// Buffer policy: each thread's buffer holds at most buffer_capacity()
+// events (M3D_TRACE_BUF, default 65536). When full, *new* events are
+// dropped — never overwritten — so a truncated trace keeps a well-formed
+// prefix; drops are counted per thread and published as `obs.events_dropped`
+// (plus `obs.events_recorded` and `obs.buffer_high_water`) at snapshot
+// time, and the first drop per thread logs a warning. Trace truncation is
+// never silent.
+//
+// Timestamps are steady-clock nanoseconds since the process-wide collector
+// epoch: monotonic per thread, comparable across threads, and free of
+// wall-clock reads (m3d_lint L003 stays enforced here; the one sanctioned
+// wall-clock site is the `captured_at` stamp in obs/export.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace m3d::obs {
+
+enum class EventType : uint8_t { kBegin, kEnd, kComplete, kInstant, kCounter };
+
+struct TraceEvent {
+  EventType type = EventType::kInstant;
+  /// Flow attribution (export pid); 0 = process-level (exec pool, tests).
+  uint32_t flow = 0;
+  /// Steady-clock nanoseconds since the collector epoch.
+  uint64_t ts_ns = 0;
+  /// kComplete: span length (emitted once, at close — exec idle windows use
+  /// this so a sleeping worker never leaves an unbalanced begin behind).
+  uint64_t dur_ns = 0;
+  /// kBegin/kEnd: this span's id (process-unique, never 0 for real spans).
+  uint64_t span_id = 0;
+  /// kBegin: the enclosing span at emission time (0 = root).
+  uint64_t parent_id = 0;
+  /// kCounter: the sampled value.
+  double value = 0.0;
+  /// kBegin/kComplete/kInstant/kCounter: event name. kEnd: empty (pairs by
+  /// span_id).
+  std::string name;
+};
+
+/// True while at least one ScopedTraceEnable is alive. One relaxed atomic
+/// load: every emission site checks this first.
+bool enabled();
+
+/// True when the M3D_TRACE environment variable is set to a nonzero value
+/// (read once per process).
+bool env_enabled();
+
+/// RAII collection window: increments the enable refcount so overlapping
+/// windows (concurrent traced flows) compose.
+class ScopedTraceEnable {
+ public:
+  ScopedTraceEnable();
+  ~ScopedTraceEnable();
+  ScopedTraceEnable(const ScopedTraceEnable&) = delete;
+  ScopedTraceEnable& operator=(const ScopedTraceEnable&) = delete;
+};
+
+/// Allocates a process-unique span id (monotonic, starts at 1).
+uint64_t next_span_id();
+
+/// Registers a flow timeline (one pid in the Chrome export) and returns its
+/// id (>= 1). `set_flow_name` renames it once the flow knows its benchmark.
+uint32_t register_flow(const std::string& name);
+void set_flow_name(uint32_t flow, const std::string& name);
+
+/// The calling thread's flow attribution for new events (0 outside flows).
+/// Propagated across exec pool hops via util::SpanContext.
+uint32_t current_flow();
+void set_current_flow(uint32_t flow);
+
+/// RAII flow attribution for the calling thread.
+class ScopedFlow {
+ public:
+  explicit ScopedFlow(uint32_t flow);
+  ~ScopedFlow();
+  ScopedFlow(const ScopedFlow&) = delete;
+  ScopedFlow& operator=(const ScopedFlow&) = delete;
+
+ private:
+  uint32_t saved_;
+};
+
+/// Names the calling thread's track in the export ("main", "route/worker3").
+/// Cheap and safe to call whether or not collection is enabled.
+void set_thread_name(const std::string& name);
+
+/// Emission. Callers gate on enabled() except emit_end: a span that emitted
+/// its begin must emit its end even if the window closed in between, so
+/// exported traces stay balanced.
+void emit_begin(const std::string& name, uint64_t span_id, uint64_t parent_id);
+void emit_end(uint64_t span_id);
+/// One already-closed span [start_ns, now]: a Chrome "X" complete event.
+void emit_complete(const std::string& name, uint64_t start_ns);
+void emit_instant(const std::string& name);
+void emit_counter(const std::string& name, double value);
+
+/// Steady-clock nanoseconds since the collector epoch (the timebase of
+/// every TraceEvent) — capture before a window to emit_complete later.
+uint64_t timestamp_ns();
+
+/// Per-thread copy-out of everything recorded since the last reset().
+struct ThreadSnapshot {
+  int tid = 0;
+  std::string name;
+  std::vector<TraceEvent> events;  // in emission (= timestamp) order
+  uint64_t recorded = 0;
+  uint64_t dropped = 0;
+};
+
+struct Snapshot {
+  std::vector<ThreadSnapshot> threads;  // ordered by tid
+  /// flow id -> name, ordered by id (flow ids restart at 1 after reset()).
+  std::vector<std::pair<uint32_t, std::string>> flows;
+  uint64_t events_recorded = 0;
+  uint64_t events_dropped = 0;
+  /// Largest single-thread event count — how close the busiest buffer came
+  /// to truncation.
+  uint64_t buffer_high_water = 0;
+};
+
+/// Copies all buffers out and publishes the collector's own health gauges
+/// (`obs.events_recorded`, `obs.events_dropped`, `obs.buffer_high_water`)
+/// into the global metrics registry.
+Snapshot snapshot();
+
+/// Clears every thread buffer and the flow table (thread registrations and
+/// names persist; buffers are reused). Tests and m3d_prof call this between
+/// capture windows.
+void reset();
+
+/// Per-thread event capacity: M3D_TRACE_BUF at first use, default 65536.
+/// set_buffer_capacity overrides it at runtime (tests; applies to events
+/// recorded after the call — it does not evict already-buffered events).
+size_t buffer_capacity();
+void set_buffer_capacity(size_t events);
+
+/// Aggregated span statistics ("trace" block of the v3 run report and the
+/// m3d_prof top-N table): per span name, how many spans completed, their
+/// total wall time and their self time (total minus enclosed child spans).
+struct SpanSummary {
+  std::string name;
+  int64_t count = 0;
+  double total_ms = 0.0;
+  double self_ms = 0.0;
+};
+
+}  // namespace m3d::obs

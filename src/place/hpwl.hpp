@@ -32,6 +32,7 @@
 #include "circuit/netlist.hpp"
 #include "geom/point.hpp"
 #include "geom/rect.hpp"
+#include "obs/mem.hpp"
 
 namespace m3d::place {
 
@@ -91,7 +92,10 @@ class HpwlCache {
 
   const circuit::Netlist& nl_;
   const circuit::NetlistIndex& idx_;
-  std::vector<double> hpwl_;
+  // obs::vector: the cache and its pin mirror are the placer's dominant
+  // allocations, so they opt into the counting allocator (obs/mem.hpp) for
+  // the per-stage memory profile.
+  obs::vector<double> hpwl_;
   // Batched observability counters, posted to the metrics sink on
   // destruction (mutable: net_hpwl/evaluate are logically const).
   mutable uint64_t cache_hits_ = 0;
@@ -100,8 +104,8 @@ class HpwlCache {
   // evaluate() answers for any net id).
   std::vector<int> pin_off_;
   std::vector<circuit::InstId> pin_inst_;
-  std::vector<double> pin_x_;
-  std::vector<double> pin_y_;
+  obs::vector<double> pin_x_;
+  obs::vector<double> pin_y_;
   std::vector<geom::Rect> port_box_;  // fixed chip-port bbox per net
   // Reverse map inst -> packed slots, CSR by instance id (for update_inst).
   std::vector<int> slot_off_;

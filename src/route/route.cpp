@@ -8,6 +8,7 @@
 
 #include "circuit/index.hpp"
 #include "exec/exec.hpp"
+#include "obs/mem.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -176,9 +177,11 @@ double path_cost(const Grid& grid, int level, const std::vector<Cell>& path) {
 /// the scratch never leaks state across calls (every read goes through
 /// touch()), so results are bit-identical to the fresh-vector version.
 struct MazeScratch {
-  std::vector<double> dist;
-  std::vector<int> parent;
-  std::vector<uint64_t> stamp;
+  // obs::vector: the maze arrays are the router's dominant allocations, so
+  // they opt into the counting allocator for the per-stage memory profile.
+  obs::vector<double> dist;
+  obs::vector<int> parent;
+  obs::vector<uint64_t> stamp;
   uint64_t epoch = 0;
 
   /// Starts a maze over `cells` slots; grows the arrays if needed and
@@ -216,8 +219,8 @@ std::vector<Cell> maze_route(const Grid& grid, int level, const Cell& a,
   auto idx = [&](int x, int y) { return static_cast<size_t>((y - ylo) * w + (x - xlo)); };
   thread_local MazeScratch scratch;
   scratch.begin(static_cast<size_t>(w * h));
-  std::vector<double>& dist = scratch.dist;
-  std::vector<int>& parent = scratch.parent;
+  obs::vector<double>& dist = scratch.dist;
+  obs::vector<int>& parent = scratch.parent;
   using QE = std::pair<double, int>;
   std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
   scratch.touch(idx(a.x, a.y));

@@ -1,5 +1,6 @@
 #include "util/trace.hpp"
 
+#include "obs/trace.hpp"
 #include "util/metrics.hpp"
 #include "util/strf.hpp"
 
@@ -7,6 +8,7 @@ namespace m3d::util {
 namespace {
 
 thread_local int t_depth = 0;
+thread_local uint64_t t_span = 0;  // innermost traced span id
 
 std::string indent(int depth) {
   return std::string(static_cast<size_t>(depth) * 2, ' ');
@@ -16,14 +18,32 @@ std::string indent(int depth) {
 
 int span_depth() { return t_depth; }
 
-SpanContext capture_span_context() { return SpanContext{t_depth}; }
+uint64_t current_span_id() { return t_span; }
 
-SpanContextScope::SpanContextScope(const SpanContext& ctx)
-    : saved_depth_(t_depth) {
-  t_depth = ctx.depth;
+SpanContext capture_span_context() {
+  return SpanContext{t_depth, t_span, obs::current_flow()};
 }
 
-SpanContextScope::~SpanContextScope() { t_depth = saved_depth_; }
+SpanContextScope::SpanContextScope(const SpanContext& ctx)
+    : saved_depth_(t_depth),
+      saved_span_(t_span),
+      saved_flow_(obs::current_flow()) {
+  t_depth = ctx.depth;
+  t_span = ctx.span_id;
+  obs::set_current_flow(ctx.flow);
+}
+
+SpanContextScope::~SpanContextScope() {
+  t_depth = saved_depth_;
+  t_span = saved_span_;
+  obs::set_current_flow(saved_flow_);
+}
+
+ScopedSpanParent::ScopedSpanParent(uint64_t span_id) : saved_(t_span) {
+  t_span = span_id;
+}
+
+ScopedSpanParent::~ScopedSpanParent() { t_span = saved_; }
 
 ScopedTimer::ScopedTimer(std::string name, LogLevel level)
     : name_(std::move(name)),
@@ -31,6 +51,12 @@ ScopedTimer::ScopedTimer(std::string name, LogLevel level)
       start_(std::chrono::steady_clock::now()) {
   log(level_, strf("%s%s ...", indent(t_depth).c_str(), name_.c_str()));
   ++t_depth;
+  if (obs::enabled()) {
+    parent_id_ = t_span;
+    span_id_ = obs::next_span_id();
+    obs::emit_begin(name_, span_id_, parent_id_);
+    t_span = span_id_;
+  }
 }
 
 double ScopedTimer::elapsed_ms() const {
@@ -44,6 +70,14 @@ double ScopedTimer::stop() {
   stopped_ = true;
   const double ms = elapsed_ms();
   --t_depth;
+  if (span_id_ != 0) {
+    // Unconditional (not gated on obs::enabled()): the begin was recorded,
+    // so the end must be too, even if the trace window closed mid-span —
+    // exported traces stay balanced and the span is recorded exactly once.
+    obs::emit_end(span_id_);
+    t_span = parent_id_;
+    span_id_ = 0;
+  }
   log(level_, strf("%s%s: %.2f ms", indent(t_depth).c_str(), name_.c_str(), ms));
   observe("span." + name_, ms);
   return ms;

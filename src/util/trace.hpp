@@ -4,9 +4,17 @@
 // global metrics registry under "span.<name>". Spans nest (per thread): the
 // log indentation follows the nesting depth, so `M3D_LOG_LEVEL=debug` prints
 // a live call-tree of the flow with timings.
+//
+// When trace collection is on (obs::enabled(), see src/obs/trace.hpp), every
+// ScopedTimer additionally emits a begin/end TraceEvent pair carrying a
+// process-unique span id and its parent's id — the timeline the Chrome
+// trace export renders. Emission happens exactly once per span, whether the
+// span ends via stop() or the destructor; when collection is off the only
+// cost is one relaxed atomic load per span.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <string>
 #include <utility>
 
@@ -17,19 +25,27 @@ namespace m3d::util {
 /// Current per-thread span nesting depth (0 outside any span).
 int span_depth();
 
+/// The calling thread's innermost traced span id (0 outside any traced
+/// span) — the parent for newly emitted trace events.
+uint64_t current_span_id();
+
 /// Snapshot of a thread's span nesting, for carrying across thread hops:
 /// capture on the submitting thread, adopt on the worker with a
 /// SpanContextScope so worker-side spans attach to the submitting task's
-/// span instead of starting a fresh root.
+/// span (same span id, same flow attribution) instead of starting a fresh
+/// root.
 struct SpanContext {
   int depth = 0;
+  uint64_t span_id = 0;  // innermost traced span of the submitting thread
+  uint32_t flow = 0;     // obs flow attribution of the submitting thread
 };
 
 /// The calling thread's current span context.
 SpanContext capture_span_context();
 
 /// RAII adoption of a captured span context: sets the calling thread's span
-/// depth for the scope's lifetime and restores the previous depth on exit.
+/// depth, trace parent and flow attribution for the scope's lifetime and
+/// restores the previous values on exit.
 class SpanContextScope {
  public:
   explicit SpanContextScope(const SpanContext& ctx);
@@ -39,6 +55,22 @@ class SpanContextScope {
 
  private:
   int saved_depth_;
+  uint64_t saved_span_;
+  uint32_t saved_flow_;
+};
+
+/// RAII re-parenting: makes `span_id` the thread's innermost span for trace
+/// parenting. The exec pool wraps each task's body in one of these so spans
+/// opened inside the task nest under the per-task trace span.
+class ScopedSpanParent {
+ public:
+  explicit ScopedSpanParent(uint64_t span_id);
+  ~ScopedSpanParent();
+  ScopedSpanParent(const ScopedSpanParent&) = delete;
+  ScopedSpanParent& operator=(const ScopedSpanParent&) = delete;
+
+ private:
+  uint64_t saved_;
 };
 
 class ScopedTimer {
@@ -51,20 +83,24 @@ class ScopedTimer {
   /// Wall time since construction, in milliseconds.
   double elapsed_ms() const;
 
-  /// Ends the span early (logs + records); the destructor then does nothing.
-  /// Returns the elapsed milliseconds.
+  /// Ends the span early (logs + records + emits the trace end event); the
+  /// destructor then does nothing — metrics and trace each see the span
+  /// exactly once. Returns the elapsed milliseconds.
   double stop();
 
  private:
   std::string name_;
   LogLevel level_;
   std::chrono::steady_clock::time_point start_;
+  uint64_t span_id_ = 0;   // 0: tracing was off at construction
+  uint64_t parent_id_ = 0;
   bool stopped_ = false;
 };
 
 /// Lightweight sibling of ScopedTimer for hot paths: records its lifetime
-/// into the named duration histogram but never logs and does not affect
-/// span nesting. Use where a full span would swamp the debug stream.
+/// into the named duration histogram but never logs, does not affect span
+/// nesting and emits no trace events. Use where a full span would swamp the
+/// debug stream (or the trace buffer).
 class ScopedMsObserver {
  public:
   explicit ScopedMsObserver(std::string histogram)

@@ -221,5 +221,63 @@ TEST(Lint, TreeWalkIsDeterministicAndFindsFixtureViolations) {
   EXPECT_EQ(seen.count("L006"), 1u);
 }
 
+// --- L003 allow-rule audit for the trace subsystem (src/obs) -------------
+//
+// The Chrome trace exporter carries exactly one sanctioned wall-clock site
+// (the `captured_at` metadata stamp in src/obs/export.cpp). That site is
+// handled by inline reasoned suppressions, NOT by widening l003_allowed:
+// the allow list names the only files whose *purpose* is timekeeping, and
+// growing it would exempt whole files forever. These tests pin all three
+// facts: the default allow list is unchanged, the real export.cpp lints
+// clean through its suppressions, and the same code without suppressions
+// still fires.
+
+TEST(Lint, L003AllowListUnchangedByObsSubsystem) {
+  const lint::Options defaults;
+  const std::vector<std::string> expected = {"src/util/trace",
+                                             "src/util/log"};
+  EXPECT_EQ(defaults.l003_allowed, expected)
+      << "src/obs must use inline allow(L003) suppressions, not the list";
+}
+
+std::string read_repo_source(const char* rel) {
+  // The fixture dir is tests/lint_fixtures, so the repo root is two up.
+  const std::string path =
+      std::string(M3D_LINT_FIXTURE_DIR) + "/../../" + rel;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing source " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(Lint, L003ObsExporterLintsCleanThroughInlineSuppressions) {
+  const std::string src = read_repo_source("src/obs/export.cpp");
+  // Sanity: the sanctioned site and its reasoned suppressions are present.
+  EXPECT_NE(src.find("std::time(nullptr)"), std::string::npos);
+  EXPECT_NE(src.find("m3d-lint: allow(L003)"), std::string::npos);
+  const auto diags = lint::lint_source("src/obs/export.cpp", src);
+  EXPECT_EQ(count_rule(diags, "L003"), 0)
+      << "export.cpp's wall-clock stamp must stay inline-suppressed";
+  EXPECT_EQ(count_rule(diags, "L000"), 0) << "suppressions must carry reasons";
+}
+
+TEST(Lint, L003StillFiresOnUnsuppressedObsWallClock) {
+  // The same exporter source with its allow directives stripped: every
+  // wall-clock token must fire, proving the audit above tests suppression
+  // mechanics and not an accidental scope exemption for src/obs.
+  std::string src = read_repo_source("src/obs/export.cpp");
+  std::istringstream in(src);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("m3d-lint: allow(") == std::string::npos) out << line << '\n';
+  }
+  const auto diags = lint::lint_source("src/obs/export.cpp", out.str());
+  // Two flagged reads: std::time(nullptr) and strftime. (gmtime_r is a
+  // distinct identifier from the linted gmtime token and never fires.)
+  EXPECT_EQ(count_rule(diags, "L003"), 2) << "std::time and strftime";
+}
+
 }  // namespace
 }  // namespace m3d

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 
 #include "flow/report.hpp"
@@ -54,6 +55,84 @@ TEST(Metrics, HistogramSingleSample) {
   EXPECT_DOUBLE_EQ(h.max, 7.0);
   EXPECT_DOUBLE_EQ(h.p95, 7.0);
   EXPECT_EQ(reg.histogram("t.hist_absent").count, 0);
+}
+
+TEST(Metrics, HistogramExactUpToSwitchoverThenBucketed) {
+  auto& reg = MetricsRegistry::global();
+  const auto n = static_cast<int>(MetricsRegistry::kExactSamples);
+  // Exactly kExactSamples samples: still exact nearest-rank.
+  for (int i = 1; i <= n; ++i) {
+    reg.observe("t.hist_switch", static_cast<double>(i));
+  }
+  util::HistStats h = reg.histogram("t.hist_switch");
+  EXPECT_EQ(h.count, n);
+  EXPECT_FALSE(h.approximate);
+  EXPECT_DOUBLE_EQ(h.p95, std::ceil(0.95 * n));  // exact nearest-rank
+
+  // One more sample flips the histogram to log buckets for good.
+  reg.observe("t.hist_switch", static_cast<double>(n + 1));
+  h = reg.histogram("t.hist_switch");
+  EXPECT_EQ(h.count, n + 1);
+  EXPECT_TRUE(h.approximate);
+  // Scalar stats stay exact through the switchover...
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, static_cast<double>(n + 1));
+  EXPECT_DOUBLE_EQ(h.total, 0.5 * (n + 1) * (n + 2));
+  // ...and the interpolated p95 lands within one log-bucket (8 per octave:
+  // boundaries are ~9% apart) of the exact value.
+  const double exact = std::ceil(0.95 * (n + 1));
+  EXPECT_NEAR(h.p95, exact, 0.1 * exact);
+}
+
+TEST(Metrics, BucketedHistogramBoundsMemoryDeterministically) {
+  // Two registries fed the same 50k samples must agree bitwise on every
+  // stat — the bucketed path is a pure function of the sample values.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = 0.001 * ((i * 7919) % 100000 + 1);
+    a.observe("t.big", v);
+    b.observe("t.big", v);
+  }
+  const util::HistStats ha = a.histogram("t.big");
+  const util::HistStats hb = b.histogram("t.big");
+  EXPECT_EQ(ha.count, 50000);
+  EXPECT_TRUE(ha.approximate);
+  EXPECT_EQ(ha.p95, hb.p95);
+  EXPECT_EQ(ha.total, hb.total);
+  EXPECT_EQ(ha.min, hb.min);
+  EXPECT_EQ(ha.max, hb.max);
+  // ~p95 of a uniform 0.001..100 distribution: within one bucket of 95.
+  EXPECT_NEAR(ha.p95, 95.0, 9.5);
+  EXPECT_GE(ha.p95, ha.min);
+  EXPECT_LE(ha.p95, ha.max);
+}
+
+TEST(Metrics, MergePreservesExactnessUnderCapOnly) {
+  // Exact + exact under the cap: still exact.
+  MetricsRegistry small1;
+  MetricsRegistry small2;
+  for (int i = 1; i <= 100; ++i) {
+    small1.observe("t.merge", static_cast<double>(i));
+    small2.observe("t.merge", static_cast<double>(100 + i));
+  }
+  small1.merge_from(small2);
+  util::HistStats h = small1.histogram("t.merge");
+  EXPECT_EQ(h.count, 200);
+  EXPECT_FALSE(h.approximate);
+  EXPECT_DOUBLE_EQ(h.p95, 190.0);  // exact nearest-rank over 1..200
+
+  // Merging past the cap (or merging a bucketed source) bucketizes, and
+  // count/total stay exact.
+  MetricsRegistry big;
+  for (int i = 0; i < 5000; ++i) big.observe("t.merge", 1.0);
+  small1.merge_from(big);
+  h = small1.histogram("t.merge");
+  EXPECT_EQ(h.count, 5200);
+  EXPECT_TRUE(h.approximate);
+  EXPECT_DOUBLE_EQ(h.total, 0.5 * 200 * 201 + 5000.0);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 200.0);
 }
 
 TEST(Metrics, ThreadSafeCounting) {
