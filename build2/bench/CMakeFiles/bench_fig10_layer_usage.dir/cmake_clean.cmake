@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_layer_usage.dir/bench_fig10_layer_usage.cpp.o"
+  "CMakeFiles/bench_fig10_layer_usage.dir/bench_fig10_layer_usage.cpp.o.d"
+  "bench_fig10_layer_usage"
+  "bench_fig10_layer_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_layer_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_switching.dir/bench_fig11_switching.cpp.o"
+  "CMakeFiles/bench_fig11_switching.dir/bench_fig11_switching.cpp.o.d"
+  "bench_fig11_switching"
+  "bench_fig11_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_snapshots.dir/bench_fig3_snapshots.cpp.o"
+  "CMakeFiles/bench_fig3_snapshots.dir/bench_fig3_snapshots.cpp.o.d"
+  "bench_fig3_snapshots"
+  "bench_fig3_snapshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

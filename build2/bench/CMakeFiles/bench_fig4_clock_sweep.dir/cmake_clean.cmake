@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_clock_sweep.dir/bench_fig4_clock_sweep.cpp.o"
+  "CMakeFiles/bench_fig4_clock_sweep.dir/bench_fig4_clock_sweep.cpp.o.d"
+  "bench_fig4_clock_sweep"
+  "bench_fig4_clock_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_clock_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_wlm.dir/bench_fig6_wlm.cpp.o"
+  "CMakeFiles/bench_fig6_wlm.dir/bench_fig6_wlm.cpp.o.d"
+  "bench_fig6_wlm"
+  "bench_fig6_wlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_wlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

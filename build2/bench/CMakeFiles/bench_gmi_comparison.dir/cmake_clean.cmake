@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gmi_comparison.dir/bench_gmi_comparison.cpp.o"
+  "CMakeFiles/bench_gmi_comparison.dir/bench_gmi_comparison.cpp.o.d"
+  "bench_gmi_comparison"
+  "bench_gmi_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gmi_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

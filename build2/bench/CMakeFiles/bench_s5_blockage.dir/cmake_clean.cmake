@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s5_blockage.dir/bench_s5_blockage.cpp.o"
+  "CMakeFiles/bench_s5_blockage.dir/bench_s5_blockage.cpp.o.d"
+  "bench_s5_blockage"
+  "bench_s5_blockage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s5_blockage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_s5_blockage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_s5_blockage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table11_7nm_cells.cpp" "bench/CMakeFiles/bench_table11_7nm_cells.dir/bench_table11_7nm_cells.cpp.o" "gcc" "bench/CMakeFiles/bench_table11_7nm_cells.dir/bench_table11_7nm_cells.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/bench/CMakeFiles/m3d_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/m3d.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_7nm_cells.dir/bench_table11_7nm_cells.cpp.o"
+  "CMakeFiles/bench_table11_7nm_cells.dir/bench_table11_7nm_cells.cpp.o.d"
+  "bench_table11_7nm_cells"
+  "bench_table11_7nm_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_7nm_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table11_7nm_cells.
+# This may be replaced when dependencies are built.

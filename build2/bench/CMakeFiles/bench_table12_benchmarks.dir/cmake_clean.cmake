@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_benchmarks.dir/bench_table12_benchmarks.cpp.o"
+  "CMakeFiles/bench_table12_benchmarks.dir/bench_table12_benchmarks.cpp.o.d"
+  "bench_table12_benchmarks"
+  "bench_table12_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

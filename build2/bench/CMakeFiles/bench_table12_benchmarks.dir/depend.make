@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table12_benchmarks.
+# This may be replaced when dependencies are built.

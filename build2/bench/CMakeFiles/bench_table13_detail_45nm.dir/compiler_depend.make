@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table13_detail_45nm.
+# This may be replaced when dependencies are built.

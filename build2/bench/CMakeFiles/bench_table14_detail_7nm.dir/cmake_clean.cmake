@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table14_detail_7nm.dir/bench_table14_detail_7nm.cpp.o"
+  "CMakeFiles/bench_table14_detail_7nm.dir/bench_table14_detail_7nm.cpp.o.d"
+  "bench_table14_detail_7nm"
+  "bench_table14_detail_7nm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table14_detail_7nm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table15_wlm_impact.dir/bench_table15_wlm_impact.cpp.o"
+  "CMakeFiles/bench_table15_wlm_impact.dir/bench_table15_wlm_impact.cpp.o.d"
+  "bench_table15_wlm_impact"
+  "bench_table15_wlm_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table15_wlm_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

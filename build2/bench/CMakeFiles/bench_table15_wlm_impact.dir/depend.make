@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table15_wlm_impact.
+# This may be replaced when dependencies are built.

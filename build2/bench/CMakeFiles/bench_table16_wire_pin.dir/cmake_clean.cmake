@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table16_wire_pin.dir/bench_table16_wire_pin.cpp.o"
+  "CMakeFiles/bench_table16_wire_pin.dir/bench_table16_wire_pin.cpp.o.d"
+  "bench_table16_wire_pin"
+  "bench_table16_wire_pin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table16_wire_pin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table16_wire_pin.
+# This may be replaced when dependencies are built.

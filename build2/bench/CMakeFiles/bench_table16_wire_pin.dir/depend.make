@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table16_wire_pin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table17_metal_stack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cell_rc.dir/bench_table1_cell_rc.cpp.o"
+  "CMakeFiles/bench_table1_cell_rc.dir/bench_table1_cell_rc.cpp.o.d"
+  "bench_table1_cell_rc"
+  "bench_table1_cell_rc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cell_rc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cell_timing.dir/bench_table2_cell_timing.cpp.o"
+  "CMakeFiles/bench_table2_cell_timing.dir/bench_table2_cell_timing.cpp.o.d"
+  "bench_table2_cell_timing"
+  "bench_table2_cell_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cell_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

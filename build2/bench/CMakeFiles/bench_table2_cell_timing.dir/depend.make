@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_cell_timing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_metal_stack.dir/bench_table3_metal_stack.cpp.o"
+  "CMakeFiles/bench_table3_metal_stack.dir/bench_table3_metal_stack.cpp.o.d"
+  "bench_table3_metal_stack"
+  "bench_table3_metal_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_metal_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table3_metal_stack.
+# This may be replaced when dependencies are built.

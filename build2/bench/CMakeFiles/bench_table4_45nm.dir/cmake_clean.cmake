@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_45nm.dir/bench_table4_45nm.cpp.o"
+  "CMakeFiles/bench_table4_45nm.dir/bench_table4_45nm.cpp.o.d"
+  "bench_table4_45nm"
+  "bench_table4_45nm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_45nm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

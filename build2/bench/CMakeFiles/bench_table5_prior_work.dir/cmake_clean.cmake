@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_prior_work.dir/bench_table5_prior_work.cpp.o"
+  "CMakeFiles/bench_table5_prior_work.dir/bench_table5_prior_work.cpp.o.d"
+  "bench_table5_prior_work"
+  "bench_table5_prior_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_prior_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_prior_work.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_node_setup.dir/bench_table6_node_setup.cpp.o"
+  "CMakeFiles/bench_table6_node_setup.dir/bench_table6_node_setup.cpp.o.d"
+  "bench_table6_node_setup"
+  "bench_table6_node_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_node_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

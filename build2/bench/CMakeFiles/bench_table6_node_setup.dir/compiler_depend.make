@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table6_node_setup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table7_7nm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_pincap.dir/bench_table8_pincap.cpp.o"
+  "CMakeFiles/bench_table8_pincap.dir/bench_table8_pincap.cpp.o.d"
+  "bench_table8_pincap"
+  "bench_table8_pincap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_pincap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_resistivity.dir/bench_table9_resistivity.cpp.o"
+  "CMakeFiles/bench_table9_resistivity.dir/bench_table9_resistivity.cpp.o.d"
+  "bench_table9_resistivity"
+  "bench_table9_resistivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_resistivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

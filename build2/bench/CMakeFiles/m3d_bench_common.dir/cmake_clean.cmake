@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_bench_common.dir/common.cpp.o"
+  "CMakeFiles/m3d_bench_common.dir/common.cpp.o.d"
+  "libm3d_bench_common.a"
+  "libm3d_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libm3d_bench_common.a"
+)

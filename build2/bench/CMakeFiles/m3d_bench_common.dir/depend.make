@@ -1,0 +1,2 @@
+# Empty dependencies file for m3d_bench_common.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_gate.dir/perf_gate.cpp.o"
+  "CMakeFiles/perf_gate.dir/perf_gate.cpp.o.d"
+  "perf_gate"
+  "perf_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for perf_gate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for perf_gate.
+# This may be replaced when dependencies are built.

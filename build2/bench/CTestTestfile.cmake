@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build2/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[perf.flow_gate]=] "/root/repo/build2/bench/perf_gate" "--baseline" "/root/repo/BENCH_flow.json" "--out" "/root/repo/build2/BENCH_flow.json")
+set_tests_properties([=[perf.flow_gate]=] PROPERTIES  LABELS "perf" RUN_SERIAL "ON" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;46;add_test;/root/repo/bench/CMakeLists.txt;0;")

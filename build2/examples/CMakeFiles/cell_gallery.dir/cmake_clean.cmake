@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_gallery.dir/cell_gallery.cpp.o"
+  "CMakeFiles/cell_gallery.dir/cell_gallery.cpp.o.d"
+  "cell_gallery"
+  "cell_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_sweep.dir/clock_sweep.cpp.o"
+  "CMakeFiles/clock_sweep.dir/clock_sweep.cpp.o.d"
+  "clock_sweep"
+  "clock_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_flow_aes.dir/full_flow_aes.cpp.o"
+  "CMakeFiles/full_flow_aes.dir/full_flow_aes.cpp.o.d"
+  "full_flow_aes"
+  "full_flow_aes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_flow_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_shell.dir/m3d_shell.cpp.o"
+  "CMakeFiles/m3d_shell.dir/m3d_shell.cpp.o.d"
+  "m3d_shell"
+  "m3d_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

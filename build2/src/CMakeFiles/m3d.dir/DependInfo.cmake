@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cells/drc.cpp" "src/CMakeFiles/m3d.dir/cells/drc.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/cells/drc.cpp.o.d"
+  "/root/repo/src/cells/func.cpp" "src/CMakeFiles/m3d.dir/cells/func.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/cells/func.cpp.o.d"
+  "/root/repo/src/cells/gds.cpp" "src/CMakeFiles/m3d.dir/cells/gds.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/cells/gds.cpp.o.d"
+  "/root/repo/src/cells/layout.cpp" "src/CMakeFiles/m3d.dir/cells/layout.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/cells/layout.cpp.o.d"
+  "/root/repo/src/cells/spec.cpp" "src/CMakeFiles/m3d.dir/cells/spec.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/cells/spec.cpp.o.d"
+  "/root/repo/src/check/check.cpp" "src/CMakeFiles/m3d.dir/check/check.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/check/check.cpp.o.d"
+  "/root/repo/src/check/golden.cpp" "src/CMakeFiles/m3d.dir/check/golden.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/check/golden.cpp.o.d"
+  "/root/repo/src/circuit/index.cpp" "src/CMakeFiles/m3d.dir/circuit/index.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/circuit/index.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/m3d.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/verilog.cpp" "src/CMakeFiles/m3d.dir/circuit/verilog.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/circuit/verilog.cpp.o.d"
+  "/root/repo/src/cts/cts.cpp" "src/CMakeFiles/m3d.dir/cts/cts.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/cts/cts.cpp.o.d"
+  "/root/repo/src/exec/exec.cpp" "src/CMakeFiles/m3d.dir/exec/exec.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/exec/exec.cpp.o.d"
+  "/root/repo/src/extract/extract.cpp" "src/CMakeFiles/m3d.dir/extract/extract.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/extract/extract.cpp.o.d"
+  "/root/repo/src/flow/flow.cpp" "src/CMakeFiles/m3d.dir/flow/flow.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/flow/flow.cpp.o.d"
+  "/root/repo/src/flow/report.cpp" "src/CMakeFiles/m3d.dir/flow/report.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/flow/report.cpp.o.d"
+  "/root/repo/src/gen/aes.cpp" "src/CMakeFiles/m3d.dir/gen/aes.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/gen/aes.cpp.o.d"
+  "/root/repo/src/gen/builder.cpp" "src/CMakeFiles/m3d.dir/gen/builder.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/gen/builder.cpp.o.d"
+  "/root/repo/src/gen/des.cpp" "src/CMakeFiles/m3d.dir/gen/des.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/gen/des.cpp.o.d"
+  "/root/repo/src/gen/fpu.cpp" "src/CMakeFiles/m3d.dir/gen/fpu.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/gen/fpu.cpp.o.d"
+  "/root/repo/src/gen/gen.cpp" "src/CMakeFiles/m3d.dir/gen/gen.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/gen/gen.cpp.o.d"
+  "/root/repo/src/gen/ldpc.cpp" "src/CMakeFiles/m3d.dir/gen/ldpc.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/gen/ldpc.cpp.o.d"
+  "/root/repo/src/gen/mult.cpp" "src/CMakeFiles/m3d.dir/gen/mult.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/gen/mult.cpp.o.d"
+  "/root/repo/src/gen/random_logic.cpp" "src/CMakeFiles/m3d.dir/gen/random_logic.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/gen/random_logic.cpp.o.d"
+  "/root/repo/src/gmi/gmi.cpp" "src/CMakeFiles/m3d.dir/gmi/gmi.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/gmi/gmi.cpp.o.d"
+  "/root/repo/src/gmi/partition.cpp" "src/CMakeFiles/m3d.dir/gmi/partition.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/gmi/partition.cpp.o.d"
+  "/root/repo/src/liberty/characterize.cpp" "src/CMakeFiles/m3d.dir/liberty/characterize.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/liberty/characterize.cpp.o.d"
+  "/root/repo/src/liberty/io.cpp" "src/CMakeFiles/m3d.dir/liberty/io.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/liberty/io.cpp.o.d"
+  "/root/repo/src/liberty/liberty_writer.cpp" "src/CMakeFiles/m3d.dir/liberty/liberty_writer.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/liberty/liberty_writer.cpp.o.d"
+  "/root/repo/src/liberty/library.cpp" "src/CMakeFiles/m3d.dir/liberty/library.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/liberty/library.cpp.o.d"
+  "/root/repo/src/lint/lint.cpp" "src/CMakeFiles/m3d.dir/lint/lint.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/lint/lint.cpp.o.d"
+  "/root/repo/src/obs/export.cpp" "src/CMakeFiles/m3d.dir/obs/export.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/obs/export.cpp.o.d"
+  "/root/repo/src/obs/mem.cpp" "src/CMakeFiles/m3d.dir/obs/mem.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/obs/mem.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/CMakeFiles/m3d.dir/obs/trace.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/obs/trace.cpp.o.d"
+  "/root/repo/src/opt/opt.cpp" "src/CMakeFiles/m3d.dir/opt/opt.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/opt/opt.cpp.o.d"
+  "/root/repo/src/place/def.cpp" "src/CMakeFiles/m3d.dir/place/def.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/place/def.cpp.o.d"
+  "/root/repo/src/place/hpwl.cpp" "src/CMakeFiles/m3d.dir/place/hpwl.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/place/hpwl.cpp.o.d"
+  "/root/repo/src/place/place.cpp" "src/CMakeFiles/m3d.dir/place/place.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/place/place.cpp.o.d"
+  "/root/repo/src/power/power.cpp" "src/CMakeFiles/m3d.dir/power/power.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/power/power.cpp.o.d"
+  "/root/repo/src/route/route.cpp" "src/CMakeFiles/m3d.dir/route/route.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/route/route.cpp.o.d"
+  "/root/repo/src/spice/circuit.cpp" "src/CMakeFiles/m3d.dir/spice/circuit.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/spice/circuit.cpp.o.d"
+  "/root/repo/src/spice/mosfet.cpp" "src/CMakeFiles/m3d.dir/spice/mosfet.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/spice/mosfet.cpp.o.d"
+  "/root/repo/src/spice/sim.cpp" "src/CMakeFiles/m3d.dir/spice/sim.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/spice/sim.cpp.o.d"
+  "/root/repo/src/sta/paths.cpp" "src/CMakeFiles/m3d.dir/sta/paths.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/sta/paths.cpp.o.d"
+  "/root/repo/src/sta/sta.cpp" "src/CMakeFiles/m3d.dir/sta/sta.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/sta/sta.cpp.o.d"
+  "/root/repo/src/synth/synth.cpp" "src/CMakeFiles/m3d.dir/synth/synth.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/synth/synth.cpp.o.d"
+  "/root/repo/src/synth/wlm.cpp" "src/CMakeFiles/m3d.dir/synth/wlm.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/synth/wlm.cpp.o.d"
+  "/root/repo/src/tech/tech.cpp" "src/CMakeFiles/m3d.dir/tech/tech.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/tech/tech.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/CMakeFiles/m3d.dir/util/json.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/util/json.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/m3d.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/metrics.cpp" "src/CMakeFiles/m3d.dir/util/metrics.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/util/metrics.cpp.o.d"
+  "/root/repo/src/util/svg.cpp" "src/CMakeFiles/m3d.dir/util/svg.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/util/svg.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/m3d.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/trace.cpp" "src/CMakeFiles/m3d.dir/util/trace.cpp.o" "gcc" "src/CMakeFiles/m3d.dir/util/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_lint.dir/lint/main.cpp.o"
+  "CMakeFiles/m3d_lint.dir/lint/main.cpp.o.d"
+  "m3d_lint"
+  "m3d_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

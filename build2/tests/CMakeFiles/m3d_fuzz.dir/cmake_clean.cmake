@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_fuzz.dir/test_fuzz_flow.cpp.o"
+  "CMakeFiles/m3d_fuzz.dir/test_fuzz_flow.cpp.o.d"
+  "m3d_fuzz"
+  "m3d_fuzz.pdb"
+  "m3d_fuzz[1]_tests.cmake"
+  "m3d_fuzz[2]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cells.cpp" "tests/CMakeFiles/m3d_tests.dir/test_cells.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_cells.cpp.o.d"
+  "/root/repo/tests/test_check.cpp" "tests/CMakeFiles/m3d_tests.dir/test_check.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_check.cpp.o.d"
+  "/root/repo/tests/test_cts.cpp" "tests/CMakeFiles/m3d_tests.dir/test_cts.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_cts.cpp.o.d"
+  "/root/repo/tests/test_exec.cpp" "tests/CMakeFiles/m3d_tests.dir/test_exec.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_exec.cpp.o.d"
+  "/root/repo/tests/test_flow.cpp" "tests/CMakeFiles/m3d_tests.dir/test_flow.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_flow.cpp.o.d"
+  "/root/repo/tests/test_gen.cpp" "tests/CMakeFiles/m3d_tests.dir/test_gen.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_gen.cpp.o.d"
+  "/root/repo/tests/test_geom.cpp" "tests/CMakeFiles/m3d_tests.dir/test_geom.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_geom.cpp.o.d"
+  "/root/repo/tests/test_gmi.cpp" "tests/CMakeFiles/m3d_tests.dir/test_gmi.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_gmi.cpp.o.d"
+  "/root/repo/tests/test_golden.cpp" "tests/CMakeFiles/m3d_tests.dir/test_golden.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_golden.cpp.o.d"
+  "/root/repo/tests/test_hpwl.cpp" "tests/CMakeFiles/m3d_tests.dir/test_hpwl.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_hpwl.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/m3d_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_liberty.cpp" "tests/CMakeFiles/m3d_tests.dir/test_liberty.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_liberty.cpp.o.d"
+  "/root/repo/tests/test_lint.cpp" "tests/CMakeFiles/m3d_tests.dir/test_lint.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_lint.cpp.o.d"
+  "/root/repo/tests/test_more_props.cpp" "tests/CMakeFiles/m3d_tests.dir/test_more_props.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_more_props.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/m3d_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_obs.cpp" "tests/CMakeFiles/m3d_tests.dir/test_obs.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_obs.cpp.o.d"
+  "/root/repo/tests/test_paths_drc.cpp" "tests/CMakeFiles/m3d_tests.dir/test_paths_drc.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_paths_drc.cpp.o.d"
+  "/root/repo/tests/test_place_route.cpp" "tests/CMakeFiles/m3d_tests.dir/test_place_route.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_place_route.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/m3d_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/m3d_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_spice.cpp" "tests/CMakeFiles/m3d_tests.dir/test_spice.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_spice.cpp.o.d"
+  "/root/repo/tests/test_sta_power.cpp" "tests/CMakeFiles/m3d_tests.dir/test_sta_power.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_sta_power.cpp.o.d"
+  "/root/repo/tests/test_synth_opt.cpp" "tests/CMakeFiles/m3d_tests.dir/test_synth_opt.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_synth_opt.cpp.o.d"
+  "/root/repo/tests/test_tech.cpp" "tests/CMakeFiles/m3d_tests.dir/test_tech.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_tech.cpp.o.d"
+  "/root/repo/tests/test_trace_metrics.cpp" "tests/CMakeFiles/m3d_tests.dir/test_trace_metrics.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_trace_metrics.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/m3d_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/m3d.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/m3d_tests[1]_include.cmake")
+include("/root/repo/build2/tests/m3d_fuzz[1]_include.cmake")
+include("/root/repo/build2/tests/m3d_fuzz[2]_include.cmake")
+add_test([=[lint.tree]=] "/root/repo/build2/src/m3d_lint" "/root/repo/src" "/root/repo/tests")
+set_tests_properties([=[lint.tree]=] PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;54;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_prof.dir/m3d_prof.cpp.o"
+  "CMakeFiles/m3d_prof.dir/m3d_prof.cpp.o.d"
+  "m3d_prof"
+  "m3d_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

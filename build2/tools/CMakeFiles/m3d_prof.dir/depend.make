@@ -1,0 +1,2 @@
+# Empty dependencies file for m3d_prof.
+# This may be replaced when dependencies are built.
