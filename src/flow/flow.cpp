@@ -28,8 +28,12 @@ namespace {
 /// `tracing` the report additionally carries the stage's memory profile
 /// (stage-exit RSS/peak-RSS, counting-allocator traffic), which is also
 /// emitted as trace counter samples so the timeline shows memory tracks.
+/// `observer` (FlowOptions::stage_observer) sees the finished report last,
+/// after it is appended — the serving layer's progress stream.
 template <typename Body>
-void run_stage(FlowResult* res, const char* name, bool tracing, Body&& body) {
+void run_stage(FlowResult* res, const char* name, bool tracing,
+               const std::function<void(const StageReport&)>& observer,
+               Body&& body) {
   auto& reg = util::MetricsRegistry::current();
   const auto before = reg.counters();
   const uint64_t alloc_bytes0 = tracing ? obs::allocated_bytes() : 0;
@@ -56,6 +60,7 @@ void run_stage(FlowResult* res, const char* name, bool tracing, Body&& body) {
     if (delta != 0.0) sr.counters.emplace_back(key, delta);
   }
   res->stages.push_back(std::move(sr));
+  if (observer) observer(res->stages.back());
 }
 
 synth::Wlm default_wlm(const FlowOptions& opt, const circuit::Netlist& nl,
@@ -157,7 +162,7 @@ FlowResult run_flow(const FlowOptions& opt_in) {
 
   // 1. Benchmark netlist.
   circuit::Netlist& nl = res.netlist;
-  run_stage(&res, "gen", tracing, [&] {
+  run_stage(&res, "gen", tracing, opt.stage_observer, [&] {
     if (opt.custom_netlist != nullptr) {
       res.netlist = *opt.custom_netlist;
     } else {
@@ -175,7 +180,7 @@ FlowResult run_flow(const FlowOptions& opt_in) {
   }
 
   // 2. Synthesis with the style's WLM.
-  run_stage(&res, "synth", tracing, [&] {
+  run_stage(&res, "synth", tracing, opt.stage_observer, [&] {
     const synth::Wlm wlm =
         opt.wlm.has_value() ? *opt.wlm : default_wlm(opt, nl, tch);
     synth::SynthOptions sopt;
@@ -185,7 +190,7 @@ FlowResult run_flow(const FlowOptions& opt_in) {
 
   // 3. Placement, plus clock tree synthesis (the tree's buffers/nets are
   // ordinary objects: routed, extracted and powered like everything else).
-  run_stage(&res, "place", tracing, [&] {
+  run_stage(&res, "place", tracing, opt.stage_observer, [&] {
     res.die = place::make_die(&nl, opt.target_util, tch.row_height_um());
     place::PlaceOptions popt;
     popt.target_util = opt.target_util;
@@ -200,7 +205,7 @@ FlowResult run_flow(const FlowOptions& opt_in) {
 
   // 4. Pre-route optimization on placement estimates.
   opt::OptOptions oopt;
-  run_stage(&res, "opt_preroute", tracing, [&] {
+  run_stage(&res, "opt_preroute", tracing, opt.stage_observer, [&] {
     oopt.clock_ns = opt.clock_ns;
     oopt.die = &res.die;  // keep inserted buffers row-legal
     oopt.allow_buffering = true;
@@ -214,7 +219,7 @@ FlowResult run_flow(const FlowOptions& opt_in) {
   });
 
   // 5. Global routing.
-  run_stage(&res, "route", tracing, [&] {
+  run_stage(&res, "route", tracing, opt.stage_observer, [&] {
     route::RouteOptions ropt;
     ropt.seed = opt.seed;
     ropt.local_blockage_frac =
@@ -224,7 +229,7 @@ FlowResult run_flow(const FlowOptions& opt_in) {
   });
 
   // 6. Post-route optimization: sizing only, routes preserved (paper S5).
-  run_stage(&res, "opt_postroute", tracing, [&] {
+  run_stage(&res, "opt_postroute", tracing, opt.stage_observer, [&] {
     opt::OptOptions oopt2 = oopt;
     oopt2.allow_buffering = false;
     opt::optimize(&nl, *opt.lib,
@@ -235,7 +240,7 @@ FlowResult run_flow(const FlowOptions& opt_in) {
   });
 
   // 7. Sign-off timing and power.
-  run_stage(&res, "sta_power", tracing, [&] {
+  run_stage(&res, "sta_power", tracing, opt.stage_observer, [&] {
     const auto par = extract::extract_from_routes(nl, tch, res.routes);
     sta::StaOptions sta_opt;
     sta_opt.clock_ns = opt.clock_ns;
@@ -252,7 +257,7 @@ FlowResult run_flow(const FlowOptions& opt_in) {
   // are recorded, counted and logged — never fatal — so sweeps and fuzz
   // runs see the complete picture instead of dying on the first breach.
   if (opt.check_level != check::Level::kNone) {
-    run_stage(&res, "check", tracing, [&] {
+    run_stage(&res, "check", tracing, opt.stage_observer, [&] {
       check::CheckResult cr = check::check_netlist(nl);
       cr.merge(check::check_timing(nl, timing));
       cr.merge(check::check_power(nl, power));

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <string>
@@ -25,6 +26,30 @@
 #include "tech/tech.hpp"
 
 namespace m3d::flow {
+
+/// Per-stage observability record: wall time plus the counters the stage's
+/// instrumentation incremented while it ran (e.g. "route.twopins",
+/// "opt.upsized"). run_flow emits one per flow stage, in execution order;
+/// report::write_json serializes them into the machine-readable run report.
+struct StageReport {
+  std::string name;
+  double wall_ms = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+  // Memory profile of the stage, populated only when FlowOptions::trace /
+  // M3D_TRACE is on (all zero otherwise): process RSS and peak RSS at stage
+  // exit, and the CountingAllocator traffic (obs/mem.hpp) during the stage.
+  double rss_mb = 0.0;
+  double hwm_mb = 0.0;
+  double alloc_mb = 0.0;
+  int64_t allocs = 0;
+
+  double counter(const std::string& key) const {
+    for (const auto& [k, v] : counters) {
+      if (k == key) return v;
+    }
+    return 0.0;
+  }
+};
 
 struct FlowOptions {
   gen::Bench bench = gen::Bench::kAes;
@@ -61,30 +86,13 @@ struct FlowOptions {
   /// Off (the default): canonical outputs are byte-identical to a build
   /// without the trace subsystem.
   bool trace = false;
-};
-
-/// Per-stage observability record: wall time plus the counters the stage's
-/// instrumentation incremented while it ran (e.g. "route.twopins",
-/// "opt.upsized"). run_flow emits one per flow stage, in execution order;
-/// report::write_json serializes them into the machine-readable run report.
-struct StageReport {
-  std::string name;
-  double wall_ms = 0.0;
-  std::vector<std::pair<std::string, double>> counters;
-  // Memory profile of the stage, populated only when FlowOptions::trace /
-  // M3D_TRACE is on (all zero otherwise): process RSS and peak RSS at stage
-  // exit, and the CountingAllocator traffic (obs/mem.hpp) during the stage.
-  double rss_mb = 0.0;
-  double hwm_mb = 0.0;
-  double alloc_mb = 0.0;
-  int64_t allocs = 0;
-
-  double counter(const std::string& key) const {
-    for (const auto& [k, v] : counters) {
-      if (k == key) return v;
-    }
-    return 0.0;
-  }
+  /// Stage-boundary hook: invoked once per flow stage, right after its
+  /// StageReport is appended, on the thread executing the flow. The serving
+  /// layer streams these to clients mid-run. The callback must not re-enter
+  /// the flow and must tolerate being called from pool worker threads (the
+  /// iso-comparison driver runs flows on the exec pool). Never affects the
+  /// computed result.
+  std::function<void(const StageReport&)> stage_observer;
 };
 
 struct FlowResult {

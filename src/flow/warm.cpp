@@ -1,0 +1,85 @@
+#include "flow/warm.hpp"
+
+#include "util/metrics.hpp"
+#include "util/strf.hpp"
+
+namespace m3d::flow {
+
+WarmContext::WarmContext(LibraryProvider provider)
+    : provider_(std::move(provider)) {}
+
+WarmContext::Corner& WarmContext::corner(tech::Node node, tech::Style style) {
+  const std::pair<int, int> key{static_cast<int>(node),
+                                static_cast<int>(style)};
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Corner>& slot = corners_[key];
+  if (slot == nullptr) slot = std::make_unique<Corner>();
+  return *slot;
+}
+
+const liberty::Library& WarmContext::library(tech::Node node,
+                                             tech::Style style) {
+  Corner& c = corner(node, style);
+  // call_once serializes the (possibly slow) build per corner while holding
+  // no lock of ours, so other corners stay available during a build.
+  std::call_once(c.once, [&] {
+    util::count("warm.lib_build");
+    c.lib = std::make_unique<liberty::Library>(provider_(node, style));
+  });
+  util::count("warm.lib_hit");
+  return *c.lib;
+}
+
+bool WarmContext::warmed(tech::Node node, tech::Style style) const {
+  const std::pair<int, int> key{static_cast<int>(node),
+                                static_cast<int>(style)};
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = corners_.find(key);
+  return it != corners_.end() && it->second->lib != nullptr;
+}
+
+double WarmContext::clock_for(const FlowOptions& opt) {
+  if (opt.clock_ns > 0.0) return opt.clock_ns;
+  // The probe is a pure function of these fields (auto_clock_ns always
+  // probes the 2D corner regardless of opt.style). Custom netlists are not
+  // memoizable by value; fall through to a fresh probe for those.
+  const bool memoizable = opt.custom_netlist == nullptr;
+  std::string key;
+  if (memoizable) {
+    key = util::strf("%s/%s/s%d/u%.6f/seed%llu", gen::to_string(opt.bench),
+                     tech::to_string(opt.node), opt.scale_shift,
+                     opt.target_util,
+                     static_cast<unsigned long long>(opt.seed));
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = clocks_.find(key);
+    if (it != clocks_.end()) {
+      util::count("warm.clock_hit");
+      return it->second;
+    }
+  }
+  FlowOptions probe = opt;
+  if (probe.lib == nullptr) {
+    probe.lib = &library(opt.node, tech::Style::k2D);
+  }
+  util::count("warm.clock_probe");
+  const double clock = auto_clock_ns(probe);
+  if (memoizable) {
+    // A concurrent probe for the same key computed the identical value
+    // (the probe is deterministic), so last-writer-wins is benign.
+    const std::lock_guard<std::mutex> lock(mu_);
+    clocks_[key] = clock;
+  }
+  return clock;
+}
+
+FlowResult WarmContext::run(FlowOptions opt) {
+  if (opt.lib == nullptr) {
+    opt.lib = &library(opt.node, opt.style);
+  }
+  if (opt.clock_ns <= 0.0) {
+    opt.clock_ns = clock_for(opt);
+  }
+  return run_flow(opt);
+}
+
+}  // namespace m3d::flow

@@ -1,0 +1,55 @@
+// Persistent response cache for m3d_serve: one JSON file per request key
+// under a cache directory, so a repeated request is served without running
+// the flow — across process restarts.
+//
+// Layout: <dir>/<16-hex-key>.json, each file a self-describing document
+//
+//   { "schema":  "m3d.serve_cache/v1",
+//     "key":     "<16-hex>",
+//     "request": { ...canonical request... },
+//     "report":  { ...canonical run report... } }
+//
+// The canonical request is stored alongside the report and re-verified on
+// every hit: a key collision (or a stale file from an older, incompatible
+// request schema) reads as a miss, never as a wrong answer. Writes go
+// through a temp file + rename in the same directory, so a crash mid-write
+// leaves either the old entry or none — a reader never sees a torn file.
+// Entries are immutable once written; the flow's determinism contract (same
+// canonical request => byte-identical canonical report) is what makes the
+// cache a pure memoization rather than a staleness hazard.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace m3d::serve {
+
+class ResponseCache {
+ public:
+  /// `dir` is created on first put if missing; an empty dir disables the
+  /// cache (every get misses, every put is dropped).
+  explicit ResponseCache(std::string dir);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// The canonical report stored for `key`, or nullopt on miss. A file
+  /// whose stored request does not byte-match `canonical_request` (key
+  /// collision / schema drift) or that fails to parse is treated as a miss.
+  std::optional<std::string> get(uint64_t key,
+                                 const std::string& canonical_request) const;
+
+  /// Stores `report_json` (the canonical report document) for `key`.
+  /// Returns false on I/O failure; the cache never throws.
+  bool put(uint64_t key, const std::string& canonical_request,
+           const std::string& report_json) const;
+
+  /// Path of the entry file for `key` (for tests and ops tooling).
+  std::string entry_path(uint64_t key) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace m3d::serve

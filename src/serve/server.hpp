@@ -1,0 +1,82 @@
+// Socket front-end for the serve core: accept loops (TCP and/or Unix
+// domain), one handler thread per connection, frame/JSON decode, request
+// dispatch ("ping" / "stats" / "shutdown" / "run") and reply framing.
+// All policy lives in Service (serve/service.hpp); the server only moves
+// frames. Mid-request client disconnects are absorbed: the progress writer
+// notices the dead peer, stops writing, and the flow still completes and
+// populates the cache for the next caller.
+#pragma once
+
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/warm.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "serve/socket.hpp"
+
+namespace m3d::serve {
+
+struct ServerOptions {
+  /// TCP bind address. port >= 0 enables TCP; 0 asks the kernel for an
+  /// ephemeral port (read it back via Server::port()). -1 disables TCP.
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Unix-domain socket path; empty disables the Unix listener.
+  std::string unix_path;
+  /// Inbound frame size limit.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Whether {"type":"shutdown"} requests stop the server (the daemon
+  /// enables it; embedders that manage lifetime themselves may not).
+  bool allow_shutdown = true;
+  ServeOptions serve;
+};
+
+class Server {
+ public:
+  Server(ServerOptions opt, flow::WarmContext* warm);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the configured listeners and spawns the accept threads.
+  /// False + *err on bind failure (nothing is left running).
+  bool start(std::string* err);
+
+  /// The bound TCP port (after start), or -1 when TCP is disabled.
+  int tcp_port() const { return bound_port_; }
+
+  /// Blocks until stop() is called or a shutdown request arrives.
+  void wait();
+
+  /// Idempotent: closes listeners, interrupts in-flight connections,
+  /// joins every thread. Called by the destructor.
+  void stop();
+
+  Service& service() { return service_; }
+
+ private:
+  void accept_loop(const Socket* listener);
+  void handle_conn(std::list<Socket>::iterator conn_it);
+  void handle_run(const Socket& conn, const util::json::Value& doc);
+  void request_shutdown();
+
+  ServerOptions opt_;
+  Service service_;
+  Socket tcp_listener_;
+  Socket unix_listener_;
+  int bound_port_ = -1;
+
+  std::mutex mu_;  // conns_, threads_, stopping_
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::list<Socket> conns_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace m3d::serve

@@ -1,0 +1,177 @@
+#include "serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/strf.hpp"
+
+namespace m3d::serve {
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+namespace {
+
+bool set_err(std::string* err, const std::string& what) {
+  if (err != nullptr) {
+    *err = util::strf("%s: %s", what.c_str(), std::strerror(errno));
+  }
+  return false;
+}
+
+}  // namespace
+
+Socket listen_tcp(const std::string& host, int port, int* bound_port,
+                  std::string* err) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    set_err(err, "socket");
+    return {};
+  }
+  const int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err != nullptr) *err = util::strf("bad host \"%s\"", host.c_str());
+    return {};
+  }
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    set_err(err, util::strf("bind %s:%d", host.c_str(), port));
+    return {};
+  }
+  if (::listen(s.fd(), 64) != 0) {
+    set_err(err, "listen");
+    return {};
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&actual), &len) ==
+        0) {
+      *bound_port = ntohs(actual.sin_port);
+    }
+  }
+  return s;
+}
+
+Socket listen_unix(const std::string& path, std::string* err) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    if (err != nullptr) *err = "unix socket path too long";
+    return {};
+  }
+  Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    set_err(err, "socket");
+    return {};
+  }
+  ::unlink(path.c_str());  // stale socket from a previous run
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    set_err(err, util::strf("bind %s", path.c_str()));
+    return {};
+  }
+  if (::listen(s.fd(), 64) != 0) {
+    set_err(err, "listen");
+    return {};
+  }
+  return s;
+}
+
+Socket accept_conn(const Socket& listener) {
+  return Socket(::accept(listener.fd(), nullptr, nullptr));
+}
+
+Socket connect_tcp(const std::string& host, int port, std::string* err) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    set_err(err, "socket");
+    return {};
+  }
+  const int one = 1;
+  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err != nullptr) *err = util::strf("bad host \"%s\"", host.c_str());
+    return {};
+  }
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    set_err(err, util::strf("connect %s:%d", host.c_str(), port));
+    return {};
+  }
+  return s;
+}
+
+Socket connect_unix(const std::string& path, std::string* err) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    if (err != nullptr) *err = "unix socket path too long";
+    return {};
+  }
+  Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    set_err(err, "socket");
+    return {};
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    set_err(err, util::strf("connect %s", path.c_str()));
+    return {};
+  }
+  return s;
+}
+
+bool write_frame(const Socket& s, const std::string& payload) {
+  const std::string frame = encode_frame(payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(s.fd(), frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+FrameStatus read_frame(const Socket& s, FrameDecoder* dec,
+                       std::string* payload) {
+  for (;;) {
+    const FrameStatus st = dec->next(payload);
+    if (st != FrameStatus::kNeedMore) return st;
+    char buf[4096];
+    const ssize_t n = ::recv(s.fd(), buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return FrameStatus::kNeedMore;  // EOF / reset before a frame
+    dec->feed(buf, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace m3d::serve

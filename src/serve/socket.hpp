@@ -1,0 +1,69 @@
+// Minimal POSIX socket wrapper for the serve transport: RAII fds, TCP and
+// Unix-domain listeners (TCP may bind port 0 and report the kernel-chosen
+// port), blocking connect helpers, and frame I/O over a FrameDecoder.
+// Writes use MSG_NOSIGNAL so a client that disconnected mid-stream surfaces
+// as an error return, never a SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "serve/protocol.hpp"
+
+namespace m3d::serve {
+
+/// Move-only owned socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+  /// shutdown(SHUT_RDWR): unblocks a thread blocked in recv on this fd
+  /// (the server uses it to interrupt connection threads on stop()).
+  void shutdown_both();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on host:port (TCP, SO_REUSEADDR). port 0 asks the
+/// kernel for an ephemeral port; *bound_port receives the actual one.
+/// Returns an invalid Socket and fills *err on failure.
+Socket listen_tcp(const std::string& host, int port, int* bound_port,
+                  std::string* err);
+
+/// Binds and listens on a Unix-domain socket path (unlinking a stale one).
+Socket listen_unix(const std::string& path, std::string* err);
+
+/// Blocking accept; invalid Socket on failure (e.g. listener closed).
+Socket accept_conn(const Socket& listener);
+
+Socket connect_tcp(const std::string& host, int port, std::string* err);
+Socket connect_unix(const std::string& path, std::string* err);
+
+/// Sends one length-framed payload; false when the peer is gone.
+bool write_frame(const Socket& s, const std::string& payload);
+
+/// Reads until `dec` yields one frame (or the peer closes / errors).
+/// kFrame fills *payload; kNeedMore here means orderly EOF before a
+/// complete frame (distinguishable because reads block otherwise).
+FrameStatus read_frame(const Socket& s, FrameDecoder* dec,
+                       std::string* payload);
+
+}  // namespace m3d::serve

@@ -221,6 +221,52 @@ INSTANTIATE_TEST_SUITE_P(PaperBenches, SlowPaperBench,
                            return std::string(gen::to_string(info.param));
                          });
 
+// --- slow sign-off: paper-scale iso-performance comparison ----------------
+//
+// ROADMAP item 1 ("make paper scale the default sign-off tier"): the full
+// iso-performance 2D vs T-MI comparison at scale_shift 0 — no size
+// reduction — with the complete checker battery on both runs. The recorded
+// metrics (footprint / wirelength / power deltas) are what EXPERIMENTS.md
+// "Paper-scale sign-off" quotes; the assertions pin their signs and the
+// zero-violation gate so a regression cannot silently change the story.
+
+TEST(SlowPaperScale, FpuIsoComparisonAtFullScaleFullChecks) {
+  flow::FlowOptions o;
+  o.bench = gen::Bench::kFpu;
+  o.scale_shift = 0;  // paper scale: the full 52-bit mantissa datapath
+  o.target_util = flow::default_utilization(o.bench);
+  o.style = tech::Style::kTMI;
+  o.check_level = check::Level::kFull;
+  const flow::CompareResult cmp = flow::run_iso_comparison(
+      o, lib_for(tech::Style::k2D), lib_for(tech::Style::kTMI));
+
+  EXPECT_TRUE(cmp.flat.checks.ok()) << cmp.flat.checks.summary();
+  EXPECT_TRUE(cmp.tmi.checks.ok()) << cmp.tmi.checks.summary();
+  // Iso-performance: both styles closed at the same clock.
+  EXPECT_EQ(cmp.flat.clock_ns, cmp.tmi.clock_ns);
+  EXPECT_TRUE(cmp.flat.timing_met);
+  EXPECT_TRUE(cmp.tmi.timing_met);
+  // The paper's headline directions: T-MI shrinks footprint (~40%) and
+  // total power; at this scale the FPU benefit is small but must not flip.
+  EXPECT_LT(cmp.footprint_pct(), -30.0);
+  EXPECT_LT(cmp.power_pct(), 0.0);
+
+  std::printf(
+      "paper-scale FPU sign-off (seed %llu, clock %.3f ns):\n"
+      "  2D   : %6d cells  %10.1f um2  %8.1f um WL  %8.1f uW\n"
+      "  T-MI : %6d cells  %10.1f um2  %8.1f um WL  %8.1f uW\n"
+      "  delta: footprint %+6.1f%%  WL %+6.1f%%  power %+6.1f%% "
+      "(cell %+5.1f%%, net %+5.1f%%)\n",
+      20130529ULL, cmp.flat.clock_ns, cmp.flat.cells, cmp.flat.footprint_um2,
+      cmp.flat.total_wl_um, cmp.flat.total_uw, cmp.tmi.cells,
+      cmp.tmi.footprint_um2, cmp.tmi.total_wl_um, cmp.tmi.total_uw,
+      cmp.footprint_pct(), cmp.wl_pct(), cmp.power_pct(),
+      cmp.cell_power_pct(), cmp.net_power_pct());
+  RecordProperty("footprint_pct", util::strf("%.2f", cmp.footprint_pct()));
+  RecordProperty("wl_pct", util::strf("%.2f", cmp.wl_pct()));
+  RecordProperty("power_pct", util::strf("%.2f", cmp.power_pct()));
+}
+
 }  // namespace
 }  // namespace m3d
 

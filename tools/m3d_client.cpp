@@ -1,0 +1,270 @@
+// m3d_client: command-line client for the m3d_serve daemon.
+//
+//   m3d_client [--connect HOST:PORT | --port N | --unix PATH |
+//               --port-file PATH] COMMAND [flags]
+//
+// Commands:
+//   ping                      liveness + protocol version check
+//   stats                     print the daemon's serve stats document
+//   shutdown                  ask the daemon to exit
+//   run [flow flags]          run (or fetch) one flow, print the report
+//
+// Run flags: --bench B --style S --node N --clock-ns X --seed K
+//   --scale-shift N --util F --check none|basic|full --hold-ms N
+//   --no-progress --out FILE (write the canonical report there instead of
+//   stdout) --quiet (suppress progress lines)
+//
+// Validation is deliberately left to the daemon: flag values travel as
+// given, so a typo comes back as the server's structured error naming the
+// offending field — the same thing any other client would see.
+//
+// --expect fresh|cached|coalesced|busy turns the client into a smoke-test
+// assertion: exit 0 only if the reply matches (fresh = a result that is
+// neither cached nor coalesced). Exit codes: 0 ok, 1 server error or I/O
+// failure, 2 usage, 3 busy (without --expect busy), 4 --expect mismatch.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "serve/socket.hpp"
+#include "util/json.hpp"
+#include "util/strf.hpp"
+
+namespace {
+
+using m3d::serve::FrameDecoder;
+using m3d::serve::FrameStatus;
+using m3d::serve::Socket;
+using m3d::util::json::Value;
+using m3d::util::strf;
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::string unix_path;
+};
+
+Socket dial(const Endpoint& ep, std::string* err) {
+  if (!ep.unix_path.empty()) return m3d::serve::connect_unix(ep.unix_path, err);
+  if (ep.port < 0) {
+    *err = "no endpoint: pass --connect, --port, --unix or --port-file";
+    return {};
+  }
+  return m3d::serve::connect_tcp(ep.host, ep.port, err);
+}
+
+bool send_doc(const Socket& s, const Value& doc) {
+  return m3d::serve::write_frame(s, doc.dump(-1));
+}
+
+/// Reads one JSON reply; exits 1 on transport/parse failure.
+Value recv_doc(const Socket& s, FrameDecoder* dec) {
+  std::string payload;
+  const FrameStatus st = m3d::serve::read_frame(s, dec, &payload);
+  if (st != FrameStatus::kFrame) {
+    std::fprintf(stderr, "m3d_client: connection closed (%s)\n",
+                 m3d::serve::to_string(st));
+    std::exit(1);
+  }
+  Value doc;
+  std::string err;
+  if (!m3d::util::json::parse(payload, &doc, &err)) {
+    std::fprintf(stderr, "m3d_client: unparseable reply: %s\n", err.c_str());
+    std::exit(1);
+  }
+  return doc;
+}
+
+int print_error(const Value& doc) {
+  const std::string field = doc.string_or("field", "");
+  std::fprintf(stderr, "m3d_client: server error [%s]%s%s: %s\n",
+               doc.string_or("code", "?").c_str(), field.empty() ? "" : " ",
+               field.c_str(), doc.string_or("message", "").c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Endpoint ep;
+  std::string command;
+  std::string expect;
+  std::string out_file;
+  bool quiet = false;
+  Value run_doc = Value::object();
+  run_doc.set("type", Value::str("run"));
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "m3d_client: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (arg == "--connect") {
+      const std::string hp = next();
+      const size_t colon = hp.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "m3d_client: --connect wants HOST:PORT\n");
+        return 2;
+      }
+      ep.host = hp.substr(0, colon);
+      ep.port = std::atoi(hp.c_str() + colon + 1);
+    } else if (arg == "--port") {
+      ep.port = std::atoi(next());
+    } else if (arg == "--host") {
+      ep.host = next();
+    } else if (arg == "--unix") {
+      ep.unix_path = next();
+    } else if (arg == "--port-file") {
+      std::FILE* f = std::fopen(next(), "r");
+      if (f == nullptr || std::fscanf(f, "%d", &ep.port) != 1) {
+        std::fprintf(stderr, "m3d_client: cannot read port file\n");
+        if (f != nullptr) std::fclose(f);
+        return 2;
+      }
+      std::fclose(f);
+    } else if (arg == "--expect") {
+      expect = next();
+    } else if (arg == "--out") {
+      out_file = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--bench") {
+      run_doc.set("bench", Value::str(next()));
+    } else if (arg == "--style") {
+      run_doc.set("style", Value::str(next()));
+    } else if (arg == "--node") {
+      run_doc.set("node", Value::str(next()));
+    } else if (arg == "--clock-ns") {
+      run_doc.set("clock_ns", Value::number(std::atof(next())));
+    } else if (arg == "--seed") {
+      run_doc.set("seed", Value::str(next()));  // lossless uint64
+    } else if (arg == "--scale-shift") {
+      run_doc.set("scale_shift", Value::number(std::atoi(next())));
+    } else if (arg == "--util") {
+      run_doc.set("target_util", Value::number(std::atof(next())));
+    } else if (arg == "--check") {
+      run_doc.set("check_level", Value::str(next()));
+    } else if (arg == "--hold-ms") {
+      run_doc.set("hold_ms", Value::number(std::atoi(next())));
+    } else if (arg == "--no-progress") {
+      run_doc.set("progress", Value::boolean(false));
+    } else if (!arg.empty() && arg[0] != '-' && command.empty()) {
+      command = arg;
+    } else {
+      std::fprintf(stderr, "m3d_client: unknown arg %s (see header comment)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (command.empty()) {
+    std::fprintf(stderr,
+                 "usage: m3d_client [--connect h:p | --port n | --unix path |"
+                 " --port-file f]\n"
+                 "       ping | stats | shutdown | run [flow flags]"
+                 " [--expect fresh|cached|coalesced|busy]\n");
+    return 2;
+  }
+  if (!expect.empty() && expect != "fresh" && expect != "cached" &&
+      expect != "coalesced" && expect != "busy") {
+    std::fprintf(stderr, "m3d_client: bad --expect value \"%s\"\n",
+                 expect.c_str());
+    return 2;
+  }
+
+  std::string err;
+  Socket conn = dial(ep, &err);
+  if (!conn.valid()) {
+    std::fprintf(stderr, "m3d_client: %s\n", err.c_str());
+    return 1;
+  }
+  FrameDecoder dec;
+
+  if (command == "ping" || command == "stats" || command == "shutdown") {
+    Value doc = Value::object();
+    doc.set("type", Value::str(command));
+    if (!send_doc(conn, doc)) {
+      std::fprintf(stderr, "m3d_client: send failed\n");
+      return 1;
+    }
+    const Value reply = recv_doc(conn, &dec);
+    const std::string type = reply.string_or("type", "");
+    if (type == "error") return print_error(reply);
+    std::printf("%s\n", reply.dump(-1).c_str());
+    return 0;
+  }
+  if (command != "run") {
+    std::fprintf(stderr, "m3d_client: unknown command \"%s\"\n",
+                 command.c_str());
+    return 2;
+  }
+
+  if (!send_doc(conn, run_doc)) {
+    std::fprintf(stderr, "m3d_client: send failed\n");
+    return 1;
+  }
+  for (;;) {
+    const Value reply = recv_doc(conn, &dec);
+    const std::string type = reply.string_or("type", "");
+    if (type == "progress") {
+      if (!quiet) {
+        std::fprintf(stderr, "[%d] %-14s %8.2f ms\n",
+                     static_cast<int>(reply.number_or("index", -1)),
+                     reply.string_or("stage", "?").c_str(),
+                     reply.number_or("wall_ms", 0.0));
+      }
+      continue;
+    }
+    if (type == "busy") {
+      std::fprintf(stderr,
+                   "m3d_client: busy (queue depth %d, retry after %d ms)\n",
+                   static_cast<int>(reply.number_or("queue_depth", 0)),
+                   static_cast<int>(reply.number_or("retry_after_ms", 0)));
+      return expect == "busy" ? 0 : 3;
+    }
+    if (type == "error") {
+      print_error(reply);
+      return 1;
+    }
+    if (type != "result") {
+      std::fprintf(stderr, "m3d_client: unexpected reply type \"%s\"\n",
+                   type.c_str());
+      return 1;
+    }
+    const Value* cached_v = reply.find("cached");
+    const Value* coalesced_v = reply.find("coalesced");
+    const bool cached = cached_v != nullptr && cached_v->as_bool();
+    const bool coalesced = coalesced_v != nullptr && coalesced_v->as_bool();
+    if (!quiet) {
+      std::fprintf(stderr, "m3d_client: result id=%s%s%s\n",
+                   reply.string_or("id", "?").c_str(),
+                   cached ? " (cached)" : "", coalesced ? " (coalesced)" : "");
+    }
+    const Value* report = reply.find("report");
+    const std::string text =
+        report != nullptr ? report->dump(-1) : std::string("{}");
+    if (!out_file.empty()) {
+      std::FILE* f = std::fopen(out_file.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "m3d_client: cannot write %s\n",
+                     out_file.c_str());
+        return 1;
+      }
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    } else {
+      std::printf("%s\n", text.c_str());
+    }
+    if (expect == "cached" && !cached) return 4;
+    if (expect == "coalesced" && !coalesced) return 4;
+    if (expect == "fresh" && (cached || coalesced)) return 4;
+    if (expect == "busy") return 4;
+    return 0;
+  }
+}
