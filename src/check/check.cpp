@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <map>
 #include <utility>
@@ -638,6 +639,30 @@ uint64_t netlist_hash(const circuit::Netlist& nl) {
     mix(&h, util::hash64(p.name));
     mix(&h, static_cast<uint64_t>(p.net + 1));
     mix(&h, p.is_input ? 1 : 0);
+  }
+  return h;
+}
+
+uint64_t placement_hash(const circuit::Netlist& nl) {
+  // Exact bit patterns (memcpy, not value comparison): the hash must
+  // distinguish placements that differ by one ulp, because downstream
+  // extraction and timing would.
+  const auto bits = [](double v) {
+    uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof u);
+    return u;
+  };
+  uint64_t h = netlist_hash(nl);
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const circuit::Instance& inst = nl.inst(i);
+    if (inst.dead) continue;
+    mix(&h, inst.placed ? 1 : 0);
+    mix(&h, bits(inst.pos.x));
+    mix(&h, bits(inst.pos.y));
+  }
+  for (const circuit::Port& p : nl.ports()) {
+    mix(&h, bits(p.pos.x));
+    mix(&h, bits(p.pos.y));
   }
   return h;
 }

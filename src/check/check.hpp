@@ -106,4 +106,11 @@ CheckResult check_library(const liberty::Library& lib);
 /// platforms. Oracle for generator-determinism tests.
 uint64_t netlist_hash(const circuit::Netlist& nl);
 
+/// Deterministic hash of the netlist's physical state: netlist_hash plus
+/// every live instance's placed flag and exact position bit pattern (and
+/// the port pad positions). Two placements hash equal iff they are
+/// bit-identical — the oracle the store-differential fuzz harness uses to
+/// prove a store-restored placement matches the cold one.
+uint64_t placement_hash(const circuit::Netlist& nl);
+
 }  // namespace m3d::check

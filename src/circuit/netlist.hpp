@@ -111,6 +111,11 @@ class Netlist {
   bool validate() const;
 
  private:
+  // Exact-state serialization (circuit/snapshot.hpp): the codec must see
+  // the private vectors directly — replaying the public mutators cannot
+  // reproduce net sink order or the auto-name counter.
+  friend struct SnapshotAccess;
+
   void bind_one(InstId id, const liberty::Library& lib) {
     resize_inst(id, lib, instances_[static_cast<size_t>(id)].drive);
   }

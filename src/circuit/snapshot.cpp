@@ -1,0 +1,215 @@
+#include "circuit/snapshot.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace m3d::circuit {
+
+/// Friend of Netlist: the one place with raw access to the private state
+/// vectors (declared in netlist.hpp).
+struct SnapshotAccess {
+  static void encode(const Netlist& nl, store::BlobWriter* w);
+  static bool decode(store::BlobReader* r, Netlist* nl);
+};
+
+namespace {
+
+constexpr uint8_t kVersion = 1;
+
+void encode_pin(const PinRef& p, store::BlobWriter* w) {
+  w->i32(p.inst);
+  w->i32(p.pin);
+}
+
+bool decode_pin(store::BlobReader* r, PinRef* p) {
+  return r->i32(&p->inst) && r->i32(&p->pin);
+}
+
+void encode_pt(const geom::Pt& p, store::BlobWriter* w) {
+  w->f64(p.x);
+  w->f64(p.y);
+}
+
+bool decode_pt(store::BlobReader* r, geom::Pt* p) {
+  return r->f64(&p->x) && r->f64(&p->y);
+}
+
+/// Bounded count read: a torn length field must not turn into a
+/// multi-gigabyte resize before validation catches it.
+bool decode_count(store::BlobReader* r, uint32_t* n) {
+  constexpr uint32_t kMaxObjects = 1u << 28;
+  return r->u32(n) && *n <= kMaxObjects;
+}
+
+bool valid_net(int id, size_t num_nets) {
+  return id >= 0 && static_cast<size_t>(id) < num_nets;
+}
+
+bool valid_inst(int id, size_t num_insts) {
+  return id == kInvalid ||
+         (id >= 0 && static_cast<size_t>(id) < num_insts);
+}
+
+}  // namespace
+
+void SnapshotAccess::encode(const Netlist& nl, store::BlobWriter* w) {
+  w->u8(kVersion);
+  w->str(nl.name);
+  w->i32(nl.clock_);
+  w->i32(nl.auto_net_);
+
+  w->u32(static_cast<uint32_t>(nl.instances_.size()));
+  for (const Instance& inst : nl.instances_) {
+    w->str(inst.name);
+    w->u32(static_cast<uint32_t>(inst.func));
+    w->i32(inst.drive);
+    w->u32(static_cast<uint32_t>(inst.in_nets.size()));
+    for (const NetId n : inst.in_nets) w->i32(n);
+    w->u32(static_cast<uint32_t>(inst.out_nets.size()));
+    for (const NetId n : inst.out_nets) w->i32(n);
+    encode_pt(inst.pos, w);
+    w->u8(static_cast<uint8_t>((inst.placed ? 1 : 0) |
+                               (inst.from_optimizer ? 2 : 0) |
+                               (inst.dead ? 4 : 0)));
+  }
+
+  w->u32(static_cast<uint32_t>(nl.nets_.size()));
+  for (const Net& net : nl.nets_) {
+    w->str(net.name);
+    encode_pin(net.driver, w);
+    w->u32(static_cast<uint32_t>(net.sinks.size()));
+    for (const PinRef& s : net.sinks) encode_pin(s, w);
+    w->u8(static_cast<uint8_t>((net.is_clock ? 1 : 0) |
+                               (net.is_primary_input ? 2 : 0) |
+                               (net.is_primary_output ? 4 : 0)));
+  }
+
+  w->u32(static_cast<uint32_t>(nl.ports_.size()));
+  for (const Port& p : nl.ports_) {
+    w->str(p.name);
+    w->u8(p.is_input ? 1 : 0);
+    w->i32(p.net);
+    encode_pt(p.pos, w);
+  }
+}
+
+bool SnapshotAccess::decode(store::BlobReader* r, Netlist* nl) {
+  uint8_t version = 0;
+  if (!r->u8(&version) || version != kVersion) return false;
+  Netlist out;
+  if (!r->str(&out.name) || !r->i32(&out.clock_) || !r->i32(&out.auto_net_)) {
+    return false;
+  }
+
+  uint32_t n_inst = 0;
+  if (!decode_count(r, &n_inst)) return false;
+  out.instances_.resize(n_inst);
+  for (Instance& inst : out.instances_) {
+    uint32_t func = 0;
+    uint32_t n_pins = 0;
+    uint8_t flags = 0;
+    if (!r->str(&inst.name) || !r->u32(&func) || !r->i32(&inst.drive)) {
+      return false;
+    }
+    inst.func = static_cast<cells::Func>(func);
+    if (!decode_count(r, &n_pins)) return false;
+    inst.in_nets.resize(n_pins);
+    for (NetId& n : inst.in_nets) {
+      if (!r->i32(&n)) return false;
+    }
+    if (!decode_count(r, &n_pins)) return false;
+    inst.out_nets.resize(n_pins);
+    for (NetId& n : inst.out_nets) {
+      if (!r->i32(&n)) return false;
+    }
+    if (!decode_pt(r, &inst.pos) || !r->u8(&flags)) return false;
+    inst.placed = (flags & 1) != 0;
+    inst.from_optimizer = (flags & 2) != 0;
+    inst.dead = (flags & 4) != 0;
+    inst.libcell = nullptr;  // callers rebind against their library
+  }
+
+  uint32_t n_nets = 0;
+  if (!decode_count(r, &n_nets)) return false;
+  out.nets_.resize(n_nets);
+  for (Net& net : out.nets_) {
+    uint32_t n_sinks = 0;
+    uint8_t flags = 0;
+    if (!r->str(&net.name) || !decode_pin(r, &net.driver)) return false;
+    if (!decode_count(r, &n_sinks)) return false;
+    net.sinks.resize(n_sinks);
+    for (PinRef& s : net.sinks) {
+      if (!decode_pin(r, &s)) return false;
+    }
+    if (!r->u8(&flags)) return false;
+    net.is_clock = (flags & 1) != 0;
+    net.is_primary_input = (flags & 2) != 0;
+    net.is_primary_output = (flags & 4) != 0;
+  }
+
+  uint32_t n_ports = 0;
+  if (!decode_count(r, &n_ports)) return false;
+  out.ports_.resize(n_ports);
+  for (Port& p : out.ports_) {
+    uint8_t is_input = 0;
+    if (!r->str(&p.name) || !r->u8(&is_input) || !r->i32(&p.net) ||
+        !decode_pt(r, &p.pos)) {
+      return false;
+    }
+    p.is_input = is_input != 0;
+  }
+
+  // Reference validation: nothing downstream double-checks ranges —
+  // validate() in particular indexes instances and their pin vectors
+  // directly, so every id AND pin index must be proven in range here.
+  const size_t ni = out.instances_.size();
+  const size_t nn = out.nets_.size();
+  for (const Instance& inst : out.instances_) {
+    for (const NetId n : inst.in_nets) {
+      if (!valid_net(n, nn)) return false;
+    }
+    for (const NetId n : inst.out_nets) {
+      if (!valid_net(n, nn)) return false;
+    }
+  }
+  for (const Net& net : out.nets_) {
+    if (!valid_inst(net.driver.inst, ni)) return false;
+    if (net.driver.inst != kInvalid) {
+      const Instance& d = out.instances_[static_cast<size_t>(net.driver.inst)];
+      if (net.driver.pin < 0 ||
+          static_cast<size_t>(net.driver.pin) >= d.out_nets.size()) {
+        return false;
+      }
+    }
+    for (const PinRef& s : net.sinks) {
+      // Sinks never carry kInvalid: detachment erases the entry outright.
+      if (s.inst == kInvalid || !valid_inst(s.inst, ni)) return false;
+      const Instance& si = out.instances_[static_cast<size_t>(s.inst)];
+      if (s.pin < 0 || static_cast<size_t>(s.pin) >= si.in_nets.size()) {
+        return false;
+      }
+    }
+  }
+  for (const Port& p : out.ports_) {
+    if (p.net != kInvalid && !valid_net(p.net, nn)) return false;
+  }
+  if (out.clock_ != kInvalid && !valid_net(out.clock_, nn)) return false;
+  // Full cross-consistency on top of the range checks: driver/sink lists and
+  // per-instance pin vectors must agree both ways, so a decoded netlist is
+  // indistinguishable from one built through the mutation API.
+  if (!out.validate()) return false;
+
+  *nl = std::move(out);
+  return true;
+}
+
+void encode_netlist(const Netlist& nl, store::BlobWriter* w) {
+  SnapshotAccess::encode(nl, w);
+}
+
+bool decode_netlist(store::BlobReader* r, Netlist* nl) {
+  return SnapshotAccess::decode(r, nl);
+}
+
+}  // namespace m3d::circuit

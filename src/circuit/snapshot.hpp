@@ -1,0 +1,30 @@
+// Exact netlist snapshot codec for the content-addressed store
+// (src/store): serializes a Netlist's complete mutable state — instances
+// (with positions and optimizer flags), nets with their driver/sink order,
+// ports, the clock net and the private auto-name counter — so a decoded
+// netlist is indistinguishable from the original to every downstream stage,
+// including the names future `new_net()` calls will produce. Library
+// binding pointers are NOT serialized: callers rebind with
+// `Netlist::bind(lib)` after decoding (binding is a pure function of
+// (func, drive) against the library, so rebinding reproduces the exact
+// pointers the original held).
+//
+// decode_netlist is safe on hostile input (store/blob.hpp bounds checks +
+// reference validation here): a torn or corrupted blob returns false and
+// never yields an out-of-range net/instance reference.
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "store/blob.hpp"
+
+namespace m3d::circuit {
+
+/// Appends the netlist's exact state to `w`.
+void encode_netlist(const Netlist& nl, store::BlobWriter* w);
+
+/// Reconstructs a netlist encoded by encode_netlist. Returns false (leaving
+/// `*nl` unspecified) on malformed input. Instances come back unbound —
+/// call nl->bind(lib) before running any stage that reads libcells.
+bool decode_netlist(store::BlobReader* r, Netlist* nl);
+
+}  // namespace m3d::circuit

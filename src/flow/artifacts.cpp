@@ -1,0 +1,346 @@
+#include "flow/artifacts.hpp"
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/check.hpp"
+#include "circuit/snapshot.hpp"
+#include "gen/gen.hpp"
+#include "store/blob.hpp"
+#include "util/strf.hpp"
+
+namespace m3d::flow::artifacts {
+namespace {
+
+constexpr uint8_t kLibraryVersion = 1;
+constexpr uint8_t kNetlistBlobVersion = 1;
+constexpr uint8_t kPlaceBlobVersion = 1;
+
+// --- shared sub-codecs -----------------------------------------------------
+
+void encode_table(const liberty::NldmTable& t, store::BlobWriter* w) {
+  w->u32(static_cast<uint32_t>(t.slew_ps.size()));
+  for (const double v : t.slew_ps) w->f64(v);
+  w->u32(static_cast<uint32_t>(t.load_ff.size()));
+  for (const double v : t.load_ff) w->f64(v);
+  w->u32(static_cast<uint32_t>(t.value.size()));
+  for (const double v : t.value) w->f64(v);
+}
+
+bool decode_vec(store::BlobReader* r, std::vector<double>* out) {
+  constexpr uint32_t kMaxValues = 1u << 24;
+  uint32_t n = 0;
+  if (!r->u32(&n) || n > kMaxValues) return false;
+  out->resize(n);
+  for (double& v : *out) {
+    if (!r->f64(&v)) return false;
+  }
+  return true;
+}
+
+bool decode_table(store::BlobReader* r, liberty::NldmTable* t) {
+  return decode_vec(r, &t->slew_ps) && decode_vec(r, &t->load_ff) &&
+         decode_vec(r, &t->value);
+}
+
+void encode_stage_report(const StageReport& sr, store::BlobWriter* w) {
+  w->str(sr.name);
+  w->f64(sr.wall_ms);
+  w->u32(static_cast<uint32_t>(sr.counters.size()));
+  for (const auto& [key, value] : sr.counters) {
+    w->str(key);
+    w->f64(value);
+  }
+  w->f64(sr.rss_mb);
+  w->f64(sr.hwm_mb);
+  w->f64(sr.alloc_mb);
+  w->i64(sr.allocs);
+}
+
+bool decode_stage_report(store::BlobReader* r, StageReport* sr) {
+  constexpr uint32_t kMaxCounters = 1u << 20;
+  uint32_t n = 0;
+  if (!r->str(&sr->name) || !r->f64(&sr->wall_ms) || !r->u32(&n) ||
+      n > kMaxCounters) {
+    return false;
+  }
+  sr->counters.resize(n);
+  for (auto& [key, value] : sr->counters) {
+    if (!r->str(&key) || !r->f64(&value)) return false;
+  }
+  return r->f64(&sr->rss_mb) && r->f64(&sr->hwm_mb) && r->f64(&sr->alloc_mb) &&
+         r->i64(&sr->allocs);
+}
+
+void encode_stage_reports(const FlowResult& res, size_t count,
+                          store::BlobWriter* w) {
+  w->u32(static_cast<uint32_t>(count));
+  for (size_t i = 0; i < count; ++i) encode_stage_report(res.stages[i], w);
+}
+
+bool decode_stage_reports(store::BlobReader* r, size_t expect,
+                          std::vector<StageReport>* out) {
+  uint32_t n = 0;
+  if (!r->u32(&n) || n != expect) return false;
+  for (uint32_t i = 0; i < n; ++i) {
+    StageReport sr;
+    if (!decode_stage_report(r, &sr)) return false;
+    out->push_back(std::move(sr));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string resolved_store_dir(const std::string& opt_dir) {
+  if (!opt_dir.empty()) return opt_dir;
+  const char* env = std::getenv("M3D_STORE");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+bool store_usable(const FlowOptions& opt) {
+  // A custom WLM has no canonical serialization in the key schema, and it
+  // changes synthesis — memoizing under a key that omits it would alias
+  // different designs. Fall back to running everything.
+  return !opt.wlm.has_value();
+}
+
+// --- library ---------------------------------------------------------------
+
+std::string encode_library(const liberty::Library& lib) {
+  store::BlobWriter w;
+  w.u8(kLibraryVersion);
+  w.str(lib.name);
+  w.i32(static_cast<int32_t>(lib.node));
+  w.i32(static_cast<int32_t>(lib.style));
+  w.f64(lib.vdd_v);
+  w.u32(static_cast<uint32_t>(lib.cells().size()));
+  for (const liberty::LibCell& c : lib.cells()) {
+    w.str(c.name);
+    w.u32(static_cast<uint32_t>(c.func));
+    w.i32(c.drive);
+    w.f64(c.width_um);
+    w.f64(c.height_um);
+    w.u32(static_cast<uint32_t>(c.pin_cap_ff.size()));
+    for (const auto& [pin, cap] : c.pin_cap_ff) {  // std::map: sorted order
+      w.str(pin);
+      w.f64(cap);
+    }
+    w.f64(c.leakage_uw);
+    w.u8(c.sequential ? 1 : 0);
+    w.f64(c.setup_ps);
+    w.f64(c.hold_ps);
+    w.u32(static_cast<uint32_t>(c.arcs.size()));
+    for (const liberty::TimingArc& arc : c.arcs) {
+      w.str(arc.from);
+      w.str(arc.to);
+      for (int e = 0; e < 2; ++e) encode_table(arc.delay[e], &w);
+      for (int e = 0; e < 2; ++e) encode_table(arc.out_slew[e], &w);
+      for (int e = 0; e < 2; ++e) encode_table(arc.energy[e], &w);
+    }
+  }
+  return w.take();
+}
+
+bool decode_library(const std::string& blob, liberty::Library* lib) {
+  constexpr uint32_t kMaxCells = 1u << 20;
+  store::BlobReader r(blob);
+  uint8_t version = 0;
+  if (!r.u8(&version) || version != kLibraryVersion) return false;
+  liberty::Library out;
+  int32_t node = 0;
+  int32_t style = 0;
+  uint32_t n_cells = 0;
+  if (!r.str(&out.name) || !r.i32(&node) || !r.i32(&style) ||
+      !r.f64(&out.vdd_v) || !r.u32(&n_cells) || n_cells > kMaxCells) {
+    return false;
+  }
+  out.node = static_cast<tech::Node>(node);
+  out.style = static_cast<tech::Style>(style);
+  for (uint32_t i = 0; i < n_cells; ++i) {
+    liberty::LibCell c;
+    uint32_t func = 0;
+    uint32_t n_pins = 0;
+    if (!r.str(&c.name) || !r.u32(&func) || !r.i32(&c.drive) ||
+        !r.f64(&c.width_um) || !r.f64(&c.height_um) || !r.u32(&n_pins) ||
+        n_pins > kMaxCells) {
+      return false;
+    }
+    c.func = static_cast<cells::Func>(func);
+    for (uint32_t p = 0; p < n_pins; ++p) {
+      std::string pin;
+      double cap = 0.0;
+      if (!r.str(&pin) || !r.f64(&cap)) return false;
+      c.pin_cap_ff[pin] = cap;
+    }
+    uint8_t seq = 0;
+    uint32_t n_arcs = 0;
+    if (!r.f64(&c.leakage_uw) || !r.u8(&seq) || !r.f64(&c.setup_ps) ||
+        !r.f64(&c.hold_ps) || !r.u32(&n_arcs) || n_arcs > kMaxCells) {
+      return false;
+    }
+    c.sequential = seq != 0;
+    c.arcs.resize(n_arcs);
+    for (liberty::TimingArc& arc : c.arcs) {
+      if (!r.str(&arc.from) || !r.str(&arc.to)) return false;
+      for (int e = 0; e < 2; ++e) {
+        if (!decode_table(&r, &arc.delay[e])) return false;
+      }
+      for (int e = 0; e < 2; ++e) {
+        if (!decode_table(&r, &arc.out_slew[e])) return false;
+      }
+      for (int e = 0; e < 2; ++e) {
+        if (!decode_table(&r, &arc.energy[e])) return false;
+      }
+    }
+    out.add(std::move(c));
+  }
+  if (!r.at_end()) return false;
+  *lib = std::move(out);
+  return true;
+}
+
+uint64_t library_fingerprint(const liberty::Library& lib) {
+  return store::fnv1a64(encode_library(lib));
+}
+
+std::string library_key(const std::string& provider_id, tech::Node node,
+                        tech::Style style) {
+  return util::strf(
+      "{\"artifact\":\"library\",\"provider\":\"%s\",\"node\":\"%s\","
+      "\"style\":\"%s\"}",
+      provider_id.c_str(), tech::to_string(node), tech::to_string(style));
+}
+
+// --- auto-clock ------------------------------------------------------------
+
+std::string clock_key(const FlowOptions& opt, uint64_t lib_fp) {
+  // auto_clock_ns always probes the 2D corner of opt.node with opt.lib, a
+  // pure function of exactly these fields (style, WLM knobs and routing
+  // knobs never reach the probe).
+  return util::strf(
+      "{\"artifact\":\"clock\",\"bench\":\"%s\",\"node\":\"%s\","
+      "\"scale_shift\":%d,\"seed\":\"%llu\",\"target_util\":%.17g,"
+      "\"lib\":\"%s\"}",
+      gen::to_string(opt.bench), tech::to_string(opt.node), opt.scale_shift,
+      static_cast<unsigned long long>(opt.seed), opt.target_util,
+      store::key_hex(lib_fp).c_str());
+}
+
+double resolved_clock_ns(const FlowOptions& opt, const store::Store* store) {
+  if (opt.clock_ns > 0.0) return opt.clock_ns;
+  const bool memoizable = store != nullptr && store->enabled() &&
+                          store_usable(opt) && opt.custom_netlist == nullptr;
+  std::string key;
+  if (memoizable) {
+    key = clock_key(opt, library_fingerprint(*opt.lib));
+    if (const std::optional<std::string> blob = store->get("clock", key)) {
+      store::BlobReader r(*blob);
+      double clock = 0.0;
+      if (r.f64(&clock) && r.at_end() && clock > 0.0) return clock;
+    }
+  }
+  const double clock = auto_clock_ns(opt);
+  if (memoizable) {
+    store::BlobWriter w;
+    w.f64(clock);
+    store->put("clock", key, w.bytes());
+  }
+  return clock;
+}
+
+// --- generated netlist -----------------------------------------------------
+
+std::string netlist_key(const FlowOptions& opt) {
+  return util::strf(
+      "{\"artifact\":\"netlist\",\"bench\":\"%s\",\"scale_shift\":%d,"
+      "\"seed\":\"%llu\"}",
+      gen::to_string(opt.bench), opt.scale_shift,
+      static_cast<unsigned long long>(opt.seed));
+}
+
+std::string encode_netlist_blob(const FlowResult& res) {
+  store::BlobWriter w;
+  w.u8(kNetlistBlobVersion);
+  circuit::encode_netlist(res.netlist, &w);
+  encode_stage_reports(res, 1, &w);
+  return w.take();
+}
+
+bool decode_netlist_blob(const std::string& blob, FlowResult* res) {
+  store::BlobReader r(blob);
+  uint8_t version = 0;
+  if (!r.u8(&version) || version != kNetlistBlobVersion) return false;
+  // Decode into locals first: a torn blob must leave `*res` untouched so
+  // the caller can fall back to running the stage.
+  circuit::Netlist nl;
+  std::vector<StageReport> reports;
+  if (!circuit::decode_netlist(&r, &nl) ||
+      !decode_stage_reports(&r, 1, &reports) || !r.at_end()) {
+    return false;
+  }
+  res->netlist = std::move(nl);
+  for (StageReport& sr : reports) res->stages.push_back(std::move(sr));
+  return true;
+}
+
+// --- placement -------------------------------------------------------------
+
+std::string place_key(const FlowOptions& opt, uint64_t lib_fp) {
+  // Everything stages gen/synth/place(+CTS) read from the options. A
+  // custom netlist replaces the bench identity with its structural hash.
+  const std::string source =
+      opt.custom_netlist != nullptr
+          ? util::strf("\"netlist\":\"%s\"",
+                       store::key_hex(check::netlist_hash(*opt.custom_netlist))
+                           .c_str())
+          : util::strf("\"bench\":\"%s\"", gen::to_string(opt.bench));
+  return util::strf(
+      "{\"artifact\":\"place\",%s,\"node\":\"%s\",\"style\":\"%s\","
+      "\"scale_shift\":%d,\"seed\":\"%llu\",\"clock_ns\":%.17g,"
+      "\"target_util\":%.17g,\"tmi_wlm\":%d,\"resistivity_scale\":%.17g,"
+      "\"build_cts\":%d,\"lib\":\"%s\"}",
+      source.c_str(), tech::to_string(opt.node), tech::to_string(opt.style),
+      opt.scale_shift, static_cast<unsigned long long>(opt.seed), opt.clock_ns,
+      opt.target_util, opt.tmi_wlm ? 1 : 0, opt.resistivity_scale,
+      opt.build_cts ? 1 : 0, store::key_hex(lib_fp).c_str());
+}
+
+std::string encode_place_blob(const FlowResult& res) {
+  store::BlobWriter w;
+  w.u8(kPlaceBlobVersion);
+  circuit::encode_netlist(res.netlist, &w);
+  w.f64(res.die.core.xlo);
+  w.f64(res.die.core.ylo);
+  w.f64(res.die.core.xhi);
+  w.f64(res.die.core.yhi);
+  w.f64(res.die.row_height_um);
+  w.i32(res.die.num_rows);
+  encode_stage_reports(res, 3, &w);
+  return w.take();
+}
+
+bool decode_place_blob(const std::string& blob, FlowResult* res) {
+  store::BlobReader r(blob);
+  uint8_t version = 0;
+  if (!r.u8(&version) || version != kPlaceBlobVersion) return false;
+  circuit::Netlist nl;
+  place::Die die;
+  std::vector<StageReport> reports;
+  if (!circuit::decode_netlist(&r, &nl)) return false;
+  if (!r.f64(&die.core.xlo) || !r.f64(&die.core.ylo) ||
+      !r.f64(&die.core.xhi) || !r.f64(&die.core.yhi) ||
+      !r.f64(&die.row_height_um) || !r.i32(&die.num_rows)) {
+    return false;
+  }
+  if (!decode_stage_reports(&r, 3, &reports) || !r.at_end()) return false;
+  res->netlist = std::move(nl);
+  res->die = die;
+  for (StageReport& sr : reports) res->stages.push_back(std::move(sr));
+  return true;
+}
+
+}  // namespace m3d::flow::artifacts

@@ -79,6 +79,14 @@ struct FlowOptions {
   /// `bench` (the fuzz driver pushes random circuits through the flow this
   /// way). Must outlive the call; `seed` still controls place/route.
   const circuit::Netlist* custom_netlist = nullptr;
+  /// Content-addressed stage-artifact store directory (src/store): when
+  /// set (or via the M3D_STORE environment variable), run_flow memoizes
+  /// and reuses its expensive prefixes — the generated netlist, the placed
+  /// (+CTS) design and the auto-clock probe — across runs, processes and
+  /// daemon restarts. Replayed stages keep their recorded StageReports, so
+  /// a store-hit run's canonical report is byte-identical to a cold run's.
+  /// Empty and no M3D_STORE: the serial fallback — every stage runs.
+  std::string store_dir;
   /// Structured trace collection (src/obs) for this run: span timeline
   /// events, exec pool activity, stage-boundary memory samples, and a span
   /// summary + per-stage "mem" block in the run report (schema becomes

@@ -1,5 +1,6 @@
 #include "flow/warm.hpp"
 
+#include "flow/artifacts.hpp"
 #include "util/metrics.hpp"
 #include "util/strf.hpp"
 
@@ -7,6 +8,13 @@ namespace m3d::flow {
 
 WarmContext::WarmContext(LibraryProvider provider)
     : provider_(std::move(provider)) {}
+
+void WarmContext::attach_store(const std::string& dir,
+                               const std::string& provider_id) {
+  if (dir.empty()) return;
+  store_ = std::make_unique<store::Store>(dir);
+  provider_id_ = provider_id;
+}
 
 WarmContext::Corner& WarmContext::corner(tech::Node node, tech::Style style) {
   const std::pair<int, int> key{static_cast<int>(node),
@@ -23,8 +31,23 @@ const liberty::Library& WarmContext::library(tech::Node node,
   // call_once serializes the (possibly slow) build per corner while holding
   // no lock of ours, so other corners stay available during a build.
   std::call_once(c.once, [&] {
+    std::string key;
+    if (store_ != nullptr && store_->enabled()) {
+      key = artifacts::library_key(provider_id_, node, style);
+      if (const auto blob = store_->get("library", key)) {
+        auto lib = std::make_unique<liberty::Library>();
+        if (artifacts::decode_library(*blob, lib.get())) {
+          util::count("warm.lib_load");
+          c.lib = std::move(lib);
+          return;
+        }
+      }
+    }
     util::count("warm.lib_build");
     c.lib = std::make_unique<liberty::Library>(provider_(node, style));
+    if (store_ != nullptr && store_->enabled()) {
+      store_->put("library", key, artifacts::encode_library(*c.lib));
+    }
   });
   util::count("warm.lib_hit");
   return *c.lib;
@@ -62,7 +85,9 @@ double WarmContext::clock_for(const FlowOptions& opt) {
     probe.lib = &library(opt.node, tech::Style::k2D);
   }
   util::count("warm.clock_probe");
-  const double clock = auto_clock_ns(probe);
+  // The attached store (if any) persists the probe result across restarts;
+  // a store hit skips the synthesis probe entirely (visible as store.hits).
+  const double clock = artifacts::resolved_clock_ns(probe, store_.get());
   if (memoizable) {
     // A concurrent probe for the same key computed the identical value
     // (the probe is deterministic), so last-writer-wins is benign.
@@ -78,6 +103,9 @@ FlowResult WarmContext::run(FlowOptions opt) {
   }
   if (opt.clock_ns <= 0.0) {
     opt.clock_ns = clock_for(opt);
+  }
+  if (opt.store_dir.empty() && store_ != nullptr) {
+    opt.store_dir = store_->dir();
   }
   return run_flow(opt);
 }

@@ -19,7 +19,13 @@
 // Thread-safety: every method is safe to call concurrently; run() itself is
 // reentrant (run_flow keeps all mutable state flow-local, see src/exec's
 // determinism contract). Counters: warm.lib_build / warm.lib_hit /
-// warm.clock_probe / warm.clock_hit.
+// warm.lib_load / warm.clock_probe / warm.clock_hit.
+//
+// With attach_store(), warm state additionally persists across process
+// restarts: library characterizations and auto-clock probes are loaded from
+// the content-addressed store (src/store) before being rebuilt, and run()
+// threads the store directory into every flow so placements and generated
+// netlists are reused too.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +38,7 @@
 
 #include "flow/flow.hpp"
 #include "liberty/library.hpp"
+#include "store/store.hpp"
 #include "tech/tech.hpp"
 
 namespace m3d::flow {
@@ -46,6 +53,17 @@ class WarmContext {
       std::function<liberty::Library(tech::Node, tech::Style)>;
 
   explicit WarmContext(LibraryProvider provider);
+
+  /// Backs this context with a persistent artifact store at `dir`:
+  /// libraries and auto-clock probes are fetched from it before falling
+  /// back to the provider / a fresh probe, and run() defaults
+  /// FlowOptions::store_dir to `dir`. `provider_id` names the library
+  /// provider in store keys (two providers must never share entries).
+  /// Call before the first library()/run(); empty `dir` is a no-op.
+  void attach_store(const std::string& dir, const std::string& provider_id);
+
+  /// The attached store (null when attach_store was not called / no-op).
+  const store::Store* store() const { return store_.get(); }
 
   /// The warm library for a corner (built on first use; never rebuilt).
   const liberty::Library& library(tech::Node node, tech::Style style);
@@ -71,6 +89,8 @@ class WarmContext {
   Corner& corner(tech::Node node, tech::Style style);
 
   LibraryProvider provider_;
+  std::unique_ptr<store::Store> store_;  // set once, before first use
+  std::string provider_id_;
   mutable std::mutex mu_;  // guards corners_ map shape and clocks_
   std::map<std::pair<int, int>, std::unique_ptr<Corner>> corners_;
   std::map<std::string, double> clocks_;

@@ -29,6 +29,10 @@ double input_slew_of(const circuit::Netlist& nl, const sta::TimingResult& t,
   const auto& inst = nl.inst(id);
   double slew = 20.0;
   for (circuit::NetId in : inst.in_nets) {
+    // Buffer insertion earlier in the same round can rewire an input to a
+    // brand-new net the last STA never saw; it has no slew yet, so fall back
+    // to the floor until the next round's STA covers it.
+    if (static_cast<size_t>(in) >= t.slew_ps.size()) continue;
     slew = std::max(slew, t.slew_ps[static_cast<size_t>(in)]);
   }
   return slew;
@@ -52,13 +56,19 @@ OptReport optimize(circuit::Netlist* nl, const liberty::Library& lib,
     rep.wns_ps = timing.wns_ps;
     rep.met = timing.met();
     int changed = 0;
+    // Buffer insertion below grows the netlist mid-round, but `par` and
+    // `timing` only cover what existed when this round's STA ran. Every loop
+    // in this round must stop at these bounds — newcomers have no timing or
+    // parasitics data until the next round revalidates them.
+    const circuit::NetId round_nets = nl->num_nets();
+    const int round_insts = nl->num_instances();
 
     // Max-transition fixing (design rule, independent of slack): upsize the
     // driver of any net whose slew exceeds the limit; if already at max
     // drive, split the net behind a buffer. Long 2D nets trip this far more
     // often than their T-MI counterparts — a large part of the buffer-count
     // gap the paper reports.
-    for (circuit::NetId n = 0; n < nl->num_nets(); ++n) {
+    for (circuit::NetId n = 0; n < round_nets; ++n) {
       const circuit::Net& net = nl->net(n);
       if (net.is_clock || net.sinks.empty()) continue;
       if (timing.slew_ps[static_cast<size_t>(n)] <= opt.max_slew_ps) continue;
@@ -115,7 +125,7 @@ OptReport optimize(circuit::Netlist* nl, const liberty::Library& lib,
     if (!timing.met()) {
       // --- Fix timing: upsize the worst gates. -----------------------------
       std::vector<std::pair<double, circuit::InstId>> worst;
-      for (int i = 0; i < nl->num_instances(); ++i) {
+      for (int i = 0; i < round_insts; ++i) {
         const auto& inst = nl->inst(i);
         if (inst.dead || inst.libcell == nullptr) continue;
         const double slack = timing.inst_slack_ps[static_cast<size_t>(i)];
@@ -140,8 +150,7 @@ OptReport optimize(circuit::Netlist* nl, const liberty::Library& lib,
       }
       // --- Buffer long failing nets (topology change: pre-route only). -----
       if (opt.allow_buffering) {
-        const int num_nets = nl->num_nets();
-        for (circuit::NetId n = 0; n < num_nets; ++n) {
+        for (circuit::NetId n = 0; n < round_nets; ++n) {
           const circuit::Net& net = nl->net(n);
           if (net.is_clock || net.fanout() < 2) continue;
           if (net.driver.inst == circuit::kInvalid) continue;
@@ -200,7 +209,7 @@ OptReport optimize(circuit::Netlist* nl, const liberty::Library& lib,
     } else {
       // --- Power recovery: downsizing and buffer removal. ------------------
       if (opt.allow_downsizing) {
-        for (int i = 0; i < nl->num_instances(); ++i) {
+        for (int i = 0; i < round_insts; ++i) {
           const auto& inst = nl->inst(i);
           if (inst.dead || inst.libcell == nullptr || inst.drive <= 1) continue;
           const double slack = timing.inst_slack_ps[static_cast<size_t>(i)];
@@ -237,7 +246,7 @@ OptReport optimize(circuit::Netlist* nl, const liberty::Library& lib,
       }
       if (opt.allow_buffering) {
         // Remove optimizer buffers whose removal keeps comfortable slack.
-        for (int i = 0; i < nl->num_instances(); ++i) {
+        for (int i = 0; i < round_insts; ++i) {
           const auto& inst = nl->inst(i);
           if (inst.dead || !inst.from_optimizer ||
               inst.func != cells::Func::kBuf) {
@@ -248,8 +257,11 @@ OptReport optimize(circuit::Netlist* nl, const liberty::Library& lib,
           const double load = timing.load_ff[static_cast<size_t>(inst.out_nets[0])];
           const double d_buf = variant_delay_ps(inst, inst.libcell, slew, load);
           // Electrical guard: removal must not recreate an overloaded net.
+          // Skip buffers touching nets created earlier this round (e.g. by
+          // the slew fixer above): their loads are unknown until the next STA.
           const circuit::NetId src = inst.in_nets[0];
           const circuit::NetId dst = inst.out_nets[0];
+          if (src >= round_nets || dst >= round_nets) continue;
           const double merged_load = timing.load_ff[static_cast<size_t>(src)] +
                                      timing.load_ff[static_cast<size_t>(dst)];
           const int merged_fanout =

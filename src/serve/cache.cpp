@@ -1,111 +1,55 @@
 #include "serve/cache.hpp"
 
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "serve/protocol.hpp"
-#include "util/json.hpp"
-#include "util/log.hpp"
 #include "util/metrics.hpp"
-#include "util/strf.hpp"
 
 namespace m3d::serve {
 
 namespace {
-constexpr const char* kCacheSchema = "m3d.serve_cache/v1";
-}
+// The store stage under which canonical reports live. The entry filename is
+// report-<16-hex>.m3ds where the hex is fnv1a64(canonical request) — i.e.
+// serve's request key, unchanged from the pre-store cache layout.
+constexpr const char* kReportStage = "report";
+}  // namespace
 
-ResponseCache::ResponseCache(std::string dir) : dir_(std::move(dir)) {}
+ResponseCache::ResponseCache(std::string dir) : store_(std::move(dir)) {}
 
 std::string ResponseCache::entry_path(uint64_t key) const {
-  return dir_ + "/" + key_hex(key) + ".json";
+  if (!enabled()) return "";
+  return store_.dir() + "/" + kReportStage + "-" + key_hex(key) + ".m3ds";
 }
 
 std::optional<std::string> ResponseCache::get(
     uint64_t key, const std::string& canonical_request) const {
+  (void)key;  // derived: fnv1a64(canonical_request) == key
   if (!enabled()) return std::nullopt;
-  std::ifstream in(entry_path(key), std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  const std::string text = ss.str();
-
-  util::json::Value doc;
-  std::string err;
-  if (!util::json::parse(text, &doc, &err) || !doc.is_object()) {
-    util::warn(util::strf("serve cache: dropping unreadable entry %s (%s)",
-                          entry_path(key).c_str(), err.c_str()));
-    util::count("serve.cache_corrupt");
-    return std::nullopt;
+  store::GetOutcome outcome = store::GetOutcome::kMiss;
+  std::optional<std::string> blob =
+      store_.get(kReportStage, canonical_request, &outcome);
+  switch (outcome) {
+    case store::GetOutcome::kHit:
+      break;
+    case store::GetOutcome::kMiss:
+      util::count("serve.cache_miss");
+      break;
+    case store::GetOutcome::kCorrupt:
+      // The store already logged and evicted the entry by filename.
+      util::count("serve.cache_corrupt");
+      break;
+    case store::GetOutcome::kCollision:
+      util::count("serve.cache_collision");
+      break;
   }
-  if (doc.string_or("schema", "") != kCacheSchema) {
-    util::count("serve.cache_corrupt");
-    return std::nullopt;
-  }
-  const util::json::Value* request = doc.find("request");
-  const util::json::Value* report = doc.find("report");
-  if (request == nullptr || report == nullptr) {
-    util::count("serve.cache_corrupt");
-    return std::nullopt;
-  }
-  // Collision / schema-drift guard: the stored request must round-trip to
-  // the exact canonical string we are looking up. The canonical form is
-  // compact fixed-order JSON, so re-dumping the parsed object is an exact
-  // byte comparison.
-  if (request->dump(-1) != canonical_request) {
-    util::warn(util::strf(
-        "serve cache: key %s stored a different request; treating as miss",
-        key_hex(key).c_str()));
-    util::count("serve.cache_collision");
-    return std::nullopt;
-  }
-  return report->dump(-1);
+  return blob;
 }
 
 bool ResponseCache::put(uint64_t key, const std::string& canonical_request,
                         const std::string& report_json) const {
+  (void)key;  // derived: fnv1a64(canonical_request) == key
   if (!enabled()) return false;
-  ::mkdir(dir_.c_str(), 0777);  // best effort; failure surfaces on open
-
-  // Assemble the document from the already-serialized parts so the report
-  // bytes stored are exactly the bytes later hits return.
-  std::string text;
-  text.reserve(canonical_request.size() + report_json.size() + 128);
-  text += "{\"schema\":\"";
-  text += kCacheSchema;
-  text += "\",\"key\":\"";
-  text += key_hex(key);
-  text += "\",\"request\":";
-  text += canonical_request;
-  text += ",\"report\":";
-  text += report_json;
-  text += "}\n";
-
-  const std::string path = entry_path(key);
-  const std::string tmp =
-      util::strf("%s.tmp.%d", path.c_str(), static_cast<int>(::getpid()));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      util::warn(util::strf("serve cache: cannot write %s", tmp.c_str()));
-      return false;
-    }
-    out << text;
-    if (!out.good()) {
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    util::warn(util::strf("serve cache: cannot publish %s", path.c_str()));
-    return false;
-  }
+  if (!store_.put(kReportStage, canonical_request, report_json)) return false;
   util::count("serve.cache_store");
   return true;
 }

@@ -1,27 +1,31 @@
-// Persistent response cache for m3d_serve: one JSON file per request key
-// under a cache directory, so a repeated request is served without running
-// the flow — across process restarts.
+// Persistent response cache for m3d_serve: the outermost layer of the
+// content-addressed stage-artifact store (src/store), holding finished
+// canonical run reports under stage "report" so a repeated request is
+// served without running the flow — across process restarts.
 //
-// Layout: <dir>/<16-hex-key>.json, each file a self-describing document
+// The store key *string* is the canonical request document itself; its
+// FNV-1a-64 hash is exactly serve's request_key (serve/protocol.hpp uses
+// the same hash over the same bytes), so entries land at
+// <dir>/report-<16-hex-key>.m3ds and the wire-visible key hex never
+// changed when the cache migrated from its bespoke JSON files onto the
+// store. Every hit re-verifies the stored canonical request byte-for-byte:
+// a key collision or schema drift reads as a miss, never as a wrong
+// answer; a torn or corrupted entry also reads as a miss and is evicted on
+// sight (the next put self-heals it). Writes are temp-file + rename, so a
+// crash mid-write leaves either the old entry or none.
 //
-//   { "schema":  "m3d.serve_cache/v1",
-//     "key":     "<16-hex>",
-//     "request": { ...canonical request... },
-//     "report":  { ...canonical run report... } }
-//
-// The canonical request is stored alongside the report and re-verified on
-// every hit: a key collision (or a stale file from an older, incompatible
-// request schema) reads as a miss, never as a wrong answer. Writes go
-// through a temp file + rename in the same directory, so a crash mid-write
-// leaves either the old entry or none — a reader never sees a torn file.
-// Entries are immutable once written; the flow's determinism contract (same
-// canonical request => byte-identical canonical report) is what makes the
-// cache a pure memoization rather than a staleness hazard.
+// Counters: serve.cache_miss (plain absent-entry miss), serve.cache_corrupt
+// (unreadable/torn entry, evicted — the store logs the evicted filename),
+// serve.cache_collision (valid entry for a different request),
+// serve.cache_store (successful put). Hits are counted by the service
+// (serve.cache_hit). The shared store.* counters tick underneath as well.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+
+#include "store/store.hpp"
 
 namespace m3d::serve {
 
@@ -31,25 +35,31 @@ class ResponseCache {
   /// cache (every get misses, every put is dropped).
   explicit ResponseCache(std::string dir);
 
-  bool enabled() const { return !dir_.empty(); }
-  const std::string& dir() const { return dir_; }
+  bool enabled() const { return store_.enabled(); }
+  const std::string& dir() const { return store_.dir(); }
 
-  /// The canonical report stored for `key`, or nullopt on miss. A file
+  /// The canonical report stored for `key`, or nullopt on miss. An entry
   /// whose stored request does not byte-match `canonical_request` (key
-  /// collision / schema drift) or that fails to parse is treated as a miss.
+  /// collision / schema drift) or that fails verification is treated as a
+  /// miss; corrupt entries are evicted so the next put rewrites them.
   std::optional<std::string> get(uint64_t key,
                                  const std::string& canonical_request) const;
 
   /// Stores `report_json` (the canonical report document) for `key`.
-  /// Returns false on I/O failure; the cache never throws.
+  /// `key` must equal fnv1a64(canonical_request) — it is derived, not
+  /// stored. Returns false on I/O failure; the cache never throws.
   bool put(uint64_t key, const std::string& canonical_request,
            const std::string& report_json) const;
 
   /// Path of the entry file for `key` (for tests and ops tooling).
   std::string entry_path(uint64_t key) const;
 
+  /// The underlying artifact store (stage "report"); flows sharing the
+  /// directory store their own stages alongside the reports.
+  const store::Store& store() const { return store_; }
+
  private:
-  std::string dir_;
+  store::Store store_;
 };
 
 }  // namespace m3d::serve

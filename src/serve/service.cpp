@@ -16,7 +16,7 @@
 namespace m3d::serve {
 
 Service::Service(ServeOptions opt, flow::WarmContext* warm)
-    : opt_(std::move(opt)), warm_(warm), cache_(opt_.cache_dir) {}
+    : opt_(std::move(opt)), warm_(warm), cache_(opt_.store_dir) {}
 
 Service::~Service() = default;
 
@@ -234,6 +234,9 @@ Response Service::execute(const Request& req, uint64_t key,
   fopt.target_util = req.target_util;
   fopt.check_level = req.check_level;
   fopt.trace = opt_.trace;
+  // Same directory as the response cache: the flow reuses stored stage
+  // artifacts (netlist, placement) even when the full-report lookup missed.
+  fopt.store_dir = opt_.store_dir;
   fopt.stage_observer = [entry, idx = 0](const flow::StageReport& sr) mutable {
     const Progress p{sr.name, idx++, sr.wall_ms};
     const std::lock_guard<std::mutex> elock(entry->mu);

@@ -66,8 +66,11 @@ struct ServeOptions {
   int64_t timeout_ms = 120000;
   /// Retry hint carried in "busy" replies, ms.
   int64_t retry_after_ms = 250;
-  /// Response-cache directory; empty disables persistence.
-  std::string cache_dir;
+  /// Artifact-store directory (src/store): the response cache is its
+  /// outermost layer, and executed flows store/reuse their stage artifacts
+  /// (libraries, netlists, placements) in the same directory. Empty
+  /// disables persistence.
+  std::string store_dir;
   /// Trace each executed request (obs::ScopedFlow attribution).
   bool trace = false;
   /// Test seams (default no-ops): invoked by the owner right after its

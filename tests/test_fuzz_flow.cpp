@@ -26,6 +26,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -34,8 +35,10 @@
 #include "flow/flow.hpp"
 #include "flow/report.hpp"
 #include "gen/gen.hpp"
+#include "store/store.hpp"
 #include "test_fixtures.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/strf.hpp"
 
@@ -149,6 +152,59 @@ TEST(FuzzFlow, SerialVsFourThreadsCanonicalReportsByteIdentical) {
 
     EXPECT_EQ(serial, parallel);
   }
+}
+
+// --- differential oracle: cold vs store-warm byte identity ----------------
+//
+// The stage-artifact store (src/store) must be invisible in the output: a
+// run that restores its placement from the store has to emit the same
+// canonical report bytes — and hold the same netlist and placement hashes —
+// as the cold run that populated it, on adversarial circuits, not just the
+// curated benchmarks.
+
+TEST(FuzzFlow, StoreWarmRunsByteIdenticalToCold) {
+  const std::vector<gen::RandomLogicOptions> cases = sweep_cases();
+  const std::string dir =
+      util::strf("/tmp/m3d_fuzz_store_%d", static_cast<int>(getpid()));
+  std::filesystem::remove_all(dir);
+  for (int i = 0; i < 3; ++i) {
+    const gen::RandomLogicOptions& opt = cases[static_cast<size_t>(i * 7 + 1)];
+    SCOPED_TRACE(testing::Message() << "seed=" << opt.seed);
+    const circuit::Netlist nl = gen::make_random_logic(opt);
+
+    auto run = [&](util::MetricsRegistry* reg) {
+      flow::FlowOptions o;
+      o.style = tech::Style::kTMI;
+      o.lib = &lib_for(tech::Style::kTMI);
+      o.custom_netlist = &nl;
+      o.clock_ns = 5.0;
+      o.target_util = 0.6;
+      o.seed = opt.seed;
+      o.check_level = check::Level::kFull;
+      o.store_dir = dir;
+      const util::ScopedMetricsSink sink(*reg);
+      return flow::run_flow(o);
+    };
+    util::MetricsRegistry cold_reg;
+    util::MetricsRegistry warm_reg;
+    const flow::FlowResult cold = run(&cold_reg);
+    const flow::FlowResult warm = run(&warm_reg);
+
+    EXPECT_EQ(check::netlist_hash(warm.netlist),
+              check::netlist_hash(cold.netlist));
+    EXPECT_EQ(check::placement_hash(warm.netlist),
+              check::placement_hash(cold.netlist));
+    EXPECT_EQ(report::to_canonical_json_string(warm),
+              report::to_canonical_json_string(cold));
+    // The warm run really came from the store: the placement artifact hit
+    // (custom netlists key by structural hash) and gen/synth/place never ran.
+    EXPECT_EQ(cold_reg.counter("store.hits"), 0.0);
+    EXPECT_GE(warm_reg.counter("store.hits"), 1.0);
+    EXPECT_EQ(warm_reg.histogram("span.flow.place").count, 0);
+  }
+  const store::Store st(dir);
+  EXPECT_TRUE(st.verify().clean());
+  std::filesystem::remove_all(dir);
 }
 
 // --- differential oracle: cross-process generator determinism -------------

@@ -17,7 +17,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <thread>
@@ -29,6 +31,7 @@
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "serve/socket.hpp"
+#include "store/store.hpp"
 #include "util/json.hpp"
 #include "util/strf.hpp"
 #include "test_fixtures.hpp"
@@ -283,8 +286,8 @@ std::string fresh_dir(const char* name) {
 
 TEST(ResponseCacheTest, RoundTripAndRestart) {
   const std::string dir = fresh_dir("roundtrip");
-  const uint64_t key = 0xfeedULL;
   const std::string canon = "{\"type\":\"run\",\"bench\":\"FPU\"}";
+  const uint64_t key = fnv1a64(canon);  // the key is derived, never free
   const std::string report = "{\"schema\":\"m3d.run_report/v2\",\"x\":1}";
   {
     ResponseCache cache(dir);
@@ -305,25 +308,38 @@ TEST(ResponseCacheTest, RoundTripAndRestart) {
 TEST(ResponseCacheTest, MismatchedCanonicalRequestReadsAsMiss) {
   const std::string dir = fresh_dir("collide");
   ResponseCache cache(dir);
-  const uint64_t key = 0xc0111deULL;
-  ASSERT_TRUE(cache.put(key, "{\"a\":1}", "{\"r\":1}"));
-  // Same key, different canonical request — a hash collision or schema
-  // drift must be a miss, never a wrong answer.
-  EXPECT_FALSE(cache.get(key, "{\"a\":2}").has_value());
-  EXPECT_TRUE(cache.get(key, "{\"a\":1}").has_value());
-  std::remove(cache.entry_path(key).c_str());
+  const std::string canon_a = "{\"a\":1}";
+  const std::string canon_b = "{\"a\":2}";
+  ASSERT_TRUE(cache.put(fnv1a64(canon_a), canon_a, "{\"r\":1}"));
+  // Plant a *valid* entry whose stored canonical request is canon_a at
+  // canon_b's path. The hit re-verification must read it as a miss, never
+  // as canon_b's answer; the stored request's hash no longer matches the
+  // filename, so the store treats it as drift and evicts it.
+  ASSERT_EQ(std::rename(cache.entry_path(fnv1a64(canon_a)).c_str(),
+                        cache.entry_path(fnv1a64(canon_b)).c_str()),
+            0);
+  EXPECT_FALSE(cache.get(fnv1a64(canon_b), canon_b).has_value());
+  EXPECT_FALSE(cache.get(fnv1a64(canon_a), canon_a).has_value());  // moved
+  std::remove(cache.entry_path(fnv1a64(canon_b)).c_str());
 }
 
-TEST(ResponseCacheTest, CorruptEntryReadsAsMiss) {
+TEST(ResponseCacheTest, CorruptEntryReadsAsMissAndIsEvicted) {
   const std::string dir = fresh_dir("corrupt");
   ResponseCache cache(dir);
-  const uint64_t key = 0xbadULL;
-  ASSERT_TRUE(cache.put(key, "{\"a\":1}", "{\"r\":1}"));
+  const std::string canon = "{\"a\":1}";
+  const uint64_t key = fnv1a64(canon);
+  ASSERT_TRUE(cache.put(key, canon, "{\"r\":1}"));
   {
     std::ofstream f(cache.entry_path(key), std::ios::trunc);
-    f << "not json at all";
+    f << "not a store entry at all";
   }
-  EXPECT_FALSE(cache.get(key, "{\"a\":1}").has_value());
+  EXPECT_FALSE(cache.get(key, canon).has_value());
+  // Evicted on sight: the next put self-heals, and until then the file is
+  // gone entirely.
+  std::ifstream gone(cache.entry_path(key));
+  EXPECT_FALSE(gone.good());
+  ASSERT_TRUE(cache.put(key, canon, "{\"r\":1}"));
+  EXPECT_TRUE(cache.get(key, canon).has_value());
   std::remove(cache.entry_path(key).c_str());
 }
 
@@ -369,7 +385,7 @@ bool wait_for_stats(Service* svc, Pred pred) {
 
 TEST(ServeService, SecondIdenticalRequestIsACacheHit) {
   ServeOptions opt;
-  opt.cache_dir = fresh_dir("svc_cache");
+  opt.store_dir = fresh_dir("svc_cache");
   Service svc(opt, test_warm());
   const Request req = small_request(11);
 
@@ -396,7 +412,7 @@ TEST(ServeService, CacheSurvivesAServiceRestart) {
   uint64_t key = 0;
   {
     ServeOptions opt;
-    opt.cache_dir = dir;
+    opt.store_dir = dir;
     Service svc(opt, test_warm());
     const Response r = svc.run(req, {});
     ASSERT_EQ(r.status, Response::Status::kOk);
@@ -404,7 +420,7 @@ TEST(ServeService, CacheSurvivesAServiceRestart) {
     key = r.key;
   }
   ServeOptions opt;
-  opt.cache_dir = dir;
+  opt.store_dir = dir;
   Service svc(opt, test_warm());
   const Response r = svc.run(req, {});
   ASSERT_EQ(r.status, Response::Status::kOk);
@@ -725,7 +741,7 @@ TEST_F(ServeServerTest, TwoConcurrentClientsGetByteIdenticalReports) {
 
 TEST_F(ServeServerTest, ClientDisconnectMidRequestStillPopulatesTheCache) {
   ServerOptions opt;
-  opt.serve.cache_dir = fresh_dir("disconnect");
+  opt.serve.store_dir = fresh_dir("disconnect");
   Server* srv = start(opt);
 
   uint64_t key = 0;
@@ -758,6 +774,84 @@ TEST_F(ServeServerTest, ClientDisconnectMidRequestStillPopulatesTheCache) {
   ASSERT_NE(cached, nullptr);
   EXPECT_TRUE(cached->as_bool());
   std::remove(srv->service().cache().entry_path(key).c_str());
+}
+
+// Two daemons, one store directory. Two Server instances in one process
+// give each Store its own lock-file descriptor, and flock arbitration is
+// per open file description — so the locking behaves exactly as it does
+// between two separate m3d_serve processes, and TSan additionally watches
+// the in-process side. Every seed is requested from BOTH daemons by
+// concurrent clients, so lookups, puts and re-verification all race on the
+// shared directory.
+TEST(ServeTwoDaemons, SharedStoreYieldsByteIdenticalReportsWithoutDeadlock) {
+  const std::string dir = fresh_dir("two_daemons");
+  std::filesystem::remove_all(dir);
+
+  flow::WarmContext warm_a([](tech::Node, tech::Style style) {
+    return test::make_test_library(style);
+  });
+  flow::WarmContext warm_b([](tech::Node, tech::Style style) {
+    return test::make_test_library(style);
+  });
+  warm_a.attach_store(dir, "fixture");
+  warm_b.attach_store(dir, "fixture");
+
+  ServerOptions opt_a;
+  opt_a.serve.store_dir = dir;
+  ServerOptions opt_b;
+  opt_b.serve.store_dir = dir;
+  Server a(std::move(opt_a), &warm_a);
+  Server b(std::move(opt_b), &warm_b);
+  std::string err;
+  ASSERT_TRUE(a.start(&err)) << err;
+  ASSERT_TRUE(b.start(&err)) << err;
+
+  static constexpr uint64_t kSeeds[] = {31, 32, 33};
+  constexpr int kClients = 4;  // two per daemon
+  std::vector<std::string> reports[kClients];
+  {
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kClients; ++t) {
+      const int port = (t % 2 == 0) ? a.tcp_port() : b.tcp_port();
+      clients.emplace_back([t, port, &reports] {
+        for (const uint64_t seed : kSeeds) {
+          TestClient c(port);
+          ASSERT_TRUE(c.send(small_run_doc(seed)));
+          std::optional<Value> reply = c.recv_terminal();
+          ASSERT_TRUE(reply.has_value());
+          ASSERT_EQ(reply->string_or("type", ""), "result");
+          const Value* report = reply->find("report");
+          ASSERT_NE(report, nullptr);
+          reports[t].push_back(report->dump(-1));
+        }
+      });
+    }
+    for (std::thread& th : clients) th.join();
+  }
+
+  // Same seed => byte-identical report, no matter which daemon answered or
+  // whether it came off a flow run, a coalesced owner, or the shared store.
+  for (size_t i = 0; i < std::size(kSeeds); ++i) {
+    ASSERT_LT(i, reports[0].size());
+    for (int t = 1; t < kClients; ++t) {
+      ASSERT_LT(i, reports[t].size());
+      EXPECT_EQ(reports[t][i], reports[0][i]) << "seed " << kSeeds[i];
+    }
+  }
+
+  a.stop();
+  b.stop();
+
+  // The shared directory came through the races intact: every entry
+  // verifies, no temp droppings, exactly one report entry per seed.
+  const store::Store st(dir);
+  EXPECT_TRUE(st.verify().clean());
+  int64_t report_entries = 0;
+  for (const store::EntryInfo& e : st.list()) {
+    if (e.stage == "report") ++report_entries;
+  }
+  EXPECT_EQ(report_entries, static_cast<int64_t>(std::size(kSeeds)));
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(ServeServerTest, ShutdownRequestStopsTheServer) {

@@ -2,7 +2,8 @@
 // Unix-domain socket) for framed JSON flow requests (see src/serve), runs
 // them on warm per-process state — libraries built once, auto-clock probes
 // memoized, flows parallelized on the exec pool — with admission control,
-// in-flight request coalescing and a persistent response cache, streaming
+// in-flight request coalescing and a persistent content-addressed artifact
+// store (src/store: response cache + reusable stage artifacts), streaming
 // stage progress to clients mid-run.
 //
 // The daemon serves the analytic test library (tests/test_fixtures.hpp),
@@ -13,10 +14,13 @@
 //
 // Usage:
 //   m3d_serve [--host 127.0.0.1] [--port 0] [--unix PATH]
-//             [--cache-dir .m3d_serve_cache] [--no-cache]
+//             [--store-dir .m3d_store] [--no-store]
 //             [--max-inflight N] [--max-queue N] [--timeout-ms N]
 //             [--retry-after-ms N] [--threads N] [--trace]
 //             [--port-file PATH] [--no-shutdown]
+//
+// (--cache-dir / --no-cache are accepted as aliases of --store-dir /
+// --no-store for pre-store scripts.)
 //
 // --port 0 (default) binds an ephemeral port; the bound port is printed on
 // stdout and, with --port-file, written to a file the CI smoke script (and
@@ -48,7 +52,7 @@ void handle_signal(int) {
 
 int main(int argc, char** argv) {
   m3d::serve::ServerOptions opt;
-  opt.serve.cache_dir = ".m3d_serve_cache";
+  opt.serve.store_dir = ".m3d_store";
   std::string port_file;
   int threads = 0;
 
@@ -67,10 +71,10 @@ int main(int argc, char** argv) {
       opt.port = std::atoi(next());
     } else if (arg == "--unix") {
       opt.unix_path = next();
-    } else if (arg == "--cache-dir") {
-      opt.serve.cache_dir = next();
-    } else if (arg == "--no-cache") {
-      opt.serve.cache_dir.clear();
+    } else if (arg == "--store-dir" || arg == "--cache-dir") {
+      opt.serve.store_dir = next();
+    } else if (arg == "--no-store" || arg == "--no-cache") {
+      opt.serve.store_dir.clear();
     } else if (arg == "--max-inflight") {
       opt.serve.max_inflight = std::atoi(next());
     } else if (arg == "--max-queue") {
@@ -92,7 +96,7 @@ int main(int argc, char** argv) {
           stderr,
           "m3d_serve: unknown arg %s\n"
           "usage: m3d_serve [--host h] [--port n] [--unix path]\n"
-          "  [--cache-dir d | --no-cache] [--max-inflight n] [--max-queue n]\n"
+          "  [--store-dir d | --no-store] [--max-inflight n] [--max-queue n]\n"
           "  [--timeout-ms n] [--retry-after-ms n] [--threads n] [--trace]\n"
           "  [--port-file path] [--no-shutdown]\n",
           arg.c_str());
@@ -114,6 +118,9 @@ int main(int argc, char** argv) {
       [](m3d::tech::Node, m3d::tech::Style style) {
         return m3d::test::make_test_library(style);
       });
+  // Persist warm state (libraries, clock probes) and flow stage artifacts
+  // in the same store the response cache uses.
+  warm.attach_store(opt.serve.store_dir, "fixture");
 
   m3d::serve::Server server(opt, &warm);
   std::string err;
@@ -133,9 +140,9 @@ int main(int argc, char** argv) {
   if (!opt.unix_path.empty()) {
     std::printf("m3d_serve: listening on unix:%s\n", opt.unix_path.c_str());
   }
-  std::printf("m3d_serve: cache %s, max-inflight %d, max-queue %d\n",
-              opt.serve.cache_dir.empty() ? "(off)"
-                                          : opt.serve.cache_dir.c_str(),
+  std::printf("m3d_serve: store %s, max-inflight %d, max-queue %d\n",
+              opt.serve.store_dir.empty() ? "(off)"
+                                          : opt.serve.store_dir.c_str(),
               opt.serve.max_inflight, opt.serve.max_queue);
   std::fflush(stdout);
   if (!port_file.empty() && server.tcp_port() >= 0) {
