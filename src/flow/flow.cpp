@@ -232,8 +232,10 @@ FlowResult run_flow(const FlowOptions& opt_in) {
         }
         res.bench_name = nl.name;
       });
-      if (gen_storable) {
-        store.put("netlist", netlist_k, artifacts::encode_netlist_blob(res));
+      if (gen_storable &&
+          !store.put("netlist", netlist_k,
+                     artifacts::encode_netlist_blob(res))) {
+        util::warn("store: failed to cache netlist artifact " + netlist_k);
       }
     }
   }
@@ -267,8 +269,9 @@ FlowResult run_flow(const FlowOptions& opt_in) {
         cts::build_clock_tree(&nl, *opt.lib, copt);
       }
     });
-    if (use_store) {
-      store.put("place", place_k, artifacts::encode_place_blob(res));
+    if (use_store &&
+        !store.put("place", place_k, artifacts::encode_place_blob(res))) {
+      util::warn("store: failed to cache placement artifact " + place_k);
     }
   }
 

@@ -1,0 +1,1011 @@
+#include "lint/index.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace m3d::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Token helpers.
+
+const std::set<std::string, std::less<>>& control_keywords() {
+  static const std::set<std::string, std::less<>> kWords = {
+      "if",       "for",       "while",      "switch",     "return",
+      "sizeof",   "alignof",   "decltype",   "catch",      "new",
+      "delete",   "throw",     "static_cast", "dynamic_cast",
+      "reinterpret_cast",      "const_cast", "case",       "default",
+      "do",       "else",      "goto",       "noexcept",   "typeid",
+      "co_await", "co_yield",  "co_return",  "operator",   "alignas",
+      "static_assert",         "and",        "or",         "not",
+      "assert",   "defined",   "typename",   "template",   "requires",
+  };
+  return kWords;
+}
+
+/// Words that, appearing immediately before `name(`, mean `name` is a
+/// declared variable of a builtin/specifier type, not a callee or a
+/// user-type constructor.
+const std::set<std::string, std::less<>>& builtin_type_words() {
+  static const std::set<std::string, std::less<>> kWords = {
+      "int",      "auto",     "bool",     "double",   "float",  "char",
+      "unsigned", "signed",   "long",     "short",    "void",   "size_t",
+      "const",    "constexpr", "static",  "inline",   "virtual",
+      "extern",   "mutable",  "volatile", "register", "wchar_t",
+      "uint8_t",  "uint16_t", "uint32_t", "uint64_t", "int8_t", "int16_t",
+      "int32_t",  "int64_t",  "ssize_t",  "ptrdiff_t",
+  };
+  return kWords;
+}
+
+/// Keywords after which `name(` is still a genuine call (`return f(x)`).
+bool is_call_through_keyword(std::string_view word) {
+  return word == "return" || word == "case" || word == "throw" ||
+         word == "else" || word == "do" || word == "co_return" ||
+         word == "co_yield" || word == "co_await" || word == "and" ||
+         word == "or" || word == "not";
+}
+
+/// Last identifier in `text` (e.g. the declared name in "struct Foo").
+std::string last_identifier(std::string_view text) {
+  size_t end = text.size();
+  while (end > 0 && !is_ident(text[end - 1])) --end;
+  size_t begin = end;
+  while (begin > 0 && is_ident(text[begin - 1])) --begin;
+  return std::string(text.substr(begin, end - begin));
+}
+
+/// Offset of the first '(' at angle-bracket depth zero (so a
+/// `std::function<void(int)>` return type does not claim the parameter
+/// list); npos if none.
+size_t first_paren_outside_angles(std::string_view s) {
+  int angle = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '<') ++angle;
+    if (s[i] == '>' && angle > 0) --angle;
+    if (s[i] == '(' && angle == 0) return i;
+  }
+  return std::string_view::npos;
+}
+
+/// Splits `args` (the text between a call's parentheses) at top-level
+/// commas, tracking (), {}, [] and best-effort <> nesting.
+std::vector<std::string> split_args(std::string_view args) {
+  std::vector<std::string> out;
+  int paren = 0;
+  int angle = 0;
+  size_t start = 0;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const char c = args[i];
+    if (c == '(' || c == '{' || c == '[') ++paren;
+    if (c == ')' || c == '}' || c == ']') --paren;
+    if (c == '<') ++angle;
+    if (c == '>' && angle > 0) --angle;
+    if (c == ',' && paren == 0 && angle == 0) {
+      out.push_back(std::string(args.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  out.push_back(std::string(args.substr(start)));
+  // An empty single "argument" means an empty list.
+  if (out.size() == 1) {
+    const std::string& only = out.front();
+    if (only.find_first_not_of(" \t\n") == std::string::npos) out.clear();
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  const size_t b = s.find_first_not_of(" \t\n");
+  if (b == std::string_view::npos) return "";
+  const size_t e = s.find_last_not_of(" \t\n");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+std::string strip_spaces(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) out += c;
+  }
+  return out;
+}
+
+/// Matching close paren for the '(' at `open`; npos when unbalanced.
+size_t match_paren(std::string_view text, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')' && --depth == 0) return i;
+  }
+  return std::string_view::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Scope scan: function definitions with qualified names, plus
+// namespace-scope statements (shared with rule L005).
+
+struct ScopeOut {
+  std::vector<FuncInfo> functions;
+  std::vector<GlobalDecl> namespace_statements;
+};
+
+/// Text after the `namespace` keyword in a namespace-opening statement
+/// ("m3d::lint" for `namespace m3d::lint`, "" for anonymous).
+std::string namespace_name(std::string_view stmt) {
+  const size_t kw = find_word(stmt, "namespace");
+  if (kw == std::string_view::npos) return "";
+  return strip_spaces(stmt.substr(kw + 9));
+}
+
+/// `Foo::bar` qualifier chain written immediately before the declarator
+/// name that starts at `name_begin` ("" when unqualified).
+std::string qualifier_before(std::string_view s, size_t name_begin) {
+  std::string out;
+  size_t end = name_begin;
+  while (end >= 2 && s[end - 1] == ':' && s[end - 2] == ':') {
+    size_t b = end - 2;
+    while (b > 0 && is_ident(s[b - 1])) --b;
+    if (b == end - 2) break;  // leading "::" (global qualifier)
+    const std::string seg(s.substr(b, end - 2 - b));
+    out = out.empty() ? seg : seg + "::" + out;
+    end = b;
+  }
+  return out;
+}
+
+/// Parses the parameter list at s[open..] into an arity range.
+void parse_arity(std::string_view s, size_t open, FuncInfo& fn) {
+  const size_t close = match_paren(s, open);
+  if (close == std::string_view::npos) {
+    fn.min_args = 0;
+    fn.max_args = 99;
+    return;
+  }
+  const auto params = split_args(s.substr(open + 1, close - open - 1));
+  int max = 0;
+  int defaults = 0;
+  bool variadic = false;
+  for (const auto& p : params) {
+    const std::string t = trim(p);
+    if (t.empty() || t == "void") continue;
+    ++max;
+    if (t.find("...") != std::string::npos) variadic = true;
+    // A top-level '=' marks a defaulted parameter.
+    int angle = 0;
+    int paren = 0;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i] == '<') ++angle;
+      if (t[i] == '>' && angle > 0) --angle;
+      if (t[i] == '(' || t[i] == '{') ++paren;
+      if (t[i] == ')' || t[i] == '}') --paren;
+      if (t[i] == '=' && angle == 0 && paren == 0 &&
+          (i + 1 >= t.size() || t[i + 1] != '=') &&
+          (i == 0 || (t[i - 1] != '=' && t[i - 1] != '!' && t[i - 1] != '<' &&
+                      t[i - 1] != '>'))) {
+        ++defaults;
+        break;
+      }
+    }
+  }
+  fn.max_args = variadic ? 99 : max;
+  fn.min_args = std::max(0, max - defaults);
+}
+
+ScopeOut scan_scopes(std::string_view file, std::string_view clean,
+                     const LineIndex& lines) {
+  ScopeOut out;
+  struct Frame {
+    enum Kind { kNamespace, kType, kFunction, kBlock, kInit } kind = kBlock;
+    std::string name;       // namespace path or type name
+    size_t func_index = 0;  // for kFunction
+  };
+  std::vector<Frame> stack;
+  std::string stmt;  // statement text since last ; { }
+  size_t stmt_start = 0;
+
+  auto at_namespace_scope = [&] {
+    for (const auto& f : stack) {
+      if (f.kind != Frame::kNamespace) return false;
+    }
+    return true;
+  };
+  auto qualified_prefix = [&] {
+    std::string out_prefix;
+    for (const auto& f : stack) {
+      if ((f.kind == Frame::kNamespace || f.kind == Frame::kType) &&
+          !f.name.empty()) {
+        if (!out_prefix.empty()) out_prefix += "::";
+        out_prefix += f.name;
+      }
+    }
+    return out_prefix;
+  };
+
+  for (size_t i = 0; i < clean.size(); ++i) {
+    const char c = clean[i];
+    if (c == '{') {
+      Frame frame;
+      std::string_view s = stmt;
+      while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+        s.remove_suffix(1);
+      }
+      const size_t paren = first_paren_outside_angles(s);
+      if (contains_word(s, "namespace")) {
+        frame.kind = Frame::kNamespace;
+        frame.name = namespace_name(s);
+      } else if (contains_word(s, "class") || contains_word(s, "struct") ||
+                 contains_word(s, "union") || contains_word(s, "enum")) {
+        frame.kind = Frame::kType;
+        frame.name = last_identifier(s);
+      } else if (paren != std::string_view::npos &&
+                 (at_namespace_scope() ||
+                  (!stack.empty() && stack.back().kind == Frame::kType))) {
+        // At namespace or class scope, a braced body after a parameter list
+        // is a function definition (control statements cannot appear here).
+        frame.kind = Frame::kFunction;
+        FuncInfo fn;
+        fn.file = std::string(file);
+        fn.body_begin = i + 1;
+        fn.name = last_identifier(s.substr(0, paren));
+        fn.line = lines.line_of(stmt_start);
+        parse_arity(s, paren, fn);
+        // Qualifier written in the declarator (out-of-class definition).
+        size_t name_begin = paren;
+        while (name_begin > 0 && !is_ident(s[name_begin - 1])) --name_begin;
+        size_t b = name_begin;
+        while (b > 0 && is_ident(s[b - 1])) --b;
+        const std::string declared_qual = qualifier_before(s, b);
+        const std::string enclosing_type =
+            (!stack.empty() && stack.back().kind == Frame::kType)
+                ? stack.back().name
+                : std::string();
+        const bool qualified_ctor =
+            !fn.name.empty() && !declared_qual.empty() &&
+            (declared_qual == fn.name ||
+             (declared_qual.size() > fn.name.size() &&
+              declared_qual.compare(declared_qual.size() - fn.name.size(),
+                                    fn.name.size(), fn.name) == 0));
+        fn.is_special = qualified_ctor || fn.name == enclosing_type ||
+                        s.find('~') != std::string_view::npos ||
+                        contains_word(s, "operator");
+        std::string prefix = qualified_prefix();
+        if (!declared_qual.empty()) {
+          prefix = prefix.empty() ? declared_qual : prefix + "::" + declared_qual;
+        }
+        fn.qualified = prefix.empty() ? fn.name : prefix + "::" + fn.name;
+        frame.func_index = out.functions.size();
+        out.functions.push_back(std::move(fn));
+      } else if (at_namespace_scope() && !s.empty()) {
+        // At namespace scope, anything else opening a brace is an
+        // initializer: `int x{1}` or `std::vector<int> v = {...}`. Record
+        // the declaration head so L005a sees brace-initialized globals.
+        frame.kind = Frame::kInit;
+        std::string_view head = s;
+        if (const size_t eq = head.find('='); eq != std::string_view::npos) {
+          head = head.substr(0, eq);
+        }
+        const size_t first = head.find_first_not_of(" \t\n");
+        if (first != std::string_view::npos) {
+          out.namespace_statements.push_back(
+              {stmt_start + first, std::string(head.substr(first))});
+        }
+      } else if (!s.empty() && s.back() == '=') {
+        frame.kind = Frame::kInit;
+      } else {
+        frame.kind = Frame::kBlock;
+      }
+      stack.push_back(std::move(frame));
+      stmt.clear();
+      stmt_start = i + 1;
+    } else if (c == '}') {
+      if (!stack.empty()) {
+        if (stack.back().kind == Frame::kFunction) {
+          out.functions[stack.back().func_index].body_end = i;
+        }
+        stack.pop_back();
+      }
+      stmt.clear();
+      stmt_start = i + 1;
+    } else if (c == ';') {
+      if (at_namespace_scope()) {
+        std::string_view s = stmt;
+        const size_t first = s.find_first_not_of(" \t\n");
+        if (first != std::string_view::npos) {
+          out.namespace_statements.push_back(
+              {stmt_start + first, std::string(s.substr(first))});
+        }
+      }
+      stmt.clear();
+      stmt_start = i + 1;
+    } else if (!stmt.empty() ||
+               std::isspace(static_cast<unsigned char>(c)) == 0) {
+      // Skip leading whitespace (blank lines, scrubbed comments) so
+      // stmt_start — and with it FuncInfo::line — anchors the first real
+      // token of the declaration, not the end of the previous statement.
+      if (stmt.empty()) stmt_start = i;
+      stmt += c;
+    }
+  }
+  // Close any function left open by unbalanced braces.
+  for (auto& f : out.functions) {
+    if (f.body_end == 0) f.body_end = clean.size();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Nondeterminism-source sites.
+
+struct SourceToken {
+  const char* token;
+  const char* category;
+};
+
+const SourceToken kSourceTokens[] = {
+    {"system_clock", "wall-clock"},
+    {"high_resolution_clock", "wall-clock"},
+    {"localtime", "wall-clock"},
+    {"gmtime", "wall-clock"},
+    {"strftime", "wall-clock"},
+    {"mktime", "wall-clock"},
+    {"asctime", "wall-clock"},
+    {"random_device", "randomness"},
+    {"mt19937", "randomness"},
+    {"mt19937_64", "randomness"},
+    {"default_random_engine", "randomness"},
+    {"minstd_rand", "randomness"},
+    {"minstd_rand0", "randomness"},
+    {"get_id", "thread-id"},
+    {"pthread_self", "thread-id"},
+    {"gettid", "thread-id"},
+    {"uintptr_t", "address"},
+    {"intptr_t", "address"},
+    {"getenv", "env"},
+};
+
+void scan_sources(FuncInfo& fn, std::string_view clean, const LineIndex& lines,
+                  const std::vector<std::string>& unordered_names) {
+  const std::string_view body =
+      clean.substr(fn.body_begin, fn.body_end - fn.body_begin);
+  // One identifier walk with a map lookup instead of one find_word sweep
+  // per token — this runs for every function in the tree, so it is the
+  // indexer's hottest loop.
+  static const std::map<std::string_view, const char*> kByToken = [] {
+    std::map<std::string_view, const char*> m;
+    for (const auto& st : kSourceTokens) m[st.token] = st.category;
+    return m;
+  }();
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (!is_ident(body[i]) || (i > 0 && is_ident(body[i - 1]))) continue;
+    size_t e = i;
+    while (e < body.size() && is_ident(body[e])) ++e;
+    const std::string_view tok = body.substr(i, e - i);
+    const size_t abs = fn.body_begin + i;
+    if (const auto it = kByToken.find(tok); it != kByToken.end()) {
+      fn.sources.push_back(
+          {it->second, std::string(tok), abs, lines.line_of(abs)});
+    } else if (tok == "rand" || tok == "srand") {
+      // rand()/srand() — word + call parenthesis, like rule L001.
+      size_t after = e;
+      while (after < body.size() && body[after] == ' ') ++after;
+      if (after < body.size() && body[after] == '(') {
+        fn.sources.push_back(
+            {"randomness", std::string(tok), abs, lines.line_of(abs)});
+      }
+    }
+    i = e - 1;
+  }
+  // std::time(...) / ::time(...).
+  for (size_t pos = body.find("::time"); pos != std::string_view::npos;
+       pos = body.find("::time", pos + 6)) {
+    size_t after = pos + 6;
+    if (after < body.size() && is_ident(body[after])) continue;
+    while (after < body.size() && body[after] == ' ') ++after;
+    if (after < body.size() && body[after] == '(') {
+      const size_t abs = fn.body_begin + pos;
+      fn.sources.push_back({"wall-clock", "std::time", abs,
+                            lines.line_of(abs)});
+    }
+  }
+  // Range-for over an unordered container: bucket order is
+  // implementation-defined, so any fold over it is order-tainted.
+  for (size_t pos = find_word(body, "for"); pos != std::string_view::npos;
+       pos = find_word(body, "for", pos + 1)) {
+    size_t i = pos + 3;
+    while (i < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[i])) != 0) {
+      ++i;
+    }
+    if (i >= body.size() || body[i] != '(') continue;
+    const size_t close = match_paren(body, i);
+    if (close == std::string_view::npos) continue;
+    const std::string_view head = body.substr(i + 1, close - i - 1);
+    std::string_view range;
+    for (size_t k = 0; k < head.size(); ++k) {
+      if (head[k] == ':') {
+        if (k + 1 < head.size() && head[k + 1] == ':') {
+          ++k;
+          continue;
+        }
+        if (k > 0 && head[k - 1] == ':') continue;
+        range = head.substr(k + 1);
+        break;
+      }
+    }
+    if (range.empty()) continue;
+    bool hit = range.find("unordered_") != std::string_view::npos;
+    for (const auto& name : unordered_names) {
+      if (contains_word(range, name)) hit = true;
+    }
+    if (hit) {
+      const size_t abs = fn.body_begin + pos;
+      fn.sources.push_back({"iteration-order", "unordered range-for", abs,
+                            lines.line_of(abs)});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Body walk: call sites + lock structure + discarded status calls, in one
+// depth-tracked scan.
+
+struct ActiveLock {
+  std::string name;
+  int depth = 0;       // block depth at acquisition; -1 = until unlock
+  bool explicit_release = false;
+};
+
+bool is_guard_type(std::string_view word) {
+  return word == "lock_guard" || word == "unique_lock" ||
+         word == "shared_lock" || word == "scoped_lock";
+}
+
+/// Canonical lock identity for an acquisition argument: spaces stripped,
+/// leading &/* and this-> dropped, and bare member/local names qualified by
+/// the OWNER (the enclosing class for members, the namespace otherwise) so
+/// `mu_` in two different classes never aliases. Object-path expressions
+/// (`state->mu`, `other.mu_`) keep their spelled path: same-name locks on
+/// distinct instances are assumed aliases for ordering purposes, which is
+/// why identical names never form a reported cycle on their own.
+std::string canonical_lock(std::string_view arg, const FuncInfo& fn) {
+  std::string s = strip_spaces(arg);
+  while (!s.empty() && (s.front() == '&' || s.front() == '*')) s.erase(0, 1);
+  if (s.rfind("this->", 0) == 0) s.erase(0, 6);
+  const bool is_path = s.find('.') != std::string::npos ||
+                       s.find("->") != std::string::npos ||
+                       s.find('[') != std::string::npos ||
+                       s.find("::") != std::string::npos;
+  if (is_path || s.empty()) return s;
+  // Owner = qualified name minus the trailing function name segment.
+  std::string owner = fn.qualified;
+  const size_t cut = owner.rfind("::");
+  owner = cut == std::string::npos ? std::string() : owner.substr(0, cut);
+  return owner.empty() ? s : owner + "::" + s;
+}
+
+void walk_body(FuncInfo& fn, std::string_view clean, const LineIndex& lines,
+               const std::map<std::string, std::string>& status_vars) {
+  const size_t begin = fn.body_begin;
+  const size_t end = std::min(fn.body_end, clean.size());
+  int depth = 0;
+  std::vector<ActiveLock> active;
+  // Lambda bodies: calls inside them keep their edges but see none of the
+  // locks held at the definition site (the lambda may run on another
+  // thread, after every enclosing guard released). `lambda_pending` holds
+  // '{' offsets recognized as lambda body opens; `lambda_stack` holds
+  // (body depth, index into `active` at entry) while inside one.
+  std::vector<size_t> lambda_pending;
+  std::vector<std::pair<int, size_t>> lambda_stack;
+
+  auto lock_base = [&] {
+    return lambda_stack.empty() ? size_t{0} : lambda_stack.back().second;
+  };
+  auto held_names = [&] {
+    std::vector<std::string> out;
+    for (size_t k = lock_base(); k < active.size(); ++k) {
+      out.push_back(active[k].name);
+    }
+    return out;
+  };
+  auto acquire = [&](const std::string& name, size_t pos, int at_depth) {
+    if (name.empty()) return;
+    for (size_t k = lock_base(); k < active.size(); ++k) {
+      fn.lock_edges.push_back({active[k].name, name, pos, lines.line_of(pos)});
+    }
+    fn.locks.push_back({name, pos, lines.line_of(pos)});
+    active.push_back({name, at_depth, at_depth < 0});
+  };
+  auto release = [&](const std::string& name) {
+    for (auto it = active.begin(); it != active.end(); ++it) {
+      if (it->name == name) {
+        active.erase(it);
+        return;
+      }
+    }
+  };
+
+  size_t i = begin;
+  while (i < end) {
+    const char c = clean[i];
+    if (c == '{') {
+      ++depth;
+      if (!lambda_pending.empty() && lambda_pending.back() == i) {
+        lambda_pending.pop_back();
+        lambda_stack.push_back({depth, active.size()});
+      }
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      if (!lambda_stack.empty() && lambda_stack.back().first == depth) {
+        lambda_stack.pop_back();
+      }
+      active.erase(std::remove_if(active.begin(), active.end(),
+                                  [&](const ActiveLock& l) {
+                                    return l.depth >= depth;
+                                  }),
+                   active.end());
+      if (depth > 0) --depth;
+      ++i;
+      continue;
+    }
+    if (c == '[') {
+      // Lambda capture intro vs subscript: a subscript follows a value
+      // expression (identifier, ')', ']'); anything else — operators,
+      // '(', ',', '{', ';' or a control keyword — starts a lambda.
+      size_t p = i;
+      while (p > begin && (clean[p - 1] == ' ' || clean[p - 1] == '\n')) --p;
+      bool subscript = false;
+      if (p > begin) {
+        const char prev = clean[p - 1];
+        if (prev == ')' || prev == ']') subscript = true;
+        if (is_ident(prev)) {
+          size_t wb = p;
+          while (wb > begin && is_ident(clean[wb - 1])) --wb;
+          const std::string_view word = clean.substr(wb, p - wb);
+          subscript = !is_call_through_keyword(word) &&
+                      control_keywords().count(word) == 0;
+        }
+      }
+      if (!subscript) {
+        int bd = 0;
+        size_t rb = std::string_view::npos;
+        for (size_t k = i; k < end; ++k) {
+          if (clean[k] == '[') ++bd;
+          if (clean[k] == ']' && --bd == 0) {
+            rb = k;
+            break;
+          }
+        }
+        if (rb != std::string_view::npos) {
+          size_t q = rb + 1;
+          while (q < end &&
+                 std::isspace(static_cast<unsigned char>(clean[q])) != 0) {
+            ++q;
+          }
+          if (q < end && clean[q] == '(') {
+            const size_t pc = match_paren(clean.substr(0, end), q);
+            q = pc == std::string_view::npos ? end : pc + 1;
+          }
+          // Skip decorations (mutable, noexcept, -> ret-type) up to '{'.
+          while (q < end && clean[q] != '{' &&
+                 (std::isspace(static_cast<unsigned char>(clean[q])) != 0 ||
+                  is_ident(clean[q]) || clean[q] == '-' || clean[q] == '>' ||
+                  clean[q] == ':' || clean[q] == '<' || clean[q] == ',' ||
+                  clean[q] == '*' || clean[q] == '&')) {
+            ++q;
+          }
+          if (q < end && clean[q] == '{') lambda_pending.push_back(q);
+        }
+      }
+      ++i;
+      continue;
+    }
+    if (!is_ident(c) || (i > begin && is_ident(clean[i - 1]))) {
+      ++i;
+      continue;
+    }
+    // Identifier token at i.
+    size_t tok_end = i;
+    while (tok_end < end && is_ident(clean[tok_end])) ++tok_end;
+    const std::string_view tok = clean.substr(i, tok_end - i);
+
+    // Lock guard declaration: lock_guard<...> name(mu) / {mu}.
+    if (is_guard_type(tok)) {
+      size_t j = tok_end;
+      while (j < end && std::isspace(static_cast<unsigned char>(clean[j]))) ++j;
+      if (j < end && clean[j] == '<') {
+        int angle = 0;
+        for (; j < end; ++j) {
+          if (clean[j] == '<') ++angle;
+          if (clean[j] == '>' && --angle == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      while (j < end && std::isspace(static_cast<unsigned char>(clean[j]))) ++j;
+      while (j < end && is_ident(clean[j])) ++j;  // guard variable name
+      while (j < end && std::isspace(static_cast<unsigned char>(clean[j]))) ++j;
+      if (j < end && (clean[j] == '(' || clean[j] == '{')) {
+        const char open = clean[j];
+        const char close_ch = open == '(' ? ')' : '}';
+        int d2 = 0;
+        size_t close = std::string_view::npos;
+        for (size_t k = j; k < end; ++k) {
+          if (clean[k] == open) ++d2;
+          if (clean[k] == close_ch && --d2 == 0) {
+            close = k;
+            break;
+          }
+        }
+        if (close != std::string_view::npos) {
+          const auto args = split_args(clean.substr(j + 1, close - j - 1));
+          bool deferred = false;
+          for (const auto& a : args) {
+            if (a.find("defer_lock") != std::string::npos) deferred = true;
+          }
+          if (!deferred) {
+            for (const auto& a : args) {
+              if (a.find("adopt_lock") != std::string::npos ||
+                  a.find("try_to_lock") != std::string::npos) {
+                continue;
+              }
+              acquire(canonical_lock(a, fn), i, depth);
+            }
+          }
+          i = close + 1;
+          continue;
+        }
+      }
+      i = tok_end;
+      continue;
+    }
+
+    // flock(fd, LOCK_*) — the store's inter-process lock. Recorded BOTH as
+    // a lock acquisition (L014 ordering) and as a call site with the locks
+    // held on entry, so L015's blocking inventory ("flock") can see
+    // flock-under-mutex.
+    if (tok == "flock") {
+      size_t j = tok_end;
+      while (j < end && clean[j] == ' ') ++j;
+      if (j < end && clean[j] == '(') {
+        const size_t close = match_paren(clean.substr(0, end), j);
+        if (close != std::string_view::npos) {
+          const std::string_view args = clean.substr(j + 1, close - j - 1);
+          CallSite call;
+          call.name = "flock";
+          call.args =
+              static_cast<int>(split_args(std::string_view(args)).size());
+          call.pos = i;
+          call.line = lines.line_of(i);
+          call.locks_held = held_names();
+          fn.calls.push_back(std::move(call));
+          if (args.find("LOCK_UN") != std::string_view::npos) {
+            release("flock(2)");
+          } else {
+            acquire("flock(2)", i, -1);
+          }
+          i = close + 1;
+          continue;
+        }
+      }
+      i = tok_end;
+      continue;
+    }
+
+    // Explicit object.lock() / object.unlock().
+    if ((tok == "lock" || tok == "unlock") && i > begin &&
+        clean[i - 1] == '.') {
+      size_t j = tok_end;
+      while (j < end && clean[j] == ' ') ++j;
+      if (j < end && clean[j] == '(') {
+        // Object path: walk back over the dotted identifier chain.
+        size_t b = i - 1;
+        while (b > begin &&
+               (is_ident(clean[b - 1]) || clean[b - 1] == '.' ||
+                clean[b - 1] == '_' ||
+                (clean[b - 1] == '>' && b >= 2 && clean[b - 2] == '-') ||
+                (clean[b - 1] == '-' ))) {
+          --b;
+        }
+        const std::string obj =
+            canonical_lock(clean.substr(b, (i - 1) - b), fn);
+        if (tok == "lock") {
+          acquire(obj, i, -1);
+        } else {
+          release(obj);
+        }
+        i = match_paren(clean.substr(0, end), j);
+        if (i == std::string_view::npos) i = tok_end;
+        ++i;
+        continue;
+      }
+      i = tok_end;
+      continue;
+    }
+
+    if (control_keywords().count(tok) != 0 ||
+        builtin_type_words().count(tok) != 0) {
+      i = tok_end;
+      continue;
+    }
+
+    // Call site?
+    size_t j = tok_end;
+    while (j < end && (clean[j] == ' ' || clean[j] == '\n')) ++j;
+    if (j >= end || clean[j] != '(') {
+      i = tok_end;
+      continue;
+    }
+
+    // Classify by what precedes the token.
+    size_t p = i;
+    while (p > begin && (clean[p - 1] == ' ' || clean[p - 1] == '\n')) --p;
+    std::string callee(tok);
+    std::string qualifier;
+    bool skip = false;
+    bool member = false;
+    if (p > begin) {
+      const char prev = clean[p - 1];
+      if (prev == '.' ||
+          (prev == '>' && p > begin + 1 && clean[p - 2] == '-')) {
+        // obj.f(...) / ptr->f(...): a member call through a receiver whose
+        // type we cannot see — resolved by strict arity (no fallback).
+        member = true;
+      } else if (prev == ':' && p > begin + 1 && clean[p - 2] == ':') {
+        // Qualified call a::b::f( — collect the chain.
+        size_t qe = p - 2;
+        while (true) {
+          size_t qb = qe;
+          while (qb > begin && is_ident(clean[qb - 1])) --qb;
+          if (qb == qe) break;
+          const std::string seg(clean.substr(qb, qe - qb));
+          qualifier = qualifier.empty() ? seg : seg + "::" + qualifier;
+          if (qb >= begin + 2 && clean[qb - 1] == ':' && clean[qb - 2] == ':') {
+            qe = qb - 2;
+          } else {
+            break;
+          }
+        }
+      } else if (is_ident(prev)) {
+        // `Word name(...)`: a declaration. If Word is a user type this is a
+        // constructor call (RAII guards, readers); after a control keyword
+        // it is a plain call; after a builtin type it is nothing.
+        size_t wb = p;
+        while (wb > begin && is_ident(clean[wb - 1])) --wb;
+        const std::string_view word = clean.substr(wb, p - wb);
+        if (is_call_through_keyword(word)) {
+          // genuine call
+        } else if (builtin_type_words().count(word) != 0 ||
+                   control_keywords().count(word) != 0) {
+          skip = true;
+        } else {
+          callee = std::string(word);  // constructor of the declared type
+        }
+      } else if (prev == '>' || prev == '*' || prev == '&') {
+        // `Foo<T> name(...)` / `Foo* name(...)`: declaration of a
+        // template/pointer type we cannot name — no edge.
+        skip = true;
+      }
+    }
+    const size_t close = match_paren(clean.substr(0, end), j);
+    if (close == std::string_view::npos) {
+      i = tok_end;
+      continue;
+    }
+    if (!skip) {
+      const auto args = split_args(clean.substr(j + 1, close - j - 1));
+      CallSite call;
+      call.name = callee;
+      call.qualifier = qualifier;
+      call.args = static_cast<int>(args.size());
+      call.pos = i;
+      call.line = lines.line_of(i);
+      call.member = member;
+      call.locks_held = held_names();
+      fn.calls.push_back(std::move(call));
+
+      // Discarded status call on a sticky-fail store type: the object is a
+      // known BlobReader/Store variable, the call is a whole statement, and
+      // nothing consumes the returned status. `(void)x.put(...)` does not
+      // match (the preceding ')' is consuming context).
+      if (i > begin && clean[i - 1] == '.') {
+        size_t ob = i - 1;
+        while (ob > begin && is_ident(clean[ob - 1])) --ob;
+        const std::string obj(clean.substr(ob, (i - 1) - ob));
+        const auto it = status_vars.find(obj);
+        const bool status_method =
+            it != status_vars.end() &&
+            ((it->second == "BlobReader" &&
+              (tok == "u8" || tok == "u32" || tok == "u64" || tok == "i32" ||
+               tok == "i64" || tok == "f64" || tok == "str" || tok == "ok" ||
+               tok == "at_end")) ||
+             (it->second == "Store" &&
+              (tok == "put" || tok == "get" || tok == "verify" ||
+               tok == "gc")));
+        if (status_method) {
+          size_t sp = ob;
+          while (sp > begin &&
+                 std::isspace(static_cast<unsigned char>(clean[sp - 1]))) {
+            --sp;
+          }
+          const bool stmt_start =
+              sp == begin || clean[sp - 1] == ';' || clean[sp - 1] == '{' ||
+              clean[sp - 1] == '}';
+          size_t after = close + 1;
+          while (after < end &&
+                 std::isspace(static_cast<unsigned char>(clean[after]))) {
+            ++after;
+          }
+          if (stmt_start && after < end && clean[after] == ';') {
+            fn.discards.push_back({obj, it->second, std::string(tok), i,
+                                   lines.line_of(i)});
+          }
+        }
+      }
+    }
+    // Do not jump past the argument list: arguments may contain nested
+    // calls that must index too.
+    i = j + 1;
+  }
+}
+
+/// Variables declared with a sticky-fail store type anywhere in the file
+/// (locals, members, parameters): name -> type.
+std::map<std::string, std::string> collect_status_vars(
+    std::string_view clean) {
+  std::map<std::string, std::string> out;
+  for (const char* type : {"BlobReader", "Store"}) {
+    for (size_t pos = find_word(clean, type); pos != std::string_view::npos;
+         pos = find_word(clean, type, pos + 1)) {
+      size_t i = pos + std::string_view(type).size();
+      while (i < clean.size() &&
+             (clean[i] == ' ' || clean[i] == '&' || clean[i] == '*')) {
+        ++i;
+      }
+      size_t name_end = i;
+      while (name_end < clean.size() && is_ident(clean[name_end])) ++name_end;
+      if (name_end == i) continue;
+      out[std::string(clean.substr(i, name_end - i))] = type;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FileIndex build_file_index(std::string_view path, std::string_view clean,
+                           const LineIndex& lines) {
+  FileIndex out;
+  out.path = std::string(path);
+  ScopeOut scopes = scan_scopes(path, clean, lines);
+  out.functions = std::move(scopes.functions);
+  out.namespace_statements = std::move(scopes.namespace_statements);
+
+  // Unordered-container names declared anywhere in the file, for the
+  // iteration-order source category.
+  std::vector<std::string> unordered_names;
+  static const char* kContainers[] = {"unordered_map", "unordered_set",
+                                      "unordered_multimap",
+                                      "unordered_multiset"};
+  for (const char* container : kContainers) {
+    for (size_t pos = find_word(clean, container);
+         pos != std::string_view::npos;
+         pos = find_word(clean, container, pos + 1)) {
+      size_t i = pos + std::string_view(container).size();
+      while (i < clean.size() && clean[i] == ' ') ++i;
+      if (i >= clean.size() || clean[i] != '<') continue;
+      int depth = 0;
+      for (; i < clean.size(); ++i) {
+        if (clean[i] == '<') ++depth;
+        if (clean[i] == '>' && --depth == 0) {
+          ++i;
+          break;
+        }
+      }
+      while (i < clean.size() &&
+             (std::isspace(static_cast<unsigned char>(clean[i])) != 0 ||
+              clean[i] == '&' || clean[i] == '*')) {
+        ++i;
+      }
+      size_t name_end = i;
+      while (name_end < clean.size() && is_ident(clean[name_end])) ++name_end;
+      if (name_end == i) continue;
+      unordered_names.push_back(std::string(clean.substr(i, name_end - i)));
+    }
+  }
+
+  const auto status_vars = collect_status_vars(clean);
+  for (auto& fn : out.functions) {
+    if (fn.body_end <= fn.body_begin) continue;
+    walk_body(fn, clean, lines, status_vars);
+    scan_sources(fn, clean, lines, unordered_names);
+  }
+  return out;
+}
+
+std::vector<int> ProjectIndex::resolve(const CallSite& call) const {
+  const auto it = by_name.find(call.name);
+  if (it == by_name.end()) return {};
+  std::vector<int> cands = it->second;
+  if (call.member) {
+    // Member call through an unknown receiver: strict arity, no fallback —
+    // otherwise `buf.get()` or `cv.wait(lock, pred)` would bind to every
+    // get/wait in the project and fabricate lock cycles.
+    std::vector<int> strict;
+    for (int i : cands) {
+      if (functions[i].min_args <= call.args &&
+          call.args <= functions[i].max_args) {
+        strict.push_back(i);
+      }
+    }
+    return strict;
+  }
+  if (!call.qualifier.empty()) {
+    const std::string suffix = call.qualifier + "::" + call.name;
+    std::vector<int> matched;
+    for (int i : cands) {
+      const std::string& fq = functions[i].qualified;
+      if (fq == suffix ||
+          (fq.size() > suffix.size() + 2 &&
+           fq.compare(fq.size() - suffix.size() - 2, 2, "::") == 0 &&
+           fq.compare(fq.size() - suffix.size(), suffix.size(), suffix) ==
+               0)) {
+        matched.push_back(i);
+      }
+    }
+    // Conservative fallback: an unmatched qualifier (alias, using-decl,
+    // object path mistaken for a namespace) keeps every name match.
+    if (!matched.empty()) cands = std::move(matched);
+  }
+  std::vector<int> arity;
+  for (int i : cands) {
+    if (functions[i].min_args <= call.args &&
+        call.args <= functions[i].max_args) {
+      arity.push_back(i);
+    }
+  }
+  return arity.empty() ? cands : arity;
+}
+
+int ProjectIndex::find(std::string_view qualified) const {
+  for (size_t i = 0; i < functions.size(); ++i) {
+    const std::string& fq = functions[i].qualified;
+    if (fq == qualified || functions[i].name == qualified) {
+      return static_cast<int>(i);
+    }
+    if (fq.size() > qualified.size() + 2 &&
+        fq.compare(fq.size() - qualified.size() - 2, 2, "::") == 0 &&
+        fq.compare(fq.size() - qualified.size(), qualified.size(),
+                   qualified) == 0) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+ProjectIndex build_project_index(const std::vector<FileIndex>& files) {
+  ProjectIndex out;
+  for (const auto& f : files) {
+    for (const auto& fn : f.functions) out.functions.push_back(fn);
+  }
+  for (size_t i = 0; i < out.functions.size(); ++i) {
+    out.by_name[out.functions[i].name].push_back(static_cast<int>(i));
+  }
+  out.callees.resize(out.functions.size());
+  for (size_t i = 0; i < out.functions.size(); ++i) {
+    std::vector<int> edges;
+    for (const auto& call : out.functions[i].calls) {
+      const auto targets = out.resolve(call);
+      edges.insert(edges.end(), targets.begin(), targets.end());
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    out.callees[i] = std::move(edges);
+  }
+  return out;
+}
+
+}  // namespace m3d::lint

@@ -1,0 +1,144 @@
+// Lightweight C++ symbol indexer and call-graph builder over the scrubbed
+// token stream (scrub.hpp). This is the substrate for the whole-program
+// passes in passes.hpp: it records, per translation unit,
+//
+//   * every function DEFINITION with its namespace/class-qualified name,
+//     argument-count range (defaulted parameters widen the range) and body
+//     extent,
+//   * every call site inside a body (callee name + qualifier + top-level
+//     argument count + the set of locks held at the call),
+//   * lock acquisition sites and intra-function acquisition ORDER edges
+//     (std::lock_guard/unique_lock/shared_lock/scoped_lock, explicit
+//     .lock()/.unlock(), and flock(2) — guard lifetimes are tracked by
+//     brace depth, so a guard in an inner block releases on its `}`),
+//   * nondeterminism-source sites by category (wall-clock, raw randomness,
+//     thread ids, pointer-to-integer casts, unordered-container iteration,
+//     environment reads), and
+//   * statement-discarded calls on sticky-fail store types (BlobReader /
+//     Store), where the dropped status is the only failure signal.
+//
+// Resolution is name+arity with conservative fallback: a call binds to
+// every indexed definition with the same unqualified name whose arity range
+// admits the argument count (qualified calls additionally match the
+// qualifier suffix); if arity filtering would empty the candidate set the
+// name matches are kept — overload misbinding must over-approximate, never
+// drop an edge. Calls that match nothing are external and carry no edges.
+// MEMBER calls (obj.f(), ptr->f()) are the exception: the receiver's type
+// is unknown, so they resolve by strict arity with no fallback — otherwise
+// ubiquitous method names (get, wait, lock) would bind to every same-name
+// definition in the project and fabricate lock cycles.
+//
+// Calls written inside a lambda literal keep their call edges (taint does
+// not care when a callee runs) but carry NO locks from the enclosing scope:
+// a lambda handed to a thread, the exec pool or a deferred callback runs
+// after the guard released, so treating definition-site locks as held at
+// the call would fabricate blocking-under-lock and ordering edges.
+//
+// Like the per-file rules, the indexer is deliberately AST-lite (no
+// preprocessing, no templates instantiation, lambdas fold into their
+// enclosing function). It trades exhaustiveness for zero dependencies and
+// whole-tree speed; the escape hatch is the same reasoned suppression
+// syntax every other rule uses.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/scrub.hpp"
+
+namespace m3d::lint {
+
+struct CallSite {
+  std::string name;       // unqualified callee name
+  std::string qualifier;  // "ns::Class" written at the site ("" if none)
+  int args = 0;           // top-level argument count
+  size_t pos = 0;         // offset in the file's clean text
+  int line = 0;
+  bool member = false;    // written as obj.name(...) / ptr->name(...)
+  std::vector<std::string> locks_held;  // canonical lock names active here
+};
+
+struct SourceSite {
+  std::string category;  // wall-clock|randomness|thread-id|address|
+                         // iteration-order|env
+  std::string token;     // offending token, quoted in diagnostics
+  size_t pos = 0;
+  int line = 0;
+};
+
+struct LockSite {
+  std::string lock;  // canonical lock name (see index.cpp:canonical_lock)
+  size_t pos = 0;
+  int line = 0;
+};
+
+/// `acquired` was taken while `held` was already held, at pos/line.
+struct LockEdge {
+  std::string held;
+  std::string acquired;
+  size_t pos = 0;
+  int line = 0;
+};
+
+struct DiscardSite {
+  std::string object;  // variable name
+  std::string type;    // "BlobReader" | "Store"
+  std::string method;
+  size_t pos = 0;
+  int line = 0;
+};
+
+struct FuncInfo {
+  std::string file;       // normalized path
+  std::string name;       // unqualified
+  std::string qualified;  // ns::Class::name (anonymous segments elided)
+  int min_args = 0;
+  int max_args = 0;
+  int line = 0;  // definition line
+  bool is_special = false;  // constructor/destructor/operator
+  size_t body_begin = 0;    // offset just after the opening '{'
+  size_t body_end = 0;      // offset of the closing '}'
+  std::vector<CallSite> calls;
+  std::vector<SourceSite> sources;
+  std::vector<LockSite> locks;
+  std::vector<LockEdge> lock_edges;
+  std::vector<DiscardSite> discards;
+};
+
+/// A ';'-terminated statement at namespace scope (L005's globals rule).
+struct GlobalDecl {
+  size_t pos = 0;  // statement start
+  std::string text;
+};
+
+struct FileIndex {
+  std::string path;
+  std::vector<FuncInfo> functions;
+  std::vector<GlobalDecl> namespace_statements;
+};
+
+/// Indexes one scrubbed translation unit.
+FileIndex build_file_index(std::string_view path, std::string_view clean,
+                           const LineIndex& lines);
+
+/// Whole-project view: all indexed functions plus resolved call edges.
+struct ProjectIndex {
+  std::vector<FuncInfo> functions;  // file-order concatenation of the TUs
+  std::map<std::string, std::vector<int>, std::less<>> by_name;
+  std::vector<std::vector<int>> callees;  // resolved, deduped, sorted
+
+  /// Candidate definitions for one call site (name+arity resolution with
+  /// conservative fallback). Deterministic order (function index).
+  std::vector<int> resolve(const CallSite& call) const;
+
+  /// First function whose qualified name equals `qualified` or ends with
+  /// "::qualified" (or whose unqualified name equals it); -1 if none.
+  int find(std::string_view qualified) const;
+};
+
+ProjectIndex build_project_index(const std::vector<FileIndex>& files);
+
+}  // namespace m3d::lint

@@ -7,50 +7,18 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
+#include "exec/exec.hpp"
+#include "lint/index.hpp"
+#include "lint/passes.hpp"
+#include "lint/scrub.hpp"
 #include "util/strf.hpp"
 
 namespace m3d::lint {
 namespace {
-
-bool is_ident(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// True when text[pos..pos+word.size()) is `word` bounded by non-identifier
-/// characters on both sides.
-bool word_at(std::string_view text, size_t pos, std::string_view word) {
-  if (pos + word.size() > text.size()) return false;
-  if (text.compare(pos, word.size(), word) != 0) return false;
-  if (pos > 0 && is_ident(text[pos - 1])) return false;
-  if (pos + word.size() < text.size() && is_ident(text[pos + word.size()])) {
-    return false;
-  }
-  return true;
-}
-
-/// First word-bounded occurrence of `word` at or after `from`; npos if none.
-size_t find_word(std::string_view text, std::string_view word,
-                 size_t from = 0) {
-  for (size_t pos = text.find(word, from); pos != std::string_view::npos;
-       pos = text.find(word, pos + 1)) {
-    if (word_at(text, pos, word)) return pos;
-  }
-  return std::string_view::npos;
-}
-
-bool contains_word(std::string_view text, std::string_view word) {
-  return find_word(text, word) != std::string_view::npos;
-}
-
-/// Substring match against the '/'-normalized path (so the same Options
-/// work for relative and absolute spellings).
-bool path_matches(std::string_view path, const std::vector<std::string>& frags) {
-  for (const auto& frag : frags) {
-    if (path.find(frag) != std::string_view::npos) return true;
-  }
-  return false;
-}
 
 bool rule_enabled(const Options& opts, std::string_view rule) {
   if (opts.only_rules.empty()) return true;
@@ -60,233 +28,6 @@ bool rule_enabled(const Options& opts, std::string_view rule) {
   return false;
 }
 
-// ---------------------------------------------------------------------------
-// Scrubbing: blank comments, string literals and char literals (preserving
-// line structure) so rules never fire on prose, and collect `m3d-lint:`
-// suppression directives from the comment text as we go.
-
-struct Suppression {
-  int line = 0;  // 1-based line the directive sits on
-  std::vector<std::string> rules;
-  bool file_wide = false;
-  bool has_reason = false;
-};
-
-struct Scrubbed {
-  std::string clean;  // same length/line structure as the input
-  std::vector<Suppression> suppressions;
-  std::vector<Diagnostic> directive_errors;  // malformed directives (L000)
-};
-
-/// Parses one comment's text for "m3d-lint: allow(L001,L002) reason" or
-/// "m3d-lint: allow-file(L00x) reason".
-void parse_directive(std::string_view comment, int line, std::string_view file,
-                     Scrubbed& out) {
-  // The tag must START the comment text (`// m3d-lint: ...`); prose that
-  // merely mentions the directive syntax mid-sentence is not a directive.
-  const size_t first = comment.find_first_not_of("/* \t");
-  if (first == std::string_view::npos ||
-      comment.compare(first, 9, "m3d-lint:") != 0) {
-    return;
-  }
-  std::string_view rest = comment.substr(first + 9);
-  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
-
-  Suppression sup;
-  sup.line = line;
-  if (rest.rfind("allow-file(", 0) == 0) {
-    sup.file_wide = true;
-    rest.remove_prefix(11);
-  } else if (rest.rfind("allow(", 0) == 0) {
-    rest.remove_prefix(6);
-  } else {
-    out.directive_errors.push_back(
-        {std::string(file), line, "L000", Severity::kError,
-         "malformed m3d-lint directive (expected allow(...) or "
-         "allow-file(...))"});
-    return;
-  }
-  const size_t close = rest.find(')');
-  if (close == std::string_view::npos) {
-    out.directive_errors.push_back({std::string(file), line, "L000",
-                                    Severity::kError,
-                                    "unterminated rule list in m3d-lint "
-                                    "directive"});
-    return;
-  }
-  std::string rule;
-  for (char c : rest.substr(0, close)) {
-    if (c == ',' || c == ' ') {
-      if (!rule.empty()) sup.rules.push_back(rule);
-      rule.clear();
-    } else {
-      rule += c;
-    }
-  }
-  if (!rule.empty()) sup.rules.push_back(rule);
-
-  std::string_view reason = rest.substr(close + 1);
-  sup.has_reason =
-      reason.find_first_not_of(" \t*/") != std::string_view::npos;
-  if (sup.rules.empty()) {
-    out.directive_errors.push_back({std::string(file), line, "L000",
-                                    Severity::kError,
-                                    "m3d-lint directive names no rules"});
-    return;
-  }
-  if (!sup.has_reason) {
-    out.directive_errors.push_back(
-        {std::string(file), line, "L000", Severity::kError,
-         "m3d-lint suppression must carry a reason after the rule list"});
-  }
-  out.suppressions.push_back(std::move(sup));
-}
-
-Scrubbed scrub(std::string_view text, std::string_view file) {
-  Scrubbed out;
-  out.clean.assign(text.size(), ' ');
-  int line = 1;
-  size_t i = 0;
-  const size_t n = text.size();
-  auto copy = [&](size_t pos) { out.clean[pos] = text[pos]; };
-
-  bool line_start = true;
-  while (i < n) {
-    const char c = text[i];
-    if (c == '\n') {
-      out.clean[i] = '\n';
-      ++line;
-      ++i;
-      line_start = true;
-      continue;
-    }
-    // Preprocessor directive: blank the whole logical line (honoring
-    // backslash continuations) so macro bodies never trip token rules.
-    // L006 reads #include and #pragma once from the raw text.
-    if (line_start && c == '#') {
-      while (i < n) {
-        if (text[i] == '\n') {
-          if (i > 0 && text[i - 1] == '\\') {
-            out.clean[i] = '\n';
-            ++line;
-            ++i;
-            continue;
-          }
-          break;
-        }
-        ++i;
-      }
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c)) == 0) line_start = false;
-    // Line comment.
-    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-      const size_t start = i;
-      while (i < n && text[i] != '\n') ++i;
-      parse_directive(text.substr(start, i - start), line, file, out);
-      continue;
-    }
-    // Block comment (may span lines; directive applies to its first line).
-    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-      const size_t start = i;
-      const int start_line = line;
-      i += 2;
-      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
-        if (text[i] == '\n') {
-          out.clean[i] = '\n';
-          ++line;
-        }
-        ++i;
-      }
-      i = std::min(n, i + 2);
-      parse_directive(text.substr(start, i - start), start_line, file, out);
-      continue;
-    }
-    // Raw string literal.
-    if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
-        (i == 0 || !is_ident(text[i - 1]))) {
-      size_t d = i + 2;
-      while (d < n && text[d] != '(') ++d;
-      const std::string terminator =
-          ")" + std::string(text.substr(i + 2, d - (i + 2))) + "\"";
-      size_t end = text.find(terminator, d);
-      end = end == std::string_view::npos ? n : end + terminator.size();
-      for (size_t k = i; k < end; ++k) {
-        if (text[k] == '\n') {
-          out.clean[k] = '\n';
-          ++line;
-        }
-      }
-      i = end;
-      continue;
-    }
-    // Digit separator (1'000'000) — not a char literal.
-    if (c == '\'' && i > 0 &&
-        std::isdigit(static_cast<unsigned char>(text[i - 1])) != 0 &&
-        i + 1 < n && std::isalnum(static_cast<unsigned char>(text[i + 1]))) {
-      ++i;
-      continue;
-    }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < n && text[i] != quote) {
-        if (text[i] == '\\') ++i;
-        if (i < n && text[i] == '\n') {
-          out.clean[i] = '\n';
-          ++line;
-        }
-        ++i;
-      }
-      ++i;  // closing quote
-      continue;
-    }
-    copy(i);
-    ++i;
-  }
-  return out;
-}
-
-/// 1-based line number of a character offset (clean preserves newlines).
-struct LineIndex {
-  std::vector<size_t> starts;  // starts[k] = offset of line k+1
-  explicit LineIndex(std::string_view text) {
-    starts.push_back(0);
-    for (size_t i = 0; i < text.size(); ++i) {
-      if (text[i] == '\n') starts.push_back(i + 1);
-    }
-  }
-  int line_of(size_t pos) const {
-    const auto it = std::upper_bound(starts.begin(), starts.end(), pos);
-    return static_cast<int>(it - starts.begin());
-  }
-};
-
-// ---------------------------------------------------------------------------
-// Scope tracking (for L005): classify each `{` by the statement preceding it
-// so we can tell namespace scope from type bodies and function bodies.
-
-enum class ScopeKind { kNamespace, kType, kFunction, kBlock, kInit };
-
-struct FunctionBody {
-  size_t begin = 0;  // offset just after the opening '{'
-  size_t end = 0;    // offset of the closing '}'
-  std::string name;  // identifier before the parameter list ("" if unknown)
-  bool is_special = false;  // constructor/destructor/operator
-  bool locked = false;      // body mentions a lock primitive
-};
-
-struct GlobalDecl {
-  size_t pos = 0;  // statement start
-  std::string text;
-};
-
-struct ScopeScan {
-  std::vector<FunctionBody> functions;
-  std::vector<GlobalDecl> namespace_statements;  // ';'-terminated, ns scope
-};
-
 /// Last identifier in `text` (e.g. the declared name in "struct Foo").
 std::string last_identifier(std::string_view text) {
   size_t end = text.size();
@@ -294,121 +35,6 @@ std::string last_identifier(std::string_view text) {
   size_t begin = end;
   while (begin > 0 && is_ident(text[begin - 1])) --begin;
   return std::string(text.substr(begin, end - begin));
-}
-
-/// Identifier immediately before the first '(' (the function name).
-std::string name_before_paren(std::string_view stmt) {
-  const size_t paren = stmt.find('(');
-  if (paren == std::string_view::npos) return "";
-  return last_identifier(stmt.substr(0, paren));
-}
-
-ScopeScan scan_scopes(std::string_view clean) {
-  ScopeScan out;
-  struct Frame {
-    ScopeKind kind;
-    std::string type_name;  // for kType
-    size_t func_index = 0;  // for kFunction
-  };
-  std::vector<Frame> stack;
-  std::string stmt;  // statement text since last ; { }
-  size_t stmt_start = 0;
-
-  auto at_namespace_scope = [&] {
-    for (const auto& f : stack) {
-      if (f.kind != ScopeKind::kNamespace) return false;
-    }
-    return true;
-  };
-  for (size_t i = 0; i < clean.size(); ++i) {
-    const char c = clean[i];
-    if (c == '{') {
-      Frame frame;
-      // Find the last non-space char of the statement.
-      std::string_view s = stmt;
-      while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
-        s.remove_suffix(1);
-      }
-      if (contains_word(s, "namespace")) {
-        frame.kind = ScopeKind::kNamespace;
-      } else if (contains_word(s, "class") || contains_word(s, "struct") ||
-                 contains_word(s, "union") || contains_word(s, "enum")) {
-        frame.kind = ScopeKind::kType;
-        frame.type_name = last_identifier(s);
-      } else if (s.find('(') != std::string_view::npos &&
-                 (at_namespace_scope() ||
-                  (!stack.empty() && stack.back().kind == ScopeKind::kType))) {
-        // At namespace or class scope, a braced body after a parameter list
-        // is a function definition (control statements cannot appear here).
-        frame.kind = ScopeKind::kFunction;
-        FunctionBody fb;
-        fb.begin = i + 1;
-        fb.name = name_before_paren(s);
-        const std::string enclosing_type =
-            (!stack.empty() && stack.back().kind == ScopeKind::kType)
-                ? stack.back().type_name
-                : std::string();
-        const bool qualified_ctor =
-            !fb.name.empty() &&
-            s.find(fb.name + "::" + fb.name) != std::string_view::npos;
-        fb.is_special = qualified_ctor || fb.name == enclosing_type ||
-                        s.find('~') != std::string_view::npos ||
-                        contains_word(s, "operator");
-        frame.func_index = out.functions.size();
-        out.functions.push_back(std::move(fb));
-      } else if (at_namespace_scope() && !s.empty()) {
-        // At namespace scope, anything else opening a brace is an
-        // initializer: `int x{1}` or `std::vector<int> v = {...}`. Record
-        // the declaration head so L005a sees brace-initialized globals.
-        frame.kind = ScopeKind::kInit;
-        std::string_view head = s;
-        if (const size_t eq = head.find('='); eq != std::string_view::npos) {
-          head = head.substr(0, eq);
-        }
-        const size_t first = head.find_first_not_of(" \t\n");
-        if (first != std::string_view::npos) {
-          out.namespace_statements.push_back(
-              {stmt_start + first, std::string(head.substr(first))});
-        }
-      } else if (!s.empty() && s.back() == '=') {
-        frame.kind = ScopeKind::kInit;
-      } else {
-        frame.kind = ScopeKind::kBlock;
-      }
-      stack.push_back(std::move(frame));
-      stmt.clear();
-      stmt_start = i + 1;
-    } else if (c == '}') {
-      if (!stack.empty()) {
-        if (stack.back().kind == ScopeKind::kFunction) {
-          out.functions[stack.back().func_index].end = i;
-        }
-        stack.pop_back();
-      }
-      stmt.clear();
-      stmt_start = i + 1;
-    } else if (c == ';') {
-      if (at_namespace_scope()) {
-        std::string_view s = stmt;
-        const size_t first =
-            s.find_first_not_of(" \t\n");
-        if (first != std::string_view::npos) {
-          out.namespace_statements.push_back(
-              {stmt_start + first, std::string(s.substr(first))});
-        }
-      }
-      stmt.clear();
-      stmt_start = i + 1;
-    } else {
-      if (stmt.empty()) stmt_start = i;
-      stmt += c;
-    }
-  }
-  // Close any function left open by unbalanced braces.
-  for (auto& f : out.functions) {
-    if (f.end == 0) f.end = clean.size();
-  }
-  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -664,15 +290,17 @@ void rule_l004(std::string_view file, std::string_view clean,
 }
 
 // ---------------------------------------------------------------------------
-// Rule L005: shared-state hazards in exec-reachable code.
+// Rule L005: shared-state hazards in exec-reachable code. Consumes the
+// symbol index built for the whole-program passes — the same function
+// bodies and namespace-scope statements, scanned once.
 
 void rule_l005(std::string_view file, std::string_view clean,
-               const LineIndex& lines, const ScopeScan& scopes,
+               const LineIndex& lines, const FileIndex& index,
                const Options& opts, std::vector<Diagnostic>& out) {
   if (!path_matches(file, opts.l005_scope)) return;
 
   // (a) Mutable namespace-scope globals.
-  for (const auto& decl : scopes.namespace_statements) {
+  for (const auto& decl : index.namespace_statements) {
     const std::string& s = decl.text;
     if (s.empty() || s[0] == '#') continue;
     static const char* kExempt[] = {
@@ -719,10 +347,10 @@ void rule_l005(std::string_view file, std::string_view clean,
   };
   std::vector<Write> writes;
   std::set<std::string> locked_names;
-  std::set<std::string> unlocked_names;
-  for (const auto& fn : scopes.functions) {
-    if (fn.is_special || fn.end <= fn.begin) continue;
-    const std::string_view body = clean.substr(fn.begin, fn.end - fn.begin);
+  for (const auto& fn : index.functions) {
+    if (fn.is_special || fn.body_end <= fn.body_begin) continue;
+    const std::string_view body =
+        clean.substr(fn.body_begin, fn.body_end - fn.body_begin);
     const bool locked = body.find("lock_guard") != std::string_view::npos ||
                         body.find("scoped_lock") != std::string_view::npos ||
                         body.find("unique_lock") != std::string_view::npos ||
@@ -765,8 +393,8 @@ void rule_l005(std::string_view file, std::string_view clean,
       }
       if (begin >= 2 && body.compare(begin - 2, 2, "++") == 0) write = true;
       if (!write) continue;
-      writes.push_back({name, fn.begin + begin, locked});
-      (locked ? locked_names : unlocked_names).insert(name);
+      writes.push_back({name, fn.body_begin + begin, locked});
+      if (locked) locked_names.insert(name);
     }
   }
   for (const auto& w : writes) {
@@ -926,6 +554,102 @@ std::string normalize(std::string_view path) {
   return out;
 }
 
+/// Everything one file contributes to a lint run: the scrubbed stream and
+/// symbol index (always built — the whole-program passes need every file)
+/// plus the per-file rule diagnostics (built only for files the
+/// changed-files fast path selects).
+struct FileAnalysis {
+  std::string file;        // normalized path
+  Scrubbed scrubbed;
+  FileIndex index;
+  std::vector<Diagnostic> diags;  // per-file rules, pre-suppression
+  bool rules_ran = false;
+};
+
+void analyze_file(const SourceFile& sf, const Options& opts, bool run_rules,
+                  FileAnalysis& out) {
+  out.file = normalize(sf.path);
+  out.scrubbed = scrub(sf.text, out.file);
+  const LineIndex lines(out.scrubbed.clean);
+  out.index = build_file_index(out.file, out.scrubbed.clean, lines);
+  if (!run_rules) return;
+  out.rules_ran = true;
+  if (rule_enabled(opts, "L001")) {
+    rule_l001(out.file, out.scrubbed.clean, lines, opts, out.diags);
+  }
+  if (rule_enabled(opts, "L002")) {
+    rule_l002(out.file, out.scrubbed.clean, lines, opts, out.diags);
+  }
+  if (rule_enabled(opts, "L003")) {
+    rule_l003(out.file, out.scrubbed.clean, lines, opts, out.diags);
+  }
+  if (rule_enabled(opts, "L004")) {
+    rule_l004(out.file, out.scrubbed.clean, lines, opts, out.diags);
+  }
+  if (rule_enabled(opts, "L005")) {
+    rule_l005(out.file, out.scrubbed.clean, lines, out.index, opts,
+              out.diags);
+  }
+  if (rule_enabled(opts, "L006")) {
+    rule_l006(out.file, sf.text, out.scrubbed.clean, lines, out.diags);
+  }
+}
+
+/// Files whose transitive call-graph neighborhood (callers AND callees)
+/// touches Options::changed. Changed files themselves are always included.
+std::set<std::string> affected_files(const ProjectIndex& idx,
+                                     const std::vector<FileAnalysis>& analyses,
+                                     const Options& opts) {
+  std::set<std::string> out;
+  const size_t n = idx.functions.size();
+  std::vector<std::vector<int>> callers(n);
+  for (size_t f = 0; f < n; ++f) {
+    for (int callee : idx.callees[f]) {
+      callers[callee].push_back(static_cast<int>(f));
+    }
+  }
+  std::vector<char> seen(n, 0);
+  std::vector<int> work;
+  for (size_t f = 0; f < n; ++f) {
+    if (path_matches(idx.functions[f].file, opts.changed)) {
+      seen[f] = 1;
+      work.push_back(static_cast<int>(f));
+    }
+  }
+  // Forward (callees) and backward (callers) closure in one worklist: a
+  // file is affected when any of its functions can reach, or be reached
+  // from, a function in a changed file.
+  while (!work.empty()) {
+    const int f = work.back();
+    work.pop_back();
+    out.insert(idx.functions[f].file);
+    for (const auto& adj : {idx.callees[f], callers[f]}) {
+      for (int g : adj) {
+        if (seen[g] == 0) {
+          seen[g] = 1;
+          work.push_back(g);
+        }
+      }
+    }
+  }
+  // Changed files with no indexed functions (pure data headers) still count.
+  for (const auto& a : analyses) {
+    if (path_matches(a.file, opts.changed)) out.insert(a.file);
+  }
+  return out;
+}
+
+bool covered_by_suppressions(
+    const std::map<std::string, const std::vector<Suppression>*>& sups_by_file,
+    const std::string& file, std::string_view rule, int line) {
+  const auto it = sups_by_file.find(file);
+  if (it == sups_by_file.end()) return false;
+  for (const auto& sup : *it->second) {
+    if (suppresses(sup, rule, line)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 const char* to_string(Severity severity) {
@@ -934,6 +658,9 @@ const char* to_string(Severity severity) {
 
 const std::vector<RuleInfo>& rule_table() {
   static const std::vector<RuleInfo> kRules = {
+      {"L000", "malformed-suppression",
+       "every suppression must name its rules and carry a written reason; a "
+       "reasonless allow() is an unreviewable hole in the determinism gate"},
       {"L001", "forbidden-randomness",
        "all stochastic steps must draw from an explicitly seeded util::Rng "
        "so every run replays from a logged seed"},
@@ -953,63 +680,144 @@ const std::vector<RuleInfo>& rule_table() {
        "headers must be self-sufficient: #pragma once plus direct includes "
        "for every std symbol used, so include order can never change "
        "behavior"},
+      {"L010", "wall-clock-taint",
+       "a wall-clock read transitively reachable from a canonical-output "
+       "sink injects run-time timestamps into byte-compared results"},
+      {"L011", "randomness-taint",
+       "raw randomness or thread ids reachable from a canonical-output sink "
+       "make reports differ across runs with identical inputs and seeds"},
+      {"L012", "order-taint",
+       "pointer-to-integer casts and unordered-container iteration "
+       "reachable from a canonical-output sink leak allocator addresses and "
+       "hash bucket order into results"},
+      {"L013", "env-taint",
+       "environment reads reachable from a canonical-output sink make "
+       "results depend on ambient machine state a replay cannot see"},
+      {"L014", "lock-order-cycle",
+       "two locks acquired in both orders anywhere in the program "
+       "(including through calls) is an AB-BA deadlock waiting for the "
+       "right interleaving"},
+      {"L015", "blocking-under-lock",
+       "a locked section that calls (transitively) into the exec pool, "
+       "sleeps or blocking I/O convoys every thread contending the lock and "
+       "can deadlock against pool capacity"},
+      {"L016", "discarded-status",
+       "store::BlobReader and store::Store report torn or corrupt data "
+       "ONLY through return values; a statement-discarded status turns "
+       "corruption into silent wrong answers"},
   };
   return kRules;
+}
+
+std::vector<Diagnostic> lint_sources(const std::vector<SourceFile>& files,
+                                     const Options& opts,
+                                     size_t* files_analyzed) {
+  const size_t n = files.size();
+  std::vector<FileAnalysis> analyses(n);
+
+  // Stage 1: scrub + index every file (shared by all rules and passes).
+  // Without a changed-files restriction the per-file rules run in the same
+  // parallel sweep; with one they wait for the call graph (stage 3).
+  const bool fast_path = !opts.changed.empty();
+  auto stage1 = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      analyze_file(files[i], opts, /*run_rules=*/!fast_path, analyses[i]);
+    }
+  };
+  if (opts.jobs == 1 || n < 2) {
+    stage1(0, n);
+  } else {
+    exec::parallel_for(n, stage1, /*grain=*/1);
+  }
+
+  // Stage 2: whole-program view.
+  std::vector<FileIndex> indexes;
+  indexes.reserve(n);
+  for (const auto& a : analyses) indexes.push_back(a.index);
+  const ProjectIndex project = build_project_index(indexes);
+
+  // Stage 3 (fast path only): per-file rules on the affected neighborhood.
+  std::set<std::string> affected;
+  if (fast_path) {
+    affected = affected_files(project, analyses, opts);
+    auto stage3 = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        if (affected.count(analyses[i].file) != 0) {
+          analyze_file(files[i], opts, /*run_rules=*/true, analyses[i]);
+        }
+      }
+    };
+    if (opts.jobs == 1 || n < 2) {
+      stage3(0, n);
+    } else {
+      exec::parallel_for(n, stage3, /*grain=*/1);
+    }
+  }
+  if (files_analyzed != nullptr) {
+    size_t ran = 0;
+    for (const auto& a : analyses) ran += a.rules_ran ? 1 : 0;
+    *files_analyzed = ran;
+  }
+
+  // Stage 4: whole-program passes (always over the full index — a taint
+  // path or lock cycle can span unchanged files).
+  std::vector<Diagnostic> project_diags;
+  taint_pass(project, opts, project_diags);
+  lock_pass(project, opts, project_diags);
+  discard_pass(project, opts, project_diags);
+
+  // Merge: per-file diagnostics with own-file suppressions, then project
+  // diagnostics suppressed at EITHER end (primary or any related location).
+  std::map<std::string, const std::vector<Suppression>*> sups_by_file;
+  for (const auto& a : analyses) {
+    sups_by_file[a.file] = &a.scrubbed.suppressions;
+  }
+
+  std::vector<Diagnostic> kept;
+  for (auto& a : analyses) {
+    for (auto& d : a.diags) {
+      if (!covered_by_suppressions(sups_by_file, d.file, d.rule, d.line)) {
+        kept.push_back(std::move(d));
+      }
+    }
+    if (a.rules_ran) {
+      for (auto& d : a.scrubbed.directive_errors) kept.push_back(std::move(d));
+    }
+  }
+  for (auto& d : project_diags) {
+    if (fast_path) {
+      bool touches = affected.count(d.file) != 0;
+      for (const auto& r : d.related) {
+        touches = touches || affected.count(r.file) != 0;
+      }
+      if (!touches) continue;
+    }
+    bool suppressed =
+        covered_by_suppressions(sups_by_file, d.file, d.rule, d.line);
+    for (const auto& r : d.related) {
+      suppressed = suppressed ||
+                   covered_by_suppressions(sups_by_file, r.file, d.rule,
+                                           r.line);
+    }
+    if (!suppressed) kept.push_back(std::move(d));
+  }
+
+  std::sort(kept.begin(), kept.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return kept;
 }
 
 std::vector<Diagnostic> lint_source(std::string_view path,
                                     std::string_view text,
                                     const Options& opts) {
-  const std::string file = normalize(path);
-  Scrubbed scrubbed = scrub(text, file);
-  const LineIndex lines(scrubbed.clean);
-
-  std::vector<Diagnostic> diags;
-  if (rule_enabled(opts, "L001")) {
-    rule_l001(file, scrubbed.clean, lines, opts, diags);
-  }
-  if (rule_enabled(opts, "L002")) {
-    rule_l002(file, scrubbed.clean, lines, opts, diags);
-  }
-  if (rule_enabled(opts, "L003")) {
-    rule_l003(file, scrubbed.clean, lines, opts, diags);
-  }
-  if (rule_enabled(opts, "L004")) {
-    rule_l004(file, scrubbed.clean, lines, opts, diags);
-  }
-  if (rule_enabled(opts, "L005")) {
-    const ScopeScan scopes = scan_scopes(scrubbed.clean);
-    rule_l005(file, scrubbed.clean, lines, scopes, opts, diags);
-  }
-  if (rule_enabled(opts, "L006")) {
-    rule_l006(file, text, scrubbed.clean, lines, diags);
-  }
-
-  // Apply suppressions: a directive covers its own line and the next one;
-  // allow-file covers the whole file.
-  std::vector<Diagnostic> kept;
-  for (auto& d : diags) {
-    bool suppressed = false;
-    for (const auto& sup : scrubbed.suppressions) {
-      if (!sup.has_reason) continue;
-      const bool names_rule =
-          std::find(sup.rules.begin(), sup.rules.end(), d.rule) !=
-          sup.rules.end();
-      if (!names_rule) continue;
-      if (sup.file_wide || sup.line == d.line || sup.line == d.line - 1) {
-        suppressed = true;
-        break;
-      }
-    }
-    if (!suppressed) kept.push_back(std::move(d));
-  }
-  for (auto& d : scrubbed.directive_errors) kept.push_back(std::move(d));
-  std::sort(kept.begin(), kept.end(),
-            [](const Diagnostic& a, const Diagnostic& b) {
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
-            });
-  return kept;
+  std::vector<SourceFile> files;
+  files.push_back({std::string(path), std::string(text)});
+  return lint_sources(files, opts);
 }
 
 std::vector<Diagnostic> lint_file(const std::string& path,
@@ -1027,11 +835,11 @@ std::vector<Diagnostic> lint_file(const std::string& path,
 std::vector<Diagnostic> lint_tree(const std::vector<std::string>& roots,
                                   const Options& opts, size_t* files_seen) {
   namespace fs = std::filesystem;
-  std::vector<std::string> files;
+  std::vector<std::string> paths;
   for (const auto& root : roots) {
     std::error_code ec;
     if (fs::is_regular_file(root, ec)) {
-      files.push_back(root);
+      paths.push_back(root);
       continue;
     }
     for (auto it = fs::recursive_directory_iterator(root, ec);
@@ -1047,25 +855,41 @@ std::vector<Diagnostic> lint_tree(const std::vector<std::string>& roots,
       }
       const std::string ext = p.extension().string();
       if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
-        files.push_back(p.string());
+        paths.push_back(p.string());
       }
     }
   }
-  std::sort(files.begin(), files.end());
-  if (files_seen != nullptr) *files_seen = files.size();
+  std::sort(paths.begin(), paths.end());
+  if (files_seen != nullptr) *files_seen = paths.size();
 
-  std::vector<Diagnostic> diags;
-  for (const auto& file : files) {
-    auto file_diags = lint_file(file, opts);
-    diags.insert(diags.end(), std::make_move_iterator(file_diags.begin()),
-                 std::make_move_iterator(file_diags.end()));
+  std::vector<SourceFile> sources;
+  std::vector<Diagnostic> unreadable;
+  sources.reserve(paths.size());
+  for (const auto& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      unreadable.push_back({normalize(path), 0, "L000", Severity::kError,
+                            "cannot read file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    sources.push_back({path, buf.str()});
   }
+  auto diags = lint_sources(sources, opts);
+  for (auto& d : unreadable) diags.push_back(std::move(d));
   return diags;
 }
 
 std::string format(const Diagnostic& d) {
-  return util::strf("%s:%d: %s: [%s] %s", d.file.c_str(), d.line,
-                    to_string(d.severity), d.rule.c_str(), d.message.c_str());
+  std::string out = util::strf("%s:%d: %s: [%s] %s", d.file.c_str(), d.line,
+                               to_string(d.severity), d.rule.c_str(),
+                               d.message.c_str());
+  for (const auto& r : d.related) {
+    out += util::strf("\n%s:%d: note: %s", r.file.c_str(), r.line,
+                      r.note.c_str());
+  }
+  return out;
 }
 
 }  // namespace m3d::lint

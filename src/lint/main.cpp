@@ -1,21 +1,36 @@
 // m3d_lint CLI: lints the given files/directories against the project's
 // determinism/concurrency rules (see lint/lint.hpp for the rule set).
 //
-//   m3d_lint [--rules=L001,L004] [--json] [--list-rules] paths...
+//   m3d_lint [--rules=L001,L004] [--json] [--sarif[=path]] [--jobs=N]
+//            [--changed=a.cpp,b.hpp] [--list-rules] paths...
+//
+//   --sarif      emit a SARIF 2.1.0 log (to stdout, or to `path`) for
+//                GitHub code scanning instead of the line-oriented report.
+//   --jobs=N     per-file analysis parallelism (0 = exec default pool,
+//                1 = serial). The CLI defaults to the pool; diagnostics
+//                are identical either way.
+//   --changed    fast path for PR runs: per-file rules only on the listed
+//                files and their transitive callers/callees; the
+//                whole-program passes still see every file.
 //
 // Exit codes: 0 clean, 1 unsuppressed diagnostics, 2 usage error. This is
-// what the `lint.tree` tier-1 ctest runs over src/ and tests/.
+// what the `lint.tree` tier-1 ctest runs over src/, tests/ and tools/.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "lint/lint.hpp"
+#include "lint/sarif.hpp"
 
 namespace {
 
 void print_usage() {
   std::fprintf(stderr,
                "usage: m3d_lint [--rules=L001,L002,...] [--json] "
+               "[--sarif[=path]] [--jobs=N] [--changed=f1,f2,...] "
                "[--list-rules] <path>...\n");
 }
 
@@ -40,12 +55,30 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+std::vector<std::string> split_commas(const std::string& list) {
+  std::vector<std::string> out;
+  std::string item;
+  for (char c : list) {
+    if (c == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item += c;
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   m3d::lint::Options opts;
+  opts.jobs = 0;  // CLI default: the exec pool (the library default stays 1)
   std::vector<std::string> roots;
   bool json = false;
+  bool sarif = false;
+  std::string sarif_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -55,17 +88,17 @@ int main(int argc, char** argv) {
     }
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif = true;
+      sarif_path = arg.substr(8);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      opts.jobs = std::atoi(arg.c_str() + 7);
     } else if (arg.rfind("--rules=", 0) == 0) {
-      std::string rule;
-      for (char c : arg.substr(8)) {
-        if (c == ',') {
-          if (!rule.empty()) opts.only_rules.push_back(rule);
-          rule.clear();
-        } else {
-          rule += c;
-        }
-      }
-      if (!rule.empty()) opts.only_rules.push_back(rule);
+      opts.only_rules = split_commas(arg.substr(8));
+    } else if (arg.rfind("--changed=", 0) == 0) {
+      opts.changed = split_commas(arg.substr(10));
     } else if (arg.rfind("--", 0) == 0) {
       print_usage();
       return 2;
@@ -78,10 +111,30 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const auto t0 = std::chrono::steady_clock::now();
   size_t files_seen = 0;
   const auto diags = m3d::lint::lint_tree(roots, opts, &files_seen);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
 
-  if (json) {
+  if (sarif) {
+    const std::string log = m3d::lint::to_sarif(diags);
+    if (sarif_path.empty()) {
+      std::fwrite(log.data(), 1, log.size(), stdout);
+    } else {
+      std::ofstream out(sarif_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "m3d_lint: cannot write %s\n",
+                     sarif_path.c_str());
+        return 2;
+      }
+      out << log;
+    }
+    std::fprintf(stderr, "m3d_lint: %zu file(s), %zu diagnostic(s), %lld ms\n",
+                 files_seen, diags.size(),
+                 static_cast<long long>(elapsed));
+  } else if (json) {
     std::printf("[");
     for (size_t i = 0; i < diags.size(); ++i) {
       const auto& d = diags[i];
@@ -97,8 +150,8 @@ int main(int argc, char** argv) {
     for (const auto& d : diags) {
       std::printf("%s\n", m3d::lint::format(d).c_str());
     }
-    std::printf("m3d_lint: %zu file(s), %zu diagnostic(s)\n", files_seen,
-                diags.size());
+    std::printf("m3d_lint: %zu file(s), %zu diagnostic(s), %lld ms\n",
+                files_seen, diags.size(), static_cast<long long>(elapsed));
   }
   return diags.empty() ? 0 : 1;
 }

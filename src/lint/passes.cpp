@@ -1,0 +1,360 @@
+#include "lint/passes.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+
+#include "util/strf.hpp"
+
+namespace m3d::lint {
+namespace {
+
+bool rule_on(const Options& opts, std::string_view rule) {
+  if (opts.only_rules.empty()) return true;
+  for (const auto& r : opts.only_rules) {
+    if (r == rule) return true;
+  }
+  return false;
+}
+
+/// True when `fn` matches one of `names`: unqualified name, full qualified
+/// name, or a "::"-suffix of the qualified name.
+bool name_matches(const FuncInfo& fn, const std::vector<std::string>& names) {
+  for (const auto& n : names) {
+    if (fn.name == n || fn.qualified == n) return true;
+    if (fn.qualified.size() > n.size() + 2 &&
+        fn.qualified.compare(fn.qualified.size() - n.size() - 2, 2, "::") ==
+            0 &&
+        fn.qualified.compare(fn.qualified.size() - n.size(), n.size(), n) ==
+            0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// L010-L013: determinism taint.
+
+const char* rule_for_category(const std::string& category) {
+  if (category == "wall-clock") return "L010";
+  if (category == "randomness" || category == "thread-id") return "L011";
+  if (category == "address" || category == "iteration-order") return "L012";
+  return "L013";  // env
+}
+
+}  // namespace
+
+void taint_pass(const ProjectIndex& idx, const Options& opts,
+                std::vector<Diagnostic>& out) {
+  const bool any_rule = rule_on(opts, "L010") || rule_on(opts, "L011") ||
+                        rule_on(opts, "L012") || rule_on(opts, "L013");
+  if (!any_rule) return;
+
+  std::vector<char> is_barrier(idx.functions.size(), 0);
+  std::vector<char> is_sink(idx.functions.size(), 0);
+  for (size_t i = 0; i < idx.functions.size(); ++i) {
+    const FuncInfo& fn = idx.functions[i];
+    if (name_matches(fn, opts.taint_barriers)) is_barrier[i] = 1;
+    if (name_matches(fn, opts.taint_sinks) ||
+        path_matches(fn.file, opts.taint_sink_files)) {
+      is_sink[i] = 1;
+    }
+  }
+
+  // One diagnostic per source site; the first (deterministic) sink that
+  // reaches it wins.
+  std::set<std::pair<std::string, size_t>> reported;
+  for (size_t s = 0; s < idx.functions.size(); ++s) {
+    if (is_sink[s] == 0 || is_barrier[s] != 0) continue;
+    // BFS down the call graph from the sink, recording parents so the
+    // diagnostic can quote the sink -> ... -> source path.
+    std::vector<int> parent(idx.functions.size(), -2);
+    std::queue<int> frontier;
+    parent[s] = -1;
+    frontier.push(static_cast<int>(s));
+    std::vector<int> order;
+    while (!frontier.empty()) {
+      const int f = frontier.front();
+      frontier.pop();
+      order.push_back(f);
+      for (int c : idx.callees[f]) {
+        if (parent[c] != -2 || is_barrier[c] != 0) continue;
+        parent[c] = f;
+        frontier.push(c);
+      }
+    }
+    for (int f : order) {
+      const FuncInfo& fn = idx.functions[f];
+      for (const auto& src : fn.sources) {
+        const char* rule = rule_for_category(src.category);
+        if (!rule_on(opts, rule)) continue;
+        if (!reported.insert({fn.file, src.pos}).second) continue;
+        std::string path;
+        for (int n = f; n != -1; n = parent[n]) {
+          path = path.empty() ? idx.functions[n].name
+                              : idx.functions[n].name + " -> " + path;
+        }
+        const FuncInfo& sink = idx.functions[s];
+        Diagnostic d{fn.file, src.line, rule, Severity::kError,
+                     util::strf("nondeterminism source `%s` (%s) reaches "
+                                "canonical sink `%s` (%s:%d) via %s",
+                                src.token.c_str(), src.category.c_str(),
+                                sink.qualified.c_str(), sink.file.c_str(),
+                                sink.line, path.c_str())};
+        d.related.push_back(
+            {sink.file, sink.line,
+             util::strf("sink `%s` defined here", sink.qualified.c_str())});
+        out.push_back(std::move(d));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L014 + L015: lock order and blocking-under-lock.
+
+namespace {
+
+struct EdgeWitness {
+  std::string file;
+  int line = 0;
+  std::string note;  // "acquired in `f`" or "via call f -> g"
+};
+
+/// Shortest call path from `from` to any function satisfying `pred`;
+/// returns the node indices (from first), empty when unreachable.
+std::vector<int> path_to(const ProjectIndex& idx, int from,
+                         const std::vector<char>& pred) {
+  std::vector<int> parent(idx.functions.size(), -2);
+  std::queue<int> frontier;
+  parent[from] = -1;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    const int f = frontier.front();
+    frontier.pop();
+    if (pred[f] != 0) {
+      std::vector<int> path;
+      for (int n = f; n != -1; n = parent[n]) path.push_back(n);
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (int c : idx.callees[f]) {
+      if (parent[c] != -2) continue;
+      parent[c] = f;
+      frontier.push(c);
+    }
+  }
+  return {};
+}
+
+std::string path_names(const ProjectIndex& idx, const std::vector<int>& path) {
+  std::string out;
+  for (int n : path) {
+    if (!out.empty()) out += " -> ";
+    out += idx.functions[n].name;
+  }
+  return out;
+}
+
+}  // namespace
+
+void lock_pass(const ProjectIndex& idx, const Options& opts,
+               std::vector<Diagnostic>& out) {
+  const bool want_l014 = rule_on(opts, "L014");
+  const bool want_l015 = rule_on(opts, "L015");
+  if (!want_l014 && !want_l015) return;
+
+  // Locks acquired in each function's transitive closure (fixpoint over the
+  // call graph; cycles converge because the sets only grow).
+  const size_t n = idx.functions.size();
+  std::vector<std::set<std::string>> closure_locks(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& l : idx.functions[i].locks) {
+      closure_locks[i].insert(l.lock);
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      for (int c : idx.callees[i]) {
+        for (const auto& l : closure_locks[c]) {
+          if (closure_locks[i].insert(l).second) changed = true;
+        }
+      }
+    }
+  }
+
+  if (want_l014) {
+    // Global lock-order graph: edge a -> b = "b acquired while a held",
+    // with the first witness kept per edge (functions are in deterministic
+    // file order, so the witness is deterministic too).
+    std::map<std::pair<std::string, std::string>, EdgeWitness> edges;
+    auto add_edge = [&](const std::string& a, const std::string& b,
+                        EdgeWitness w) {
+      if (a == b) return;  // same-name locks never form a cycle by design
+      edges.emplace(std::make_pair(a, b), std::move(w));
+    };
+    for (size_t i = 0; i < n; ++i) {
+      const FuncInfo& fn = idx.functions[i];
+      for (const auto& e : fn.lock_edges) {
+        add_edge(e.held, e.acquired,
+                 {fn.file, e.line,
+                  util::strf("`%s` then `%s` in `%s`", e.held.c_str(),
+                             e.acquired.c_str(), fn.qualified.c_str())});
+      }
+      for (const auto& call : fn.calls) {
+        if (call.locks_held.empty()) continue;
+        for (int c : idx.resolve(call)) {
+          for (const auto& held : call.locks_held) {
+            for (const auto& acq : closure_locks[c]) {
+              add_edge(held, acq,
+                       {fn.file, call.line,
+                        util::strf("`%s` held in `%s` while calling `%s`, "
+                                   "which acquires `%s`",
+                                   held.c_str(), fn.qualified.c_str(),
+                                   idx.functions[c].name.c_str(),
+                                   acq.c_str())});
+            }
+          }
+        }
+      }
+    }
+    // Cycle = a reaches b and b reaches a. The graphs are tiny (tens of
+    // locks), so transitive closure by repeated squaring is plenty.
+    std::set<std::pair<std::string, std::string>> reach;
+    for (const auto& [e, w] : edges) reach.insert(e);
+    changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<std::pair<std::string, std::string>> add;
+      for (const auto& ab : reach) {
+        for (const auto& bc : reach) {
+          if (ab.second != bc.first) continue;
+          const auto ac = std::make_pair(ab.first, bc.second);
+          if (reach.count(ac) == 0) add.push_back(ac);
+        }
+      }
+      for (auto& e : add) {
+        reach.insert(std::move(e));
+        changed = true;
+      }
+    }
+    std::set<std::pair<std::string, std::string>> seen_pairs;
+    for (const auto& [e, w] : edges) {
+      const auto& [a, b] = e;
+      if (reach.count({b, a}) == 0) continue;  // no path back: ordered fine
+      const auto pair = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+      if (!seen_pairs.insert(pair).second) continue;
+      Diagnostic d{w.file, w.line, "L014", Severity::kError,
+                   util::strf("lock-order cycle: %s, but the reverse order "
+                              "`%s` before `%s` also happens — AB-BA "
+                              "deadlock candidate",
+                              w.note.c_str(), b.c_str(), a.c_str())};
+      // Quote the best witness for the reverse direction: a direct b->a
+      // edge if one exists, else any edge leaving b on the cycle.
+      const auto back = edges.find({b, a});
+      if (back != edges.end()) {
+        d.related.push_back(
+            {back->second.file, back->second.line, back->second.note});
+      } else {
+        for (const auto& [e2, w2] : edges) {
+          if (e2.first == b && reach.count({e2.second, a}) != 0) {
+            d.related.push_back({w2.file, w2.line, w2.note});
+            break;
+          }
+        }
+      }
+      out.push_back(std::move(d));
+    }
+  }
+
+  if (want_l015) {
+    // Functions with a DIRECT blocking call, then closure reachability.
+    std::vector<char> direct_blocking(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      for (const auto& call : idx.functions[i].calls) {
+        if (std::find(opts.l015_blocking.begin(), opts.l015_blocking.end(),
+                      call.name) != opts.l015_blocking.end()) {
+          direct_blocking[i] = 1;
+          break;
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const FuncInfo& fn = idx.functions[i];
+      for (const auto& call : fn.calls) {
+        if (call.locks_held.empty()) continue;
+        const bool is_blocking =
+            std::find(opts.l015_blocking.begin(), opts.l015_blocking.end(),
+                      call.name) != opts.l015_blocking.end();
+        if (is_blocking) {
+          out.push_back({fn.file, call.line, "L015", Severity::kError,
+                         util::strf("`%s` may block while `%s` holds lock "
+                                    "`%s`; blocking (or pool fan-out) inside "
+                                    "a locked section is a deadlock/convoy "
+                                    "candidate",
+                                    call.name.c_str(), fn.qualified.c_str(),
+                                    call.locks_held.front().c_str())});
+          continue;
+        }
+        for (int c : idx.resolve(call)) {
+          const auto path = path_to(idx, c, direct_blocking);
+          if (path.empty()) continue;
+          const int target = path.back();
+          // Locate the blocking call site in the target for the quote.
+          const CallSite* site = nullptr;
+          for (const auto& tc : idx.functions[target].calls) {
+            if (std::find(opts.l015_blocking.begin(),
+                          opts.l015_blocking.end(),
+                          tc.name) != opts.l015_blocking.end()) {
+              site = &tc;
+              break;
+            }
+          }
+          Diagnostic d{
+              fn.file, call.line, "L015", Severity::kError,
+              util::strf("call under lock `%s` in `%s` reaches blocking "
+                         "call `%s` (%s:%d) via %s",
+                         call.locks_held.front().c_str(),
+                         fn.qualified.c_str(),
+                         site != nullptr ? site->name.c_str() : "?",
+                         idx.functions[target].file.c_str(),
+                         site != nullptr ? site->line
+                                         : idx.functions[target].line,
+                         path_names(idx, path).c_str())};
+          if (site != nullptr) {
+            d.related.push_back({idx.functions[target].file, site->line,
+                                 util::strf("blocking call `%s` here",
+                                            site->name.c_str())});
+          }
+          out.push_back(std::move(d));
+          break;  // one diagnostic per locked call site
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L016: discarded sticky-fail status.
+
+void discard_pass(const ProjectIndex& idx, const Options& opts,
+                  std::vector<Diagnostic>& out) {
+  if (!rule_on(opts, "L016")) return;
+  for (const auto& fn : idx.functions) {
+    for (const auto& d : fn.discards) {
+      out.push_back(
+          {fn.file, d.line, "L016", Severity::kError,
+           util::strf("status returned by %s::%s on `%s` is discarded; the "
+                      "sticky-fail contract makes this the only corruption "
+                      "signal — check it (or cast to (void) with a comment)",
+                      d.type.c_str(), d.method.c_str(), d.object.c_str())});
+    }
+  }
+}
+
+}  // namespace m3d::lint

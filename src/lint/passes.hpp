@@ -1,0 +1,53 @@
+// Whole-program passes over the project symbol index (index.hpp). These are
+// the rules a per-file token scanner cannot express:
+//
+//   L010-L013  determinism taint   nondeterminism sources (wall-clock, raw
+//              randomness/thread ids, pointer-to-integer casts and
+//              unordered-container iteration, environment reads) reachable
+//              from a canonical-output SINK — the canonical JSON report
+//              emitters, the store blob codecs, netlist_hash and the golden
+//              comparator. Reachability walks the resolved call graph, so a
+//              source two hops below a sink is found and the diagnostic
+//              quotes the path ("source at a.cpp:12 reaches sink
+//              report.cpp:80 via f -> g -> h").
+//   L014       lock-order cycle    two locks acquired in both orders
+//              anywhere in the program (including through calls: holding A
+//              and calling a function whose transitive body acquires B
+//              orders A before B). AB-BA is the classic deadlock; the
+//              store's flock(2) participates as the lock "flock(2)".
+//   L015       blocking-under-lock a mutex-guarded section calls (possibly
+//              transitively) into the exec pool's fan-out/wait entry
+//              points, socket I/O, sleeps, or flock — a held lock plus a
+//              blocking callee is a lock-convoy or deadlock candidate.
+//   L016       discarded-status    a statement-discarded call on a
+//              sticky-fail store type (BlobReader, Store) — the returned
+//              status is the ONLY failure signal, so dropping it turns
+//              torn/corrupt entries into silent wrong answers.
+//
+// Suppressions work like every other rule, and a path-shaped diagnostic can
+// be silenced at either end: the directive may sit at the primary location
+// (the source / acquisition / discard site) or at any related location
+// quoted in the diagnostic (the sink, the opposite acquisition).
+#pragma once
+
+#include <vector>
+
+#include "lint/index.hpp"
+#include "lint/lint.hpp"
+
+namespace m3d::lint {
+
+/// L010-L013. Appends one diagnostic per (source site, first reaching
+/// sink), deterministically ordered.
+void taint_pass(const ProjectIndex& idx, const Options& opts,
+                std::vector<Diagnostic>& out);
+
+/// L014 (cycles) + L015 (blocking calls under a lock).
+void lock_pass(const ProjectIndex& idx, const Options& opts,
+               std::vector<Diagnostic>& out);
+
+/// L016 (discarded sticky-fail status values).
+void discard_pass(const ProjectIndex& idx, const Options& opts,
+                  std::vector<Diagnostic>& out);
+
+}  // namespace m3d::lint

@@ -1,0 +1,100 @@
+#include "lint/sarif.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/json.hpp"
+
+namespace m3d::lint {
+
+std::string to_sarif(const std::vector<Diagnostic>& diags) {
+  using util::json::Value;
+
+  Value driver = Value::object();
+  driver.set("name", Value::str("m3d_lint"));
+  driver.set("informationUri",
+             Value::str("https://example.invalid/m3d/lint"));
+  driver.set("version", Value::str("2.0"));
+  Value rules = Value::array();
+  std::map<std::string, int> rule_index;
+  for (const auto& info : rule_table()) {
+    Value rule = Value::object();
+    rule.set("id", Value::str(info.id));
+    rule.set("name", Value::str(info.title));
+    Value short_desc = Value::object();
+    short_desc.set("text", Value::str(info.title));
+    rule.set("shortDescription", std::move(short_desc));
+    Value full_desc = Value::object();
+    full_desc.set("text", Value::str(info.rationale));
+    rule.set("fullDescription", std::move(full_desc));
+    Value config = Value::object();
+    config.set("level", Value::str("error"));
+    rule.set("defaultConfiguration", std::move(config));
+    rule_index[info.id] = static_cast<int>(rules.items().size());
+    rules.push(std::move(rule));
+  }
+  driver.set("rules", std::move(rules));
+  Value tool = Value::object();
+  tool.set("driver", std::move(driver));
+
+  auto location = [](const std::string& file, int line) {
+    Value artifact = Value::object();
+    artifact.set("uri", Value::str(file));
+    Value region = Value::object();
+    region.set("startLine", Value::number(std::max(1, line)));
+    Value physical = Value::object();
+    physical.set("artifactLocation", std::move(artifact));
+    physical.set("region", std::move(region));
+    Value loc = Value::object();
+    loc.set("physicalLocation", std::move(physical));
+    return loc;
+  };
+
+  Value results = Value::array();
+  for (const auto& d : diags) {
+    Value result = Value::object();
+    result.set("ruleId", Value::str(d.rule));
+    const auto it = rule_index.find(d.rule);
+    if (it != rule_index.end()) {
+      result.set("ruleIndex", Value::number(it->second));
+    }
+    result.set("level", Value::str(d.severity == Severity::kError
+                                       ? "error"
+                                       : "warning"));
+    Value message = Value::object();
+    message.set("text", Value::str(d.message));
+    result.set("message", std::move(message));
+    Value locations = Value::array();
+    locations.push(location(d.file, d.line));
+    result.set("locations", std::move(locations));
+    if (!d.related.empty()) {
+      Value related = Value::array();
+      for (const auto& r : d.related) {
+        Value loc = location(r.file, r.line);
+        Value note = Value::object();
+        note.set("text", Value::str(r.note));
+        loc.set("message", std::move(note));
+        related.push(std::move(loc));
+      }
+      result.set("relatedLocations", std::move(related));
+    }
+    results.push(std::move(result));
+  }
+
+  Value run = Value::object();
+  run.set("tool", std::move(tool));
+  run.set("results", std::move(results));
+  run.set("columnKind", Value::str("utf16CodeUnits"));
+  Value runs = Value::array();
+  runs.push(std::move(run));
+
+  Value log = Value::object();
+  log.set("$schema",
+          Value::str("https://raw.githubusercontent.com/oasis-tcs/"
+                     "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"));
+  log.set("version", Value::str("2.1.0"));
+  log.set("runs", std::move(runs));
+  return log.dump(2) + "\n";
+}
+
+}  // namespace m3d::lint

@@ -1,0 +1,22 @@
+// SARIF 2.1.0 export for m3d_lint diagnostics (`m3d_lint --sarif`), shaped
+// for GitHub code scanning: one run, the full rule table embedded in
+// tool.driver.rules (with help text from each rule's rationale), one result
+// per diagnostic with a physicalLocation region and, for path-shaped
+// findings (taint routes, lock cycles), relatedLocations quoting the other
+// end of the path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace m3d::lint {
+
+/// Serialized SARIF 2.1.0 log (pretty-printed, trailing newline). File
+/// paths are emitted exactly as diagnosed; run the analyzer from the repo
+/// root with relative roots so the URIs match the checkout layout GitHub
+/// code scanning expects.
+std::string to_sarif(const std::vector<Diagnostic>& diags);
+
+}  // namespace m3d::lint

@@ -1,0 +1,74 @@
+// Token-level front end shared by every m3d_lint pass: comment/string/raw
+// string/preprocessor scrubbing (preserving line structure), suppression
+// directive collection, and the line index. Factored out of lint.cpp so the
+// per-file rules (L001-L006) and the whole-program passes (index.hpp,
+// passes.hpp) analyze the SAME scrubbed stream — each file is read and
+// scrubbed exactly once per lint run, then shared.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace m3d::lint {
+
+bool is_ident(char c);
+
+/// True when text[pos..pos+word.size()) is `word` bounded by non-identifier
+/// characters on both sides.
+bool word_at(std::string_view text, size_t pos, std::string_view word);
+
+/// First word-bounded occurrence of `word` at or after `from`; npos if none.
+size_t find_word(std::string_view text, std::string_view word,
+                 size_t from = 0);
+
+bool contains_word(std::string_view text, std::string_view word);
+
+/// Substring match against the '/'-normalized path (so the same Options
+/// work for relative and absolute spellings).
+bool path_matches(std::string_view path, const std::vector<std::string>& frags);
+
+/// One `// m3d-lint: allow(...)` directive collected during scrubbing.
+struct Suppression {
+  int line = 0;  // 1-based line the directive sits on
+  std::vector<std::string> rules;
+  bool file_wide = false;
+  bool has_reason = false;
+};
+
+struct Scrubbed {
+  std::string clean;  // same length/line structure as the input
+  std::vector<Suppression> suppressions;
+  std::vector<Diagnostic> directive_errors;  // malformed directives (L000)
+};
+
+/// Blanks comments, string literals, char literals and preprocessor lines
+/// (preserving newlines) and collects m3d-lint suppression directives.
+Scrubbed scrub(std::string_view text, std::string_view file);
+
+/// 1-based line number of a character offset (clean preserves newlines).
+struct LineIndex {
+  std::vector<size_t> starts;  // starts[k] = offset of line k+1
+  explicit LineIndex(std::string_view text) {
+    starts.push_back(0);
+    for (size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '\n') starts.push_back(i + 1);
+    }
+  }
+  int line_of(size_t pos) const {
+    const auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+    return static_cast<int>(it - starts.begin());
+  }
+};
+
+/// True when `sup` (with a reason) silences `d`: names the rule and either
+/// is file-wide or sits on the diagnostic's line or the line above. Project
+/// passes additionally match a diagnostic's related locations, so a taint
+/// path can be suppressed at the source OR the sink end.
+bool suppresses(const Suppression& sup, std::string_view rule, int line);
+
+}  // namespace m3d::lint

@@ -1,0 +1,19 @@
+// L010 negative: a wall-clock source exists in the file but is NOT
+// reachable from the sink — reachability, not co-location, is the rule.
+#include <chrono>
+#include <string>
+
+namespace fix10n {
+
+// A source nothing canonical ever calls.
+long long orphan_stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+int pure_fold(int a, int b) { return a * 31 + b; }
+
+std::string to_canonical_json() {
+  return std::to_string(pure_fold(2, 3));
+}
+
+}  // namespace fix10n

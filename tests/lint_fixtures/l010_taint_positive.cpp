@@ -1,0 +1,23 @@
+// L010 positive: a wall-clock read TWO hops below a canonical sink. The
+// source function never mentions the sink and vice versa — only the call
+// graph connects them, which is exactly what the per-file rules cannot see.
+#include <chrono>
+#include <string>
+
+namespace fix10 {
+
+// Hop 2: the nondeterminism source.
+long long stamp_now() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+// Hop 1: an innocent-looking relay.
+long long stamp_mid() { return stamp_now(); }
+
+// The sink: named like the canonical report emitter.
+std::string to_canonical_json() {
+  const long long t = stamp_mid();
+  return std::to_string(t);
+}
+
+}  // namespace fix10

@@ -1,0 +1,20 @@
+// L010 suppressed twin of l010_taint_positive.cpp: the same two-hop taint
+// path, silenced by a reasoned directive at the SOURCE end of the path.
+#include <chrono>
+#include <string>
+
+namespace fix10s {
+
+long long stamp_now_s() {
+  // m3d-lint: allow(L010,L003) audited: value never lands in the payload
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long long stamp_mid_s() { return stamp_now_s(); }
+
+std::string to_canonical_json() {
+  const long long t = stamp_mid_s();
+  return std::to_string(t);
+}
+
+}  // namespace fix10s

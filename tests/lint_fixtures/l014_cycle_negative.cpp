@@ -1,0 +1,23 @@
+// L014 negative: two mutexes always acquired in the SAME order — a
+// consistent hierarchy, no cycle.
+#include <mutex>
+
+namespace fix14n {
+
+std::mutex rank_one;
+std::mutex rank_two;
+int guarded_total_n = 0;  // m3d-lint: allow(L005) fixture scaffolding
+
+void both_in_order() {
+  std::lock_guard<std::mutex> g1(rank_one);
+  std::lock_guard<std::mutex> g2(rank_two);
+  guarded_total_n += 1;
+}
+
+void both_in_order_again() {
+  std::lock_guard<std::mutex> g1(rank_one);
+  std::lock_guard<std::mutex> g2(rank_two);
+  guarded_total_n += 2;
+}
+
+}  // namespace fix14n

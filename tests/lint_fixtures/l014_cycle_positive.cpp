@@ -1,0 +1,23 @@
+// L014 positive: two mutexes acquired in both orders by two functions —
+// the classic AB-BA deadlock shape.
+#include <mutex>
+
+namespace fix14 {
+
+std::mutex order_a;
+std::mutex order_b;
+int guarded_total = 0;  // m3d-lint: allow(L005) fixture scaffolding
+
+void first_then_second() {
+  std::lock_guard<std::mutex> ga(order_a);
+  std::lock_guard<std::mutex> gb(order_b);
+  guarded_total += 1;
+}
+
+void second_then_first() {
+  std::lock_guard<std::mutex> gb(order_b);
+  std::lock_guard<std::mutex> ga(order_a);
+  guarded_total += 2;
+}
+
+}  // namespace fix14

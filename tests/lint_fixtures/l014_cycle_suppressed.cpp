@@ -1,0 +1,25 @@
+// L014 suppressed twin of l014_cycle_positive.cpp: the same AB-BA shape,
+// silenced by a reasoned directive at ONE end of the cycle (the reverse
+// acquisition) — path diagnostics accept a directive at either end.
+#include <mutex>
+
+namespace fix14s {
+
+std::mutex order_c;
+std::mutex order_d;
+int guarded_total_s = 0;  // m3d-lint: allow(L005) fixture scaffolding
+
+void first_then_second_s() {
+  std::lock_guard<std::mutex> gc(order_c);
+  std::lock_guard<std::mutex> gd(order_d);
+  guarded_total_s += 1;
+}
+
+void second_then_first_s() {
+  std::lock_guard<std::mutex> gd(order_d);
+  // m3d-lint: allow(L014) startup-only path, no second thread exists yet
+  std::lock_guard<std::mutex> gc(order_c);
+  guarded_total_s += 2;
+}
+
+}  // namespace fix14s

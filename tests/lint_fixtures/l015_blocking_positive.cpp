@@ -1,0 +1,26 @@
+// L015 positive: a sleep under a held mutex, both directly and through a
+// helper one call away. The helper alone (no lock) must NOT fire.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace fix15 {
+
+std::mutex wait_mu;
+
+// No lock held: sleeping here is fine on its own.
+void helper_naps() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+void naps_under_lock() {
+  std::lock_guard<std::mutex> g(wait_mu);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+void naps_transitively_under_lock() {
+  std::lock_guard<std::mutex> g(wait_mu);
+  helper_naps();
+}
+
+}  // namespace fix15

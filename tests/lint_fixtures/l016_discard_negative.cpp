@@ -1,0 +1,18 @@
+// L016 negative: every sticky-fail status is consumed — branched on,
+// returned, or explicitly void-cast (a visible decision, not a drop).
+#include <cstdint>
+#include <vector>
+
+namespace fix16n {
+
+bool parse_header_checked(const std::vector<uint8_t>& bytes) {
+  store::BlobReader rn(bytes);
+  uint32_t magic = 0;
+  if (!rn.u32(&magic)) return false;
+  uint64_t count = 0;
+  const bool got = rn.u64(&count);
+  (void)rn.at_end();
+  return got && rn.ok();
+}
+
+}  // namespace fix16n

@@ -1,0 +1,16 @@
+// L016 positive: statement-discarded status returns on a sticky-fail
+// BlobReader — the dropped bool is the ONLY torn/corrupt-data signal.
+#include <cstdint>
+#include <vector>
+
+namespace fix16 {
+
+void parse_header(const std::vector<uint8_t>& bytes) {
+  store::BlobReader r(bytes);
+  uint32_t magic = 0;
+  r.u32(&magic);
+  uint64_t count = 0;
+  r.u64(&count);
+}
+
+}  // namespace fix16

@@ -1,9 +1,12 @@
 // Tests for the m3d_lint static analyzer (lint/lint.hpp): each rule's
-// positive and negative fixtures, scoping, the suppression syntax, and the
-// tree walker. Fixture files live in tests/lint_fixtures/ and are linted
-// as DATA under synthetic paths, so scoped rules (L002/L004/L005) can be
-// steered into or out of scope per test.
+// positive and negative fixtures, scoping, the suppression syntax, the
+// tree walker, the symbol indexer / call-graph substrate (lint/index.hpp),
+// the whole-program passes (L010-L016), and the SARIF export. Fixture
+// files live in tests/lint_fixtures/ and are linted as DATA under
+// synthetic paths, so scoped rules (L002/L004/L005) can be steered into
+// or out of scope per test.
 #include <fstream>
+#include <initializer_list>
 #include <set>
 #include <sstream>
 #include <string>
@@ -11,7 +14,10 @@
 
 #include <gtest/gtest.h>
 
+#include "lint/index.hpp"
 #include "lint/lint.hpp"
+#include "lint/sarif.hpp"
+#include "lint/scrub.hpp"
 
 namespace m3d {
 namespace {
@@ -38,11 +44,22 @@ int count_rule(const std::vector<lint::Diagnostic>& diags,
   return n;
 }
 
-TEST(Lint, RuleTableListsAllSixRules) {
+TEST(Lint, RuleTableListsAllRules) {
   const auto& rules = lint::rule_table();
-  ASSERT_EQ(rules.size(), 6u);
-  EXPECT_STREQ(rules.front().id, "L001");
-  EXPECT_STREQ(rules.back().id, "L006");
+  ASSERT_EQ(rules.size(), 14u);
+  EXPECT_STREQ(rules.front().id, "L000");
+  EXPECT_STREQ(rules.back().id, "L016");
+}
+
+/// Builds an in-memory project from fixture files under a synthetic
+/// src/fix/ root (outside every scoped-rule path list).
+std::vector<lint::SourceFile> fixture_project(
+    std::initializer_list<const char*> names) {
+  std::vector<lint::SourceFile> files;
+  for (const char* n : names) {
+    files.push_back({std::string("src/fix/") + n, read_fixture(n)});
+  }
+  return files;
 }
 
 TEST(Lint, L001FlagsRawRandomness) {
@@ -201,6 +218,14 @@ TEST(Lint, FormatIsGrepClickable) {
             "src/sta/sta.cpp:42: error: [L004] exact FP compare");
 }
 
+TEST(Lint, FormatAppendsRelatedLocationsAsNotes) {
+  lint::Diagnostic d{"src/a.cpp", 3, "L014", lint::Severity::kError, "cycle"};
+  d.related.push_back({"src/b.cpp", 9, "reverse order here"});
+  EXPECT_EQ(lint::format(d),
+            "src/a.cpp:3: error: [L014] cycle\n"
+            "src/b.cpp:9: note: reverse order here");
+}
+
 TEST(Lint, TreeWalkIsDeterministicAndFindsFixtureViolations) {
   lint::Options opts;
   // The fixtures dir is normally skipped; lint it directly as the root.
@@ -208,7 +233,7 @@ TEST(Lint, TreeWalkIsDeterministicAndFindsFixtureViolations) {
   size_t files_b = 0;
   const auto a = lint::lint_tree({M3D_LINT_FIXTURE_DIR}, opts, &files_a);
   const auto b = lint::lint_tree({M3D_LINT_FIXTURE_DIR}, opts, &files_b);
-  EXPECT_EQ(files_a, 13u);
+  EXPECT_EQ(files_a, 22u);
   EXPECT_EQ(files_a, files_b);
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
@@ -219,6 +244,321 @@ TEST(Lint, TreeWalkIsDeterministicAndFindsFixtureViolations) {
   EXPECT_EQ(seen.count("L001"), 1u);
   EXPECT_EQ(seen.count("L003"), 1u);
   EXPECT_EQ(seen.count("L006"), 1u);
+  // The whole-program fixtures: each positive fires, each suppressed twin
+  // and negative stays silent (the twins differ ONLY by their directive).
+  EXPECT_EQ(count_rule(a, "L010"), 1);
+  EXPECT_EQ(count_rule(a, "L014"), 1);
+  EXPECT_EQ(count_rule(a, "L015"), 2);
+  EXPECT_EQ(count_rule(a, "L016"), 2);
+}
+
+// --- Whole-program passes: L010-L016 over the call graph -----------------
+
+TEST(Lint, L010FlagsTwoHopTaintPathIntoCanonicalSink) {
+  lint::Options opts;
+  opts.only_rules = {"L010"};
+  const auto diags =
+      lint::lint_sources(fixture_project({"l010_taint_positive.cpp"}), opts);
+  ASSERT_EQ(diags.size(), 1u);
+  const auto& d = diags.front();
+  EXPECT_EQ(d.rule, "L010");
+  EXPECT_EQ(d.line, 11) << "anchored at the system_clock read, not the sink";
+  EXPECT_NE(d.message.find("system_clock"), std::string::npos);
+  EXPECT_NE(d.message.find("to_canonical_json"), std::string::npos);
+  EXPECT_NE(d.message.find("stamp_mid"), std::string::npos)
+      << "the hop between source and sink must be quoted";
+  ASSERT_EQ(d.related.size(), 1u);
+  EXPECT_EQ(d.related.front().line, 18) << "sink definition quoted as note";
+}
+
+TEST(Lint, L010SuppressedAtSourceEndIsSilent) {
+  lint::Options opts;
+  opts.only_rules = {"L010"};
+  const auto diags = lint::lint_sources(
+      fixture_project({"l010_taint_suppressed.cpp"}), opts);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Lint, L010UnreachableSourceIsClean) {
+  lint::Options opts;
+  opts.only_rules = {"L010"};
+  const auto diags =
+      lint::lint_sources(fixture_project({"l010_taint_negative.cpp"}), opts);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Lint, L011RandomnessAndL013EnvTaint) {
+  const std::string src =
+      "int noisy() { return rand(); }\n"
+      "int relay() { return noisy(); }\n"
+      "int netlist_hash() { return relay(); }\n"
+      "const char* home() { return getenv(\"HOME\"); }\n"
+      "int to_canonical_json() { return home() != nullptr ? 1 : 0; }\n";
+  lint::Options opts;
+  opts.only_rules = {"L011", "L013"};
+  const auto diags = lint::lint_sources({{"src/fix/taint_mix.cpp", src}}, opts);
+  EXPECT_EQ(count_rule(diags, "L011"), 1) << "rand via relay via netlist_hash";
+  EXPECT_EQ(count_rule(diags, "L013"), 1) << "getenv one hop under the sink";
+}
+
+TEST(Lint, L012OrderTaintFromPointerToIntegerCast) {
+  const std::string src =
+      "unsigned long long key(const void* p) {\n"
+      "  return reinterpret_cast<uintptr_t>(p);\n"
+      "}\n"
+      "int to_canonical_json(const void* p) { return key(p) != 0 ? 1 : 0; }\n";
+  lint::Options opts;
+  opts.only_rules = {"L012"};
+  const auto diags = lint::lint_sources({{"src/fix/order.cpp", src}}, opts);
+  ASSERT_EQ(count_rule(diags, "L012"), 1);
+  EXPECT_NE(diags.front().message.find("uintptr_t"), std::string::npos);
+}
+
+TEST(Lint, TaintBarrierStopsTheWalk) {
+  const std::string src =
+      "long long stamped() { return std::chrono::system_clock::now()\n"
+      "    .time_since_epoch().count(); }\n"
+      "int audited_side_channel() { return stamped() != 0 ? 1 : 0; }\n"
+      "int to_canonical_json() { return audited_side_channel(); }\n";
+  lint::Options opts;
+  opts.only_rules = {"L010"};
+  const auto flagged = lint::lint_sources({{"src/fix/bar.cpp", src}}, opts);
+  EXPECT_EQ(count_rule(flagged, "L010"), 1);
+  opts.taint_barriers = {"audited_side_channel"};
+  const auto barred = lint::lint_sources({{"src/fix/bar.cpp", src}}, opts);
+  EXPECT_TRUE(barred.empty());
+}
+
+TEST(Lint, L014FlagsAbBaCycleOnce) {
+  lint::Options opts;
+  opts.only_rules = {"L014"};
+  const auto diags =
+      lint::lint_sources(fixture_project({"l014_cycle_positive.cpp"}), opts);
+  ASSERT_EQ(diags.size(), 1u) << "one diagnostic per unordered lock pair";
+  const auto& d = diags.front();
+  EXPECT_NE(d.message.find("order_a"), std::string::npos);
+  EXPECT_NE(d.message.find("order_b"), std::string::npos);
+  EXPECT_NE(d.message.find("AB-BA"), std::string::npos);
+  ASSERT_FALSE(d.related.empty());
+  EXPECT_NE(d.related.front().note.find("second_then_first"),
+            std::string::npos)
+      << "the reverse acquisition must be quoted as the other end";
+}
+
+TEST(Lint, L014SuppressedAtReverseAcquisitionIsSilent) {
+  lint::Options opts;
+  opts.only_rules = {"L014"};
+  const auto diags = lint::lint_sources(
+      fixture_project({"l014_cycle_suppressed.cpp"}), opts);
+  EXPECT_TRUE(diags.empty())
+      << "a directive at EITHER end of the cycle silences it";
+}
+
+TEST(Lint, L014ConsistentOrderIsClean) {
+  lint::Options opts;
+  opts.only_rules = {"L014"};
+  const auto diags =
+      lint::lint_sources(fixture_project({"l014_cycle_negative.cpp"}), opts);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Lint, L015FlagsBlockingDirectlyAndTransitivelyUnderLock) {
+  lint::Options opts;
+  opts.only_rules = {"L015"};
+  const auto diags = lint::lint_sources(
+      fixture_project({"l015_blocking_positive.cpp"}), opts);
+  ASSERT_EQ(diags.size(), 2u) << "direct sleep + the helper_naps route; the "
+                                 "unlocked helper alone must not fire";
+  EXPECT_NE(diags[0].message.find("sleep_for"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("wait_mu"), std::string::npos);
+  bool transitive = false;
+  for (const auto& d : diags) {
+    if (d.message.find("helper_naps") != std::string::npos) {
+      transitive = true;
+      ASSERT_FALSE(d.related.empty());
+      EXPECT_NE(d.related.front().note.find("sleep_for"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(transitive);
+}
+
+TEST(Lint, L016FlagsDiscardedStickyFailStatus) {
+  lint::Options opts;
+  opts.only_rules = {"L016"};
+  const auto diags = lint::lint_sources(
+      fixture_project({"l016_discard_positive.cpp"}), opts);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_NE(diags[0].message.find("BlobReader::u32"), std::string::npos);
+  EXPECT_NE(diags[1].message.find("BlobReader::u64"), std::string::npos);
+}
+
+TEST(Lint, L016ConsumedStatusIsClean) {
+  lint::Options opts;
+  opts.only_rules = {"L016"};
+  const auto diags = lint::lint_sources(
+      fixture_project({"l016_discard_negative.cpp"}), opts);
+  EXPECT_TRUE(diags.empty())
+      << "branched, assigned and (void)-cast statuses are all consumed";
+}
+
+// --- Symbol indexer / call-graph substrate (lint/index.hpp) --------------
+
+lint::FileIndex index_of(const std::string& path, const std::string& text) {
+  const auto sc = lint::scrub(text, path);
+  const lint::LineIndex lines(sc.clean);
+  return lint::build_file_index(path, sc.clean, lines);
+}
+
+TEST(LintIndex, ResolvesOverloadsByArity) {
+  const std::string src =
+      "int scale(int a) { return a; }\n"
+      "int scale(int a, int b) { return a + b; }\n"
+      "int use_one() { return scale(7); }\n"
+      "int use_two() { return scale(7, 9); }\n";
+  const auto idx =
+      lint::build_project_index({index_of("src/fix/overloads.cpp", src)});
+  ASSERT_EQ(idx.functions.size(), 4u);
+  ASSERT_EQ(idx.functions[2].calls.size(), 1u);
+  const auto one = idx.resolve(idx.functions[2].calls[0]);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(idx.functions[one[0]].max_args, 1);
+  const auto two = idx.resolve(idx.functions[3].calls[0]);
+  ASSERT_EQ(two.size(), 1u);
+  EXPECT_EQ(idx.functions[two[0]].max_args, 2);
+}
+
+TEST(LintIndex, QualifiesMethodsAndKeepsRecursionEdges) {
+  const std::string src =
+      "namespace geo {\n"
+      "struct Box {\n"
+      "  int area() const { return w * h; }\n"
+      "  int w = 0;\n"
+      "  int h = 0;\n"
+      "};\n"
+      "int walk(int n) { return n <= 0 ? 0 : walk(n - 1); }\n"
+      "}  // namespace geo\n";
+  const auto idx =
+      lint::build_project_index({index_of("src/fix/methods.cpp", src)});
+  const int area = idx.find("geo::Box::area");
+  ASSERT_GE(area, 0);
+  EXPECT_EQ(idx.functions[area].qualified, "geo::Box::area");
+  const int walk = idx.find("walk");
+  ASSERT_GE(walk, 0);
+  ASSERT_EQ(idx.callees[walk].size(), 1u) << "self-recursion is one edge";
+  EXPECT_EQ(idx.callees[walk][0], walk);
+}
+
+TEST(LintIndex, UnresolvedExternalCallsCarryNoEdges) {
+  const std::string src = "int local() { return printf(\"x\"); }\n";
+  const auto idx =
+      lint::build_project_index({index_of("src/fix/external.cpp", src)});
+  const int local = idx.find("local");
+  ASSERT_GE(local, 0);
+  ASSERT_EQ(idx.functions[local].calls.size(), 1u);
+  EXPECT_TRUE(idx.resolve(idx.functions[local].calls[0]).empty());
+  EXPECT_TRUE(idx.callees[local].empty());
+}
+
+TEST(LintIndex, MemberCallsResolveByStrictArityWithoutFallback) {
+  const std::string src =
+      "struct Cache { int get(int k) { return k; } };\n"
+      "int hit(Cache& c) { return c.get(3); }\n"
+      "int miss(Cache& c) { return c.get(); }\n";
+  const auto idx =
+      lint::build_project_index({index_of("src/fix/member.cpp", src)});
+  ASSERT_EQ(idx.functions.size(), 3u);
+  ASSERT_EQ(idx.functions[1].calls.size(), 1u);
+  EXPECT_TRUE(idx.functions[1].calls[0].member);
+  const auto hit = idx.resolve(idx.functions[1].calls[0]);
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(idx.functions[hit[0]].qualified, "Cache::get");
+  // A member call with no arity match stays EXTERNAL: the fallback that
+  // keeps plain calls over-approximated would bind `.get()` to every
+  // same-name definition in the project and fabricate lock cycles.
+  EXPECT_TRUE(idx.resolve(idx.functions[2].calls[0]).empty());
+}
+
+TEST(LintIndex, LambdaBodiesSeeNoEnclosingLocks) {
+  const std::string src =
+      "void spawn(std::mutex& mu) {\n"
+      "  std::lock_guard<std::mutex> g(mu);\n"
+      "  run([&] { helper(); });\n"
+      "  direct();\n"
+      "}\n";
+  const auto fi = index_of("src/fix/lambda.cpp", src);
+  ASSERT_EQ(fi.functions.size(), 1u) << "lambdas fold into their encloser";
+  bool saw_helper = false;
+  bool saw_direct = false;
+  for (const auto& c : fi.functions[0].calls) {
+    if (c.name == "helper") {
+      saw_helper = true;
+      EXPECT_TRUE(c.locks_held.empty())
+          << "the lambda may run after the guard releases";
+    }
+    if (c.name == "direct") {
+      saw_direct = true;
+      EXPECT_EQ(c.locks_held.size(), 1u);
+    }
+  }
+  EXPECT_TRUE(saw_helper);
+  EXPECT_TRUE(saw_direct);
+}
+
+// --- SARIF 2.1.0 export --------------------------------------------------
+
+TEST(Lint, SarifExportHasSchemaRuleTableAndRelatedLocations) {
+  lint::Options opts;
+  opts.only_rules = {"L014"};
+  const auto diags =
+      lint::lint_sources(fixture_project({"l014_cycle_positive.cpp"}), opts);
+  ASSERT_EQ(diags.size(), 1u);
+  const std::string sarif = lint::to_sarif(diags);
+  EXPECT_NE(sarif.find("sarif-schema-2.1.0"), std::string::npos);
+  EXPECT_NE(sarif.find("\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleIndex\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"relatedLocations\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"physicalLocation\""), std::string::npos);
+  // The full rule table is embedded in tool.driver.rules.
+  for (const auto& r : lint::rule_table()) {
+    EXPECT_NE(sarif.find(std::string("\"") + r.id + "\""), std::string::npos)
+        << r.id << " missing from tool.driver.rules";
+  }
+}
+
+// --- Parallel analysis and the changed-files fast path -------------------
+
+TEST(Lint, ParallelAndSerialRunsProduceIdenticalDiagnostics) {
+  const auto files = fixture_project(
+      {"l001_positive.cpp", "l003_positive.cpp", "l010_taint_positive.cpp",
+       "l014_cycle_positive.cpp", "l015_blocking_positive.cpp",
+       "l016_discard_positive.cpp", "suppression.cpp"});
+  lint::Options serial;
+  serial.jobs = 1;
+  lint::Options pooled;
+  pooled.jobs = 0;  // exec default pool, whatever its width
+  const auto a = lint::lint_sources(files, serial);
+  const auto b = lint::lint_sources(files, pooled);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(lint::format(a[i]), lint::format(b[i]));
+  }
+}
+
+TEST(Lint, ChangedFilesFastPathAnalyzesOnlyTheAffectedNeighborhood) {
+  const auto files =
+      fixture_project({"l010_taint_positive.cpp", "l001_positive.cpp"});
+  lint::Options opts;
+  opts.changed = {"l010_taint_positive"};
+  size_t analyzed = 0;
+  const auto diags = lint::lint_sources(files, opts, &analyzed);
+  EXPECT_EQ(analyzed, 1u)
+      << "the l001 fixture shares no call edges with the changed file";
+  EXPECT_EQ(count_rule(diags, "L010"), 1)
+      << "whole-program passes still see the full index";
+  EXPECT_EQ(count_rule(diags, "L001"), 0)
+      << "per-file rules must not run outside the neighborhood";
 }
 
 // --- L003 allow-rule audit for the trace subsystem (src/obs) -------------
