@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <string>
 #include <vector>
 
 #include "cells/layout.hpp"
@@ -18,6 +19,7 @@
 #include "extract/extract.hpp"
 #include "gen/gen.hpp"
 #include "liberty/characterize.hpp"
+#include "numeric/csr.hpp"
 #include "place/place.hpp"
 #include "power/power.hpp"
 #include "route/route.hpp"
@@ -26,6 +28,7 @@
 #include "sta/sta.hpp"
 #include "synth/synth.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 #include "../tests/test_fixtures.hpp"
 
 using namespace m3d;
@@ -314,6 +317,184 @@ void BM_RouteMazeCongested(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RouteMazeCongested)->Unit(benchmark::kMillisecond);
+
+// --- Numeric kernel layer (src/numeric) vs retained dense baselines. -----
+//
+// spice.newton_step: a transient run of the largest characterization
+// circuit (DFF_X4 with output load) — the Newton loop is assemble + factor
+// + two triangular solves per step, so the sparse-vs-dense ratio here is
+// the per-step linear-algebra win at characterization scale. The dense
+// baseline is the pre-port O(n^3)-per-step path, still selectable through
+// TranOptions::solver.
+
+spice::Circuit make_char_circuit(cells::Func func, int drive, int* load_idx,
+                                 int* in_src_idx) {
+  const cells::CellSpec spec = cells::make_spec(func, drive);
+  const tech::Tech tch(tech::Node::k45nm, tech::Style::k2D);
+  const cells::CellLayout layout = cells::layout_2d(spec, tch);
+  spice::Circuit ckt =
+      liberty::make_cell_circuit(spec, layout, cells::SiliconModel::kDielectric);
+  const std::string out = spec.outputs().front();
+  if (load_idx != nullptr) {
+    *load_idx = static_cast<int>(ckt.capacitors().size());
+  }
+  ckt.add_capacitor(ckt.find_node(out), 0, 3.2);
+  ckt.add_source(ckt.find_node("VDD"), spice::Pwl::dc(1.1));
+  bool first = true;
+  for (const std::string& pin : spec.inputs()) {
+    if (first && in_src_idx != nullptr) {
+      *in_src_idx = static_cast<int>(ckt.sources().size());
+    }
+    ckt.add_source(ckt.find_node(pin),
+                   first ? spice::Pwl::ramp(40.0, 37.5, 0.0, 1.1)
+                         : spice::Pwl::dc(1.1));
+    first = false;
+  }
+  return ckt;
+}
+
+void BM_SpiceNewtonStep(benchmark::State& state, spice::SolverKind kind) {
+  const spice::Circuit ckt =
+      make_char_circuit(cells::Func::kDff, 4, nullptr, nullptr);
+  spice::TranOptions opt;
+  opt.t_stop_ps = 400.0;
+  opt.dt_ps = 0.5;
+  opt.solver = kind;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spice::simulate(ckt, opt));
+  }
+}
+void BM_SpiceNewtonStepSparse(benchmark::State& state) {
+  BM_SpiceNewtonStep(state, spice::SolverKind::kSparse);
+}
+void BM_SpiceNewtonStepDense(benchmark::State& state) {
+  BM_SpiceNewtonStep(state, spice::SolverKind::kDense);
+}
+BENCHMARK(BM_SpiceNewtonStepSparse)
+    ->Name("spice.newton_step")->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SpiceNewtonStepDense)
+    ->Name("spice.newton_step_dense")->Unit(benchmark::kMillisecond);
+
+// numeric.spmv: y = A x on a placement-connectivity-shaped matrix (2000
+// rows, ~8 nonzeros per row) vs the dense row-major mat-vec over the same
+// matrix — the memory-traffic ratio the CSR port buys everywhere SpMV runs
+// (CG iterations, residual checks).
+
+numeric::Csr make_spmv_matrix(int n, int nnz_per_row) {
+  util::Rng rng(7);
+  numeric::CsrBuilder b(n, n);
+  for (int i = 0; i < n; ++i) {
+    b.add(i, i, 8.0 + rng.uniform());
+    for (int k = 1; k < nnz_per_row; ++k) {
+      b.add(i, static_cast<int>(rng.below(static_cast<uint64_t>(n))),
+            rng.uniform(-1.0, 1.0));
+    }
+  }
+  return b.build();
+}
+
+void BM_NumericSpmv(benchmark::State& state) {
+  const numeric::Csr a = make_spmv_matrix(2000, 8);
+  std::vector<double> x(2000, 1.0), y(2000);
+  for (auto _ : state) {
+    a.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_NumericSpmv)->Name("numeric.spmv");
+
+void BM_NumericSpmvDense(benchmark::State& state) {
+  const int n = 2000;
+  const numeric::Csr a = make_spmv_matrix(n, 8);
+  std::vector<double> dense(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int k = a.row_ptr[static_cast<size_t>(i)];
+         k < a.row_ptr[static_cast<size_t>(i) + 1]; ++k) {
+      dense[static_cast<size_t>(i) * n + a.col[static_cast<size_t>(k)]] =
+          a.val[static_cast<size_t>(k)];
+    }
+  }
+  std::vector<double> x(static_cast<size_t>(n), 1.0), y(static_cast<size_t>(n));
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      double sum = 0.0;
+      const double* row = &dense[static_cast<size_t>(i) * n];
+      for (int j = 0; j < n; ++j) sum += row[j] * x[static_cast<size_t>(j)];
+      y[static_cast<size_t>(i)] = sum;
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_NumericSpmvDense)->Name("numeric.spmv_dense");
+
+// char.arc_sweep: one NAND2 timing-arc sweep (3 slews x 3 loads x 2 edges)
+// in the characterizer's template shape — circuit built once, SimContext
+// prepared once, per-point clones only rewrite element values — vs the
+// pre-port shape that rebuilt the circuit (node map, MNA pattern, symbolic
+// analysis) from scratch at every grid point.
+
+void BM_CharArcSweep(benchmark::State& state) {
+  int load_idx = -1, in_src = -1;
+  const spice::Circuit tmpl =
+      make_char_circuit(cells::Func::kNand2, 1, &load_idx, &in_src);
+  spice::SimContext ctx;
+  ctx.prepare(tmpl);
+  const double slews[] = {7.5, 37.5, 150.0};
+  const double loads[] = {0.8, 3.2, 12.8};
+  for (auto _ : state) {
+    for (double slew : slews) {
+      for (double load : loads) {
+        for (bool rise : {false, true}) {
+          spice::Circuit ckt = tmpl;
+          ckt.set_capacitor_ff(static_cast<size_t>(load_idx), load);
+          ckt.set_source_wave(static_cast<size_t>(in_src),
+                              spice::Pwl::ramp(40.0, slew, rise ? 0.0 : 1.1,
+                                               rise ? 1.1 : 0.0));
+          spice::TranOptions opt;
+          opt.t_stop_ps = 40.0 + 4.0 * slew + 40.0 * (load / 3.2) + 160.0;
+          opt.dt_ps = std::max(0.02, std::min(slew / 12.0, opt.t_stop_ps / 2500.0));
+          benchmark::DoNotOptimize(spice::simulate(ckt, opt, &ctx));
+        }
+      }
+    }
+  }
+}
+BENCHMARK(BM_CharArcSweep)
+    ->Name("char.arc_sweep")->Unit(benchmark::kMillisecond);
+
+void BM_CharArcSweepRebuild(benchmark::State& state) {
+  // The pre-port shape: spec and layout are fixed, but every grid point
+  // rebuilds the circuit (node map + element lists) and simulates without
+  // a shared context, so the MNA pattern and symbolic analysis are redone
+  // per point.
+  const cells::CellSpec spec = cells::make_spec(cells::Func::kNand2, 1);
+  const tech::Tech tch(tech::Node::k45nm, tech::Style::k2D);
+  const cells::CellLayout layout = cells::layout_2d(spec, tch);
+  const double slews[] = {7.5, 37.5, 150.0};
+  const double loads[] = {0.8, 3.2, 12.8};
+  for (auto _ : state) {
+    for (double slew : slews) {
+      for (double load : loads) {
+        for (bool rise : {false, true}) {
+          spice::Circuit ckt = liberty::make_cell_circuit(
+              spec, layout, cells::SiliconModel::kDielectric);
+          ckt.add_capacitor(ckt.find_node("Z"), 0, load);
+          ckt.add_source(ckt.find_node("VDD"), spice::Pwl::dc(1.1));
+          ckt.add_source(ckt.find_node("A"),
+                         spice::Pwl::ramp(40.0, slew, rise ? 0.0 : 1.1,
+                                          rise ? 1.1 : 0.0));
+          ckt.add_source(ckt.find_node("B"), spice::Pwl::dc(1.1));
+          spice::TranOptions opt;
+          opt.t_stop_ps = 40.0 + 4.0 * slew + 40.0 * (load / 3.2) + 160.0;
+          opt.dt_ps = std::max(0.02, std::min(slew / 12.0, opt.t_stop_ps / 2500.0));
+          benchmark::DoNotOptimize(spice::simulate(ckt, opt));
+        }
+      }
+    }
+  }
+}
+BENCHMARK(BM_CharArcSweepRebuild)
+    ->Name("char.arc_sweep_rebuild")->Unit(benchmark::kMillisecond);
 
 // --- Parallel kernel variants (Arg = exec pool thread count). ------------
 //

@@ -17,6 +17,7 @@
 // Usage:
 //   perf_gate [--out BENCH_flow.json] [--baseline path] [--max-ratio 2.5]
 //             [--min-ms 25] [--trace-dir dir]
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,7 +26,10 @@
 #include <string>
 #include <vector>
 
+#include "cells/layout.hpp"
+#include "cells/spec.hpp"
 #include "flow/flow.hpp"
+#include "liberty/characterize.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "tech/tech.hpp"
@@ -101,6 +105,45 @@ Value run_one(const GateCase& c, m3d::tech::Style style,
   return e;
 }
 
+/// Characterization gate case: the flow cases above run against prebuilt
+/// test libraries, so the NLDM sweep — the cold-flow wall-time dominator
+/// that the numeric kernel layer targets — never shows up in their stage
+/// list. This entry times one combinational and one sequential cell
+/// characterization per style as "CHAR" pseudo-bench stages, putting the
+/// sweep on the same BENCH_flow.json trajectory and under the same
+/// max-ratio regression gate as the flow stages.
+Value run_char_case(m3d::tech::Style style) {
+  using clock = std::chrono::steady_clock;
+  const m3d::tech::Tech tch(m3d::tech::Node::k45nm, style);
+  Value e = Value::object();
+  e.set("bench", Value::str("CHAR"));
+  e.set("style", Value::str(m3d::tech::to_string(style)));
+  double total = 0.0;
+  Value stages = Value::array();
+  const auto run_stage = [&](const char* name, m3d::cells::Func func) {
+    const m3d::cells::CellSpec spec = m3d::cells::make_spec(func, 1);
+    const m3d::cells::CellLayout layout =
+        style == m3d::tech::Style::k2D ? m3d::cells::layout_2d(spec, tch)
+                                       : m3d::cells::fold_tmi(spec, tch);
+    const auto t0 = clock::now();
+    const m3d::liberty::LibCell cell =
+        m3d::liberty::characterize_cell(spec, layout, 1.1);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    if (cell.name.empty()) std::fprintf(stderr, "perf_gate: empty cell\n");
+    Value sv = Value::object();
+    sv.set("name", Value::str(name));
+    sv.set("wall_ms", Value::number(wall_ms));
+    stages.push(std::move(sv));
+    total += wall_ms;
+  };
+  run_stage("char_comb", m3d::cells::Func::kNand2);
+  run_stage("char_dff", m3d::cells::Func::kDff);
+  e.set("total_wall_ms", Value::number(total));
+  e.set("stages", std::move(stages));
+  return e;
+}
+
 /// Flat "bench|style|stage" -> wall_ms view of a trajectory document.
 std::vector<std::pair<std::string, double>> flatten(const Value& doc) {
   std::vector<std::pair<std::string, double>> out;
@@ -169,6 +212,14 @@ int main(int argc, char** argv) {
                    e.number_or("total_wall_ms", 0.0));
       benches.push(std::move(e));
     }
+  }
+  for (const m3d::tech::Style style :
+       {m3d::tech::Style::k2D, m3d::tech::Style::kTMI}) {
+    Value e = run_char_case(style);
+    std::fprintf(stderr, "perf_gate: CHAR %s total %.1f ms\n",
+                 e.string_or("style", "?").c_str(),
+                 e.number_or("total_wall_ms", 0.0));
+    benches.push(std::move(e));
   }
   doc.set("benches", std::move(benches));
 

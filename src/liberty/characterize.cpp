@@ -62,6 +62,59 @@ CellCkt build(const cells::CellSpec& spec, const cells::CellLayout& layout,
   return cc;
 }
 
+/// Reusable per-arc sweep state: one template circuit (built once, cloned
+/// per grid point with value-only rewrites) plus the shared spice::SimContext
+/// holding the node mapping, MNA pattern, and symbolic LU factorization that
+/// every point of the (slew, load) grid reuses. Movable, not copyable; the
+/// context is read-only after prepare() and safe to share across exec-pool
+/// workers.
+struct SweepTemplate {
+  CellCkt cc;
+  size_t load_idx = 0;          // load capacitor slot, value set per point
+  std::vector<size_t> src_idx;  // stimulus source slot per pin (build order)
+  spice::SimContext ctx;
+};
+
+/// Template for combinational arcs into `output`: load cap on the output,
+/// a DC supply, and one placeholder source per input (src_idx follows
+/// spec.inputs() order).
+SweepTemplate make_comb_template(const cells::CellSpec& spec,
+                                 const cells::CellLayout& layout,
+                                 cells::SiliconModel silicon, double vdd,
+                                 const std::string& output) {
+  SweepTemplate st;
+  st.cc = build(spec, layout, silicon);
+  auto& ckt = st.cc.ckt;
+  st.load_idx = ckt.capacitors().size();
+  ckt.add_capacitor(st.cc.net_node.at(output), 0, 1.0);
+  ckt.add_source(st.cc.vdd_node, spice::Pwl::dc(vdd));
+  for (const auto& pin : spec.inputs()) {
+    st.src_idx.push_back(ckt.sources().size());
+    ckt.add_source(st.cc.net_node.at(pin), spice::Pwl::dc(0.0));
+  }
+  st.ctx.prepare(ckt);
+  return st;
+}
+
+/// Template for DFF measurements: load cap on Q, supply, and placeholder
+/// D / CK sources (src_idx = {D, CK}).
+SweepTemplate make_dff_template(const cells::CellSpec& spec,
+                                const cells::CellLayout& layout,
+                                cells::SiliconModel silicon, double vdd) {
+  SweepTemplate st;
+  st.cc = build(spec, layout, silicon);
+  auto& ckt = st.cc.ckt;
+  st.load_idx = ckt.capacitors().size();
+  ckt.add_capacitor(st.cc.net_node.at("Q"), 0, 1.0);
+  ckt.add_source(st.cc.vdd_node, spice::Pwl::dc(vdd));
+  st.src_idx.push_back(ckt.sources().size());
+  ckt.add_source(st.cc.net_node.at("D"), spice::Pwl::dc(0.0));
+  st.src_idx.push_back(ckt.sources().size());
+  ckt.add_source(st.cc.net_node.at("CK"), spice::Pwl::dc(0.0));
+  st.ctx.prepare(ckt);
+  return st;
+}
+
 /// Finds a side-input minterm such that toggling `input_idx` toggles output
 /// `out_idx`. Returns the minterm with the toggling input at 0, or -1.
 int find_sensitization(cells::Func func, int input_idx, int out_idx) {
@@ -83,41 +136,58 @@ struct Measurement {
   bool valid = false;
 };
 
+/// Transient windows per grid point: long enough for the slowest edge to
+/// settle, dt resolving the input slew. Factored out so the sweep's SoA
+/// setup pass can precompute them for the whole grid.
+double comb_t_stop(double slew_ps, double load_ff) {
+  return 40.0 + 4.0 * slew_ps + 40.0 * (load_ff / 3.2) + 160.0;
+}
+double comb_dt(double slew_ps, double t_stop_ps) {
+  return std::max(0.02, std::min(slew_ps / 12.0, t_stop_ps / 2500.0));
+}
+double dff_t_stop(double slew_ps, double load_ff) {
+  return 360.0 + 4.0 * slew_ps + 60.0 * (load_ff / 3.2) + 400.0;  // t_edge 360
+}
+double dff_dt(double slew_ps, double t_stop_ps) {
+  return std::max(0.05, std::min(slew_ps / 10.0, t_stop_ps / 2200.0));
+}
+
 /// One combinational characterization point: ramp `input` (rising if
-/// in_rise), other inputs per `base_minterm`, measure at `output`.
+/// in_rise), other inputs per `base_minterm`, measure at `output`. Clones
+/// the template circuit (value-only rewrites) and simulates against its
+/// shared context; t_stop/dt are precomputed by the sweep's SoA setup pass.
 Measurement run_comb_point(const cells::CellSpec& spec,
-                           const cells::CellLayout& layout,
-                           cells::SiliconModel silicon, double vdd,
+                           const SweepTemplate& st, double vdd,
                            const std::string& input, bool in_rise,
                            uint32_t base_minterm, const std::string& output,
-                           double slew_ps, double load_ff) {
-  CellCkt cc = build(spec, layout, silicon);
-  auto& ckt = cc.ckt;
-  const int out_node = cc.net_node.at(output);
-  ckt.add_capacitor(out_node, 0, load_ff);
-  ckt.add_source(cc.vdd_node, spice::Pwl::dc(vdd));
+                           double slew_ps, double load_ff, double t_stop_ps,
+                           double dt_ps) {
+  spice::Circuit ckt = st.cc.ckt;
+  const int out_node = st.cc.net_node.at(output);
+  ckt.set_capacitor_ff(st.load_idx, load_ff);
 
   const auto inputs = spec.inputs();
   const double t0 = 40.0;
   int in_node = -1;
   for (size_t i = 0; i < inputs.size(); ++i) {
-    const int node = cc.net_node.at(inputs[i]);
+    const int node = st.cc.net_node.at(inputs[i]);
     if (inputs[i] == input) {
       in_node = node;
-      ckt.add_source(node, in_rise ? spice::Pwl::ramp(t0, slew_ps, 0.0, vdd)
-                                   : spice::Pwl::ramp(t0, slew_ps, vdd, 0.0));
+      ckt.set_source_wave(st.src_idx[i],
+                          in_rise ? spice::Pwl::ramp(t0, slew_ps, 0.0, vdd)
+                                  : spice::Pwl::ramp(t0, slew_ps, vdd, 0.0));
     } else {
       const bool high = (base_minterm >> i) & 1u;
-      ckt.add_source(node, spice::Pwl::dc(high ? vdd : 0.0));
+      ckt.set_source_wave(st.src_idx[i], spice::Pwl::dc(high ? vdd : 0.0));
     }
   }
   assert(in_node >= 0);
 
   spice::TranOptions topt;
-  topt.t_stop_ps = t0 + 4.0 * slew_ps + 40.0 * (load_ff / 3.2) + 160.0;
-  topt.dt_ps = std::max(0.02, std::min(slew_ps / 12.0, topt.t_stop_ps / 2500.0));
+  topt.t_stop_ps = t_stop_ps;
+  topt.dt_ps = dt_ps;
   topt.probes = {out_node, in_node};
-  const spice::TranResult r = spice::simulate(ckt, topt);
+  const spice::TranResult r = spice::simulate(ckt, topt, &st.ctx);
 
   Measurement m;
   if (!r.converged) return m;
@@ -134,7 +204,7 @@ Measurement run_comb_point(const cells::CellSpec& spec,
   // Internal energy: VDD work minus the external-load charge (counted by the
   // power engine as net switching power). Idle leakage over the run is in
   // the nW range and negligible against ~fJ transitions.
-  m.energy_fj = r.source_energy_fj.at(cc.vdd_node);
+  m.energy_fj = r.source_energy_fj.at(st.cc.vdd_node);
   if (out_rise) m.energy_fj -= load_ff * vdd * vdd;
   m.energy_fj = std::max(0.0, m.energy_fj);
   m.valid = m.delay_ps > 0 && m.slew_ps > 0;
@@ -143,24 +213,22 @@ Measurement run_comb_point(const cells::CellSpec& spec,
 
 /// DFF CK->Q point. Preamble loads the opposite value into the flop, then a
 /// final measured CK edge captures D. Energy is isolated by differencing a
-/// run with and without the final edge.
-Measurement run_dff_point(const cells::CellSpec& spec,
-                          const cells::CellLayout& layout,
-                          cells::SiliconModel silicon, double vdd, bool q_rise,
-                          double slew_ps, double load_ff) {
+/// run with and without the final edge. Both runs are value-rewritten
+/// clones of the shared template (same topology, same SimContext).
+Measurement run_dff_point(const SweepTemplate& st, double vdd, bool q_rise,
+                          double slew_ps, double load_ff, double t_stop_ps,
+                          double dt_ps) {
   const double t_load = 60.0;    // first CK pulse: capture the old value
   const double t_d = 260.0;      // D switches to the new value
   const double t_edge = 360.0;   // measured CK edge
   auto make = [&](bool with_final_edge) {
-    CellCkt cc = build(spec, layout, silicon);
-    auto& ckt = cc.ckt;
-    const int q = cc.net_node.at("Q");
-    ckt.add_capacitor(q, 0, load_ff);
-    ckt.add_source(cc.vdd_node, spice::Pwl::dc(vdd));
+    spice::Circuit ckt = st.cc.ckt;
+    ckt.set_capacitor_ff(st.load_idx, load_ff);
     const double d_old = q_rise ? 0.0 : vdd;
     const double d_new = q_rise ? vdd : 0.0;
-    ckt.add_source(cc.net_node.at("D"),
-                   spice::Pwl{{{0.0, d_old}, {t_d, d_old}, {t_d + 20.0, d_new}}});
+    ckt.set_source_wave(
+        st.src_idx[0],
+        spice::Pwl{{{0.0, d_old}, {t_d, d_old}, {t_d + 20.0, d_new}}});
     spice::Pwl ck;
     ck.points = {{0.0, 0.0},
                  {t_load, 0.0},
@@ -171,31 +239,33 @@ Measurement run_dff_point(const cells::CellSpec& spec,
       ck.points.push_back({t_edge, 0.0});
       ck.points.push_back({t_edge + slew_ps, vdd});
     }
-    ckt.add_source(cc.net_node.at("CK"), ck);
-    return cc;
+    ckt.set_source_wave(st.src_idx[1], ck);
+    return ckt;
   };
 
   spice::TranOptions topt;
-  topt.t_stop_ps = t_edge + 4.0 * slew_ps + 60.0 * (load_ff / 3.2) + 400.0;
-  topt.dt_ps = std::max(0.05, std::min(slew_ps / 10.0, topt.t_stop_ps / 2200.0));
+  topt.t_stop_ps = t_stop_ps;
+  topt.dt_ps = dt_ps;
 
-  CellCkt with = make(true);
-  topt.probes = {with.net_node.at("Q"), with.net_node.at("CK")};
-  const spice::TranResult r1 = spice::simulate(with.ckt, topt);
-  CellCkt without = make(false);
-  const spice::TranResult r0 = spice::simulate(without.ckt, topt);
+  const int q_node = st.cc.net_node.at("Q");
+  const int ck_node = st.cc.net_node.at("CK");
+  const spice::Circuit with = make(true);
+  topt.probes = {q_node, ck_node};
+  const spice::TranResult r1 = spice::simulate(with, topt, &st.ctx);
+  const spice::Circuit without = make(false);
+  const spice::TranResult r0 = spice::simulate(without, topt, &st.ctx);
 
   Measurement m;
   if (!r1.converged || !r0.converged) return m;
-  const auto& vq = r1.waveform(with.net_node.at("Q"));
-  const auto& vck = r1.waveform(with.net_node.at("CK"));
+  const auto& vq = r1.waveform(q_node);
+  const auto& vck = r1.waveform(ck_node);
   const double t_ck = spice::cross_time(r1.time_ps, vck, vdd / 2, t_edge - 5.0, true);
   const double t_q = spice::cross_time(r1.time_ps, vq, vdd / 2, t_edge, q_rise);
   if (t_ck < 0 || t_q < 0) return m;
   m.delay_ps = t_q - t_ck;
   m.slew_ps = spice::measure_slew(r1.time_ps, vq, vdd, q_rise, t_edge);
-  m.energy_fj = r1.source_energy_fj.at(with.vdd_node) -
-                r0.source_energy_fj.at(without.vdd_node);
+  m.energy_fj = r1.source_energy_fj.at(st.cc.vdd_node) -
+                r0.source_energy_fj.at(st.cc.vdd_node);
   if (q_rise) m.energy_fj -= load_ff * vdd * vdd;
   m.energy_fj = std::max(0.0, m.energy_fj);
   m.valid = m.delay_ps > 0 && m.slew_ps > 0;
@@ -209,6 +279,17 @@ double measure_leakage_uw(const cells::CellSpec& spec,
   const int n = static_cast<int>(inputs.size());
   const bool seq = spec.sequential();
   const size_t states = size_t{1} << n;
+  // Template + shared context prepared once; every minterm circuit is a
+  // value-rewritten clone with identical topology.
+  SweepTemplate st;
+  st.cc = build(spec, layout, silicon);
+  st.cc.ckt.add_source(st.cc.vdd_node, spice::Pwl::dc(vdd));
+  for (int i = 0; i < n; ++i) {
+    st.src_idx.push_back(st.cc.ckt.sources().size());
+    st.cc.ckt.add_source(st.cc.net_node.at(inputs[static_cast<size_t>(i)]),
+                         spice::Pwl::dc(0.0));
+  }
+  st.ctx.prepare(st.cc.ckt);
   // One minterm per chunk (grain 1), so the left-to-right partial fold is
   // the exact same `total += state` sequence the serial loop performed.
   const double total = exec::parallel_reduce(
@@ -217,9 +298,7 @@ double measure_leakage_uw(const cells::CellSpec& spec,
         double part = 0.0;
         for (size_t ms = mb; ms < me; ++ms) {
           const uint32_t m = static_cast<uint32_t>(ms);
-          CellCkt cc = build(spec, layout, silicon);
-          auto& ckt = cc.ckt;
-          ckt.add_source(cc.vdd_node, spice::Pwl::dc(vdd));
+          spice::Circuit ckt = st.cc.ckt;
           for (int i = 0; i < n; ++i) {
             const std::string& pin = inputs[static_cast<size_t>(i)];
             const double v = ((m >> i) & 1u) ? vdd : 0.0;
@@ -230,18 +309,19 @@ double measure_leakage_uw(const cells::CellSpec& spec,
               spice::Pwl ck;
               ck.points = {{0.0, 0.0}, {50.0, 0.0}, {60.0, vdd},
                            {150.0, vdd}, {160.0, v}};
-              ckt.add_source(cc.net_node.at(pin), ck);
+              ckt.set_source_wave(st.src_idx[static_cast<size_t>(i)], ck);
             } else {
-              ckt.add_source(cc.net_node.at(pin), spice::Pwl::dc(v));
+              ckt.set_source_wave(st.src_idx[static_cast<size_t>(i)],
+                                  spice::Pwl::dc(v));
             }
           }
           spice::TranOptions topt;
           topt.t_stop_ps = seq ? 500.0 : 100.0;
           topt.dt_ps = seq ? 1.0 : 5.0;
           topt.tail_ps = seq ? 100.0 : 0.0;
-          const spice::TranResult r = spice::simulate(ckt, topt);
+          const spice::TranResult r = spice::simulate(ckt, topt, &st.ctx);
           // mA * V = mW; convert to uW.
-          part += r.source_avg_current_ma.at(cc.vdd_node) * vdd * 1000.0;
+          part += r.source_avg_current_ma.at(st.cc.vdd_node) * vdd * 1000.0;
         }
         return part;
       },
@@ -281,28 +361,29 @@ double measure_setup_ps(const cells::CellSpec& spec,
                         const cells::CellLayout& layout,
                         cells::SiliconModel silicon, double vdd) {
   const double slew = 20.0, load = 3.2;
+  // All bisection probes share one template/context: only the D waveform
+  // moves between iterations.
+  SweepTemplate st = make_dff_template(spec, layout, silicon, vdd);
+  st.cc.ckt.set_capacitor_ff(st.load_idx, load);
+  const int q = st.cc.net_node.at("Q");
   auto q_delay = [&](double separation_ps) {
     const double t_edge = 400.0;
-    CellCkt cc = build(spec, layout, silicon);
-    auto& ckt = cc.ckt;
-    const int q = cc.net_node.at("Q");
-    ckt.add_capacitor(q, 0, load);
-    ckt.add_source(cc.vdd_node, spice::Pwl::dc(vdd));
+    spice::Circuit ckt = st.cc.ckt;
     // Preamble loads 0; D rises `separation_ps` before the edge.
-    ckt.add_source(cc.net_node.at("D"),
-                   spice::Pwl{{{0.0, 0.0},
-                               {t_edge - separation_ps, 0.0},
-                               {t_edge - separation_ps + 10.0, vdd}}});
+    ckt.set_source_wave(st.src_idx[0],
+                        spice::Pwl{{{0.0, 0.0},
+                                    {t_edge - separation_ps, 0.0},
+                                    {t_edge - separation_ps + 10.0, vdd}}});
     spice::Pwl ck;
     ck.points = {{0.0, 0.0},     {60.0, 0.0}, {70.0, vdd},
                  {170.0, vdd},   {180.0, 0.0}, {t_edge, 0.0},
                  {t_edge + slew, vdd}};
-    ckt.add_source(cc.net_node.at("CK"), ck);
+    ckt.set_source_wave(st.src_idx[1], ck);
     spice::TranOptions topt;
     topt.t_stop_ps = t_edge + 500.0;
     topt.dt_ps = 0.25;
     topt.probes = {q};
-    const spice::TranResult r = spice::simulate(ckt, topt);
+    const spice::TranResult r = spice::simulate(ckt, topt, &st.ctx);
     const double t_q =
         spice::cross_time(r.time_ps, r.waveform(q), vdd / 2, t_edge, true);
     return t_q < 0 ? -1.0 : t_q - (t_edge + slew / 2);
@@ -381,39 +462,77 @@ LibCell characterize_cell(const cells::CellSpec& spec,
       arc.out_slew[e] = blank_table();
       arc.energy[e] = blank_table();
     }
-    // One task per (slew, load) point; each point only writes its own
-    // (si, li) table cells, so the sweep parallelizes bit-identically.
+    // SoA sweep batch: stimulus parameters and transient windows for the
+    // whole (slew, load) grid precomputed into flat parallel arrays, one
+    // template circuit + SimContext shared by every point, and a flat
+    // result buffer written back serially in point order (the same
+    // last-write-wins order as a serial sweep). One task per point, each
+    // writing only its own result slots, so the sweep parallelizes
+    // bit-identically at any thread count.
+    const SweepTemplate st =
+        make_dff_template(spec, layout, opt.silicon, vdd_v);
     const size_t nl = opt.loads_ff.size();
+    const size_t np = slews.size() * nl;
+    std::vector<double> p_slew(np), p_load(np), p_tstop(np), p_dt(np);
+    for (size_t p = 0; p < np; ++p) {
+      p_slew[p] = slews[p / nl];
+      p_load[p] = opt.loads_ff[p % nl];
+      p_tstop[p] = dff_t_stop(p_slew[p], p_load[p]);
+      p_dt[p] = dff_dt(p_slew[p], p_tstop[p]);
+    }
+    std::vector<Measurement> meas(np * 2);
     exec::parallel_for(
-        slews.size() * nl,
+        np,
         [&](size_t pb, size_t pe) {
           for (size_t p = pb; p < pe; ++p) {
-            const size_t si = p / nl;
-            const size_t li = p % nl;
             for (int e = 0; e < 2; ++e) {
               const bool q_rise = (e == static_cast<int>(Edge::kRise));
-              const Measurement m =
-                  run_dff_point(spec, layout, opt.silicon, vdd_v, q_rise,
-                                slews[si], opt.loads_ff[li]);
-              if (!m.valid) {
-                util::warn(util::strf(
-                    "char: %s CK->Q %s failed at (%.1f, %.1f)",
-                    spec.name.c_str(), q_rise ? "rise" : "fall", slews[si],
-                    opt.loads_ff[li]));
-                continue;
-              }
-              arc.delay[e].cell(si, li) = m.delay_ps;
-              arc.out_slew[e].cell(si, li) = m.slew_ps;
-              arc.energy[e].cell(si, li) = m.energy_fj;
+              meas[p * 2 + static_cast<size_t>(e)] =
+                  run_dff_point(st, vdd_v, q_rise, p_slew[p], p_load[p],
+                                p_tstop[p], p_dt[p]);
             }
           }
         },
         /*grain=*/1);
+    for (size_t p = 0; p < np; ++p) {
+      const size_t si = p / nl;
+      const size_t li = p % nl;
+      for (int e = 0; e < 2; ++e) {
+        const Measurement& m = meas[p * 2 + static_cast<size_t>(e)];
+        if (!m.valid) {
+          util::warn(util::strf(
+              "char: %s CK->Q %s failed at (%.1f, %.1f)", spec.name.c_str(),
+              e == static_cast<int>(Edge::kRise) ? "rise" : "fall",
+              p_slew[p], p_load[p]));
+          continue;
+        }
+        arc.delay[e].cell(si, li) = m.delay_ps;
+        arc.out_slew[e].cell(si, li) = m.slew_ps;
+        arc.energy[e].cell(si, li) = m.energy_fj;
+      }
+    }
     cell.arcs.push_back(std::move(arc));
   } else {
     const auto inputs = spec.inputs();
     const auto outputs = spec.outputs();
+    const size_t nl = opt.loads_ff.size();
+    const size_t np = slews.size() * nl;
+    // SoA point buffers, shared by every arc of the cell (the grid is the
+    // same for all of them); per-point transient windows hoisted out of the
+    // sim tasks.
+    std::vector<double> p_slew(np), p_load(np), p_tstop(np), p_dt(np);
+    for (size_t p = 0; p < np; ++p) {
+      p_slew[p] = slews[p / nl];
+      p_load[p] = opt.loads_ff[p % nl];
+      p_tstop[p] = comb_t_stop(p_slew[p], p_load[p]);
+      p_dt[p] = comb_dt(p_slew[p], p_tstop[p]);
+    }
     for (size_t oi = 0; oi < outputs.size(); ++oi) {
+      // One template + SimContext per output: the load cap location is the
+      // only structural difference between arcs, so every input arc into
+      // this output shares the same symbolic factorization.
+      const SweepTemplate st =
+          make_comb_template(spec, layout, opt.silicon, vdd_v, outputs[oi]);
       for (size_t ii = 0; ii < inputs.size(); ++ii) {
         const int base = find_sensitization(spec.func, static_cast<int>(ii),
                                             static_cast<int>(oi));
@@ -426,44 +545,48 @@ LibCell characterize_cell(const cells::CellSpec& spec,
           arc.out_slew[e] = blank_table();
           arc.energy[e] = blank_table();
         }
-        // One task per (slew, load) point. Both in_rise edges stay inside
-        // the same task: they can map to the same output-edge table cell,
-        // and keeping them together preserves the serial last-write-wins
-        // order at that cell.
-        const size_t nl = opt.loads_ff.size();
+        // One task per (slew, load) point, both in_rise edges inside it;
+        // results land in a flat buffer and are written back serially in
+        // point order, preserving the serial last-write-wins order at
+        // cells both edges map to.
+        std::vector<Measurement> meas(np * 2);
         exec::parallel_for(
-            slews.size() * nl,
+            np,
             [&](size_t pb, size_t pe) {
               for (size_t p = pb; p < pe; ++p) {
-                const size_t si = p / nl;
-                const size_t li = p % nl;
                 for (bool in_rise : {false, true}) {
-                  const Measurement m = run_comb_point(
-                      spec, layout, opt.silicon, vdd_v, inputs[ii], in_rise,
-                      static_cast<uint32_t>(base), outputs[oi], slews[si],
-                      opt.loads_ff[li]);
-                  if (!m.valid) {
-                    util::warn(util::strf(
-                        "char: %s %s->%s %s failed at (%.1f, %.1f)",
-                        spec.name.c_str(), inputs[ii].c_str(),
-                        outputs[oi].c_str(), in_rise ? "rise" : "fall",
-                        slews[si], opt.loads_ff[li]));
-                    continue;
-                  }
-                  // Output edge for this input edge at the base minterm.
-                  const bool out_high_after = cells::eval(
-                      spec.func, static_cast<int>(oi),
-                      in_rise ? (static_cast<uint32_t>(base) | (1u << ii))
-                              : static_cast<uint32_t>(base));
-                  const int e = out_high_after ? static_cast<int>(Edge::kRise)
-                                               : static_cast<int>(Edge::kFall);
-                  arc.delay[e].cell(si, li) = m.delay_ps;
-                  arc.out_slew[e].cell(si, li) = m.slew_ps;
-                  arc.energy[e].cell(si, li) = m.energy_fj;
+                  meas[p * 2 + (in_rise ? 1 : 0)] = run_comb_point(
+                      spec, st, vdd_v, inputs[ii], in_rise,
+                      static_cast<uint32_t>(base), outputs[oi], p_slew[p],
+                      p_load[p], p_tstop[p], p_dt[p]);
                 }
               }
             },
             /*grain=*/1);
+        for (size_t p = 0; p < np; ++p) {
+          const size_t si = p / nl;
+          const size_t li = p % nl;
+          for (bool in_rise : {false, true}) {
+            const Measurement& m = meas[p * 2 + (in_rise ? 1 : 0)];
+            if (!m.valid) {
+              util::warn(util::strf(
+                  "char: %s %s->%s %s failed at (%.1f, %.1f)",
+                  spec.name.c_str(), inputs[ii].c_str(), outputs[oi].c_str(),
+                  in_rise ? "rise" : "fall", p_slew[p], p_load[p]));
+              continue;
+            }
+            // Output edge for this input edge at the base minterm.
+            const bool out_high_after = cells::eval(
+                spec.func, static_cast<int>(oi),
+                in_rise ? (static_cast<uint32_t>(base) | (1u << ii))
+                        : static_cast<uint32_t>(base));
+            const int e = out_high_after ? static_cast<int>(Edge::kRise)
+                                         : static_cast<int>(Edge::kFall);
+            arc.delay[e].cell(si, li) = m.delay_ps;
+            arc.out_slew[e].cell(si, li) = m.slew_ps;
+            arc.energy[e].cell(si, li) = m.energy_fj;
+          }
+        }
         cell.arcs.push_back(std::move(arc));
       }
     }

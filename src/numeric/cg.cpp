@@ -1,0 +1,171 @@
+#include "numeric/cg.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+
+#include "obs/mem.hpp"
+
+namespace m3d::numeric {
+namespace {
+
+/// Zero-fill incomplete Cholesky factor (lower triangle of A's pattern,
+/// diagonal last within each row). Returns false on breakdown (pivot
+/// <= 0), in which case the caller falls back to Jacobi.
+struct Ic0 {
+  int n = 0;
+  std::vector<int> row_ptr;  // lower-triangle pattern, ascending cols
+  std::vector<int> col;      // diag is the last entry of each row
+  obs::vector<double> val;
+
+  bool build(const Csr& a) {
+    n = a.rows;
+    row_ptr.assign(static_cast<size_t>(n) + 1, 0);
+    col.clear();
+    val.clear();
+    for (int i = 0; i < n; ++i) {
+      bool has_diag = false;
+      for (int k = a.row_ptr[static_cast<size_t>(i)];
+           k < a.row_ptr[static_cast<size_t>(i) + 1]; ++k) {
+        const int j = a.col[static_cast<size_t>(k)];
+        if (j > i) break;  // ascending cols: upper part starts here
+        col.push_back(j);
+        val.push_back(a.val[static_cast<size_t>(k)]);
+        if (j == i) has_diag = true;
+      }
+      if (!has_diag) return false;  // structurally missing pivot
+      row_ptr[static_cast<size_t>(i) + 1] = static_cast<int>(col.size());
+    }
+    // Row-wise factorization; two-pointer pattern intersections keep the
+    // accumulation order fixed (ascending shared columns).
+    for (int i = 0; i < n; ++i) {
+      const int ib = row_ptr[static_cast<size_t>(i)];
+      const int ie = row_ptr[static_cast<size_t>(i) + 1];
+      for (int k = ib; k < ie; ++k) {
+        const int j = col[static_cast<size_t>(k)];
+        double sum = val[static_cast<size_t>(k)];
+        const int jb = row_ptr[static_cast<size_t>(j)];
+        const int je = row_ptr[static_cast<size_t>(j) + 1] - 1;  // excl diag
+        int pi = ib, pj = jb;
+        while (pi < k && pj < je) {
+          const int ci = col[static_cast<size_t>(pi)];
+          const int cj = col[static_cast<size_t>(pj)];
+          if (ci == cj) {
+            sum -= val[static_cast<size_t>(pi)] * val[static_cast<size_t>(pj)];
+            ++pi;
+            ++pj;
+          } else if (ci < cj) {
+            ++pi;
+          } else {
+            ++pj;
+          }
+        }
+        if (j == i) {
+          if (sum <= 0.0) return false;  // breakdown
+          val[static_cast<size_t>(k)] = std::sqrt(sum);
+        } else {
+          const double d = val[static_cast<size_t>(je)];  // diag of row j
+          val[static_cast<size_t>(k)] = sum / d;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// z = (L L')^-1 r.
+  void apply(const double* r, double* z) const {
+    for (int i = 0; i < n; ++i) {
+      double sum = r[i];
+      const int ib = row_ptr[static_cast<size_t>(i)];
+      const int ie = row_ptr[static_cast<size_t>(i) + 1] - 1;
+      for (int k = ib; k < ie; ++k) {
+        sum -= val[static_cast<size_t>(k)] * z[col[static_cast<size_t>(k)]];
+      }
+      z[i] = sum / val[static_cast<size_t>(ie)];
+    }
+    for (int i = n - 1; i >= 0; --i) {
+      const int ie = row_ptr[static_cast<size_t>(i) + 1] - 1;
+      const double zi = z[i] / val[static_cast<size_t>(ie)];
+      z[i] = zi;
+      const int ib = row_ptr[static_cast<size_t>(i)];
+      for (int k = ib; k < ie; ++k) {
+        z[col[static_cast<size_t>(k)]] -= val[static_cast<size_t>(k)] * zi;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+CgResult cg_solve(const Csr& a, const std::vector<double>& rhs,
+                  std::vector<double>& x, const CgOptions& opt) {
+  assert(a.rows == a.cols);
+  const size_t n = rhs.size();
+  assert(static_cast<int>(n) == a.rows);
+  x.resize(n);
+  CgResult res;
+  if (n == 0) {
+    res.converged = true;
+    return res;
+  }
+
+  Ic0 ic;
+  bool use_ic = opt.precond == CgPrecond::kIc0;
+  if (use_ic && !ic.build(a)) {
+    use_ic = false;
+    res.precond_fallback = true;
+  }
+  obs::vector<double> inv_diag;
+  if (!use_ic) {
+    inv_diag.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const int slot = a.diag_slot[i];
+      const double d = slot >= 0 ? a.val[static_cast<size_t>(slot)] : 0.0;
+      inv_diag[i] = 1.0 / std::max(d, opt.diag_floor);
+    }
+  }
+  auto precondition = [&](const obs::vector<double>& r, obs::vector<double>& z) {
+    if (use_ic) {
+      ic.apply(r.data(), z.data());
+    } else {
+      for (size_t i = 0; i < n; ++i) z[i] = r[i] * inv_diag[i];
+    }
+  };
+
+  obs::vector<double> r(n), z(n), p(n), ap(n);
+  a.spmv(x.data(), ap.data());
+  for (size_t i = 0; i < n; ++i) r[i] = rhs[i] - ap[i];
+  precondition(r, z);
+  for (size_t i = 0; i < n; ++i) p[i] = z[i];
+  double rz = 0.0;
+  for (size_t i = 0; i < n; ++i) rz += r[i] * z[i];
+  const double rz0 = rz;
+  const double threshold =
+      std::max(opt.rel_tol * opt.rel_tol * rz0, opt.abs_floor);
+
+  int it = 0;
+  for (; it < opt.max_iters && rz > threshold; ++it) {
+    a.spmv(p.data(), ap.data());
+    double pap = 0.0;
+    for (size_t i = 0; i < n; ++i) pap += p[i] * ap[i];
+    if (pap <= 0) break;  // indefinite/rounding guard, same as legacy
+    const double alpha = rz / pap;
+    for (size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    precondition(r, z);
+    double rz_new = 0.0;
+    for (size_t i = 0; i < n; ++i) rz_new += r[i] * z[i];
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  res.iters = it;
+  res.converged = rz <= threshold;
+  res.rel_residual = rz0 > 0.0 ? std::sqrt(std::max(rz, 0.0) / rz0) : 0.0;
+  return res;
+}
+
+}  // namespace m3d::numeric

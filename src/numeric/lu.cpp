@@ -1,0 +1,272 @@
+#include "numeric/lu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+#include "util/strf.hpp"
+
+namespace m3d::numeric {
+
+std::string FactorStatus::to_string() const {
+  switch (failure) {
+    case FactorFailure::kNone:
+      return "ok";
+    case FactorFailure::kEmptyMatrix:
+      return "empty matrix (no nonzero entries)";
+    case FactorFailure::kSmallPivot:
+      return util::strf(
+          "singular: pivot %.3g at row %d below threshold (matrix scale "
+          "%.3g)",
+          pivot_abs, row, scale);
+  }
+  return "unknown";
+}
+
+void SparseLu::analyze(const Csr& a) {
+  assert(a.rows == a.cols);
+  const int n = a.rows;
+  n_ = n;
+  perm_.assign(static_cast<size_t>(n), 0);
+  iperm_.assign(static_cast<size_t>(n), 0);
+
+  // --- Minimum-degree ordering on the symmetrized pattern ------------------
+  // Greedy elimination of the currently-lowest-degree node (ties: lowest
+  // index), forming the neighbor clique each step. Exact and deterministic;
+  // our systems (MNA cell circuits) are small enough that the quotient-graph
+  // machinery of production orderings would be pure overhead.
+  std::vector<std::set<int>> adj(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int k = a.row_ptr[static_cast<size_t>(i)];
+         k < a.row_ptr[static_cast<size_t>(i) + 1]; ++k) {
+      const int j = a.col[static_cast<size_t>(k)];
+      if (j != i) {
+        adj[static_cast<size_t>(i)].insert(j);
+        adj[static_cast<size_t>(j)].insert(i);
+      }
+    }
+  }
+  std::vector<bool> alive(static_cast<size_t>(n), true);
+  for (int k = 0; k < n; ++k) {
+    int best = -1;
+    size_t best_deg = 0;
+    for (int v = 0; v < n; ++v) {
+      if (!alive[static_cast<size_t>(v)]) continue;
+      const size_t deg = adj[static_cast<size_t>(v)].size();
+      if (best < 0 || deg < best_deg) {
+        best = v;
+        best_deg = deg;
+      }
+    }
+    perm_[static_cast<size_t>(k)] = best;
+    iperm_[static_cast<size_t>(best)] = k;
+    alive[static_cast<size_t>(best)] = false;
+    const std::set<int> nbrs = adj[static_cast<size_t>(best)];
+    for (int u : nbrs) {
+      adj[static_cast<size_t>(u)].erase(best);
+      for (int w : nbrs) {
+        if (w != u) adj[static_cast<size_t>(u)].insert(w);
+      }
+    }
+    adj[static_cast<size_t>(best)].clear();
+  }
+
+  // --- Symbolic factorization ----------------------------------------------
+  // Row i's fill structure = its A pattern plus, transitively for every
+  // below-diagonal column j (ascending), the U structure of row j. The
+  // ordered `todo` set makes the closure walk ascending-j, matching the
+  // numeric elimination order.
+  lrow_ptr_.assign(1, 0);
+  urow_ptr_.assign(1, 0);
+  lcol_.clear();
+  ucol_.clear();
+  arow_ptr_.assign(1, 0);
+  a_slot_.clear();
+  a_pcol_.clear();
+  std::vector<std::vector<int>> urows(static_cast<size_t>(n));
+  // A slots grouped by permuted row, in that row's stored-slot order.
+  for (int pi = 0; pi < n; ++pi) {
+    const int oi = perm_[static_cast<size_t>(pi)];
+    for (int k = a.row_ptr[static_cast<size_t>(oi)];
+         k < a.row_ptr[static_cast<size_t>(oi) + 1]; ++k) {
+      a_slot_.push_back(k);
+      a_pcol_.push_back(iperm_[static_cast<size_t>(a.col[static_cast<size_t>(k)])]);
+    }
+    arow_ptr_.push_back(static_cast<int>(a_slot_.size()));
+
+    std::set<int> cols;
+    std::set<int> todo;
+    for (int k = arow_ptr_[static_cast<size_t>(pi)];
+         k < arow_ptr_[static_cast<size_t>(pi) + 1]; ++k) {
+      const int c = a_pcol_[static_cast<size_t>(k)];
+      cols.insert(c);
+      if (c < pi) todo.insert(c);
+    }
+    cols.insert(pi);  // the pivot always exists structurally
+    while (!todo.empty()) {
+      const int j = *todo.begin();
+      todo.erase(todo.begin());
+      for (int c : urows[static_cast<size_t>(j)]) {
+        if (c == j) continue;
+        if (cols.insert(c).second && c < pi) todo.insert(c);
+      }
+    }
+    std::vector<int>& urow = urows[static_cast<size_t>(pi)];
+    for (int c : cols) {
+      if (c < pi) {
+        lcol_.push_back(c);
+      } else {
+        urow.push_back(c);  // ascending; diagonal pi first
+      }
+    }
+    ucol_.insert(ucol_.end(), urow.begin(), urow.end());
+    lrow_ptr_.push_back(static_cast<int>(lcol_.size()));
+    urow_ptr_.push_back(static_cast<int>(ucol_.size()));
+  }
+  lval_.assign(lcol_.size(), 0.0);
+  uval_.assign(ucol_.size(), 0.0);
+  work_.assign(static_cast<size_t>(n), 0.0);
+}
+
+FactorStatus SparseLu::factor(const Csr& a, double pivot_rel_tol) {
+  assert(analyzed() && a.rows == n_ && a.cols == n_);
+  FactorStatus st;
+  st.scale = a.max_abs();
+  if (n_ == 0) return st;
+  if (st.scale == 0.0) {
+    st.failure = FactorFailure::kEmptyMatrix;
+    return st;
+  }
+  const double threshold = pivot_rel_tol * st.scale;
+  double* w = work_.data();
+  for (int i = 0; i < n_; ++i) {
+    // Scatter the permuted A row over the row's fill pattern.
+    for (int k = lrow_ptr_[static_cast<size_t>(i)];
+         k < lrow_ptr_[static_cast<size_t>(i) + 1]; ++k) {
+      w[lcol_[static_cast<size_t>(k)]] = 0.0;
+    }
+    for (int k = urow_ptr_[static_cast<size_t>(i)];
+         k < urow_ptr_[static_cast<size_t>(i) + 1]; ++k) {
+      w[ucol_[static_cast<size_t>(k)]] = 0.0;
+    }
+    for (int k = arow_ptr_[static_cast<size_t>(i)];
+         k < arow_ptr_[static_cast<size_t>(i) + 1]; ++k) {
+      w[a_pcol_[static_cast<size_t>(k)]] +=
+          a.val[static_cast<size_t>(a_slot_[static_cast<size_t>(k)])];
+    }
+    // Eliminate below-diagonal columns in ascending order.
+    for (int k = lrow_ptr_[static_cast<size_t>(i)];
+         k < lrow_ptr_[static_cast<size_t>(i) + 1]; ++k) {
+      const int j = lcol_[static_cast<size_t>(k)];
+      const int jb = urow_ptr_[static_cast<size_t>(j)];
+      const double f = w[j] / uval_[static_cast<size_t>(jb)];  // u_jj first
+      w[j] = f;
+      for (int t = jb + 1; t < urow_ptr_[static_cast<size_t>(j) + 1]; ++t) {
+        w[ucol_[static_cast<size_t>(t)]] -=
+            f * uval_[static_cast<size_t>(t)];
+      }
+      lval_[static_cast<size_t>(k)] = f;
+    }
+    const int ib = urow_ptr_[static_cast<size_t>(i)];
+    const double pivot = w[ucol_[static_cast<size_t>(ib)]];
+    if (std::abs(pivot) < threshold) {
+      st.failure = FactorFailure::kSmallPivot;
+      st.row = perm_[static_cast<size_t>(i)];
+      st.pivot_abs = std::abs(pivot);
+      return st;
+    }
+    for (int k = ib; k < urow_ptr_[static_cast<size_t>(i) + 1]; ++k) {
+      uval_[static_cast<size_t>(k)] = w[ucol_[static_cast<size_t>(k)]];
+    }
+  }
+  return st;
+}
+
+void SparseLu::solve(const double* b, double* x) {
+  double* y = work_.data();
+  for (int i = 0; i < n_; ++i) {
+    double sum = b[perm_[static_cast<size_t>(i)]];
+    for (int k = lrow_ptr_[static_cast<size_t>(i)];
+         k < lrow_ptr_[static_cast<size_t>(i) + 1]; ++k) {
+      sum -= lval_[static_cast<size_t>(k)] * y[lcol_[static_cast<size_t>(k)]];
+    }
+    y[i] = sum;  // L has unit diagonal
+  }
+  for (int i = n_ - 1; i >= 0; --i) {
+    const int ib = urow_ptr_[static_cast<size_t>(i)];
+    double sum = y[i];
+    for (int k = ib + 1; k < urow_ptr_[static_cast<size_t>(i) + 1]; ++k) {
+      sum -= uval_[static_cast<size_t>(k)] * y[ucol_[static_cast<size_t>(k)]];
+    }
+    y[i] = sum / uval_[static_cast<size_t>(ib)];
+  }
+  for (int i = 0; i < n_; ++i) x[perm_[static_cast<size_t>(i)]] = y[i];
+}
+
+void SparseLu::solve(const std::vector<double>& b, std::vector<double>& x) {
+  assert(static_cast<int>(b.size()) == n_);
+  x.resize(static_cast<size_t>(n_));
+  solve(b.data(), x.data());
+}
+
+FactorStatus dense_lu_solve(std::vector<double>& a, std::vector<double>& b,
+                            int n, double pivot_rel_tol) {
+  FactorStatus st;
+  if (n == 0) return st;
+  double scale = 0.0;
+  for (int i = 0; i < n * n; ++i) {
+    scale = std::max(scale, std::abs(a[static_cast<size_t>(i)]));
+  }
+  st.scale = scale;
+  if (scale == 0.0) {
+    st.failure = FactorFailure::kEmptyMatrix;
+    return st;
+  }
+  const double threshold = pivot_rel_tol * scale;
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    double best = std::abs(a[static_cast<size_t>(col) * n + col]);
+    for (int r = col + 1; r < n; ++r) {
+      const double v = std::abs(a[static_cast<size_t>(r) * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < threshold) {
+      st.failure = FactorFailure::kSmallPivot;
+      st.row = col;
+      st.pivot_abs = best;
+      return st;
+    }
+    if (pivot != col) {
+      for (int c = col; c < n; ++c) {
+        std::swap(a[static_cast<size_t>(col) * n + c],
+                  a[static_cast<size_t>(pivot) * n + c]);
+      }
+      std::swap(b[static_cast<size_t>(col)], b[static_cast<size_t>(pivot)]);
+    }
+    const double diag = a[static_cast<size_t>(col) * n + col];
+    for (int r = col + 1; r < n; ++r) {
+      const double f = a[static_cast<size_t>(r) * n + col] / diag;
+      if (f == 0.0) continue;
+      a[static_cast<size_t>(r) * n + col] = 0.0;
+      for (int c = col + 1; c < n; ++c) {
+        a[static_cast<size_t>(r) * n + c] -=
+            f * a[static_cast<size_t>(col) * n + c];
+      }
+      b[static_cast<size_t>(r)] -= f * b[static_cast<size_t>(col)];
+    }
+  }
+  for (int r = n - 1; r >= 0; --r) {
+    double sum = b[static_cast<size_t>(r)];
+    for (int c = r + 1; c < n; ++c) {
+      sum -= a[static_cast<size_t>(r) * n + c] * b[static_cast<size_t>(c)];
+    }
+    b[static_cast<size_t>(r)] = sum / a[static_cast<size_t>(r) * n + r];
+  }
+  return st;
+}
+
+}  // namespace m3d::numeric

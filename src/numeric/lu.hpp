@@ -1,0 +1,91 @@
+// Sparse LU with a symbolic/numeric split, plus the shared dense
+// Gaussian-elimination fallback.
+//
+// The intended call shape is the SPICE Newton loop: an MNA matrix keeps
+// one sparsity pattern across every Newton iteration and timestep of a
+// transient run, so the fill-reducing ordering and fill pattern are
+// computed ONCE (`analyze`) and each Newton step only refactors numbers
+// into the precomputed structure (`factor`, no allocation) and runs the
+// two triangular solves (`solve`). Pivots are not reordered numerically —
+// the pattern must stay valid — so `factor` instead checks each diagonal
+// pivot against a threshold *relative to the matrix scale* and reports a
+// structured failure; callers (spice::simulate) fall back to dense partial
+// pivoting for that step.
+//
+// Determinism: minimum-degree ties break on the lowest node index, all
+// merges walk ascending column order, and the numeric kernel accumulates
+// in fixed pattern order — identical matrices factor to identical bits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "numeric/csr.hpp"
+#include "obs/mem.hpp"
+
+namespace m3d::numeric {
+
+enum class FactorFailure {
+  kNone,
+  kEmptyMatrix,  // no nonzero entries at all: scale is undefined
+  kSmallPivot,   // |pivot| < pivot_rel_tol * max|a_ij| at some row
+};
+
+/// Structured factorization outcome. `row` / `pivot_abs` / `scale`
+/// identify the offending pivot in the caller's (unpermuted) indexing.
+struct FactorStatus {
+  FactorFailure failure = FactorFailure::kNone;
+  int row = -1;
+  double pivot_abs = 0.0;
+  double scale = 0.0;
+
+  bool ok() const { return failure == FactorFailure::kNone; }
+  std::string to_string() const;
+};
+
+class SparseLu {
+ public:
+  /// Symbolic phase: minimum-degree ordering of A's symmetrized pattern +
+  /// fill pattern of L/U + the A-slot scatter map. Values are ignored;
+  /// the result is reusable for any matrix with the same pattern.
+  void analyze(const Csr& a);
+  bool analyzed() const { return n_ >= 0; }
+  int dim() const { return n_ < 0 ? 0 : n_; }
+  /// Fill nonzeros of L + U (the memory the refactorization touches).
+  size_t fill_nnz() const { return lcol_.size() + ucol_.size(); }
+
+  /// Numeric (re)factorization of `a`, which must have exactly the
+  /// analyzed pattern. No allocation after the first call.
+  FactorStatus factor(const Csr& a, double pivot_rel_tol = 1e-12);
+
+  /// x = A^-1 b using the current factors. b and x have dim() elements
+  /// and may alias. Only valid after a successful factor().
+  void solve(const double* b, double* x);
+  void solve(const std::vector<double>& b, std::vector<double>& x);
+
+ private:
+  int n_ = -1;
+  std::vector<int> perm_;   // elimination order: perm_[k] = original row
+  std::vector<int> iperm_;  // original row -> elimination position
+  // Fill pattern in permuted indexing: per permuted row, strictly-lower
+  // columns (ascending) and upper columns including the diagonal first.
+  std::vector<int> lrow_ptr_, lcol_;
+  std::vector<int> urow_ptr_, ucol_;
+  // Scatter program: A's stored slots routed to (permuted row, permuted
+  // col), grouped by permuted row in slot order.
+  std::vector<int> arow_ptr_, a_slot_, a_pcol_;
+  obs::vector<double> lval_, uval_;
+  obs::vector<double> work_;  // dense scatter row / solve scratch
+};
+
+/// Dense Gaussian elimination with partial pivoting: solves A x = b in
+/// place (A row-major n*n, result in b). The pivot test is relative to
+/// the matrix scale (max |a_ij| of the input): a pivot column whose best
+/// pivot falls under pivot_rel_tol * scale reports kSmallPivot instead of
+/// the old hard-coded absolute 1e-18, which misclassified well-conditioned
+/// small-valued systems and silently accepted garbage on large-valued
+/// ones.
+FactorStatus dense_lu_solve(std::vector<double>& a, std::vector<double>& b,
+                            int n, double pivot_rel_tol = 1e-12);
+
+}  // namespace m3d::numeric

@@ -6,6 +6,8 @@
 #include <cstdint>
 
 #include "circuit/index.hpp"
+#include "numeric/cg.hpp"
+#include "numeric/csr.hpp"
 #include "place/hpwl.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
@@ -16,8 +18,10 @@
 namespace m3d::place {
 namespace {
 
+/// Quadratic-placement system accumulator: symmetric Laplacian connectivity
+/// (A = D - W) plus anchor pulls on the diagonal and RHS. Canonicalized to a
+/// numeric::Csr once assembly is done; the shared CG solver does the rest.
 struct Mat {
-  // Sparse symmetric connectivity in triplet form plus diagonal.
   struct Entry {
     int a, b;
     double w;
@@ -45,46 +49,33 @@ struct Mat {
     rhs_y[static_cast<size_t>(a)] += w * y;
   }
 
-  /// y = A x where A = D - W (Laplacian with anchors on the diagonal).
-  void apply(const std::vector<double>& x, std::vector<double>& y) const {
-    for (size_t i = 0; i < diag.size(); ++i) y[i] = diag[i] * x[i];
+  numeric::Csr to_csr() const {
+    const int n = static_cast<int>(diag.size());
+    numeric::CsrBuilder b(n, n);
+    b.reserve(diag.size() + 2 * entries.size());
+    for (int i = 0; i < n; ++i) b.add(i, i, diag[static_cast<size_t>(i)]);
     for (const auto& e : entries) {
-      y[static_cast<size_t>(e.a)] -= e.w * x[static_cast<size_t>(e.b)];
-      y[static_cast<size_t>(e.b)] -= e.w * x[static_cast<size_t>(e.a)];
+      b.add(e.a, e.b, -e.w);
+      b.add(e.b, e.a, -e.w);
     }
+    return b.build();
   }
 };
 
-/// Jacobi-preconditioned conjugate gradient.
-void cg_solve(const Mat& m, const std::vector<double>& rhs,
-              std::vector<double>& x, int iters) {
-  const size_t n = rhs.size();
-  std::vector<double> r(n), z(n), p(n), ap(n);
-  m.apply(x, ap);
-  for (size_t i = 0; i < n; ++i) r[i] = rhs[i] - ap[i];
-  for (size_t i = 0; i < n; ++i) z[i] = r[i] / std::max(m.diag[i], 1e-12);
-  p = z;
-  double rz = 0.0;
-  for (size_t i = 0; i < n; ++i) rz += r[i] * z[i];
-  for (int it = 0; it < iters && rz > 1e-10; ++it) {
-    m.apply(p, ap);
-    double pap = 0.0;
-    for (size_t i = 0; i < n; ++i) pap += p[i] * ap[i];
-    if (pap <= 0) break;
-    const double alpha = rz / pap;
-    for (size_t i = 0; i < n; ++i) {
-      x[i] += alpha * p[i];
-      r[i] -= alpha * ap[i];
-    }
-    double rz_new = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      z[i] = r[i] / std::max(m.diag[i], 1e-12);
-      rz_new += r[i] * z[i];
-    }
-    const double beta = rz_new / rz;
-    rz = rz_new;
-    for (size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
-  }
+/// Shared Jacobi-preconditioned CG (numeric::cg_solve). Convergence is
+/// relative to the initial preconditioned residual (PlaceOptions::cg_rel_tol)
+/// instead of the old absolute `rz > 1e-10` cutoff, which was scale-dependent:
+/// large designs iterated long past useful precision and tiny ones stopped
+/// on the first pass.
+void run_cg(const numeric::Csr& a, const std::vector<double>& rhs,
+            std::vector<double>& x, const PlaceOptions& opt) {
+  numeric::CgOptions co;
+  co.max_iters = opt.cg_iters;
+  co.rel_tol = opt.cg_rel_tol;
+  co.precond = numeric::CgPrecond::kJacobi;
+  const numeric::CgResult res = numeric::cg_solve(a, rhs, x, co);
+  util::count("place.cg_iters", static_cast<double>(res.iters));
+  util::set_gauge("place.cg_residual", res.rel_residual);
 }
 
 double inst_width(const circuit::Instance& inst) {
@@ -208,20 +199,27 @@ SpreadPlacement global_spread(circuit::Netlist* nl, const Die& die,
     x[static_cast<size_t>(v)] = center.x + rng.normal(0.0, die.core.width() / 8);
     y[static_cast<size_t>(v)] = center.y + rng.normal(0.0, die.core.height() / 8);
   }
-  cg_solve(mat, mat.rhs_x, x, opt.cg_iters);
-  cg_solve(mat, mat.rhs_y, y, opt.cg_iters);
+  const numeric::Csr a = mat.to_csr();
+  run_cg(a, mat.rhs_x, x, opt);
+  run_cg(a, mat.rhs_y, y, opt);
   util::count("place.cg_solves", 2.0);
   quad_span.stop();
 
   auto solve_with_spread_anchors = [&](double weight) {
     // Re-solve the quadratic system pulling each cell toward its spread
-    // position (x, y currently hold the spread placement).
-    Mat m2 = mat;
+    // position (x, y currently hold the spread placement). Anchors only
+    // touch the diagonal and RHS, so the re-solve reuses the assembled
+    // matrix via its diag slots instead of rebuilding from triplets.
+    numeric::Csr m2 = a;
+    std::vector<double> rx = mat.rhs_x;
+    std::vector<double> ry = mat.rhs_y;
     for (int v = 0; v < nv; ++v) {
-      m2.anchor(v, weight, x[static_cast<size_t>(v)], y[static_cast<size_t>(v)]);
+      m2.val[static_cast<size_t>(m2.diag_slot[static_cast<size_t>(v)])] += weight;
+      rx[static_cast<size_t>(v)] += weight * x[static_cast<size_t>(v)];
+      ry[static_cast<size_t>(v)] += weight * y[static_cast<size_t>(v)];
     }
-    cg_solve(m2, m2.rhs_x, x, opt.cg_iters);
-    cg_solve(m2, m2.rhs_y, y, opt.cg_iters);
+    run_cg(m2, rx, x, opt);
+    run_cg(m2, ry, y, opt);
     util::count("place.cg_solves", 2.0);
   };
 

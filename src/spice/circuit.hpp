@@ -5,6 +5,7 @@
 // of the undriven nodes only.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <unordered_map>
@@ -61,6 +62,19 @@ class Circuit {
   void add_mosfet(int d, int g, int s, double w_um, const MosModel& model);
   /// Drives `node` with the waveform (supply or stimulus).
   void add_source(int node, Pwl wave);
+
+  /// Value-only mutators for sweep templates: a characterization sweep
+  /// clones one template circuit per grid point and rewrites element
+  /// *values* in place, skipping node-map construction — and, because the
+  /// topology is unchanged, every clone shares one sim::SimContext.
+  /// Indices are positions in the corresponding element vector, in add
+  /// order.
+  void set_capacitor_ff(size_t idx, double c_ff) {
+    capacitors_.at(idx).c_ff = c_ff;
+  }
+  void set_source_wave(size_t idx, Pwl wave) {
+    sources_.at(idx).wave = std::move(wave);
+  }
 
   const std::vector<Resistor>& resistors() const { return resistors_; }
   const std::vector<Capacitor>& capacitors() const { return capacitors_; }

@@ -3,77 +3,219 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 
+#include "numeric/lu.hpp"
+#include "obs/mem.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/strf.hpp"
 
 namespace m3d::spice {
 namespace {
 
-/// Dense Gaussian elimination with partial pivoting: solves A x = b in place.
-/// Returns false if the matrix is singular.
-bool lu_solve(std::vector<double>& a, std::vector<double>& b, int n) {
-  for (int col = 0; col < n; ++col) {
-    int pivot = col;
-    double best = std::abs(a[static_cast<size_t>(col) * n + col]);
-    for (int r = col + 1; r < n; ++r) {
-      const double v = std::abs(a[static_cast<size_t>(r) * n + col]);
-      if (v > best) {
-        best = v;
-        pivot = r;
-      }
-    }
-    if (best < 1e-18) return false;
-    if (pivot != col) {
-      for (int c = col; c < n; ++c) {
-        std::swap(a[static_cast<size_t>(col) * n + c], a[static_cast<size_t>(pivot) * n + c]);
-      }
-      std::swap(b[static_cast<size_t>(col)], b[static_cast<size_t>(pivot)]);
-    }
-    const double diag = a[static_cast<size_t>(col) * n + col];
-    for (int r = col + 1; r < n; ++r) {
-      const double f = a[static_cast<size_t>(r) * n + col] / diag;
-      if (f == 0.0) continue;
-      a[static_cast<size_t>(r) * n + col] = 0.0;
-      for (int c = col + 1; c < n; ++c) {
-        a[static_cast<size_t>(r) * n + c] -= f * a[static_cast<size_t>(col) * n + c];
-      }
-      b[static_cast<size_t>(r)] -= f * b[static_cast<size_t>(col)];
-    }
+uint64_t hash_u64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;  // FNV-1a
   }
-  for (int r = n - 1; r >= 0; --r) {
-    double sum = b[static_cast<size_t>(r)];
-    for (int c = r + 1; c < n; ++c) {
-      sum -= a[static_cast<size_t>(r) * n + c] * b[static_cast<size_t>(c)];
-    }
-    b[static_cast<size_t>(r)] = sum / a[static_cast<size_t>(r) * n + r];
-  }
-  return true;
+  return h;
 }
 
-struct Solver {
-  const Circuit& ckt;
-  const TranOptions& opt;
-  int num_nodes;
-  std::vector<bool> driven;       // per node: has a source (or is ground)
-  std::vector<int> unknown_of;    // node -> unknown index or -1
-  std::vector<int> node_of;       // unknown index -> node
-  std::vector<double> dev_cap;    // grounded device cap per node
-  int n_unknown = 0;
+uint64_t hash_double(uint64_t h, double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return hash_u64(h, bits);
+}
 
-  explicit Solver(const Circuit& c, const TranOptions& o) : ckt(c), opt(o) {
-    num_nodes = c.num_nodes();
+}  // namespace
+
+/// Everything about a circuit that depends only on its *topology* (which
+/// nodes are driven, where the MNA stamps land, the fill-in of the LU
+/// factors) and none of its element values: the expensive setup that a
+/// SimContext amortizes across every (slew, load) point of a
+/// characterization sweep. Element values (R, C, MOS widths) are re-read
+/// from the Circuit on every assembly, so sharing an impl across circuits
+/// with equal fingerprints is safe; dev_cap is the one cached value array,
+/// which is why its bits are part of the fingerprint.
+struct SimImpl {
+  uint64_t topo_hash = 0;
+  int num_nodes = 0;
+  int n_unknown = 0;
+  std::vector<bool> driven;     // per node: has a source (or is ground)
+  std::vector<int> unknown_of;  // node -> unknown index or -1
+  std::vector<int> node_of;     // unknown index -> node
+  std::vector<double> dev_cap;  // grounded device cap per node
+
+  // Union MNA pattern (transient C/dt sites plus the DC gmin diagonal, so
+  // one symbolic analysis serves both phases) and the stamp programs that
+  // route each element contribution to its val slot. A slot of -1 marks a
+  // stamp that fell on a driven row/column and is dropped.
+  numeric::Csr pattern;
+  std::vector<int> r_slots;     // 4 per resistor: (aa, bb, ab, ba)
+  std::vector<int> c_slots;     // 4 per capacitor: (aa, bb, ab, ba)
+  std::vector<int> dev_slots;   // 1 per node: diag, -1 when no grounded cap
+  std::vector<int> gmin_slots;  // 1 per unknown: diag (DC only)
+  std::vector<int> mos_slots;   // 6 per mosfet: (dd, dg, ds, sd, sg, ss)
+  numeric::SparseLu symbolic;   // analyze() done; copy before factoring
+
+  static uint64_t fingerprint(const Circuit& ckt) {
+    uint64_t h = 0xcbf29ce484222325ull;
+    h = hash_u64(h, static_cast<uint64_t>(ckt.num_nodes()));
+    for (const auto& s : ckt.sources()) {
+      h = hash_u64(h, static_cast<uint64_t>(s.node));
+    }
+    h = hash_u64(h, 0x1);  // section separators keep element kinds distinct
+    for (const auto& r : ckt.resistors()) {
+      h = hash_u64(h, static_cast<uint64_t>(r.a));
+      h = hash_u64(h, static_cast<uint64_t>(r.b));
+    }
+    h = hash_u64(h, 0x2);
+    for (const auto& c : ckt.capacitors()) {
+      h = hash_u64(h, static_cast<uint64_t>(c.a));
+      h = hash_u64(h, static_cast<uint64_t>(c.b));
+    }
+    h = hash_u64(h, 0x3);
+    for (const auto& m : ckt.mosfets()) {
+      h = hash_u64(h, static_cast<uint64_t>(m.d));
+      h = hash_u64(h, static_cast<uint64_t>(m.g));
+      h = hash_u64(h, static_cast<uint64_t>(m.s));
+    }
+    h = hash_u64(h, 0x4);
+    for (double c : ckt.device_node_cap()) h = hash_double(h, c);
+    return h;
+  }
+
+  void build(const Circuit& ckt) {
+    topo_hash = fingerprint(ckt);
+    num_nodes = ckt.num_nodes();
     driven.assign(static_cast<size_t>(num_nodes), false);
     driven[0] = true;
-    for (const auto& s : c.sources()) driven[static_cast<size_t>(s.node)] = true;
+    for (const auto& s : ckt.sources()) driven[static_cast<size_t>(s.node)] = true;
     unknown_of.assign(static_cast<size_t>(num_nodes), -1);
+    node_of.clear();
+    n_unknown = 0;
     for (int i = 0; i < num_nodes; ++i) {
       if (!driven[static_cast<size_t>(i)]) {
         unknown_of[static_cast<size_t>(i)] = n_unknown++;
         node_of.push_back(i);
       }
     }
-    dev_cap = c.device_node_cap();
+    dev_cap = ckt.device_node_cap();
+
+    // One add() call per potential stamp site, in a fixed element order;
+    // `order` records each call's index (or -1 for dropped stamps) so the
+    // builder's slot_of_add can be segmented back into per-element-kind
+    // programs after canonicalization.
+    numeric::CsrBuilder b(n_unknown, n_unknown);
+    std::vector<int> order;
+    auto stamp = [&](int ni, int nj) {
+      const int ui = unknown_of[static_cast<size_t>(ni)];
+      const int uj = unknown_of[static_cast<size_t>(nj)];
+      if (ui < 0 || uj < 0) {
+        order.push_back(-1);
+        return;
+      }
+      order.push_back(static_cast<int>(b.size()));
+      b.add(ui, uj, 0.0);
+    };
+    for (const auto& r : ckt.resistors()) {
+      stamp(r.a, r.a);
+      stamp(r.b, r.b);
+      stamp(r.a, r.b);
+      stamp(r.b, r.a);
+    }
+    const size_t c_begin = order.size();
+    for (const auto& c : ckt.capacitors()) {
+      stamp(c.a, c.a);
+      stamp(c.b, c.b);
+      stamp(c.a, c.b);
+      stamp(c.b, c.a);
+    }
+    const size_t dev_begin = order.size();
+    for (int nd = 0; nd < num_nodes; ++nd) {
+      if (dev_cap[static_cast<size_t>(nd)] > 0) {
+        stamp(nd, nd);
+      } else {
+        order.push_back(-1);
+      }
+    }
+    const size_t gmin_begin = order.size();
+    for (int u = 0; u < n_unknown; ++u) {
+      order.push_back(static_cast<int>(b.size()));
+      b.add(u, u, 0.0);  // also guarantees a structural diagonal everywhere
+    }
+    const size_t mos_begin = order.size();
+    for (const auto& m : ckt.mosfets()) {
+      stamp(m.d, m.d);
+      stamp(m.d, m.g);
+      stamp(m.d, m.s);
+      stamp(m.s, m.d);
+      stamp(m.s, m.g);
+      stamp(m.s, m.s);
+    }
+
+    std::vector<int> slot_of_add;
+    pattern = b.build(&slot_of_add);
+    auto resolve = [&](size_t begin, size_t end, std::vector<int>& out) {
+      out.clear();
+      out.reserve(end - begin);
+      for (size_t k = begin; k < end; ++k) {
+        out.push_back(order[k] < 0
+                          ? -1
+                          : slot_of_add[static_cast<size_t>(order[k])]);
+      }
+    };
+    resolve(0, c_begin, r_slots);
+    resolve(c_begin, dev_begin, c_slots);
+    resolve(dev_begin, gmin_begin, dev_slots);
+    resolve(gmin_begin, mos_begin, gmin_slots);
+    resolve(mos_begin, order.size(), mos_slots);
+
+    symbolic.analyze(pattern);
+  }
+};
+
+SimContext::SimContext() = default;
+SimContext::~SimContext() = default;
+SimContext::SimContext(SimContext&&) noexcept = default;
+SimContext& SimContext::operator=(SimContext&&) noexcept = default;
+
+void SimContext::prepare(const Circuit& ckt) {
+  impl_ = std::make_unique<SimImpl>();
+  impl_->build(ckt);
+}
+
+namespace {
+
+struct Solver {
+  const Circuit& ckt;
+  const TranOptions& opt;
+  const SimImpl& t;
+
+  // Per-simulation numeric state. The matrix structure and symbolic
+  // analysis are copied from the (shared, read-only) SimImpl; only the
+  // value arrays are rewritten each Newton step.
+  numeric::Csr mat;
+  numeric::SparseLu lu;
+  obs::vector<double> base_vals;  // linear stamps at base_dt, MOS excluded
+  double base_dt = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> f_, dx_, i_node_;
+  std::vector<double> jac_;  // dense path / fallback scratch
+  std::string fail_reason;
+
+  Solver(const Circuit& c, const TranOptions& o, const SimImpl& impl)
+      : ckt(c), opt(o), t(impl) {
+    if (opt.solver == SolverKind::kSparse) {
+      mat = t.pattern;
+      lu = t.symbolic;
+      base_vals.assign(mat.nnz(), 0.0);
+    }
+    f_.resize(static_cast<size_t>(t.n_unknown));
+    dx_.resize(static_cast<size_t>(t.n_unknown));
+    i_node_.resize(static_cast<size_t>(t.num_nodes));
   }
 
   /// Currents leaving each node through static elements (R + MOS) at node
@@ -94,116 +236,242 @@ struct Solver {
     }
   }
 
+  /// Residual F = currents leaving each unknown node; returns max |F|.
+  double residual(const std::vector<double>& v,
+                  const std::vector<double>& v_prev, double dt) {
+    static_currents(v, i_node_);
+    if (dt > 0) {
+      for (const auto& c : ckt.capacitors()) {
+        const double dv = (v[static_cast<size_t>(c.a)] - v[static_cast<size_t>(c.b)]) -
+                          (v_prev[static_cast<size_t>(c.a)] - v_prev[static_cast<size_t>(c.b)]);
+        const double i = c.c_ff * dv / dt;
+        i_node_[static_cast<size_t>(c.a)] += i;
+        i_node_[static_cast<size_t>(c.b)] -= i;
+      }
+      for (int nd = 0; nd < t.num_nodes; ++nd) {
+        const double cg = t.dev_cap[static_cast<size_t>(nd)];
+        if (cg > 0) {
+          i_node_[static_cast<size_t>(nd)] +=
+              cg * (v[static_cast<size_t>(nd)] - v_prev[static_cast<size_t>(nd)]) / dt;
+        }
+      }
+    }
+    double worst = 0.0;
+    for (int u = 0; u < t.n_unknown; ++u) {
+      f_[static_cast<size_t>(u)] = i_node_[static_cast<size_t>(t.node_of[static_cast<size_t>(u)])];
+      worst = std::max(worst, std::abs(f_[static_cast<size_t>(u)]));
+    }
+    return worst;
+  }
+
+  /// Value-only refresh of the linear (voltage-independent) stamps for a
+  /// given dt; recomputed only when dt changes (in practice: once for DC,
+  /// once for the transient).
+  void compute_base(double dt) {
+    std::fill(base_vals.begin(), base_vals.end(), 0.0);
+    auto acc = [&](int slot, double g) {
+      if (slot >= 0) base_vals[static_cast<size_t>(slot)] += g;
+    };
+    size_t k = 0;
+    for (const auto& r : ckt.resistors()) {
+      const double g = 1.0 / r.r_kohm;
+      acc(t.r_slots[k], g);
+      acc(t.r_slots[k + 1], g);
+      acc(t.r_slots[k + 2], -g);
+      acc(t.r_slots[k + 3], -g);
+      k += 4;
+    }
+    if (dt > 0) {
+      k = 0;
+      for (const auto& c : ckt.capacitors()) {
+        const double g = c.c_ff / dt;
+        acc(t.c_slots[k], g);
+        acc(t.c_slots[k + 1], g);
+        acc(t.c_slots[k + 2], -g);
+        acc(t.c_slots[k + 3], -g);
+        k += 4;
+      }
+      for (int nd = 0; nd < t.num_nodes; ++nd) {
+        const int slot = t.dev_slots[static_cast<size_t>(nd)];
+        if (slot >= 0) {
+          base_vals[static_cast<size_t>(slot)] += t.dev_cap[static_cast<size_t>(nd)] / dt;
+        }
+      }
+    } else {
+      // DC: tiny conductance to ground keeps floating nodes solvable.
+      for (int u = 0; u < t.n_unknown; ++u) {
+        base_vals[static_cast<size_t>(t.gmin_slots[static_cast<size_t>(u)])] += 1e-9;
+      }
+    }
+    base_dt = dt;
+  }
+
+  /// Assembles the Jacobian at `v` and solves J dx = f into dx_. Sparse
+  /// path: base values + per-iteration MOS stamps through the slot
+  /// program, numeric refactor on the shared symbolic analysis, dense
+  /// partial-pivot retry when a pivot trips the relative threshold.
+  bool solve_linear(const std::vector<double>& v, double dt) {
+    const int n = t.n_unknown;
+    if (opt.solver == SolverKind::kDense) return solve_dense(v, dt);
+    if (dt != base_dt) compute_base(dt);  // NaN sentinel compares unequal
+    std::copy(base_vals.begin(), base_vals.end(), mat.val.begin());
+
+    constexpr double kEps = 1e-5;
+    auto acc = [&](int slot, double g) {
+      if (slot >= 0) mat.val[static_cast<size_t>(slot)] += g;
+    };
+    size_t k = 0;
+    for (const auto& m : ckt.mosfets()) {
+      const double vd = v[static_cast<size_t>(m.d)];
+      const double vg = v[static_cast<size_t>(m.g)];
+      const double vs = v[static_cast<size_t>(m.s)];
+      const double i0 = m.model.ids(vd, vg, vs);
+      const double gd = (m.model.ids(vd + kEps, vg, vs) - i0) / kEps;
+      const double gg = (m.model.ids(vd, vg + kEps, vs) - i0) / kEps;
+      const double gs = (m.model.ids(vd, vg, vs + kEps) - i0) / kEps;
+      const double w = m.w_um;
+      acc(t.mos_slots[k], w * gd);
+      acc(t.mos_slots[k + 1], w * gg);
+      acc(t.mos_slots[k + 2], w * gs);
+      acc(t.mos_slots[k + 3], -w * gd);
+      acc(t.mos_slots[k + 4], -w * gg);
+      acc(t.mos_slots[k + 5], -w * gs);
+      k += 6;
+    }
+
+    if (opt.capture &&
+        static_cast<int>(opt.capture->jacobians.size()) < opt.capture->max_systems) {
+      opt.capture->jacobians.push_back(mat);
+      opt.capture->rhs.push_back(f_);
+    }
+
+    const numeric::FactorStatus st = lu.factor(mat);
+    if (st.ok()) {
+      lu.solve(f_.data(), dx_.data());
+      return true;
+    }
+    // A pivot fell under the relative threshold in the fixed elimination
+    // order; dense partial pivoting can reorder rows, so retry this one
+    // step densely before declaring the system singular.
+    util::count("spice.sparse_pivot_fallbacks");
+    jac_.assign(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (int s = mat.row_ptr[static_cast<size_t>(i)];
+           s < mat.row_ptr[static_cast<size_t>(i) + 1]; ++s) {
+        jac_[static_cast<size_t>(i) * n + mat.col[static_cast<size_t>(s)]] =
+            mat.val[static_cast<size_t>(s)];
+      }
+    }
+    dx_ = f_;
+    const numeric::FactorStatus dst = numeric::dense_lu_solve(jac_, dx_, n);
+    if (dst.ok()) return true;
+    fail_reason = util::strf("linear solve failed: %s", dst.to_string().c_str());
+    return false;
+  }
+
+  /// Retained dense baseline (TranOptions::solver == kDense): the
+  /// pre-sparse-port assembly, kept for benchmarking sparse against.
+  bool solve_dense(const std::vector<double>& v, double dt) {
+    const int n = t.n_unknown;
+    jac_.assign(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0);
+    auto stamp = [&](int node_i, int node_j, double g) {
+      const int ui = t.unknown_of[static_cast<size_t>(node_i)];
+      const int uj = t.unknown_of[static_cast<size_t>(node_j)];
+      if (ui >= 0 && uj >= 0) jac_[static_cast<size_t>(ui) * n + uj] += g;
+    };
+    for (const auto& r : ckt.resistors()) {
+      const double g = 1.0 / r.r_kohm;
+      stamp(r.a, r.a, g);
+      stamp(r.b, r.b, g);
+      stamp(r.a, r.b, -g);
+      stamp(r.b, r.a, -g);
+    }
+    if (dt > 0) {
+      for (const auto& c : ckt.capacitors()) {
+        const double g = c.c_ff / dt;
+        stamp(c.a, c.a, g);
+        stamp(c.b, c.b, g);
+        stamp(c.a, c.b, -g);
+        stamp(c.b, c.a, -g);
+      }
+      for (int nd = 0; nd < t.num_nodes; ++nd) {
+        const double cg = t.dev_cap[static_cast<size_t>(nd)];
+        if (cg > 0) stamp(nd, nd, cg / dt);
+      }
+    } else {
+      for (int u = 0; u < n; ++u) {
+        jac_[static_cast<size_t>(u) * n + u] += 1e-9;
+      }
+    }
+    constexpr double kEps = 1e-5;
+    for (const auto& m : ckt.mosfets()) {
+      const double vd = v[static_cast<size_t>(m.d)];
+      const double vg = v[static_cast<size_t>(m.g)];
+      const double vs = v[static_cast<size_t>(m.s)];
+      const double i0 = m.model.ids(vd, vg, vs);
+      const double gd = (m.model.ids(vd + kEps, vg, vs) - i0) / kEps;
+      const double gg = (m.model.ids(vd, vg + kEps, vs) - i0) / kEps;
+      const double gs = (m.model.ids(vd, vg, vs + kEps) - i0) / kEps;
+      const double w = m.w_um;
+      stamp(m.d, m.d, w * gd);
+      stamp(m.d, m.g, w * gg);
+      stamp(m.d, m.s, w * gs);
+      stamp(m.s, m.d, -w * gd);
+      stamp(m.s, m.g, -w * gg);
+      stamp(m.s, m.s, -w * gs);
+    }
+    dx_ = f_;
+    const numeric::FactorStatus st = numeric::dense_lu_solve(jac_, dx_, n);
+    if (st.ok()) return true;
+    fail_reason = util::strf("linear solve failed: %s", st.to_string().c_str());
+    return false;
+  }
+
   /// Newton solve of one implicit (backward-Euler) step, or the DC problem
   /// when dt <= 0. `v` holds the full node voltages and is updated in place;
   /// `v_prev` is the converged solution of the previous step.
   bool newton_step(std::vector<double>& v, const std::vector<double>& v_prev,
-                   double dt) const {
-    if (n_unknown == 0) return true;
-    const int n = n_unknown;
-    std::vector<double> jac(static_cast<size_t>(n) * n);
-    std::vector<double> f(static_cast<size_t>(n));
-    std::vector<double> i_node(static_cast<size_t>(num_nodes));
-
+                   double dt) {
+    if (t.n_unknown == 0) return true;
     for (int iter = 0; iter < opt.max_newton_iters; ++iter) {
-      // Residual F = currents leaving each unknown node.
-      static_currents(v, i_node);
-      if (dt > 0) {
-        for (const auto& c : ckt.capacitors()) {
-          const double dv = (v[static_cast<size_t>(c.a)] - v[static_cast<size_t>(c.b)]) -
-                            (v_prev[static_cast<size_t>(c.a)] - v_prev[static_cast<size_t>(c.b)]);
-          const double i = c.c_ff * dv / dt;
-          i_node[static_cast<size_t>(c.a)] += i;
-          i_node[static_cast<size_t>(c.b)] -= i;
-        }
-        for (int nd = 0; nd < num_nodes; ++nd) {
-          const double cg = dev_cap[static_cast<size_t>(nd)];
-          if (cg > 0) {
-            i_node[static_cast<size_t>(nd)] +=
-                cg * (v[static_cast<size_t>(nd)] - v_prev[static_cast<size_t>(nd)]) / dt;
-          }
-        }
-      }
-      double worst = 0.0;
-      for (int u = 0; u < n; ++u) {
-        f[static_cast<size_t>(u)] = i_node[static_cast<size_t>(node_of[static_cast<size_t>(u)])];
-        worst = std::max(worst, std::abs(f[static_cast<size_t>(u)]));
-      }
-
-      // Jacobian: linear parts analytically, MOSFETs by finite differences.
-      std::fill(jac.begin(), jac.end(), 0.0);
-      auto stamp = [&](int node_i, int node_j, double g) {
-        const int ui = unknown_of[static_cast<size_t>(node_i)];
-        const int uj = unknown_of[static_cast<size_t>(node_j)];
-        if (ui >= 0 && uj >= 0) jac[static_cast<size_t>(ui) * n + uj] += g;
-      };
-      for (const auto& r : ckt.resistors()) {
-        const double g = 1.0 / r.r_kohm;
-        stamp(r.a, r.a, g);
-        stamp(r.b, r.b, g);
-        stamp(r.a, r.b, -g);
-        stamp(r.b, r.a, -g);
-      }
-      if (dt > 0) {
-        for (const auto& c : ckt.capacitors()) {
-          const double g = c.c_ff / dt;
-          stamp(c.a, c.a, g);
-          stamp(c.b, c.b, g);
-          stamp(c.a, c.b, -g);
-          stamp(c.b, c.a, -g);
-        }
-        for (int nd = 0; nd < num_nodes; ++nd) {
-          const double cg = dev_cap[static_cast<size_t>(nd)];
-          if (cg > 0) stamp(nd, nd, cg / dt);
-        }
-      } else {
-        // DC: tiny conductance to ground keeps floating nodes solvable.
-        for (int u = 0; u < n; ++u) {
-          jac[static_cast<size_t>(u) * n + u] += 1e-9;
-        }
-      }
-      constexpr double kEps = 1e-5;
-      for (const auto& m : ckt.mosfets()) {
-        const double vd = v[static_cast<size_t>(m.d)];
-        const double vg = v[static_cast<size_t>(m.g)];
-        const double vs = v[static_cast<size_t>(m.s)];
-        const double i0 = m.model.ids(vd, vg, vs);
-        const double gd = (m.model.ids(vd + kEps, vg, vs) - i0) / kEps;
-        const double gg = (m.model.ids(vd, vg + kEps, vs) - i0) / kEps;
-        const double gs = (m.model.ids(vd, vg, vs + kEps) - i0) / kEps;
-        const double w = m.w_um;
-        stamp(m.d, m.d, w * gd);
-        stamp(m.d, m.g, w * gg);
-        stamp(m.d, m.s, w * gs);
-        stamp(m.s, m.d, -w * gd);
-        stamp(m.s, m.g, -w * gg);
-        stamp(m.s, m.s, -w * gs);
-      }
-
+      const double worst = residual(v, v_prev, dt);
       if (worst < 1e-9) return true;  // current residual threshold, mA
-
-      std::vector<double> dx = f;
-      std::vector<double> jac_copy = jac;
-      if (!lu_solve(jac_copy, dx, n)) return false;
+      if (!solve_linear(v, dt)) return false;
       double dv_max = 0.0;
-      for (int u = 0; u < n; ++u) {
+      for (int u = 0; u < t.n_unknown; ++u) {
         // Newton update with step clamping for robustness.
-        double step = dx[static_cast<size_t>(u)];
+        double step = dx_[static_cast<size_t>(u)];
         step = std::clamp(step, -0.5, 0.5);
-        v[static_cast<size_t>(node_of[static_cast<size_t>(u)])] -= step;
+        v[static_cast<size_t>(t.node_of[static_cast<size_t>(u)])] -= step;
         dv_max = std::max(dv_max, std::abs(step));
       }
       if (dv_max < opt.v_tol) return true;
     }
+    fail_reason = util::strf("newton iteration limit (%d) reached",
+                             opt.max_newton_iters);
     return false;
   }
 };
 
 }  // namespace
 
-TranResult simulate(const Circuit& ckt, const TranOptions& opt) {
-  Solver solver(ckt, opt);
-  const int num_nodes = solver.num_nodes;
+TranResult simulate(const Circuit& ckt, const TranOptions& opt,
+                    const SimContext* ctx) {
+  // A prepared context is only trusted when its topology fingerprint still
+  // matches this circuit; on mismatch we pay a local rebuild instead of
+  // producing wrong stamps.
+  SimImpl local;
+  const SimImpl* impl = nullptr;
+  if (ctx && ctx->impl_ &&
+      ctx->impl_->topo_hash == SimImpl::fingerprint(ckt)) {
+    impl = ctx->impl_.get();
+  } else {
+    if (ctx && ctx->impl_) util::count("spice.sim_context_misses");
+    local.build(ckt);
+    impl = &local;
+  }
+  Solver solver(ckt, opt, *impl);
+  const int num_nodes = impl->num_nodes;
 
   std::vector<double> v(static_cast<size_t>(num_nodes), 0.0);
   // Apply t=0 source values, then DC-solve the free nodes.
@@ -213,8 +481,10 @@ TranResult simulate(const Circuit& ckt, const TranOptions& opt) {
   std::vector<double> v_prev = v;
   TranResult result;
   if (!solver.newton_step(v, v_prev, /*dt=*/-1.0)) {
-    util::warn("spice: DC operating point did not converge");
+    util::warn("spice: DC operating point did not converge (" +
+               solver.fail_reason + ")");
     result.converged = false;
+    result.fail_reason = "dc: " + solver.fail_reason;
   }
 
   const int steps = std::max(1, static_cast<int>(std::ceil(opt.t_stop_ps / opt.dt_ps)));
@@ -246,6 +516,10 @@ TranResult simulate(const Circuit& ckt, const TranOptions& opt) {
     }
     if (!solver.newton_step(v, v_prev, opt.dt_ps)) {
       result.converged = false;
+      if (result.fail_reason.empty()) {
+        result.fail_reason =
+            util::strf("t=%g ps: %s", t, solver.fail_reason.c_str());
+      }
     }
     // Source currents: everything leaving a driven node through elements.
     solver.static_currents(v, i_node);
@@ -257,7 +531,7 @@ TranResult simulate(const Circuit& ckt, const TranOptions& opt) {
       i_node[static_cast<size_t>(c.b)] -= i;
     }
     for (int nd = 0; nd < num_nodes; ++nd) {
-      const double cg = solver.dev_cap[static_cast<size_t>(nd)];
+      const double cg = impl->dev_cap[static_cast<size_t>(nd)];
       if (cg > 0) {
         i_node[static_cast<size_t>(nd)] +=
             cg * (v[static_cast<size_t>(nd)] - v_prev[static_cast<size_t>(nd)]) / opt.dt_ps;

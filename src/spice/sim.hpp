@@ -1,15 +1,43 @@
-// Transient simulation: backward-Euler integration with Newton iterations,
-// dense LU solve. Circuits here are standard cells (tens of nodes), so a
-// dense nodal formulation is both simple and fast.
+// Transient simulation: backward-Euler integration with Newton iterations.
+//
+// The Newton linear systems are MNA matrices whose sparsity pattern is
+// fixed for the whole transient run (stamp *sites* never move; only the
+// MOSFET conductances change), so the solver computes a fill-reducing
+// ordering and symbolic factorization once and then only refactors numbers
+// per Newton step (numeric::SparseLu). Standard-cell MNA matrices are
+// >90% zero; the dense O(n^3)-per-step path is retained behind
+// TranOptions::solver as the benchmark baseline and as the automatic
+// fallback when a pivot falls below the relative singularity threshold.
+//
+// Circuits with identical topology (the characterizer's whole (slew, load)
+// grid for an arc) can share one SimContext: the node mapping, MNA
+// pattern, and symbolic analysis are built once and reused read-only by
+// every simulate() call.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "numeric/csr.hpp"
 #include "spice/circuit.hpp"
 
 namespace m3d::spice {
+
+/// Which linear solver backs the Newton iterations.
+enum class SolverKind {
+  kSparse,  // symbolic-once sparse LU; dense fallback on small pivots
+  kDense,   // dense partial-pivot LU every step (benchmark baseline)
+};
+
+/// Test/bench hook: captures the first `max_systems` assembled Newton
+/// systems (Jacobian + residual) of a run. Single-threaded use only.
+struct NewtonCapture {
+  int max_systems = 8;
+  std::vector<numeric::Csr> jacobians;
+  std::vector<std::vector<double>> rhs;
+};
 
 struct TranOptions {
   double t_stop_ps = 1000.0;
@@ -21,6 +49,8 @@ struct TranOptions {
   /// `tail_ps` of the run (for leakage measurements after a settling
   /// preamble).
   double tail_ps = 0.0;
+  SolverKind solver = SolverKind::kSparse;
+  NewtonCapture* capture = nullptr;  // optional, see NewtonCapture
 };
 
 struct TranResult {
@@ -34,14 +64,44 @@ struct TranResult {
   // over the final tail_ps window when TranOptions::tail_ps > 0.
   std::unordered_map<int, double> source_avg_current_ma;
   bool converged = true;
+  // Empty when converged; otherwise the structured reason the Newton loop
+  // gave up (singular pivot detail, iteration cap), so characterization
+  // failures name their cause instead of silently blanking a table cell.
+  std::string fail_reason;
 
   const std::vector<double>& waveform(int node) const { return wave.at(node); }
+};
+
+struct SimImpl;
+
+/// Reusable cross-simulation state: node classification, MNA sparsity
+/// pattern, stamp slot program, and symbolic factorization. prepare() once
+/// (it is cheap but not free), then pass to any number of simulate() calls
+/// — including concurrently from pool workers; the context is read-only
+/// after prepare. simulate() verifies a topology fingerprint and quietly
+/// rebuilds locally on mismatch, so a stale context can cost performance
+/// but never correctness.
+class SimContext {
+ public:
+  SimContext();
+  ~SimContext();
+  SimContext(SimContext&&) noexcept;
+  SimContext& operator=(SimContext&&) noexcept;
+
+  void prepare(const Circuit& ckt);
+  bool prepared() const { return impl_ != nullptr; }
+
+ private:
+  friend TranResult simulate(const Circuit& ckt, const TranOptions& opt,
+                             const SimContext* ctx);
+  std::unique_ptr<SimImpl> impl_;
 };
 
 /// Runs a transient analysis. Initial condition: free nodes start at their
 /// DC solution for the source values at t=0 (a Newton solve with capacitors
 /// open).
-TranResult simulate(const Circuit& ckt, const TranOptions& opt);
+TranResult simulate(const Circuit& ckt, const TranOptions& opt,
+                    const SimContext* ctx = nullptr);
 
 /// Waveform measurements -----------------------------------------------------
 
